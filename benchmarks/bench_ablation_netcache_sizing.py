@@ -1,0 +1,73 @@
+"""Ablation — sizing the dedicated network cache (sections 3.2 / 4.1).
+
+    "We designed the match queue length experiments to better understand the
+    amount of memory needed to hold all of the relevant MPI data. This helps
+    in sizing caches..."  and  "...this could also be supported with
+    relative ease by device manufacturers by adding a small 1-2KiB network
+    specific cache to the core design."
+
+Sweep the dedicated cache size against queue depth: a size covers a depth
+when the whole match footprint fits (depth x one line per baseline node);
+below that it thrashes and buys nothing. The paper's 1-2 KiB proposal
+covers exactly the short lists (depths ~16-30) the Figure 1 motifs say
+dominate — and none of the long-list workloads its own Table 1 predicts.
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.analysis.report import render_table
+from repro.arch import SANDY_BRIDGE
+from repro.bench.figures import default_link
+from repro.bench.osu import OsuConfig, osu_bandwidth
+from repro.mem.hierarchy import NetworkCacheConfig
+
+SIZES = (1024, 2048, 8192, 65536)
+DEPTHS = (8, 16, 64, 512)
+
+
+def _bw(depth, size):
+    cfg = OsuConfig(
+        arch=SANDY_BRIDGE,
+        link=default_link(SANDY_BRIDGE),
+        queue_family="baseline",
+        msg_bytes=1,
+        search_depth=depth,
+        iterations=3,
+        network_cache=NetworkCacheConfig(size_bytes=size) if size else None,
+    )
+    return osu_bandwidth(cfg).mibps
+
+
+def test_network_cache_sizing(once):
+    results = once(
+        lambda: {
+            (size, depth): _bw(depth, size)
+            for size in (0,) + SIZES
+            for depth in DEPTHS
+        }
+    )
+    rows = [
+        ("none" if size == 0 else f"{size // 1024} KiB", depth, round(bw, 4))
+        for (size, depth), bw in results.items()
+    ]
+    emit(
+        render_table(
+            ["net cache", "queue depth", "bandwidth (MiBps), 1 B msgs"],
+            rows,
+            title="Dedicated network cache sizing (Sandy Bridge, baseline list)",
+        )
+    )
+    # The paper's 1-2 KiB proposal covers short lists only...
+    assert results[(2048, 8)] > 1.15 * results[(0, 8)]
+    assert results[(2048, 16)] > 1.1 * results[(0, 16)]
+    # ...and thrashes uselessly on deep ones.
+    assert results[(2048, 512)] == pytest.approx(results[(0, 512)], rel=0.05)
+    # Capacity must track the footprint: 64 KiB covers depth 512
+    # (512 nodes x ~1-2 lines each fits in 1024 lines).
+    assert results[(65536, 512)] > 2 * results[(0, 512)]
+    # Within its capacity, a bigger cache is never worse.
+    for depth in DEPTHS:
+        assert results[(65536, depth)] >= 0.95 * results[(8192, depth)]
+

@@ -1,0 +1,47 @@
+"""Ablation — co-located ranks vs semi-permanent occupancy (the title fight).
+
+One matched rank plus N-1 co-located compute ranks share a Sandy Bridge
+socket; every rank streams a 4 MiB working set per phase. Once the node's
+combined footprint exceeds the 20 MiB LLC, the unprotected match list is
+evicted between phases and search cost jumps to DRAM; the software heater
+(whose pass lands mid-phase) claws back only part of it; the CAT-style way
+partition keeps matching cost *flat at any rank count* — the quantitative
+case for the paper's title that 2018 hardware could not provide.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import render_table
+from repro.arch import SANDY_BRIDGE
+from repro.bench.colocated import run_colocated_study
+
+RANKS = (1, 4, 7)
+
+
+def test_colocated_llc_pressure(once):
+    points = once(
+        run_colocated_study,
+        SANDY_BRIDGE,
+        rank_counts=RANKS,
+        iterations=1,
+        depth=2048,
+    )
+    rows = [(p.mechanism, p.ranks, round(p.cycles_per_search)) for p in points]
+    emit(
+        render_table(
+            ["occupancy mechanism", "ranks on socket", "cycles/search"],
+            rows,
+            title="Co-located LLC pressure, 2048-deep list, 4 MiB/rank compute "
+            "(Sandy Bridge, 20 MiB L3)",
+        )
+    )
+    by = {(p.mechanism, p.ranks): p.cycles_per_search for p in points}
+    # Unprotected: fine while the node fits, blows up when it does not.
+    assert by[("none", 7)] > 2.5 * by[("none", 1)]
+    # Hot caching defends partially under pressure...
+    assert by[("hot-caching", 7)] < 0.6 * by[("none", 7)]
+    # ...but cannot fully hold the line against capacity traffic.
+    assert by[("hot-caching", 7)] > 1.2 * by[("hot-caching", 1)]
+    # The way partition is semi-permanent by construction: flat.
+    assert by[("cat-partition", 7)] <= 1.05 * by[("cat-partition", 1)]
+    assert by[("cat-partition", 7)] < 0.3 * by[("none", 7)]

@@ -1,0 +1,38 @@
+"""Figure 10 — Fire Dynamics Simulator scaling: factor speedup over baseline.
+
+Five lines: HC / LLA / HC+LLA on Nehalem, LLA on Broadwell, LLA-Large on
+Nehalem. Paper landmarks: LLA ~2x at 4k ranks (Nehalem), LLA 1.21x at 1024
+(Broadwell), HC+LLA best at <=1024 (+14.5% over baseline there), HC alone a
+slowdown at scale, LLA-Large ~2x at 8192."""
+
+from conftest import emit
+
+from repro.analysis.report import render_series_table
+from repro.apps import fig10_fds_speedups
+
+SCALES = (128, 512, 1024, 2048, 4096, 8192)
+
+
+def test_fig10_fds_speedups(once):
+    sweep = once(fig10_fds_speedups, scales=SCALES, seed=0)
+    emit(render_series_table(sweep))
+
+    lla = sweep.series["LLA Nehalem"]
+    hc = sweep.series["HC Nehalem"]
+    both = sweep.series["HC+LLA Nehalem"]
+    bdw = sweep.series["LLA Broadwell"]
+    large = sweep.series["LLA-Large"]
+
+    # LLA divergence with scale, ~2x at 4k.
+    assert lla.at(4096) > lla.at(1024) > lla.at(128)
+    assert 1.5 < lla.at(4096) < 2.6
+    # HC alone: net slowdown that worsens with scale (lock contention).
+    assert hc.at(4096) < 1.0
+    assert hc.at(4096) < hc.at(1024)
+    # HC+LLA beats plain LLA at small/medium scale.
+    assert both.at(512) >= lla.at(512)
+    assert both.at(1024) > lla.at(1024)
+    # Broadwell LLA: modest at 1024 (paper: 1.21x).
+    assert 1.02 < bdw.at(1024) < 1.45
+    # LLA-Large reaches ~2x at the top scale.
+    assert large.at(8192) > 1.8

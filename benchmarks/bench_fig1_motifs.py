@@ -1,0 +1,51 @@
+"""Figure 1 — match-list-size histograms for AMR / Sweep3D / Halo3D.
+
+Regenerates the posted and unexpected occurrence histograms at the paper's
+scales (64K / 128K / 256K ranks) and bucket widths (20 / 10 / 5)."""
+
+import pytest
+from conftest import emit
+
+from repro.analysis.report import render_table
+from repro.motifs import MOTIFS
+
+
+def _run(name):
+    motif = MOTIFS[name](seed=0)
+    return motif.run()
+
+
+@pytest.mark.parametrize("name", ["amr", "sweep3d", "halo3d"])
+def test_fig1_motif(name, once):
+    result = once(_run, name)
+
+    rows = [
+        (label, posted, unexpected)
+        for (label, posted), (_, unexpected) in zip(
+            result.posted_buckets(), result.unexpected_buckets()
+        )
+    ]
+    emit(
+        render_table(
+            ["Matchlist Length Bucket Range", "posted", "unexpected"],
+            rows,
+            title=f"Figure 1 ({name}): {result.nranks // 1024}K ranks",
+        )
+    )
+
+    posted = result.posted
+    if name == "amr":
+        # Mass at low-to-mid hundreds, extremes out to the mid 400s.
+        assert 390 <= result.max_posted_length <= 439
+        assert posted[:200].sum() > 0.8 * posted.sum()
+    elif name == "sweep3d":
+        # "queue lengths into the low hundreds", capped below 200.
+        assert result.max_posted_length <= 199
+        assert posted[:100].sum() > 0.95 * posted.sum()
+    else:
+        # Halo3D: many very small queues.
+        assert result.max_posted_length <= 99
+        assert posted[:15].sum() > 0.9 * posted.sum()
+    # Histograms decay: first bucket dominates the tail by orders of magnitude.
+    buckets = [c for _, c in result.posted_buckets()]
+    assert buckets[0] > 100 * max(1, buckets[-1])

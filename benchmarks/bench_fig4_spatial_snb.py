@@ -1,0 +1,59 @@
+"""Figure 4 — impact of spatial locality on Sandy Bridge (QLogic IB QDR).
+
+Three panels: (a) bandwidth vs message size at queue depth 1024,
+(b) bandwidth vs PRQ search length for 1-byte messages,
+(c) the same for 4 KiB messages. Lines: baseline and LLA-{2,4,8,16,32}."""
+
+import pytest
+from conftest import emit
+
+from repro.analysis.report import render_series_table
+from repro.arch import SANDY_BRIDGE
+from repro.bench.figures import fig_spatial_msg_size, fig_spatial_search_length
+
+MSG_SIZES = [1, 16, 256, 1024, 4096, 65536, 1 << 20]
+DEPTHS = [1, 8, 64, 512, 1024, 4096, 8192]
+ITERS = 3
+
+
+def test_fig4a_msg_size_sweep(once):
+    sweep = once(
+        fig_spatial_msg_size, SANDY_BRIDGE, msg_sizes=MSG_SIZES, iterations=ITERS
+    )
+    emit(render_series_table(sweep))
+    base, lla8 = sweep.series["baseline"], sweep.series["LLA - 8"]
+    # ~2x+ benefit for small/medium messages...
+    assert lla8.at(1024) > 2 * base.at(1024)
+    # ...vanishing at the network-bound large end.
+    assert lla8.at(1 << 20) == pytest.approx(base.at(1 << 20), rel=0.02)
+
+
+def test_fig4b_one_byte_messages(once):
+    sweep = once(
+        fig_spatial_search_length,
+        SANDY_BRIDGE,
+        msg_bytes=1,
+        depths=DEPTHS,
+        iterations=ITERS,
+    )
+    emit(render_series_table(sweep))
+    at_1024 = {label: sweep.series[label].at(1024) for label in sweep.labels()}
+    # Large jump baseline -> LLA-2, slight increases beyond.
+    assert at_1024["LLA - 2"] > 2 * at_1024["baseline"]
+    assert at_1024["LLA - 8"] >= at_1024["LLA - 2"]
+    assert at_1024["LLA - 32"] < 1.5 * at_1024["LLA - 8"]
+
+
+def test_fig4c_4kib_messages(once):
+    sweep = once(
+        fig_spatial_search_length,
+        SANDY_BRIDGE,
+        msg_bytes=4096,
+        depths=DEPTHS,
+        iterations=ITERS,
+    )
+    emit(render_series_table(sweep))
+    base, lla8 = sweep.series["baseline"], sweep.series["LLA - 8"]
+    assert lla8.at(1024) > 2 * base.at(1024)
+    # Short lists: no regression from the LLA layout.
+    assert lla8.at(1) >= 0.9 * base.at(1)

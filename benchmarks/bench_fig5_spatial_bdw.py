@@ -1,0 +1,41 @@
+"""Figure 5 — impact of spatial locality on Broadwell (OmniPath).
+
+Same three panels as Figure 4, on the Broadwell model."""
+
+import pytest
+from conftest import emit
+
+from repro.analysis.report import render_series_table
+from repro.arch import BROADWELL
+from repro.bench.figures import fig_spatial_msg_size, fig_spatial_search_length
+
+MSG_SIZES = [1, 16, 256, 1024, 4096, 65536, 1 << 20]
+DEPTHS = [1, 8, 64, 512, 1024, 4096, 8192]
+ITERS = 3
+
+
+def test_fig5a_msg_size_sweep(once):
+    sweep = once(fig_spatial_msg_size, BROADWELL, msg_sizes=MSG_SIZES, iterations=ITERS)
+    emit(render_series_table(sweep))
+    base, lla8 = sweep.series["baseline"], sweep.series["LLA - 8"]
+    assert lla8.at(1024) > 1.8 * base.at(1024)
+    assert lla8.at(1 << 20) == pytest.approx(base.at(1 << 20), rel=0.02)
+
+
+def test_fig5b_one_byte_messages(once):
+    sweep = once(
+        fig_spatial_search_length, BROADWELL, msg_bytes=1, depths=DEPTHS, iterations=ITERS
+    )
+    emit(render_series_table(sweep))
+    at_1024 = {label: sweep.series[label].at(1024) for label in sweep.labels()}
+    assert at_1024["LLA - 2"] > 1.8 * at_1024["baseline"]
+    assert at_1024["LLA - 8"] >= at_1024["LLA - 2"]
+
+
+def test_fig5c_4kib_messages(once):
+    sweep = once(
+        fig_spatial_search_length, BROADWELL, msg_bytes=4096, depths=DEPTHS, iterations=ITERS
+    )
+    emit(render_series_table(sweep))
+    base, lla8 = sweep.series["baseline"], sweep.series["LLA - 8"]
+    assert lla8.at(1024) > 1.8 * base.at(1024)

@@ -1,0 +1,45 @@
+"""Figure 6 — impact of temporal locality on Sandy Bridge.
+
+Lines: baseline, HC (hot caching over the original list), LLA, HC+LLA (the
+pool-backed combination). On Sandy Bridge — core-clock L3 — hot caching wins."""
+
+from conftest import emit
+
+from repro.analysis.report import render_series_table
+from repro.arch import SANDY_BRIDGE
+from repro.bench.figures import fig_temporal_msg_size, fig_temporal_search_length
+
+MSG_SIZES = [1, 256, 4096, 65536, 1 << 20]
+DEPTHS = [1, 8, 64, 512, 1024, 4096]
+ITERS = 3
+
+
+def test_fig6a_msg_size_sweep(once):
+    sweep = once(fig_temporal_msg_size, SANDY_BRIDGE, msg_sizes=MSG_SIZES, iterations=ITERS)
+    emit(render_series_table(sweep))
+    at_small = {label: sweep.series[label].at(256) for label in sweep.labels()}
+    assert at_small["HC"] > at_small["baseline"]
+    assert at_small["HC+LLA"] >= at_small["LLA"] > at_small["baseline"]
+    # Network-bound convergence at 1 MiB.
+    ys = [sweep.series[label].at(1 << 20) for label in sweep.labels()]
+    assert max(ys) / min(ys) < 1.05
+
+
+def test_fig6b_one_byte_messages(once):
+    sweep = once(
+        fig_temporal_search_length, SANDY_BRIDGE, msg_bytes=1, depths=DEPTHS, iterations=ITERS
+    )
+    emit(render_series_table(sweep))
+    for depth in (64, 512, 1024):
+        at = {label: sweep.series[label].at(depth) for label in sweep.labels()}
+        assert at["HC"] > at["baseline"], depth
+        assert at["HC+LLA"] > at["LLA"], depth
+
+
+def test_fig6c_4kib_messages(once):
+    sweep = once(
+        fig_temporal_search_length, SANDY_BRIDGE, msg_bytes=4096, depths=DEPTHS, iterations=ITERS
+    )
+    emit(render_series_table(sweep))
+    at = {label: sweep.series[label].at(1024) for label in sweep.labels()}
+    assert at["HC+LLA"] > at["HC"] > at["baseline"]

@@ -1,0 +1,48 @@
+"""Figure 7 — impact of temporal locality on Broadwell.
+
+The paper's negative result: Broadwell's decoupled-clock L3 is slow enough
+(and the heater's synchronization expensive enough) that hot caching is a
+slight net loss — 'we see a negative result from cache heating, indicating
+that the cache refreshing is interfering with normal operation'."""
+
+from conftest import emit
+
+from repro.analysis.report import render_series_table
+from repro.arch import BROADWELL
+from repro.bench.figures import fig_temporal_msg_size, fig_temporal_search_length
+
+MSG_SIZES = [1, 256, 4096, 65536, 1 << 20]
+DEPTHS = [1, 8, 64, 512, 1024, 4096]
+ITERS = 3
+
+
+def test_fig7a_msg_size_sweep(once):
+    sweep = once(fig_temporal_msg_size, BROADWELL, msg_sizes=MSG_SIZES, iterations=ITERS)
+    emit(render_series_table(sweep))
+    at = {label: sweep.series[label].at(256) for label in sweep.labels()}
+    # Spatial locality still helps; temporal does not.
+    assert at["LLA"] > at["baseline"]
+    assert at["HC"] < at["baseline"] * 1.02
+    assert at["HC+LLA"] < at["LLA"] * 1.02
+
+
+def test_fig7b_one_byte_messages(once):
+    sweep = once(
+        fig_temporal_search_length, BROADWELL, msg_bytes=1, depths=DEPTHS, iterations=ITERS
+    )
+    emit(render_series_table(sweep))
+    for depth in (512, 1024, 4096):
+        at = {label: sweep.series[label].at(depth) for label in sweep.labels()}
+        assert at["HC"] < at["baseline"], depth  # the sign flip
+        assert at["HC+LLA"] < at["LLA"], depth  # "slight performance drop"
+        assert at["HC+LLA"] > 0.75 * at["LLA"], depth  # ...but only slight
+
+
+def test_fig7c_4kib_messages(once):
+    sweep = once(
+        fig_temporal_search_length, BROADWELL, msg_bytes=4096, depths=DEPTHS, iterations=ITERS
+    )
+    emit(render_series_table(sweep))
+    at = {label: sweep.series[label].at(1024) for label in sweep.labels()}
+    assert at["HC"] < at["baseline"]
+    assert at["LLA"] > at["baseline"]

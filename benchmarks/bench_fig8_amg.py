@@ -1,0 +1,23 @@
+"""Figure 8 — AMG2013 weak-scaling study on Broadwell.
+
+Baseline vs LLA execution time at 128-1024 ranks; the paper reports a 2.9%
+runtime improvement at 1024 ranks."""
+
+from conftest import emit
+
+from repro.analysis.report import render_series_table
+from repro.analysis.stats import percent_improvement
+from repro.apps import fig8_amg_scaling
+
+
+def test_fig8_amg_scaling(once):
+    sweep = once(fig8_amg_scaling, seed=0)
+    emit(render_series_table(sweep))
+    base, lla = sweep.series["Baseline"], sweep.series["LLA"]
+    pct_1024 = percent_improvement(base.at(1024), lla.at(1024))
+    emit(f"LLA improvement at 1024 ranks: {pct_1024:.2f}% (paper: 2.9%)")
+    # Single-percent-range improvement, growing with scale.
+    assert 1.0 < pct_1024 < 6.0
+    assert pct_1024 > percent_improvement(base.at(128), lla.at(128))
+    # Weak scaling: runtime roughly flat across the sweep.
+    assert base.at(1024) < base.at(128) * 1.25

@@ -1,0 +1,22 @@
+"""Figure 9 — MiniFE at 512 ranks with artificially varied match-list length.
+
+Baseline vs LLA execution time at lengths 128/512/2048; the paper reports a
+2.3% improvement at length 2048 and effectively none at short lengths."""
+
+from conftest import emit
+
+from repro.analysis.report import render_series_table
+from repro.analysis.stats import percent_improvement
+from repro.apps import fig9_minife_lengths
+
+
+def test_fig9_minife_lengths(once):
+    sweep = once(fig9_minife_lengths, seed=0)
+    emit(render_series_table(sweep))
+    base, lla = sweep.series["Baseline"], sweep.series["LLA"]
+    pct = {length: percent_improvement(base.at(length), lla.at(length)) for length in (128, 512, 2048)}
+    emit(f"LLA improvement: {pct[128]:.2f}% @128, {pct[512]:.2f}% @512, "
+         f"{pct[2048]:.2f}% @2048 (paper: 2.3% @2048)")
+    assert 1.0 < pct[2048] < 5.0
+    assert pct[128] < pct[512] < pct[2048]
+    assert pct[128] < 1.0  # 'does not show much effect' at short lengths

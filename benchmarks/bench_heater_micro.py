@@ -1,0 +1,29 @@
+"""Section 4.3 — the custom cache-heater random-access micro-benchmark.
+
+Paper numbers: Sandy Bridge 47.5 ns -> 22.9 ns, Broadwell 38.5 ns -> 22.8 ns
+per iteration ("nearly a doubling of throughput")."""
+
+import pytest
+from conftest import emit
+
+from repro.analysis.report import render_table
+from repro.arch import BROADWELL, SANDY_BRIDGE
+from repro.bench.heater_micro import heater_microbenchmark
+
+PAPER = {"sandy-bridge": (47.5, 22.9), "broadwell": (38.5, 22.8)}
+
+
+@pytest.mark.parametrize("arch", [SANDY_BRIDGE, BROADWELL], ids=lambda a: a.name)
+def test_heater_micro(arch, once):
+    result = once(heater_microbenchmark, arch, samples=2048, seed=0)
+    cold_p, hot_p = PAPER[arch.name]
+    emit(
+        render_table(
+            ["arch", "cold ns/iter", "hot ns/iter", "paper cold", "paper hot"],
+            [(arch.name, round(result.cold_ns, 1), round(result.hot_ns, 1), cold_p, hot_p)],
+            title="Section 4.3 cache-heater micro-benchmark",
+        )
+    )
+    assert result.cold_ns == pytest.approx(cold_p, rel=0.15)
+    assert result.hot_ns == pytest.approx(hot_p, rel=0.15)
+    assert 1.4 < result.speedup < 2.5

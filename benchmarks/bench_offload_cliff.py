@@ -1,0 +1,70 @@
+"""Ablation — hardware matching offload and its capacity cliff (section 2.2).
+
+    "Such solutions will only benefit from software MPI matching
+    improvements when list lengths are longer than that which can be
+    supported in hardware."
+
+Measures one cold search across queue depths for a BXI-like NIC (4096 on-NIC
+entries) over two software overflow organizations, against pure-software
+baselines. The assertions pin the cliff: flat nanosecond-scale matching
+inside hardware capacity, software-dominated beyond it — where the LLA's
+spatial locality matters again.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.report import render_table
+from repro.arch import SANDY_BRIDGE
+from repro.matching import Envelope, MatchEngine, MatchItem, make_pattern, make_queue
+from repro.offload import BXI_LIKE, OffloadedMatchQueue
+
+DEPTHS = (64, 1024, 4000, 8192, 16384)
+
+
+def _search_cycles(depth, *, offload, family):
+    hier = SANDY_BRIDGE.build_hierarchy()
+    engine = MatchEngine(hier)
+    q = make_queue(family, port=engine, rng=np.random.default_rng(1))
+    if offload:
+        q = OffloadedMatchQueue(q, BXI_LIKE, engine=engine, ghz=SANDY_BRIDGE.ghz)
+    for seq in range(depth):
+        q.post(make_pattern(0, 10_000 + seq, 0, seq=seq))
+    q.post(make_pattern(1, 7, 0, seq=depth + 5))
+    hier.flush()
+    probe = MatchItem.from_envelope(Envelope(1, 7, 0), seq=999_999)
+    _, cycles = engine.timed(lambda: q.match_remove(probe))
+    return cycles
+
+
+def test_offload_capacity_cliff(once):
+    results = once(
+        lambda: {
+            (label, depth): _search_cycles(depth, offload=off, family=fam)
+            for label, off, fam in (
+                ("software baseline", False, "baseline"),
+                ("software LLA-8", False, "lla-8"),
+                ("NIC + baseline overflow", True, "baseline"),
+                ("NIC + LLA-8 overflow", True, "lla-8"),
+            )
+            for depth in DEPTHS
+        }
+    )
+    rows = [(label, depth, round(c)) for (label, depth), c in results.items()]
+    emit(
+        render_table(
+            ["configuration", "depth", "cycles/search"],
+            rows,
+            title=f"BXI-like offload ({BXI_LIKE.hw_entries} on-NIC entries), Sandy Bridge",
+        )
+    )
+    # Inside capacity: the NIC crushes any software organization.
+    assert results[("NIC + baseline overflow", 4000)] < 0.2 * results[("software LLA-8", 4000)]
+    # Beyond capacity: the software overflow path dominates again...
+    cliff = results[("NIC + baseline overflow", 16384)] / results[("NIC + baseline overflow", 4000)]
+    assert cliff > 10
+    # ...and software locality work pays off once more (the paper's point).
+    assert (
+        results[("NIC + LLA-8 overflow", 16384)]
+        < 0.6 * results[("NIC + baseline overflow", 16384)]
+    )

@@ -1,0 +1,63 @@
+"""Table 1 — queue lengths and mean search depths for thread decompositions.
+
+Regenerates every row: exact tr/ts/length combinatorics plus the measured
+mean search depth over randomized thread interleavings (10 trials, as in the
+paper)."""
+
+from conftest import emit
+
+from repro.analysis.report import render_table
+from repro.decomp.bench import TABLE1_ROWS, table1
+
+PAPER_DEPTHS = {
+    ((32, 32), "5pt"): 32.51,
+    ((64, 32), "5pt"): 48.22,
+    ((32, 32), "9pt"): 85.18,
+    ((64, 32), "9pt"): 127.24,
+    ((8, 8, 4), "7pt"): 65.85,
+    ((1, 1, 128), "7pt"): 132.27,
+    ((1, 1, 256), "7pt"): 259.08,
+    ((8, 8, 4), "27pt"): 410.02,
+    ((1, 1, 128), "27pt"): 596.85,
+    ((1, 1, 256), "27pt"): 1294.49,
+}
+
+PAPER_COUNTS = {
+    ((32, 32), "5pt"): (124, 128, 128),
+    ((64, 32), "5pt"): (188, 192, 192),
+    ((32, 32), "9pt"): (124, 132, 380),
+    ((64, 32), "9pt"): (188, 196, 572),
+    ((8, 8, 4), "7pt"): (184, 256, 256),
+    ((1, 1, 128), "7pt"): (128, 514, 514),
+    ((1, 1, 256), "7pt"): (256, 1026, 1026),
+    ((8, 8, 4), "27pt"): (184, 344, 2072),
+    ((1, 1, 128), "27pt"): (128, 1042, 3074),
+    ((1, 1, 256), "27pt"): (256, 2066, 6146),
+}
+
+
+def test_table1(once):
+    results = once(table1, trials=10, seed=0)
+
+    rows = []
+    for res in results:
+        key = (res.dims, res.stencil)
+        rows.append(res.as_row() + (PAPER_DEPTHS[key],))
+    emit(
+        render_table(
+            ["Decomp.", "Stencil", "tr", "ts", "Length", "Search depth", "paper depth"],
+            rows,
+            title="Table 1: Queue lengths and mean search depths",
+        )
+    )
+
+    assert len(results) == len(TABLE1_ROWS)
+    for res in results:
+        key = (res.dims, res.stencil)
+        tr, ts, length = PAPER_COUNTS[key]
+        # The combinatorial columns must match the paper exactly.
+        assert res.counts.receiving_threads == tr
+        assert res.counts.sending_threads == ts
+        assert res.counts.list_length == length
+        # Mean search depth lands in the paper's band (random scheduling).
+        assert 0.6 * PAPER_DEPTHS[key] < res.mean_search_depth < 1.45 * PAPER_DEPTHS[key]

@@ -1,0 +1,34 @@
+"""Shared fixtures/helpers for the figure-regeneration benchmarks.
+
+Every benchmark in this directory regenerates one table or figure of the
+paper on the simulated substrate, prints the same rows/series the paper
+reports, and asserts the reproduction criteria from DESIGN.md section 7.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Sweeps here are mildly reduced relative to the paper (fewer trial
+repetitions, coarser axes) so the whole suite finishes in minutes; the CLI
+(`repro fig4` etc. without --quick) runs the full axes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(text: str) -> None:
+    """Print a rendered table so `-s` runs show the paper-style output."""
+    print()
+    print(text)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the (expensive) regeneration exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+    return runner

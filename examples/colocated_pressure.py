@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""The title fight: semi-permanent occupancy under co-located LLC pressure.
+
+A matched rank shares a Sandy Bridge socket with up to six co-located
+compute ranks, each streaming 4 MiB per phase. Watch what happens to match
+search cost when the node's combined working set exceeds the 20 MiB shared
+L3 — and which occupancy mechanism survives it.
+
+Run:  python examples/colocated_pressure.py   (takes ~1 minute)
+"""
+
+from repro.analysis import render_table
+from repro.arch import SANDY_BRIDGE
+from repro.bench.colocated import run_colocated_study
+
+RANKS = (1, 4, 7)
+
+
+def main() -> None:
+    points = run_colocated_study(
+        SANDY_BRIDGE, rank_counts=RANKS, iterations=1, depth=2048
+    )
+    by = {(p.mechanism, p.ranks): p.cycles_per_search for p in points}
+    rows = []
+    for ranks in RANKS:
+        rows.append(
+            (
+                ranks,
+                f"{ranks * 4} MiB",
+                round(by[("none", ranks)]),
+                round(by[("hot-caching", ranks)]),
+                round(by[("cat-partition", ranks)]),
+            )
+        )
+    print(
+        render_table(
+            ["ranks", "node working set", "unprotected", "hot caching", "CAT partition"],
+            rows,
+            title="Search cycles for a 2048-deep list vs co-located pressure "
+            "(Sandy Bridge, 20 MiB L3)",
+        )
+    )
+    blowup = by[("none", 7)] / by[("none", 1)]
+    print(f"""
+At 7 ranks the node streams 28 MiB per phase — more than the LLC — and the
+unprotected match list gets evicted between phases ({blowup:.1f}x blow-up).
+The software heater, whose pass lands mid-phase, defends only partially.
+The CAT-style way partition cannot be evicted by ordinary fills at all:
+matching cost is flat at any rank count. That is "semi-permanent cache
+occupancy" — the hardware support the paper's title argues for.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Hot caching under the microscope.
+
+Shows the heater's machinery directly: periodic passes refreshing the shared
+L3, the region-list lock windows, and why the technique wins on Sandy Bridge
+but loses on Broadwell (the paper's sections 3.2 and 4.3).
+
+Run:  python examples/hot_caching_demo.py
+"""
+
+from repro import (
+    BROADWELL,
+    SANDY_BRIDGE,
+    Envelope,
+    HeatedQueue,
+    Heater,
+    HeaterConfig,
+    MatchEngine,
+    MatchItem,
+    make_pattern,
+    make_queue,
+)
+from repro.mem.alloc import Allocation
+
+DEPTH = 1024
+
+
+def inspect_heater_mechanics() -> None:
+    print("=== Heater mechanics (Sandy Bridge) ===")
+    hierarchy = SANDY_BRIDGE.build_hierarchy()
+    heater = Heater(hierarchy, SANDY_BRIDGE.ghz, HeaterConfig(period_ns=2000.0))
+    region = Allocation(0x4000_0000, 64 * 1024)  # 64 KiB of match state
+    heater.regions.add(region)
+
+    heater.catch_up(SANDY_BRIDGE.cycles(10_000))  # 10 us of simulated time
+    print(f"  passes run in 10 us:        {heater.passes}")
+    print(f"  lines touched per pass:     {heater.lines_touched // heater.passes}")
+    print(f"  pass duration:              {SANDY_BRIDGE.ns(heater.last_pass_duration):.0f} ns")
+    print(f"  saturated (pass > period):  {heater.saturated}")
+
+    line = region.addr >> 6
+    print(f"  region resident in L3:      {hierarchy.l3.contains(line)}")
+    cost = hierarchy.access(0, region.addr, 8)
+    print(f"  matching-core access cost:  {cost:.0f} cycles (L3 latency = "
+          f"{SANDY_BRIDGE.l3_latency:.0f})\n")
+
+
+def architecture_contrast() -> None:
+    print("=== Why Broadwell says no (section 4.3) ===")
+    for arch in (SANDY_BRIDGE, BROADWELL):
+        results = {}
+        for heated in (False, True):
+            hierarchy = arch.build_hierarchy()
+            engine = MatchEngine(hierarchy)
+            queue = make_queue("baseline", port=engine)
+            if heated:
+                heater = Heater(hierarchy, arch.ghz, HeaterConfig(locked=True))
+                queue = HeatedQueue(queue, heater, engine)
+            for i in range(DEPTH):
+                queue.post(make_pattern(0, 10_000 + i, 0, seq=i))
+            queue.post(make_pattern(1, 7, 0, seq=DEPTH + 1))
+            hierarchy.flush()
+            if heated:
+                queue.prepare_phase()
+            probe = MatchItem.from_envelope(Envelope(1, 7, 0), seq=999_999)
+            _, cycles = engine.timed(lambda: queue.match_remove(probe))
+            results[heated] = cycles
+        verdict = "WIN" if results[True] < results[False] else "LOSS"
+        print(
+            f"  {arch.name:13s} cold {results[False]:8.0f} cy   "
+            f"heated {results[True]:8.0f} cy   -> hot caching {verdict}"
+        )
+    print(
+        "\n  Sandy Bridge's L3 runs in the core clock domain (30 cycles); "
+        "Broadwell's\n  decoupled LLC is slower (48) while its streamer already "
+        "covers DRAM\n  streams — so keeping the list in L3 buys nothing and "
+        "the heater's lock\n  costs tip the balance."
+    )
+
+
+if __name__ == "__main__":
+    inspect_heater_mechanics()
+    architecture_contrast()

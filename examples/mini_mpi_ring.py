@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""End-to-end mini-MPI: a ring exchange over the discrete-event runtime.
+
+Eight ranks pass tokens around a ring (non-blocking receives, out-of-order
+tags, a barrier per round) while rank 0's matching engine is cycle-accounted
+through a simulated Sandy Bridge cache hierarchy. Demonstrates the full
+receive path of paper section 2.1 — unexpected-queue traffic included.
+
+Run:  python examples/mini_mpi_ring.py
+"""
+
+from repro import SANDY_BRIDGE
+from repro.mpi import MpiWorld
+
+NRANKS = 8
+ROUNDS = 4
+MSG_BYTES = 4096
+
+
+def ring_program(ctx):
+    left = (ctx.rank - 1) % ctx.size
+    right = (ctx.rank + 1) % ctx.size
+    for rnd in range(ROUNDS):
+        # Send both directions with round-stamped tags; receive the
+        # counterparts in the "wrong" order to exercise the UMQ.
+        yield from ctx.send(right, tag=100 + rnd, nbytes=MSG_BYTES)
+        yield from ctx.send(left, tag=200 + rnd, nbytes=MSG_BYTES)
+        req_r = yield from ctx.recv(src=right, tag=200 + rnd, nbytes=MSG_BYTES)
+        req_l = yield from ctx.recv(src=left, tag=100 + rnd, nbytes=MSG_BYTES)
+        assert req_r.completed and req_l.completed
+        yield from ctx.barrier()
+    return ctx.rank
+
+
+def main() -> None:
+    world = MpiWorld(
+        NRANKS,
+        queue_family="lla-2",
+        arch=SANDY_BRIDGE,
+        engine_ranks=(0,),
+        seed=42,
+    )
+    finish_ns = world.run(ring_program)
+    print(f"ring exchange: {NRANKS} ranks x {ROUNDS} rounds "
+          f"finished at {finish_ns / 1000:.1f} us simulated time\n")
+
+    proc = world.procs[0]
+    print("rank 0 matching statistics:")
+    print(f"  PRQ matches:           {len(proc.prq_search_depths)}")
+    print(f"  mean PRQ search depth: {proc.mean_prq_search_depth:.2f}")
+    print(f"  UMQ matches:           {len(proc.umq_search_depths)}")
+    print(f"  mean UMQ search depth: {proc.mean_umq_search_depth:.2f}")
+
+    engine = world.engines[0]
+    print(f"  memory loads charged:  {engine.loads}")
+    print(f"  match cycles total:    {engine.load_cycles:.0f} "
+          f"({SANDY_BRIDGE.ns(engine.load_cycles) / 1000:.2f} us)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Match-queue length study over the paper's communication motifs.
+
+Regenerates the Figure 1 histograms (AMR at 64K ranks, Sweep3D at 128K,
+Halo3D at 256K) and summarizes what they imply for matching-engine design —
+the paper's conclusion that an engine must handle both "many very small
+queues" and lists of hundreds to thousands of entries.
+
+Run:  python examples/motif_queue_study.py
+"""
+
+from repro.analysis import render_table
+from repro.motifs import MOTIFS
+
+
+def main() -> None:
+    summaries = []
+    for name, cls in MOTIFS.items():
+        result = cls(seed=0).run()
+        rows = [
+            (label, posted, unexpected)
+            for (label, posted), (_, unexpected) in zip(
+                result.posted_buckets(), result.unexpected_buckets()
+            )
+        ]
+        print(
+            render_table(
+                ["Matchlist Length Bucket Range", "posted", "unexpected"],
+                rows,
+                title=f"Figure 1 ({name}) — {result.nranks // 1024}K ranks, "
+                f"bucket width {result.bucket_width}",
+            )
+        )
+        print()
+        total = result.posted.sum()
+        short = result.posted[:32].sum() / total
+        summaries.append(
+            (name, result.max_posted_length, f"{100 * short:.1f}%")
+        )
+    print(
+        render_table(
+            ["motif", "max posted length", "samples at length < 32"],
+            summaries,
+            title="What a matching engine must serve",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Hardware offload + trace replay: evaluating designs against one workload.
+
+Part 1 records the matching operations of an FDS-like deep-match workload as
+a portable trace (the Ferreira-style trace-based-simulation workflow the
+paper cites). Part 2 replays that same trace against several design points —
+software baseline, LLA, hot caching, and a BXI-like matching NIC — without
+re-running the workload.
+
+Run:  python examples/offload_and_trace.py
+"""
+
+import numpy as np
+
+from repro import SANDY_BRIDGE, Envelope, MatchEngine, MatchItem, make_pattern, make_queue
+from repro.analysis import render_table
+from repro.offload import BXI_LIKE, OffloadedMatchQueue
+from repro.trace import ARRIVAL, POST, TraceEvent, replay
+
+DEPTH = 2048
+MESSAGES = 48
+
+
+def build_fds_like_trace(seed: int = 0) -> list:
+    """Posts a deep list, then matches at FDS-like (deep) positions."""
+    rng = np.random.default_rng(seed)
+    events = []
+    tags = list(range(10_000, 10_000 + DEPTH))
+    for tag in tags:
+        events.append(TraceEvent(POST, src=0, tag=tag))
+    live = list(tags)
+    next_tag = tags[-1] + 1
+    for _ in range(MESSAGES):
+        # "does not typically match the first element": pick deep positions.
+        pos = int(rng.uniform(0.3, 1.0) * (len(live) - 1))
+        tag = live.pop(pos)
+        events.append(TraceEvent(ARRIVAL, src=0, tag=tag))
+        events.append(TraceEvent(POST, src=0, tag=next_tag))  # churn
+        live.append(next_tag)
+        next_tag += 1
+    return events
+
+
+def replay_on_nic(events) -> float:
+    """Cycle-accounted replay with a BXI-like NIC in front of the software
+    queue (the trace replayer handles software configs; the NIC wrapper is
+    composed manually here)."""
+    hier = SANDY_BRIDGE.build_hierarchy()
+    engine = MatchEngine(hier)
+    software = make_queue("baseline", port=engine, rng=np.random.default_rng(1))
+    q = OffloadedMatchQueue(software, BXI_LIKE, engine=engine, ghz=SANDY_BRIDGE.ghz)
+    start = engine.clock.now
+    for ev in events:
+        if ev.is_post:
+            q.post(make_pattern(ev.src, ev.tag, ev.cid, seq=int(engine.clock.now) % (1 << 30)))
+        else:
+            hier.flush()
+            probe = MatchItem.from_envelope(Envelope(ev.src, ev.tag, ev.cid), seq=1 << 30)
+            q.match_remove(probe)
+    return engine.clock.now - start
+
+
+def main() -> None:
+    events = build_fds_like_trace()
+    print(f"recorded trace: {len(events)} events "
+          f"({DEPTH} initial posts, {MESSAGES} deep matches with churn)\n")
+
+    rows = []
+    for label, kwargs in (
+        ("baseline", dict(queue_family="baseline")),
+        ("LLA-8", dict(queue_family="lla-8")),
+        ("baseline + hot caching", dict(queue_family="baseline", heated=True)),
+    ):
+        result = replay(events, arch=SANDY_BRIDGE, flush_every=DEPTH, **kwargs)
+        rows.append((label, round(result.match_cycles), round(result.mean_prq_search_depth, 1)))
+    rows.append(("BXI-like NIC offload", round(replay_on_nic(events)), "-"))
+    print(
+        render_table(
+            ["design point", "match cycles (total)", "mean PRQ depth"],
+            rows,
+            title="One trace, four matching designs (Sandy Bridge)",
+        )
+    )
+    print("""
+Within NIC capacity the hardware wins outright; past it (or on machines
+without offload) the locality tools carry the load. Note hot caching's
+blow-up: this trace posts thousands of receives while the heater's locked
+region list is saturated — every post loses spin-lock races to the heater.
+That is precisely the contention that sinks hot caching for FDS at scale
+(paper section 4.5); the LLA + element-pool combination avoids it.""")
+
+
+if __name__ == "__main__":
+    main()

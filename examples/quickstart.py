@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Quickstart: measure how data locality changes MPI match-list search cost.
+
+Builds a simulated Sandy Bridge socket, fills a posted-receive queue with
+1024 entries, and times one cold search over three configurations:
+
+* the baseline MPICH-style linked list,
+* the paper's linked list of arrays (LLA, 8 entries per node), and
+* the baseline kept warm by a hot-caching heater thread.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    SANDY_BRIDGE,
+    Envelope,
+    HeatedQueue,
+    Heater,
+    HeaterConfig,
+    MatchEngine,
+    MatchItem,
+    make_pattern,
+    make_queue,
+)
+
+DEPTH = 1024
+
+
+def timed_search(queue_family: str, heated: bool) -> float:
+    """Cycles for one cold search that traverses DEPTH entries."""
+    hierarchy = SANDY_BRIDGE.build_hierarchy()
+    engine = MatchEngine(hierarchy)
+    queue = make_queue(queue_family, port=engine)
+    if heated:
+        heater = Heater(hierarchy, SANDY_BRIDGE.ghz, HeaterConfig(locked=True))
+        queue = HeatedQueue(queue, heater, engine)
+
+    # Post decoy receives for peers that never send, then the one that will.
+    for i in range(DEPTH):
+        queue.post(make_pattern(src=0, tag=10_000 + i, cid=0, seq=i))
+    queue.post(make_pattern(src=1, tag=7, cid=0, seq=DEPTH + 1))
+
+    # A compute phase wipes the caches; the heater (if any) re-warms the LLC.
+    hierarchy.flush()
+    if heated:
+        queue.prepare_phase()
+
+    probe = MatchItem.from_envelope(Envelope(src=1, tag=7, cid=0), seq=999_999)
+    _, cycles = engine.timed(lambda: queue.match_remove(probe))
+    return cycles
+
+
+def main() -> None:
+    configs = [
+        ("baseline linked list", "baseline", False),
+        ("linked list of arrays (LLA-8)", "lla-8", False),
+        ("baseline + hot caching", "baseline", True),
+    ]
+    print(f"Cold search over {DEPTH} posted receives on {SANDY_BRIDGE.name}:\n")
+    baseline_cycles = None
+    for label, family, heated in configs:
+        cycles = timed_search(family, heated)
+        if baseline_cycles is None:
+            baseline_cycles = cycles
+        print(
+            f"  {label:32s} {cycles:9.0f} cycles "
+            f"({SANDY_BRIDGE.ns(cycles) / 1000:6.2f} us, "
+            f"{baseline_cycles / cycles:4.1f}x vs baseline)"
+        )
+    print(
+        "\nThe LLA packs two 24-byte match entries per 64-byte cache line and\n"
+        "streams through the prefetchers; the heater keeps the list resident\n"
+        "in the shared L3. Both are the paper's locality tools."
+    )
+
+
+if __name__ == "__main__":
+    main()

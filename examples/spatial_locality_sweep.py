@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Spatial locality sweep: the Figure 4b/5b experiment, in miniature.
+
+Runs the modified OSU bandwidth benchmark (pre-posted receives, cache clear
+between iterations, pre-populated queue) for 1-byte messages across queue
+search lengths, comparing the baseline with the LLA arity sweep on both
+Sandy Bridge and Broadwell.
+
+Run:  python examples/spatial_locality_sweep.py
+"""
+
+from repro.analysis import render_series_table
+from repro.arch import BROADWELL, SANDY_BRIDGE
+from repro.bench.figures import fig_spatial_search_length
+
+DEPTHS = [1, 8, 64, 512, 1024, 4096]
+
+
+def main() -> None:
+    for arch in (SANDY_BRIDGE, BROADWELL):
+        sweep = fig_spatial_search_length(
+            arch, msg_bytes=1, depths=DEPTHS, iterations=3
+        )
+        print(render_series_table(sweep))
+        base = sweep.series["baseline"]
+        lla8 = sweep.series["LLA - 8"]
+        print(
+            f"\n  LLA-8 vs baseline at depth 1024 on {arch.name}: "
+            f"{lla8.at(1024) / base.at(1024):.2f}x\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

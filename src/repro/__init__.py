@@ -1,0 +1,138 @@
+"""repro — reproduction of *The Case for Semi-Permanent Cache Occupancy:
+Understanding the Impact of Data Locality on Network Processing* (Dosanjh et
+al., ICPP 2018) as a Python library over a simulated memory hierarchy.
+
+The paper studies how spatial locality (a linked-list-of-arrays match queue)
+and temporal locality (a "hot caching" heater thread) affect MPI message
+matching across x86 generations. Real cache occupancy cannot be expressed in
+Python, so this package rebuilds the entire stack as a simulation:
+
+* :mod:`repro.mem` / :mod:`repro.arch` — set-associative caches, hardware
+  prefetchers, per-generation latency models (Nehalem, Sandy Bridge,
+  Haswell, Broadwell, KNL), way partitioning, and the paper's proposed
+  dedicated network cache.
+* :mod:`repro.matching` — MPI matching semantics over the baseline linked
+  list, the paper's LLA, and the related-work structures (Open MPI
+  hierarchical, hash bins, 4-D), all cycle-accounted.
+* :mod:`repro.hotcache` — the heater thread, its region list, and its lock
+  contention model.
+* :mod:`repro.mpi` — a mini-MPI (PRQ/UMQ receive path, communicators,
+  wildcards, a multi-rank discrete-event runtime, thread interleavings).
+* :mod:`repro.decomp`, :mod:`repro.motifs`, :mod:`repro.apps`,
+  :mod:`repro.bench` — everything needed to regenerate every table and
+  figure of the paper (see DESIGN.md for the index, ``repro list`` on the
+  command line, or the modules under ``benchmarks/``).
+
+Quickstart::
+
+    from repro import (SANDY_BRIDGE, MatchEngine, make_queue,
+                       make_pattern, MatchItem, Envelope)
+
+    hier = SANDY_BRIDGE.build_hierarchy()
+    engine = MatchEngine(hier)
+    queue = make_queue("lla-8", port=engine)
+    for i in range(1024):
+        queue.post(make_pattern(src=0, tag=i, cid=0, seq=i))
+    probe = MatchItem.from_envelope(Envelope(src=0, tag=777, cid=0), seq=9999)
+    hier.flush()
+    entry, cycles = engine.timed(lambda: queue.match_remove(probe))
+    print(f"matched seq {entry.seq} after {cycles:.0f} cycles")
+"""
+
+from repro._version import __version__
+from repro.arch import (
+    BROADWELL,
+    HASWELL,
+    KNL,
+    NEHALEM,
+    SANDY_BRIDGE,
+    ArchSpec,
+    get_arch,
+)
+from repro.errors import (
+    AllocationError,
+    ConfigurationError,
+    MatchingError,
+    MpiUsageError,
+    ReproError,
+    SimulationError,
+)
+from repro.hotcache import HeatedQueue, Heater, HeaterConfig
+from repro.matching import (
+    ANY_SOURCE,
+    ANY_TAG,
+    BaselineLinkedList,
+    BinnedHashQueue,
+    Envelope,
+    FourDimensionalQueue,
+    LinkedListOfArrays,
+    MatchEngine,
+    MatchItem,
+    MatchQueue,
+    NullPort,
+    OpenMpiHierarchicalQueue,
+    items_match,
+    make_pattern,
+    make_queue,
+)
+from repro.mem import (
+    CLS_DEFAULT,
+    CLS_NETWORK,
+    MemoryHierarchy,
+    NetworkCacheConfig,
+    SetAssociativeCache,
+    WayPartition,
+)
+from repro.mpi import Communicator, Message, MpiProcess, MpiWorld
+from repro.net import ARIES, MELLANOX_QDR, OMNIPATH, QLOGIC_QDR, LinkSpec, get_link
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "ARIES",
+    "AllocationError",
+    "ArchSpec",
+    "BROADWELL",
+    "BaselineLinkedList",
+    "BinnedHashQueue",
+    "CLS_DEFAULT",
+    "CLS_NETWORK",
+    "Communicator",
+    "ConfigurationError",
+    "Envelope",
+    "FourDimensionalQueue",
+    "HASWELL",
+    "HeatedQueue",
+    "Heater",
+    "HeaterConfig",
+    "KNL",
+    "LinkSpec",
+    "LinkedListOfArrays",
+    "MELLANOX_QDR",
+    "MatchEngine",
+    "MatchItem",
+    "MatchQueue",
+    "MatchingError",
+    "MemoryHierarchy",
+    "Message",
+    "MpiProcess",
+    "MpiUsageError",
+    "MpiWorld",
+    "NEHALEM",
+    "NetworkCacheConfig",
+    "NullPort",
+    "OMNIPATH",
+    "OpenMpiHierarchicalQueue",
+    "QLOGIC_QDR",
+    "ReproError",
+    "SANDY_BRIDGE",
+    "SetAssociativeCache",
+    "SimulationError",
+    "WayPartition",
+    "__version__",
+    "get_arch",
+    "get_link",
+    "items_match",
+    "make_pattern",
+    "make_queue",
+]

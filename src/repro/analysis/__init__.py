@@ -1,0 +1,28 @@
+"""Result containers, statistics, and text renderers for the experiments."""
+
+from repro.analysis.export import (
+    sweep_from_json,
+    sweep_to_csv,
+    sweep_to_json,
+    write_sweep,
+)
+from repro.analysis.plot import render_ascii_chart, render_histogram
+from repro.analysis.series import Series, Sweep
+from repro.analysis.stats import TrialStats, factor_speedup, mean_std
+from repro.analysis.report import render_series_table, render_table
+
+__all__ = [
+    "Series",
+    "Sweep",
+    "TrialStats",
+    "factor_speedup",
+    "mean_std",
+    "render_ascii_chart",
+    "render_histogram",
+    "render_series_table",
+    "render_table",
+    "sweep_from_json",
+    "sweep_to_csv",
+    "sweep_to_json",
+    "write_sweep",
+]

@@ -1,0 +1,75 @@
+"""Exporting sweeps and tables for external plotting.
+
+Figures regenerate as :class:`~repro.analysis.series.Sweep` objects; these
+helpers flatten them to CSV (one x column, one column per series) or a
+self-describing JSON document, so the data can be re-plotted with any stack
+without re-running the simulations.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.analysis.series import Sweep
+
+
+def sweep_to_csv(sweep: Sweep) -> str:
+    """CSV text: header row from the series labels, one row per x value."""
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    labels = sweep.labels()
+    writer.writerow([sweep.xlabel] + labels)
+    xs = sweep.x_values()
+    for i, x in enumerate(xs):
+        row = [x]
+        for label in labels:
+            series = sweep.series[label]
+            row.append(series.y[i] if i < len(series.y) else "")
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def sweep_to_json(sweep: Sweep) -> str:
+    """A self-describing JSON document (title, axes, per-series points)."""
+    doc = {
+        "title": sweep.title,
+        "xlabel": sweep.xlabel,
+        "ylabel": sweep.ylabel,
+        "series": [
+            {
+                "label": label,
+                "x": list(series.x),
+                "y": list(series.y),
+                "yerr": list(series.yerr),
+            }
+            for label, series in sweep.series.items()
+        ],
+    }
+    return json.dumps(doc, indent=2)
+
+
+def sweep_from_json(text: str) -> Sweep:
+    """Inverse of :func:`sweep_to_json`."""
+    doc = json.loads(text)
+    sweep = Sweep(doc["title"], doc["xlabel"], doc["ylabel"])
+    for sdoc in doc["series"]:
+        series = sweep.series_for(sdoc["label"])
+        yerrs = sdoc.get("yerr") or [0.0] * len(sdoc["x"])
+        for x, y, e in zip(sdoc["x"], sdoc["y"], yerrs):
+            series.add(x, y, e)
+    return sweep
+
+
+def write_sweep(path: Union[str, Path], sweep: Sweep) -> None:
+    """Write a sweep to *path*; format chosen by suffix (.csv or .json)."""
+    path = Path(path)
+    if path.suffix == ".csv":
+        path.write_text(sweep_to_csv(sweep), encoding="utf-8")
+    elif path.suffix == ".json":
+        path.write_text(sweep_to_json(sweep), encoding="utf-8")
+    else:
+        raise ValueError(f"unsupported export format {path.suffix!r} (use .csv/.json)")

@@ -1,0 +1,124 @@
+"""ASCII chart rendering for figure panels.
+
+The paper's figures are log-log bandwidth plots; a terminal rendering makes
+the regenerated shapes visible at a glance without a plotting stack. Marks
+are per-series letters; the y axis can be linear or log10.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.analysis.series import Sweep
+
+#: Mark characters assigned to series in order.
+MARKS = "oxs+*#@%&"
+
+
+def _fmt_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e4 or abs(value) < 1e-2:
+        return f"{value:.0e}"
+    return f"{value:g}"
+
+
+def render_ascii_chart(
+    sweep: Sweep,
+    *,
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = True,
+    log_x: bool = True,
+) -> str:
+    """Render a sweep as an ASCII scatter/line chart.
+
+    X positions come from each series' own x values, so series with
+    different grids coexist; ties on a cell keep the first series' mark.
+    """
+    all_points = [
+        (x, y)
+        for series in sweep.series.values()
+        for x, y in zip(series.x, series.y)
+        if y > 0 or not log_y
+    ]
+    if not all_points:
+        return f"{sweep.title}\n(no data)"
+
+    def tx(x: float) -> float:
+        return math.log10(x) if log_x and x > 0 else x
+
+    def ty(y: float) -> float:
+        return math.log10(y) if log_y and y > 0 else y
+
+    xs = [tx(x) for x, _ in all_points]
+    ys = [ty(y) for _, y in all_points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (label, series) in enumerate(sweep.series.items()):
+        mark = MARKS[idx % len(MARKS)]
+        legend.append(f"{mark}={label}")
+        for x, y in zip(series.x, series.y):
+            if log_y and y <= 0:
+                continue
+            col = int((tx(x) - x_lo) / x_span * (width - 1))
+            row = int((ty(y) - y_lo) / y_span * (height - 1))
+            cell = grid[height - 1 - row][col]
+            if cell == " ":
+                grid[height - 1 - row][col] = mark
+
+    y_top = 10**y_hi if log_y else y_hi
+    y_bot = 10**y_lo if log_y else y_lo
+    lines = [f"{sweep.title}  [{sweep.ylabel}]"]
+    for i, row in enumerate(grid):
+        if i == 0:
+            prefix = f"{_fmt_tick(y_top):>9} |"
+        elif i == height - 1:
+            prefix = f"{_fmt_tick(y_bot):>9} |"
+        else:
+            prefix = " " * 9 + " |"
+        lines.append(prefix + "".join(row))
+    x_lo_val = 10**x_lo if log_x else x_lo
+    x_hi_val = 10**x_hi if log_x else x_hi
+    axis = " " * 10 + "+" + "-" * width
+    labels = (
+        " " * 11
+        + _fmt_tick(x_lo_val)
+        + _fmt_tick(x_hi_val).rjust(width - len(_fmt_tick(x_lo_val)) - 1)
+    )
+    lines.append(axis)
+    lines.append(labels)
+    lines.append(" " * 11 + f"[{sweep.xlabel}]   " + "  ".join(legend))
+    return "\n".join(lines)
+
+
+def render_histogram(
+    labels: Sequence[str],
+    counts: Sequence[int],
+    *,
+    width: int = 48,
+    log: bool = True,
+    title: Optional[str] = None,
+) -> str:
+    """Figure-1-style bucket histogram as horizontal log-scale bars."""
+    if len(labels) != len(counts):
+        raise ValueError("labels and counts must align")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not counts:
+        return "\n".join(lines + ["(empty)"])
+    scaled = [math.log10(c) if (log and c > 0) else float(c) for c in counts]
+    top = max(scaled) or 1.0
+    label_w = max(len(str(l)) for l in labels)
+    for label, count, s in zip(labels, counts, scaled):
+        bar = "#" * max(0, int(s / top * width)) if count else ""
+        lines.append(f"{str(label):>{label_w}} |{bar:<{width}} {count:.2e}" if count else
+                     f"{str(label):>{label_w}} |{'':<{width}} 0")
+    return "\n".join(lines)

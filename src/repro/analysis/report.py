@@ -1,0 +1,56 @@
+"""Plain-text renderers for tables and figure panels.
+
+Every benchmark prints through these, so `pytest benchmarks/ --benchmark-only`
+and the CLI produce the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.series import Sweep
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: Optional[str] = None
+) -> str:
+    """A fixed-width ASCII table."""
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series_table(sweep: Sweep) -> str:
+    """A figure panel as a table: one x column, one column per series."""
+    labels = sweep.labels()
+    headers = [sweep.xlabel] + labels
+    xs = sweep.x_values()
+    rows = []
+    for i, x in enumerate(xs):
+        row: List = [x if x != int(x) else int(x)]
+        for label in labels:
+            s = sweep.series[label]
+            row.append(s.y[i] if i < len(s.y) else "")
+        rows.append(row)
+    title = f"{sweep.title}  [{sweep.ylabel}]"
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,65 @@
+"""Series/sweep containers used by the figure regenerators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class Series:
+    """One line of a figure: a label and aligned x/y values."""
+
+    label: str
+    x: List[float] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+    yerr: List[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float, yerr: float = 0.0) -> None:
+        """Append one (x, y[, yerr]) point."""
+        self.x.append(float(x))
+        self.y.append(float(y))
+        self.yerr.append(float(yerr))
+
+    def at(self, x: float) -> float:
+        """y value at an exact x (raises if absent)."""
+        idx = self.x.index(float(x))
+        return self.y[idx]
+
+    def ratio_to(self, other: "Series") -> "Series":
+        """Pointwise self/other on the common x grid."""
+        out = Series(f"{self.label}/{other.label}")
+        for x, y in zip(self.x, self.y):
+            if float(x) in other.x:
+                base = other.at(x)
+                out.add(x, y / base if base else float("inf"))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+
+@dataclass
+class Sweep:
+    """A whole figure panel: several series over one x axis."""
+
+    title: str
+    xlabel: str
+    ylabel: str
+    series: Dict[str, Series] = field(default_factory=dict)
+
+    def series_for(self, label: str) -> Series:
+        """Get (or create) the series labelled *label*."""
+        if label not in self.series:
+            self.series[label] = Series(label)
+        return self.series[label]
+
+    def labels(self) -> List[str]:
+        """Series labels in insertion order."""
+        return list(self.series)
+
+    def x_values(self) -> List[float]:
+        """The x grid of the first series (all series share it)."""
+        for s in self.series.values():
+            return list(s.x)
+        return []

@@ -1,0 +1,54 @@
+"""Small statistics helpers (trial means, speedup factors)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Mean/std/min/max over repeated trials (the paper reports mean and
+    standard deviation of 10 micro-benchmark runs / 3 application runs)."""
+
+    mean: float
+    std: float
+    min: float
+    max: float
+    n: int
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "TrialStats":
+        """Compute stats over a non-empty sequence of values."""
+        arr = np.asarray(list(values), dtype=np.float64)
+        if arr.size == 0:
+            raise ValueError("TrialStats needs at least one value")
+        return cls(
+            mean=float(arr.mean()),
+            std=float(arr.std(ddof=0)),
+            min=float(arr.min()),
+            max=float(arr.max()),
+            n=int(arr.size),
+        )
+
+
+def mean_std(values: Sequence[float]) -> Tuple[float, float]:
+    """Convenience (mean, std) over *values*."""
+    stats = TrialStats.from_values(values)
+    return stats.mean, stats.std
+
+
+def factor_speedup(baseline: float, improved: float) -> float:
+    """Figure 10's metric: baseline_time / improved_time (>1 means faster)."""
+    if improved <= 0:
+        raise ValueError(f"improved time must be positive, got {improved}")
+    return baseline / improved
+
+
+def percent_improvement(baseline: float, improved: float) -> float:
+    """Figures 8/9's metric: percentage runtime reduction vs baseline."""
+    if baseline <= 0:
+        raise ValueError(f"baseline time must be positive, got {baseline}")
+    return 100.0 * (baseline - improved) / baseline

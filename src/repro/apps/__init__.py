@@ -1,0 +1,40 @@
+"""Proxy applications (paper sections 4.4-4.5).
+
+Application figures report *relative* runtime changes that are driven
+entirely by how the application exercises the matching engine: its match
+list depth, where in the list messages match, its message volume, and how
+much non-matching compute dilutes the difference. Each proxy app here is a
+declarative workload profile feeding those parameters into the same
+cycle-accounted matching substrate the micro-benchmarks use:
+
+* :class:`~repro.apps.amg2013.Amg2013` -- weak-scaling multigrid solver;
+  bandwidth sensitive, short lists, front matches (Figure 8).
+* :class:`~repro.apps.minife.MiniFE` -- implicit finite elements /
+  conjugate gradient; halo exchange with a tunable posted-receive queue
+  length (Figure 9).
+* :class:`~repro.apps.minimd.MiniMD` -- molecular dynamics neighbour
+  exchange; tiny queues (mentioned in section 4.4, no figure).
+* :class:`~repro.apps.fds.FireDynamicsSimulator` -- the full application:
+  long match lists that grow with scale and messages that "do not typically
+  match the first element" (Figure 10).
+"""
+
+from repro.apps.base import AppConfig, AppResult, MatchPhaseSimulator, ProxyApp
+from repro.apps.amg2013 import Amg2013, fig8_amg_scaling
+from repro.apps.minife import MiniFE, fig9_minife_lengths
+from repro.apps.minimd import MiniMD
+from repro.apps.fds import FireDynamicsSimulator, fig10_fds_speedups
+
+__all__ = [
+    "Amg2013",
+    "AppConfig",
+    "AppResult",
+    "FireDynamicsSimulator",
+    "MatchPhaseSimulator",
+    "MiniFE",
+    "MiniMD",
+    "ProxyApp",
+    "fig10_fds_speedups",
+    "fig8_amg_scaling",
+    "fig9_minife_lengths",
+]

@@ -1,0 +1,39 @@
+"""MiniMD proxy (mentioned in section 4.4; no dedicated figure).
+
+Molecular-dynamics neighbour exchange: very short match lists, frequent
+small messages, perfectly predictable ordering. Included to cover the
+paper's full mini-app set and as the "short lists must not regress" witness
+in the test suite and ablation benches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppConfig, PhaseShape, ProxyApp
+
+
+class MiniMD(ProxyApp):
+    """MiniMD workload profile: tiny neighbour-exchange queues."""
+    name = "minimd"
+
+    base_phases = 500
+    base_compute_s = 30.0
+
+    def phase_shape(self, cfg: AppConfig, rng: np.random.Generator) -> PhaseShape:
+        """The matching workload of one communication phase."""
+        return PhaseShape(
+            prq_depth=6,  # face neighbours of a 3-D spatial decomposition
+            messages=6,
+            msg_bytes=32 * 1024,
+            match_position_low=0.0,
+            match_position_high=1.0,
+        )
+
+    def phases_total(self, cfg: AppConfig) -> int:
+        """Number of communication phases over the whole run."""
+        return self.base_phases
+
+    def compute_seconds(self, cfg: AppConfig) -> float:
+        """Total non-communication compute time for the run."""
+        return self.base_compute_s

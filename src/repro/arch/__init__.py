@@ -1,0 +1,36 @@
+"""Processor architecture models for the platforms in the paper.
+
+The study (section 4.1) runs on three Xeon generations plus KNL:
+
+* **Sandy Bridge** -- 2 x 2.6 GHz 8-core, QLogic IB QDR. L3 runs in the core
+  clock domain: low LLC latency. Hot caching *wins* here (Figure 6).
+* **Broadwell** -- 2 x 2.1 GHz 18-core, OmniPath. The LLC clock was decoupled
+  from the core clock at Haswell, raising L3 latency; hot caching turns into
+  a small *loss* here (Figure 7, section 4.3 discussion).
+* **Nehalem** -- 2 x 2.53 GHz 4-core, Mellanox QDR. Used for the FDS scaling
+  study (Figure 10).
+* **KNL** -- Cray XC40 nodes used for the Table 1 thread-decomposition
+  benchmark (68 cores, no L3; a large direct-mapped-ish L2 per tile).
+"""
+
+from repro.arch.spec import ArchSpec
+from repro.arch.presets import (
+    ALL_ARCHS,
+    BROADWELL,
+    HASWELL,
+    KNL,
+    NEHALEM,
+    SANDY_BRIDGE,
+    get_arch,
+)
+
+__all__ = [
+    "ALL_ARCHS",
+    "ArchSpec",
+    "BROADWELL",
+    "HASWELL",
+    "KNL",
+    "NEHALEM",
+    "SANDY_BRIDGE",
+    "get_arch",
+]

@@ -1,0 +1,48 @@
+"""Benchmark harnesses: the paper's modified micro-benchmarks and drivers.
+
+* :mod:`~repro.bench.osu` -- the modified OSU bandwidth/latency benchmark of
+  section 4.1 (pre-posted receives, cache clear between iterations, pinned
+  matching core, pre-populated queue depth).
+* :mod:`~repro.bench.heater_micro` -- the custom cache-heater random-access
+  benchmark of section 4.3 (38.5 -> 22.8 ns on Broadwell etc).
+* :mod:`~repro.bench.figures` -- one driver per figure panel (4a..7c),
+  producing :class:`~repro.analysis.series.Sweep` objects.
+"""
+
+from repro.bench.osu import (
+    MSG_SIZE_SWEEP,
+    SEARCH_LENGTH_SWEEP,
+    BandwidthPoint,
+    OsuConfig,
+    osu_bandwidth,
+    osu_latency,
+    osu_message_rate,
+)
+from repro.bench.colocated import ColocatedPoint, run_colocated_study
+from repro.bench.heater_micro import HeaterMicroResult, heater_microbenchmark
+from repro.bench.figures import (
+    TEMPORAL_VARIANTS,
+    fig_spatial_msg_size,
+    fig_spatial_search_length,
+    fig_temporal_msg_size,
+    fig_temporal_search_length,
+)
+
+__all__ = [
+    "BandwidthPoint",
+    "ColocatedPoint",
+    "HeaterMicroResult",
+    "run_colocated_study",
+    "MSG_SIZE_SWEEP",
+    "OsuConfig",
+    "SEARCH_LENGTH_SWEEP",
+    "TEMPORAL_VARIANTS",
+    "fig_spatial_msg_size",
+    "fig_spatial_search_length",
+    "fig_temporal_msg_size",
+    "fig_temporal_search_length",
+    "heater_microbenchmark",
+    "osu_bandwidth",
+    "osu_latency",
+    "osu_message_rate",
+]

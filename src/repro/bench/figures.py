@@ -1,0 +1,195 @@
+"""Figure drivers: panels 4a-c, 5a-c (spatial) and 6a-c, 7a-c (temporal).
+
+Each driver returns a :class:`~repro.analysis.series.Sweep` whose series are
+the figure's lines, labelled as in the paper ("baseline", "LLA - 2", ...,
+"HC", "HC+LLA"). Architectures select the figure: Sandy Bridge gives
+Figures 4/6, Broadwell gives Figures 5/7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence, Tuple
+
+from repro.analysis.series import Sweep
+from repro.arch.spec import ArchSpec
+from repro.bench.osu import (
+    MSG_SIZE_SWEEP,
+    SEARCH_LENGTH_SWEEP,
+    OsuConfig,
+    osu_bandwidth,
+)
+from repro.net.link import LinkSpec, OMNIPATH, QLOGIC_QDR
+
+#: The spatial-locality line-up (Figures 4 and 5).
+SPATIAL_VARIANTS: Tuple[Tuple[str, str, bool], ...] = (
+    ("baseline", "baseline", False),
+    ("LLA - 2", "lla-2", False),
+    ("LLA - 4", "lla-4", False),
+    ("LLA - 8", "lla-8", False),
+    ("LLA - 16", "lla-16", False),
+    ("LLA - 32", "lla-32", False),
+)
+
+#: The temporal-locality line-up (Figures 6 and 7).
+TEMPORAL_VARIANTS: Tuple[Tuple[str, str, bool], ...] = (
+    ("baseline", "baseline", False),
+    ("HC", "baseline", True),
+    ("LLA", "lla-2", False),
+    ("HC+LLA", "lla-2", True),
+)
+
+#: Queue depth used by the (a) panels.
+PANEL_A_DEPTH = 1024
+
+#: Message sizes used by the (b) and (c) panels.
+PANEL_B_BYTES = 1
+PANEL_C_BYTES = 4096
+
+
+def default_link(arch: ArchSpec) -> LinkSpec:
+    """The fabric each system in the paper is attached to."""
+    return OMNIPATH if arch.name == "broadwell" else QLOGIC_QDR
+
+
+def _run_variants(
+    arch: ArchSpec,
+    variants: Sequence[Tuple[str, str, bool]],
+    sweep: Sweep,
+    *,
+    x_axis: str,
+    msg_bytes: int,
+    depth: int,
+    xs: Sequence[int],
+    iterations: int,
+    seed: int,
+) -> Sweep:
+    link = default_link(arch)
+    for label, family, heated in variants:
+        base_cfg = OsuConfig(
+            arch=arch,
+            link=link,
+            queue_family=family,
+            heated=heated,
+            msg_bytes=msg_bytes,
+            search_depth=depth,
+            iterations=iterations,
+            seed=seed,
+        )
+        series = sweep.series_for(label)
+        for x in xs:
+            if x_axis == "msg_bytes":
+                cfg = replace(base_cfg, msg_bytes=int(x))
+            else:
+                cfg = replace(base_cfg, search_depth=int(x))
+            point = osu_bandwidth(cfg)
+            series.add(x, point.mibps, point.mibps_std)
+    return sweep
+
+
+def fig_spatial_msg_size(
+    arch: ArchSpec,
+    *,
+    depth: int = PANEL_A_DEPTH,
+    msg_sizes: Optional[Sequence[int]] = None,
+    iterations: int = 10,
+    seed: int = 0,
+) -> Sweep:
+    """Figures 4a / 5a: bandwidth vs message size at queue depth 1024."""
+    sweep = Sweep(
+        title=f"Impact of spatial locality ({arch.name}), queue depth {depth}",
+        xlabel="msg size per process (B)",
+        ylabel="bandwidth (MiBps)",
+    )
+    return _run_variants(
+        arch,
+        SPATIAL_VARIANTS,
+        sweep,
+        x_axis="msg_bytes",
+        msg_bytes=1,
+        depth=depth,
+        xs=msg_sizes if msg_sizes is not None else MSG_SIZE_SWEEP,
+        iterations=iterations,
+        seed=seed,
+    )
+
+
+def fig_spatial_search_length(
+    arch: ArchSpec,
+    *,
+    msg_bytes: int = PANEL_B_BYTES,
+    depths: Optional[Sequence[int]] = None,
+    iterations: int = 10,
+    seed: int = 0,
+) -> Sweep:
+    """Figures 4b/c and 5b/c: bandwidth vs PRQ search length at fixed size."""
+    sweep = Sweep(
+        title=f"Impact of spatial locality ({arch.name}), {msg_bytes} B messages",
+        xlabel="Posted Receive Queue Search Length",
+        ylabel="bandwidth (MiBps)",
+    )
+    return _run_variants(
+        arch,
+        SPATIAL_VARIANTS,
+        sweep,
+        x_axis="depth",
+        msg_bytes=msg_bytes,
+        depth=0,
+        xs=depths if depths is not None else SEARCH_LENGTH_SWEEP,
+        iterations=iterations,
+        seed=seed,
+    )
+
+
+def fig_temporal_msg_size(
+    arch: ArchSpec,
+    *,
+    depth: int = PANEL_A_DEPTH,
+    msg_sizes: Optional[Sequence[int]] = None,
+    iterations: int = 10,
+    seed: int = 0,
+) -> Sweep:
+    """Figures 6a / 7a: baseline vs HC vs LLA vs HC+LLA over message size."""
+    sweep = Sweep(
+        title=f"Impact of temporal locality ({arch.name}), queue depth {depth}",
+        xlabel="msg size per process (B)",
+        ylabel="bandwidth (MiBps)",
+    )
+    return _run_variants(
+        arch,
+        TEMPORAL_VARIANTS,
+        sweep,
+        x_axis="msg_bytes",
+        msg_bytes=1,
+        depth=depth,
+        xs=msg_sizes if msg_sizes is not None else MSG_SIZE_SWEEP,
+        iterations=iterations,
+        seed=seed,
+    )
+
+
+def fig_temporal_search_length(
+    arch: ArchSpec,
+    *,
+    msg_bytes: int = PANEL_B_BYTES,
+    depths: Optional[Sequence[int]] = None,
+    iterations: int = 10,
+    seed: int = 0,
+) -> Sweep:
+    """Figures 6b/c / 7b/c: temporal line-up over PRQ search length."""
+    sweep = Sweep(
+        title=f"Impact of temporal locality ({arch.name}), {msg_bytes} B messages",
+        xlabel="Posted Receive Queue Search Length",
+        ylabel="bandwidth (MiBps)",
+    )
+    return _run_variants(
+        arch,
+        TEMPORAL_VARIANTS,
+        sweep,
+        x_axis="depth",
+        msg_bytes=msg_bytes,
+        depth=0,
+        xs=depths if depths is not None else SEARCH_LENGTH_SWEEP,
+        iterations=iterations,
+        seed=seed,
+    )

@@ -1,0 +1,332 @@
+"""Command-line entry point: regenerate any table or figure of the paper.
+
+Usage (installed as ``repro``, or ``python -m repro``)::
+
+    repro list                 # what can be regenerated
+    repro table1               # Table 1 rows
+    repro fig1 [--motif amr]   # Figure 1 histograms
+    repro layout               # Figure 2 cache-line packing arithmetic
+    repro fig4 / fig5          # spatial locality panels (SNB / BDW)
+    repro fig6 / fig7          # temporal locality panels (SNB / BDW)
+    repro heater-micro         # section 4.3 random-access numbers
+    repro fig8 / fig9 / fig10  # application studies
+    repro ablation             # semi-permanent-occupancy proposal study
+
+Every command accepts ``--quick`` to shrink sweeps for a fast look.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import render_series_table, render_table
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    from repro.decomp.bench import table1
+
+    trials = 3 if args.quick else 10
+    rows = [r.as_row() + (round(r.depth_std, 2),) for r in table1(trials=trials, seed=args.seed)]
+    print(
+        render_table(
+            ["Decomp.", "Stencil", "tr", "ts", "Length", "Search depth", "std"],
+            rows,
+            title="Table 1: Queue lengths and mean search depths",
+        )
+    )
+
+
+def _cmd_fig1(args: argparse.Namespace) -> None:
+    from repro.motifs import MOTIFS
+
+    names = [args.motif] if args.motif else list(MOTIFS)
+    for name in names:
+        cls = MOTIFS[name]
+        motif = cls(seed=args.seed, sim_ranks=512 if args.quick else None)
+        result = motif.run()
+        rows = [
+            (label, posted, unexpected)
+            for (label, posted), (_, unexpected) in zip(
+                result.posted_buckets(), result.unexpected_buckets()
+            )
+        ]
+        print(
+            render_table(
+                ["Matchlist Length Bucket", "posted", "unexpected"],
+                rows,
+                title=f"Figure 1 ({name}): match list sizes at {result.nranks // 1024}K ranks",
+            )
+        )
+        print()
+
+
+def _cmd_layout(args: argparse.Namespace) -> None:
+    from repro.matching.entry import (
+        LLA_NODE_OVERHEAD,
+        PRQ_ENTRY_BYTES,
+        UMQ_ENTRY_BYTES,
+        lla_entries_per_line,
+        lla_node_bytes,
+    )
+
+    rows = []
+    for label, entry in (("PRQ", PRQ_ENTRY_BYTES), ("UMQ", UMQ_ENTRY_BYTES)):
+        per_line = lla_entries_per_line(entry)
+        rows.append((label, entry, LLA_NODE_OVERHEAD, per_line, lla_node_bytes(per_line, entry)))
+    print(
+        render_table(
+            ["queue", "entry bytes", "node overhead", "entries / 64B line", "node bytes"],
+            rows,
+            title="Figure 2: packing match entries into 64-byte cache lines",
+        )
+    )
+
+
+_PANEL_COUNTER = {"n": 0}
+
+
+def _render_panel(sweep, args: argparse.Namespace) -> None:
+    print(render_series_table(sweep))
+    if getattr(args, "chart", False):
+        from repro.analysis.plot import render_ascii_chart
+
+        print()
+        print(render_ascii_chart(sweep))
+    export_dir = getattr(args, "export", None)
+    if export_dir:
+        from pathlib import Path
+
+        from repro.analysis.export import write_sweep
+
+        Path(export_dir).mkdir(parents=True, exist_ok=True)
+        _PANEL_COUNTER["n"] += 1
+        stem = f"{args.command}_panel{_PANEL_COUNTER['n']}"
+        for suffix in (".csv", ".json"):
+            path = Path(export_dir) / (stem + suffix)
+            write_sweep(path, sweep)
+            print(f"[exported {path}]")
+    print()
+
+
+def _fig_spatial(arch_name: str, args: argparse.Namespace) -> None:
+    from repro.arch import get_arch
+    from repro.bench.figures import fig_spatial_msg_size, fig_spatial_search_length
+
+    arch = get_arch(arch_name)
+    iters = 3 if args.quick else 10
+    sizes = [1, 64, 1024, 65536, 1 << 20] if args.quick else None
+    depths = [1, 8, 64, 512, 1024, 4096] if args.quick else None
+    _render_panel(fig_spatial_msg_size(arch, msg_sizes=sizes, iterations=iters), args)
+    _render_panel(
+        fig_spatial_search_length(arch, msg_bytes=1, depths=depths, iterations=iters), args
+    )
+    _render_panel(
+        fig_spatial_search_length(arch, msg_bytes=4096, depths=depths, iterations=iters), args
+    )
+
+
+def _fig_temporal(arch_name: str, args: argparse.Namespace) -> None:
+    from repro.arch import get_arch
+    from repro.bench.figures import fig_temporal_msg_size, fig_temporal_search_length
+
+    arch = get_arch(arch_name)
+    iters = 3 if args.quick else 10
+    sizes = [1, 64, 1024, 65536, 1 << 20] if args.quick else None
+    depths = [1, 8, 64, 512, 1024, 4096] if args.quick else None
+    _render_panel(fig_temporal_msg_size(arch, msg_sizes=sizes, iterations=iters), args)
+    _render_panel(
+        fig_temporal_search_length(arch, msg_bytes=1, depths=depths, iterations=iters), args
+    )
+    _render_panel(
+        fig_temporal_search_length(arch, msg_bytes=4096, depths=depths, iterations=iters), args
+    )
+
+
+def _cmd_heater_micro(args: argparse.Namespace) -> None:
+    from repro.arch import BROADWELL, SANDY_BRIDGE
+    from repro.bench.heater_micro import heater_microbenchmark
+
+    rows = []
+    paper = {"sandy-bridge": (47.5, 22.9), "broadwell": (38.5, 22.8)}
+    for arch in (SANDY_BRIDGE, BROADWELL):
+        r = heater_microbenchmark(arch, samples=512 if args.quick else 2048, seed=args.seed)
+        cold_p, hot_p = paper[arch.name]
+        rows.append((arch.name, round(r.cold_ns, 1), round(r.hot_ns, 1), cold_p, hot_p))
+    print(
+        render_table(
+            ["arch", "cold ns", "hot ns", "paper cold", "paper hot"],
+            rows,
+            title="Section 4.3: cache heater random-access micro-benchmark",
+        )
+    )
+
+
+def _cmd_fig8(args: argparse.Namespace) -> None:
+    from repro.apps import fig8_amg_scaling
+
+    sweep = fig8_amg_scaling(seed=args.seed)
+    print(render_series_table(sweep))
+    base, lla = sweep.series["Baseline"], sweep.series["LLA"]
+    pct = 100.0 * (base.at(1024) - lla.at(1024)) / base.at(1024)
+    print(f"\nLLA runtime improvement at 1024 ranks: {pct:.2f}% (paper: 2.9%)")
+
+
+def _cmd_fig9(args: argparse.Namespace) -> None:
+    from repro.apps import fig9_minife_lengths
+
+    sweep = fig9_minife_lengths(seed=args.seed)
+    print(render_series_table(sweep))
+    base, lla = sweep.series["Baseline"], sweep.series["LLA"]
+    pct = 100.0 * (base.at(2048) - lla.at(2048)) / base.at(2048)
+    print(f"\nLLA runtime improvement at queue length 2048: {pct:.2f}% (paper: 2.3%)")
+
+
+def _cmd_fig10(args: argparse.Namespace) -> None:
+    from repro.apps import fig10_fds_speedups
+
+    scales = (1024, 4096, 8192) if args.quick else None
+    sweep = fig10_fds_speedups(scales=scales or (128, 256, 512, 1024, 2048, 4096, 8192), seed=args.seed)
+    print(render_series_table(sweep))
+
+
+def _cmd_ablation(args: argparse.Namespace) -> None:
+    from repro.arch import BROADWELL, SANDY_BRIDGE
+    from repro.bench.osu import OsuConfig, osu_bandwidth
+    from repro.bench.figures import default_link
+    from repro.mem.cache import WayPartition
+    from repro.mem.hierarchy import NetworkCacheConfig
+
+    rows = []
+    for arch in (SANDY_BRIDGE, BROADWELL):
+        link = default_link(arch)
+        variants = [
+            ("baseline", {}),
+            ("hot caching", {"heated": True}),
+            ("CAT partition (4 ways)", {"partition": WayPartition(network_ways=4)}),
+            ("dedicated net cache 2KiB", {"network_cache": NetworkCacheConfig()}),
+        ]
+        for label, extra in variants:
+            cfg = OsuConfig(
+                arch=arch,
+                link=link,
+                queue_family="baseline",
+                msg_bytes=1,
+                search_depth=64 if args.quick else 512,
+                iterations=3 if args.quick else 10,
+                seed=args.seed,
+                **extra,
+            )
+            point = osu_bandwidth(cfg)
+            rows.append((arch.name, label, round(point.mibps, 4)))
+    print(
+        render_table(
+            ["arch", "occupancy mechanism", "bandwidth (MiBps), 1B msgs"],
+            rows,
+            title="Semi-permanent cache occupancy proposals (section 4.6)",
+        )
+    )
+
+
+def _cmd_offload(args: argparse.Namespace) -> None:
+    import numpy as np
+
+    from repro.arch import SANDY_BRIDGE
+    from repro.matching import Envelope, MatchEngine, MatchItem, make_pattern, make_queue
+    from repro.offload import BXI_LIKE, PSM2_LIKE, OffloadedMatchQueue
+
+    depths = (64, 1024, 4000, 16384) if not args.quick else (64, 4000)
+    rows = []
+    for nic_label, nic in (("software-only", None), ("psm2-like", PSM2_LIKE), ("bxi-like", BXI_LIKE)):
+        for depth in depths:
+            hier = SANDY_BRIDGE.build_hierarchy()
+            engine = MatchEngine(hier)
+            q = make_queue("baseline", port=engine, rng=np.random.default_rng(args.seed + 1))
+            if nic is not None:
+                q = OffloadedMatchQueue(q, nic, engine=engine, ghz=SANDY_BRIDGE.ghz)
+            for seq in range(depth):
+                q.post(make_pattern(0, 10_000 + seq, 0, seq=seq))
+            q.post(make_pattern(1, 7, 0, seq=depth + 5))
+            hier.flush()
+            probe = MatchItem.from_envelope(Envelope(1, 7, 0), seq=999_999)
+            _, cycles = engine.timed(lambda: q.match_remove(probe))
+            rows.append((nic_label, depth, round(cycles)))
+    print(
+        render_table(
+            ["matching engine", "queue depth", "cycles/search"],
+            rows,
+            title="Hardware matching offload and its capacity cliff (section 2.2)",
+        )
+    )
+
+
+_COMMANDS = {
+    "table1": ("Table 1: thread-decomposition queue lengths/search depths", _cmd_table1),
+    "fig1": ("Figure 1: motif match-list histograms", _cmd_fig1),
+    "layout": ("Figure 2: cache-line packing arithmetic", _cmd_layout),
+    "fig4": ("Figure 4: spatial locality, Sandy Bridge", lambda a: _fig_spatial("sandy-bridge", a)),
+    "fig5": ("Figure 5: spatial locality, Broadwell", lambda a: _fig_spatial("broadwell", a)),
+    "fig6": ("Figure 6: temporal locality, Sandy Bridge", lambda a: _fig_temporal("sandy-bridge", a)),
+    "fig7": ("Figure 7: temporal locality, Broadwell", lambda a: _fig_temporal("broadwell", a)),
+    "heater-micro": ("Section 4.3 heater micro-benchmark", _cmd_heater_micro),
+    "fig8": ("Figure 8: AMG2013 scaling", _cmd_fig8),
+    "fig9": ("Figure 9: MiniFE queue lengths", _cmd_fig9),
+    "fig10": ("Figure 10: FDS factor speedups", _cmd_fig10),
+    "ablation": ("Section 4.6 occupancy-mechanism ablation", _cmd_ablation),
+    "offload": ("Section 2.2 hardware-offload capacity cliff", _cmd_offload),
+    "validate": ("Run all DESIGN.md section 7 reproduction criteria", None),
+}
+
+
+def _cmd_validate(args: argparse.Namespace) -> None:
+    from repro.validation import run_validation
+
+    report = run_validation(quick=args.quick)
+    print(report.render())
+    if not report.passed:
+        sys.exit(1)
+
+
+_COMMANDS["validate"] = (_COMMANDS["validate"][0], _cmd_validate)
+
+
+def _cmd_list(args: argparse.Namespace) -> None:
+    print(render_table(["command", "regenerates"], [(k, v[0]) for k, v in _COMMANDS.items()]))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures of 'The Case for Semi-Permanent "
+        "Cache Occupancy' (ICPP'18) on the simulated substrate.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, (help_text, _) in _COMMANDS.items():
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--quick", action="store_true", help="reduced sweeps")
+        p.add_argument("--seed", type=int, default=0)
+        if name == "fig1":
+            p.add_argument("--motif", choices=["amr", "sweep3d", "halo3d"], default=None)
+        if name in ("fig4", "fig5", "fig6", "fig7"):
+            p.add_argument("--chart", action="store_true", help="ASCII charts too")
+            p.add_argument("--export", metavar="DIR", default=None,
+                           help="write each panel as CSV + JSON into DIR")
+    sub.add_parser("list", help="list available commands")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        _cmd_list(args)
+        return 0
+    _COMMANDS[args.command][1](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

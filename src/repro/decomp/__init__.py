@@ -1,0 +1,34 @@
+"""Thread-decomposition benchmark (paper section 2.3, Table 1).
+
+A receiving MPI process is decomposed into a grid of threads; each thread
+posts receives for the messages it expects from neighbouring processes'
+threads under a given stencil. A proxy process sends the matching messages
+from one thread per distinct external neighbour cell. Posting and send
+orders are scrambled by scheduling nondeterminism.
+
+Three of Table 1's columns are pure combinatorics, which we compute exactly:
+
+* ``tr``  -- threads with at least one external neighbour (posting threads);
+* ``ts``  -- distinct external neighbour cells (proxy sending threads);
+* ``length`` -- (thread, external cell) pairs == messages == match-list
+  entries.
+
+The fourth, mean search depth, depends on the random interleavings and is
+measured by running the benchmark (:func:`~repro.decomp.bench.run_trials`).
+"""
+
+from repro.decomp.stencil import STENCILS, Stencil, get_stencil
+from repro.decomp.grid import BlockDecomposition, DecompositionCounts
+from repro.decomp.bench import DecompResult, run_decomposition, run_trials, TABLE1_ROWS
+
+__all__ = [
+    "BlockDecomposition",
+    "DecompResult",
+    "DecompositionCounts",
+    "STENCILS",
+    "Stencil",
+    "TABLE1_ROWS",
+    "get_stencil",
+    "run_decomposition",
+    "run_trials",
+]

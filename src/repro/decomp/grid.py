@@ -1,0 +1,101 @@
+"""Block decompositions and their exact external-communication combinatorics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Tuple
+
+from repro.decomp.stencil import Stencil
+from repro.errors import ConfigurationError
+
+Coord = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class DecompositionCounts:
+    """The combinatorial columns of Table 1."""
+
+    receiving_threads: int  # tr
+    sending_threads: int  # ts
+    list_length: int  # messages == match-list entries
+
+
+class BlockDecomposition:
+    """A process decomposed into a dense block of threads.
+
+    The process's threads occupy the cells of ``dims`` (e.g. 32x32 or
+    8x8x4); the surrounding space belongs to identically-decomposed
+    neighbouring processes, so any stencil neighbour outside the block is an
+    *external* cell whose message must cross the matching engine.
+    """
+
+    def __init__(self, dims: Tuple[int, ...]) -> None:
+        if not dims or any(d < 1 for d in dims):
+            raise ConfigurationError(f"invalid decomposition dims {dims}")
+        self.dims = tuple(int(d) for d in dims)
+
+    @property
+    def ndim(self) -> int:
+        """Dimensionality of the block."""
+        return len(self.dims)
+
+    @property
+    def nthreads(self) -> int:
+        """Total threads in the block."""
+        out = 1
+        for d in self.dims:
+            out *= d
+        return out
+
+    def threads(self) -> List[Coord]:
+        """All thread coordinates in the block."""
+        return list(product(*(range(d) for d in self.dims)))
+
+    def inside(self, coord: Coord) -> bool:
+        """True if *coord* lies within the block."""
+        return all(0 <= c < d for c, d in zip(coord, self.dims))
+
+    def external_pairs(self, stencil: Stencil) -> List[Tuple[Coord, Coord]]:
+        """All (thread, external neighbour cell) pairs — one message each."""
+        if stencil.ndim != self.ndim:
+            raise ConfigurationError(
+                f"{stencil.name} is {stencil.ndim}-D but decomposition is "
+                f"{self.ndim}-D"
+            )
+        pairs: List[Tuple[Coord, Coord]] = []
+        for thread in self.threads():
+            for off in stencil.offsets:
+                neighbour = tuple(t + o for t, o in zip(thread, off))
+                if not self.inside(neighbour):
+                    pairs.append((thread, neighbour))
+        return pairs
+
+    def counts(self, stencil: Stencil) -> DecompositionCounts:
+        """Exact tr / ts / length for Table 1."""
+        pairs = self.external_pairs(stencil)
+        receiving = {thread for thread, _ in pairs}
+        sending = {cell for _, cell in pairs}
+        return DecompositionCounts(
+            receiving_threads=len(receiving),
+            sending_threads=len(sending),
+            list_length=len(pairs),
+        )
+
+    def pairs_by_thread(self, stencil: Stencil) -> Dict[Coord, List[Coord]]:
+        """External neighbour cells grouped per receiving thread, in a
+        deterministic order (a thread posts its receives in program order)."""
+        grouped: Dict[Coord, List[Coord]] = {}
+        for thread, cell in self.external_pairs(stencil):
+            grouped.setdefault(thread, []).append(cell)
+        return grouped
+
+    def pairs_by_sender(self, stencil: Stencil) -> Dict[Coord, List[Coord]]:
+        """Receiving threads grouped per external sending cell."""
+        grouped: Dict[Coord, List[Coord]] = {}
+        for thread, cell in self.external_pairs(stencil):
+            grouped.setdefault(cell, []).append(thread)
+        return grouped
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "x".join(str(d) for d in self.dims)

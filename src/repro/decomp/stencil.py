@@ -1,0 +1,59 @@
+"""Stencils used in Table 1: 5pt/9pt (2-D) and 7pt/27pt (3-D)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Stencil:
+    """A named set of relative neighbour offsets (excluding the origin)."""
+
+    name: str
+    ndim: int
+    offsets: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def npoints(self) -> int:
+        """Point count including the centre (the stencil's conventional name)."""
+        return len(self.offsets) + 1
+
+
+def _von_neumann(ndim: int) -> Tuple[Tuple[int, ...], ...]:
+    """Face neighbours only (+-1 along each axis)."""
+    offsets = []
+    for axis in range(ndim):
+        for sign in (-1, 1):
+            off = [0] * ndim
+            off[axis] = sign
+            offsets.append(tuple(off))
+    return tuple(offsets)
+
+
+def _moore(ndim: int) -> Tuple[Tuple[int, ...], ...]:
+    """All neighbours with Chebyshev distance 1."""
+    return tuple(
+        off for off in product((-1, 0, 1), repeat=ndim) if any(off)
+    )
+
+
+STENCILS = {
+    "5pt": Stencil("5pt", 2, _von_neumann(2)),
+    "9pt": Stencil("9pt", 2, _moore(2)),
+    "7pt": Stencil("7pt", 3, _von_neumann(3)),
+    "27pt": Stencil("27pt", 3, _moore(3)),
+}
+
+
+def get_stencil(name: str) -> Stencil:
+    """Look up a stencil preset by name."""
+    try:
+        return STENCILS[name.strip().lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown stencil {name!r}; known: {sorted(STENCILS)}"
+        ) from None

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single except clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all repro errors."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class AllocationError(ReproError):
+    """The simulated allocator could not satisfy a request."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class MatchingError(ReproError):
+    """An MPI matching invariant was violated (e.g. FIFO ordering)."""
+
+
+class MpiUsageError(ReproError):
+    """The mini-MPI API was used incorrectly (bad rank, finished request...)."""

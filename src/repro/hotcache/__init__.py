@@ -1,0 +1,37 @@
+"""Hot caching — the paper's temporal-locality tool (section 3.2).
+
+    "Hot caching increases temporal locality by creating a heating thread
+    which periodically interacts with specified regions of memory. By
+    updating the metrics used in cache eviction, the specified regions are
+    prevented from being evicted."
+
+The heater is modelled as a periodic process on a second core of the same
+simulated socket. Each pass walks the registered regions, refreshing their
+recency in the shared L3 (and filling the heater's own private caches, which
+help nobody — exactly as in hardware). The three implementation challenges
+the paper reports are first-class here:
+
+1. **Core binding** (must share a cache level with the matching core):
+   choose the heater's ``core_id`` and target level.
+2. **Lock contention**: the original design guards the region list with a
+   spin lock; a region removal that lands inside a heater pass waits for the
+   rest of the pass. The pool-backed variant (``locked=False``) registers
+   stable slab regions once and never removes on the hot path.
+3. **Application interference**: heater passes consume shared-cache capacity
+   (emergent: its fills really do evict other lines) and its pass duration
+   scales with the heated footprint.
+"""
+
+from repro.hotcache.heater import Heater, HeaterConfig
+from repro.hotcache.policies import CollaborativeHeater, DefectiveCoreHeater
+from repro.hotcache.regions import RegionSet
+from repro.hotcache.wrapper import HeatedQueue
+
+__all__ = [
+    "CollaborativeHeater",
+    "DefectiveCoreHeater",
+    "HeatedQueue",
+    "Heater",
+    "HeaterConfig",
+    "RegionSet",
+]

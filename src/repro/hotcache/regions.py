@@ -1,0 +1,67 @@
+"""The heater's region list.
+
+A region is an ``(addr, size)`` span the heater re-touches every pass. The
+paper's first implementation kept these in a spin-locked list; because MPI
+must remove a region before deallocating its memory (or the heater would
+touch freed memory — "could cause a segmentation fault"), every removal
+crosses the heater's critical section. The improved design re-uses elements
+from a dedicated pool so the region set stays fixed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.mem.alloc import Allocation
+
+
+class RegionSet:
+    """Ordered set of heated regions with O(1) add/discard.
+
+    Regions are keyed by ``(addr, size)``; iteration follows insertion order
+    (the order the heater walks them in each pass).
+    """
+
+    def __init__(self, regions: Iterable[Allocation] = ()) -> None:
+        self._regions: dict[tuple[int, int], Allocation] = {}
+        for region in regions:
+            self.add(region)
+
+    @staticmethod
+    def _key(region: Allocation) -> tuple[int, int]:
+        return (region.addr, region.size)
+
+    def add(self, region: Allocation) -> bool:
+        """Register a region; returns False if it was already present."""
+        key = self._key(region)
+        if key in self._regions:
+            return False
+        self._regions[key] = region
+        return True
+
+    def discard(self, region: Allocation) -> bool:
+        """Remove a region; returns False if it was not present."""
+        return self._regions.pop(self._key(region), None) is not None
+
+    def replace_all(self, regions: Iterable[Allocation]) -> None:
+        """Swap in a whole new region set (used by region providers)."""
+        self._regions = {self._key(r): r for r in regions}
+
+    def __iter__(self) -> Iterator[Allocation]:
+        return iter(self._regions.values())
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def __contains__(self, region: Allocation) -> bool:
+        return self._key(region) in self._regions
+
+    def total_bytes(self) -> int:
+        """Total bytes across all regions."""
+        return sum(r.size for r in self._regions.values())
+
+    def total_lines(self) -> int:
+        """Total cache lines across all regions."""
+        from repro.mem.layout import line_span
+
+        return sum(line_span(r.addr, r.size) for r in self._regions.values())

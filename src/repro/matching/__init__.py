@@ -1,0 +1,82 @@
+"""MPI message-matching substrate.
+
+Implements the matching semantics of the paper's section 2.1/2.2 — posted
+receive queue (PRQ) and unexpected message queue (UMQ), matching on
+(source rank, tag, communicator) with MPI wildcards — over several queue
+organizations:
+
+* :class:`~repro.matching.linkedlist.BaselineLinkedList` — the single linked
+  list used by MPICH-lineage implementations (the paper's baseline).
+* :class:`~repro.matching.lla.LinkedListOfArrays` — **the paper's spatial
+  locality tool**: k match entries packed contiguously per list node
+  (Figure 2), holes managed by invalidation.
+* :class:`~repro.matching.openmpi.OpenMpiHierarchicalQueue` — Open MPI's
+  per-communicator array of per-source lists (O(1) to a short list, O(N^2)
+  total memory, section 2.2).
+* :class:`~repro.matching.hashmap.BinnedHashQueue` — Flajslik et al.'s hash
+  bins (related work the paper positions against).
+* :class:`~repro.matching.fourd.FourDimensionalQueue` — Zounmevo & Afsahi's
+  rank-decomposed 4-D structure.
+
+Every queue issues its probe loads through a :class:`MemoryPort`, so the same
+data structure code runs against the cycle-accounted cache hierarchy
+(:class:`~repro.matching.engine.MatchEngine`) or a free
+:class:`~repro.matching.port.NullPort` for pure semantics tests.
+"""
+
+from repro.matching.envelope import (
+    ANY_SOURCE,
+    ANY_TAG,
+    FULL_MASK,
+    Envelope,
+    items_match,
+    make_pattern,
+)
+from repro.matching.entry import (
+    LLA_NODE_OVERHEAD,
+    PRQ_ENTRY_BYTES,
+    UMQ_ENTRY_BYTES,
+    MatchItem,
+    lla_entries_per_line,
+    lla_node_bytes,
+)
+from repro.matching.base import MatchQueue, QueueStats
+from repro.matching.port import MemoryPort, NullPort
+from repro.matching.engine import MatchEngine
+from repro.matching.linkedlist import BaselineLinkedList
+from repro.matching.lla import LinkedListOfArrays
+from repro.matching.openmpi import OpenMpiHierarchicalQueue
+from repro.matching.hashmap import BinnedHashQueue
+from repro.matching.fourd import FourDimensionalQueue
+from repro.matching.ch4 import Ch4PerCommunicatorQueue
+from repro.matching.adaptive import AdaptiveHybridQueue
+from repro.matching.factory import QUEUE_FAMILIES, make_queue
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "AdaptiveHybridQueue",
+    "BaselineLinkedList",
+    "BinnedHashQueue",
+    "Ch4PerCommunicatorQueue",
+    "Envelope",
+    "FourDimensionalQueue",
+    "FULL_MASK",
+    "LinkedListOfArrays",
+    "LLA_NODE_OVERHEAD",
+    "MatchEngine",
+    "MatchItem",
+    "MatchQueue",
+    "MemoryPort",
+    "NullPort",
+    "OpenMpiHierarchicalQueue",
+    "PRQ_ENTRY_BYTES",
+    "QUEUE_FAMILIES",
+    "QueueStats",
+    "UMQ_ENTRY_BYTES",
+    "items_match",
+    "lla_entries_per_line",
+    "lla_node_bytes",
+    "make_pattern",
+    "make_queue",
+]

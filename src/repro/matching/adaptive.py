@@ -1,0 +1,113 @@
+"""Bayatpour et al.'s adaptive matching (related work, section 5).
+
+    "Bayatpour, et al. extend the hash-table approach by creating a dynamic
+    runtime approach to swap between hashing and traditional matching when
+    appropriate."
+
+The adaptive queue watches its own length and search depths: while the list
+stays short it runs the plain linked list (no bin-selection overhead, the
+fast path hash tables slow down); when the length crosses ``promote_at`` it
+migrates every live entry into hash bins, and demotes again when the queue
+drains below ``demote_at``. Hysteresis (promote > demote) prevents
+thrashing at the boundary; migration cost is charged through the port like
+any other memory work.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.matching.base import MatchQueue
+from repro.matching.hashmap import BinnedHashQueue
+from repro.matching.linkedlist import BaselineLinkedList
+from repro.matching.entry import MatchItem
+from repro.matching.port import MemoryPort
+
+
+class AdaptiveHybridQueue(MatchQueue):
+    """Linked list below the threshold, hash bins above it."""
+
+    family = "adaptive"
+
+    def __init__(
+        self,
+        *,
+        entry_bytes: int = 24,
+        port: Optional[MemoryPort] = None,
+        rng: Optional[np.random.Generator] = None,
+        promote_at: int = 64,
+        demote_at: int = 16,
+        nbins: int = 256,
+    ) -> None:
+        if demote_at >= promote_at:
+            raise ConfigurationError(
+                f"need demote_at < promote_at, got {demote_at} >= {promote_at}"
+            )
+        super().__init__(entry_bytes=entry_bytes, port=port)
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.promote_at = promote_at
+        self.demote_at = demote_at
+        self._list = BaselineLinkedList(entry_bytes=entry_bytes, port=self.port, rng=rng)
+        self._hash = BinnedHashQueue(nbins, entry_bytes=entry_bytes, port=self.port, rng=rng)
+        self._hashed = False
+        self.migrations = 0
+
+    # -- mode management -----------------------------------------------------
+
+    @property
+    def hashed(self) -> bool:
+        """True while the hash-bin representation is active."""
+        return self._hashed
+
+    @property
+    def _active(self) -> MatchQueue:
+        return self._hash if self._hashed else self._list
+
+    def _migrate(self, to_hash: bool) -> None:
+        source = self._list if to_hash else self._hash
+        target = self._hash if to_hash else self._list
+        for item in source.drain():
+            target.post(item)
+        self._hashed = to_hash
+        self.migrations += 1
+
+    def _maybe_adapt(self) -> None:
+        n = len(self._active)
+        if not self._hashed and n >= self.promote_at:
+            self._migrate(to_hash=True)
+        elif self._hashed and n <= self.demote_at:
+            self._migrate(to_hash=False)
+
+    # -- queue protocol ---------------------------------------------------------
+
+    def post(self, item: MatchItem) -> None:
+        """Append *item*; its FIFO position is its posting order."""
+        self._active.post(item)
+        self.stats.posts += 1
+        self._maybe_adapt()
+
+    def match_remove(self, probe: MatchItem) -> Optional[MatchItem]:
+        """Find, remove and return the earliest item matching *probe*, or None."""
+        active = self._active
+        found = active.match_remove(probe)
+        self.stats.record_search(active.stats.last_probes, found is not None)
+        self._maybe_adapt()
+        return found
+
+    def __len__(self) -> int:
+        return len(self._active)
+
+    def iter_items(self) -> Iterator[MatchItem]:
+        """Yield live items in FIFO (posting) order, without memory charges."""
+        return self._active.iter_items()
+
+    def regions(self) -> list:
+        """Simulated memory regions backing this structure (heater targets)."""
+        return self._active.regions()
+
+    def footprint_bytes(self) -> int:
+        """Total simulated bytes currently backing the structure."""
+        return self._active.footprint_bytes()

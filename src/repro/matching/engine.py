@@ -1,0 +1,146 @@
+"""The match engine: queues x memory hierarchy x clock.
+
+`MatchEngine` is a :class:`~repro.matching.port.MemoryPort` whose loads and
+stores are charged against a simulated core's cache hierarchy and accumulate
+on a shared clock. Attach it to any queue implementation and every probe of a
+search becomes a cycle-accounted memory access — this is the instrument the
+whole study is built on.
+
+If a hot-cache heater is attached, the engine synchronizes it before every
+memory operation, so heater passes that should have happened "in the
+background" are applied to the shared cache before the matching core touches
+it (see :mod:`repro.hotcache.heater`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple, TypeVar
+
+from repro.matching.port import MemoryPort
+from repro.mem.cache import CLS_NETWORK
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.sim.clock import Clock
+
+T = TypeVar("T")
+
+#: Non-memory work per probe: envelope comparison, loop control (~cycles).
+DEFAULT_COMPARE_CYCLES = 2.0
+
+#: Cost of a store absorbed by the write buffer, per line touched.
+DEFAULT_STORE_CYCLES = 1.0
+
+
+class MatchEngine(MemoryPort):
+    """Cycle-accounted memory port bound to one core of a hierarchy."""
+
+    def __init__(
+        self,
+        hierarchy: MemoryHierarchy,
+        *,
+        clock: Optional[Clock] = None,
+        core_id: int = 0,
+        mem_class: int = CLS_NETWORK,
+        compare_cycles: float = DEFAULT_COMPARE_CYCLES,
+        store_cycles: float = DEFAULT_STORE_CYCLES,
+        software_prefetch: bool = False,
+        sw_prefetch_coverage: float = 0.9,
+        sw_prefetch_issue_cycles: float = 1.0,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.clock = clock if clock is not None else Clock()
+        self.core_id = core_id
+        self.mem_class = mem_class
+        self.compare_cycles = compare_cycles
+        self.store_cycles = store_cycles
+        # Section 6 proposal: middleware-directed prefetch. The matching
+        # code knows its own traversal order (even across pointer chases the
+        # hardware cannot predict), so it can issue hints ahead of the scan.
+        # A hint costs an issue slot and fills with high coverage — software
+        # knows *exactly* what comes next, it just cannot issue infinitely
+        # early.
+        self.software_prefetch = software_prefetch
+        self.sw_prefetch_coverage = sw_prefetch_coverage
+        self.sw_prefetch_issue_cycles = sw_prefetch_issue_cycles
+        self.heater = None  # set via attach_heater
+        self.loads = 0
+        self.stores = 0
+        self.sw_prefetches = 0
+        self.load_cycles = 0.0
+        self.store_cycles_total = 0.0
+
+    # -- heater wiring -------------------------------------------------------
+
+    def attach_heater(self, heater) -> None:
+        """Couple a :class:`~repro.hotcache.heater.Heater` to this engine."""
+        self.heater = heater
+
+    def _sync_heater(self) -> float:
+        """Catch the heater up; returns per-access interference cycles."""
+        heater = self.heater
+        if heater is None:
+            return 0.0
+        heater.catch_up(self.clock.now)
+        return heater.config.interference_cycles if heater.saturated else 0.0
+
+    # -- MemoryPort -----------------------------------------------------------
+
+    def load(self, addr: int, nbytes: int) -> None:
+        """Record/charge a load of *nbytes* at *addr*."""
+        interference = self._sync_heater()
+        cycles = self.hierarchy.access(self.core_id, addr, nbytes, self.mem_class)
+        cycles += self.compare_cycles + interference
+        self.clock.advance(cycles)
+        self.loads += 1
+        self.load_cycles += cycles
+
+    def store(self, addr: int, nbytes: int) -> None:
+        """Record/charge a store of *nbytes* at *addr*."""
+        interference = self._sync_heater()
+        cycles = self.hierarchy.write(self.core_id, addr, nbytes, self.mem_class)
+        cycles = cycles * self.store_cycles + interference
+        self.clock.advance(cycles)
+        self.stores += 1
+        self.store_cycles_total += cycles
+
+    def hint(self, addr: int, nbytes: int) -> None:
+        """Middleware prefetch hint (no-op unless software_prefetch is on)."""
+        if not self.software_prefetch or nbytes <= 0:
+            return
+        from repro.mem.layout import LINE_SHIFT
+
+        hier = self.hierarchy
+        core = hier.cores[self.core_id]
+        first = addr >> LINE_SHIFT
+        last = (addr + nbytes - 1) >> LINE_SHIFT
+        cycles = 0.0
+        for line in range(first, last + 1):
+            if core.l1.contains(line) or core.l2.contains(line):
+                continue
+            penalty = (1.0 - self.sw_prefetch_coverage) * (
+                hier.l3.latency if hier.l3.contains(line) else hier.dram_latency
+            )
+            core.l2.fill(line, self.mem_class, prefetched=True, penalty=penalty)
+            hier.l3.fill(line, self.mem_class, prefetched=True)
+            cycles += self.sw_prefetch_issue_cycles
+            self.sw_prefetches += 1
+        if cycles:
+            self.clock.advance(cycles)
+
+    # -- measurement helpers ------------------------------------------------------
+
+    def charge(self, cycles: float) -> None:
+        """Charge arbitrary non-memory work to the engine's clock."""
+        self.clock.advance(cycles)
+
+    def timed(self, fn: Callable[[], T]) -> Tuple[T, float]:
+        """Run *fn* and return ``(result, cycles_elapsed)`` on this clock."""
+        start = self.clock.now
+        result = fn()
+        return result, self.clock.now - start
+
+    def reset_counters(self) -> None:
+        """Zero the engine's load/store counters."""
+        self.loads = 0
+        self.stores = 0
+        self.load_cycles = 0.0
+        self.store_cycles_total = 0.0

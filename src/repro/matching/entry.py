@@ -1,0 +1,99 @@
+"""Match entry byte layouts (paper section 3.1 and Figure 2).
+
+    "Each queue element for the posted receive queue contains 24 bytes of
+    information, 4 bytes for the tag, 2 bytes each for the rank and context
+    id, 8 bytes of bit masks for matching, and an 8 byte pointer to the
+    request. The unexpected message queue does not require masks, so it only
+    requires 16 bytes per entry. There are also 3 per array items that are
+    stored: a pointer to the next array and indexes to the array indicating
+    the start and end of the used section."
+
+Figure 2 packs an LLA node into exactly one 64-byte cache line for the PRQ:
+8 bytes of head/tail indexes, two 24-byte entries, and the 8-byte external
+next pointer. For the UMQ the 16-byte entries pack three per line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from repro.matching.envelope import FULL_MASK
+from repro.mem.layout import LINE_SIZE, align_up
+
+#: Posted-receive entry: tag(4) + rank(2) + cid(2) + masks(8) + req ptr(8).
+PRQ_ENTRY_BYTES = 24
+
+#: Unexpected-message entry: tag(4) + rank(2) + cid(2) + buffer ptr(8).
+UMQ_ENTRY_BYTES = 16
+
+#: LLA per-node bookkeeping: 4+4 head/tail indexes and the 8-byte next ptr.
+LLA_NODE_OVERHEAD = 16
+
+#: Baseline linked-list node: prev/next pointers around the entry.
+LL_NODE_POINTERS = 16
+
+
+@dataclass
+class MatchItem:
+    """A live matching element (pattern in the PRQ, envelope in the UMQ).
+
+    ``seq`` is the global posting order; FIFO matching (an MPI requirement)
+    is decided by comparing sequence numbers. ``addr`` is assigned by the
+    owning queue when the item is placed in simulated memory.
+    """
+
+    seq: int
+    src: int
+    tag: int
+    cid: int
+    src_mask: int = FULL_MASK
+    tag_mask: int = FULL_MASK
+    req: object = None
+    addr: int = 0
+    entry_bytes: int = PRQ_ENTRY_BYTES
+    meta: dict = field(default_factory=dict, compare=False, repr=False)
+
+    @classmethod
+    def from_envelope(
+        cls, env, seq: int, *, req: object = None, entry_bytes: int = UMQ_ENTRY_BYTES
+    ) -> "MatchItem":
+        """Build a concrete (full-mask) item from an envelope."""
+        return cls(
+            seq=seq,
+            src=env.src,
+            tag=env.tag,
+            cid=env.cid,
+            src_mask=FULL_MASK,
+            tag_mask=FULL_MASK,
+            req=req,
+            entry_bytes=entry_bytes,
+        )
+
+    @property
+    def wildcard_source(self) -> bool:
+        """True when the source field is MPI_ANY_SOURCE."""
+        return self.src_mask == 0
+
+    @property
+    def wildcard_tag(self) -> bool:
+        """True when the tag field is MPI_ANY_TAG."""
+        return self.tag_mask == 0
+
+
+def lla_node_bytes(entries_per_node: int, entry_bytes: int = PRQ_ENTRY_BYTES) -> int:
+    """Size in bytes of one LLA node, rounded up to whole cache lines."""
+    raw = LLA_NODE_OVERHEAD + entries_per_node * entry_bytes
+    return align_up(raw, LINE_SIZE)
+
+
+def lla_entries_per_line(entry_bytes: int = PRQ_ENTRY_BYTES) -> int:
+    """How many entries fit in one 64-byte node line next to the overhead.
+
+    Reproduces Figure 2's arithmetic: 2 PRQ entries or 3 UMQ entries.
+    """
+    return (LINE_SIZE - LLA_NODE_OVERHEAD) // entry_bytes
+
+
+def baseline_node_bytes(entry_bytes: int = PRQ_ENTRY_BYTES) -> int:
+    """Payload footprint of one baseline linked-list node (before the
+    allocator's own header): pointers + entry."""
+    return LL_NODE_POINTERS + entry_bytes

@@ -1,0 +1,68 @@
+"""Match envelopes, patterns, and the matching rule.
+
+MPI matching works on three key elements (paper section 2.1): a source rank,
+a tag, and a communicator id. Receives may wildcard source and/or tag
+(``MPI_ANY_SOURCE`` / ``MPI_ANY_TAG``); the implementation realizes the
+wildcards as bit masks — the paper's posted-receive entry carries "8 bytes of
+bit masks for matching".
+
+The matching rule used throughout is symmetric::
+
+    match(a, b)  <=>  a.cid == b.cid
+                  and (a.src ^ b.src) & a.src_mask & b.src_mask == 0
+                  and (a.tag ^ b.tag) & a.tag_mask & b.tag_mask == 0
+
+A concrete envelope has full masks; a wildcard pattern has a zero mask in the
+wildcarded field. MPI forbids wildcard *sends*, so at least one side of every
+comparison is concrete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+FULL_MASK = 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A concrete message envelope (what a send carries)."""
+
+    src: int
+    tag: int
+    cid: int
+
+    def __post_init__(self) -> None:
+        if self.src < 0:
+            raise ValueError(f"send envelopes need a concrete source, got {self.src}")
+        if self.tag < 0:
+            raise ValueError(f"send envelopes need a concrete tag, got {self.tag}")
+
+
+def make_pattern(src: int, tag: int, cid: int, seq: int, req: object = None) -> "MatchItem":
+    """Build a posted-receive pattern item, honoring ANY_SOURCE / ANY_TAG."""
+    from repro.matching.entry import MatchItem
+
+    src_mask = 0 if src == ANY_SOURCE else FULL_MASK
+    tag_mask = 0 if tag == ANY_TAG else FULL_MASK
+    return MatchItem(
+        seq=seq,
+        src=0 if src == ANY_SOURCE else src,
+        tag=0 if tag == ANY_TAG else tag,
+        cid=cid,
+        src_mask=src_mask,
+        tag_mask=tag_mask,
+        req=req,
+    )
+
+
+def items_match(a, b) -> bool:
+    """The symmetric matching rule between two items (see module docstring)."""
+    return (
+        a.cid == b.cid
+        and not ((a.src ^ b.src) & a.src_mask & b.src_mask)
+        and not ((a.tag ^ b.tag) & a.tag_mask & b.tag_mask)
+    )

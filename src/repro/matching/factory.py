@@ -1,0 +1,137 @@
+"""Queue construction by configuration name.
+
+The experiment drivers refer to queue organizations by the labels the paper's
+figures use: ``baseline``, ``LLA - 2`` ... ``LLA - 32``, plus ``lla-large``
+(Figure 10's "linked list of large arrays") and the related-work structures.
+
+``make_queue`` also wires up the memory side: each family gets its own
+allocator seeded from a named RNG stream so layouts are reproducible, and all
+of them can be pointed at a shared :class:`~repro.matching.port.MemoryPort`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.matching.base import MatchQueue
+from repro.matching.fourd import FourDimensionalQueue
+from repro.matching.hashmap import BinnedHashQueue
+from repro.matching.linkedlist import BaselineLinkedList
+from repro.matching.lla import LinkedListOfArrays
+from repro.matching.openmpi import OpenMpiHierarchicalQueue
+from repro.matching.port import MemoryPort
+from repro.mem.alloc import BumpAllocator, FragmentedHeap, SequentialHeap, SlabPool
+
+#: Figure 10's "early linked list of large arrays approach" array size.
+LLA_LARGE_ENTRIES = 128
+
+#: The k sweep used throughout Figures 4-7.
+LLA_SWEEP = (2, 4, 8, 16, 32)
+
+_LLA_RE = re.compile(r"^lla-(\d+)$")
+
+
+def canonical_name(name: str) -> str:
+    """Normalize a figure label ('LLA - 8') to a config name ('lla-8')."""
+    return name.strip().lower().replace(" ", "").replace("--", "-").replace("lla-large", "lla-large")
+
+
+def make_queue(
+    name: str,
+    *,
+    entry_bytes: int = 24,
+    port: Optional[MemoryPort] = None,
+    rng: Optional[np.random.Generator] = None,
+    arena_base: int = 0x4000_0000,
+    fragmented: bool = False,
+    nranks: int = 1024,
+) -> MatchQueue:
+    """Build the queue organization called *name*.
+
+    Parameters
+    ----------
+    fragmented:
+        When true, list-node families draw from a churned
+        :class:`FragmentedHeap` instead of the mostly-sequential heap —
+        the long-running-application layout (used for the FDS study).
+    arena_base:
+        Base address for this queue's allocations; give different queues in
+        one hierarchy disjoint bases.
+    """
+    key = canonical_name(name)
+    rng = rng if rng is not None else np.random.default_rng(0)
+    capacity = 1 << 30
+
+    def node_heap():
+        if fragmented:
+            return FragmentedHeap(arena_base, capacity, rng)
+        return SequentialHeap(arena_base, capacity, rng)
+
+    if key == "baseline":
+        return BaselineLinkedList(entry_bytes=entry_bytes, port=port, heap=node_heap())
+    m = _LLA_RE.match(key)
+    if m:
+        k = int(m.group(1))
+        if k < 1:
+            raise ConfigurationError(f"bad LLA arity in {name!r}")
+        arena = BumpAllocator(arena_base, capacity)
+        from repro.matching.entry import lla_node_bytes
+
+        pool = SlabPool(lla_node_bytes(k, entry_bytes), arena=arena)
+        return LinkedListOfArrays(k, entry_bytes=entry_bytes, port=port, pool=pool)
+    if key == "lla-large":
+        arena = BumpAllocator(arena_base, capacity)
+        from repro.matching.entry import lla_node_bytes
+
+        pool = SlabPool(
+            lla_node_bytes(LLA_LARGE_ENTRIES, entry_bytes), arena=arena, blocks_per_slab=8
+        )
+        return LinkedListOfArrays(
+            LLA_LARGE_ENTRIES, entry_bytes=entry_bytes, port=port, pool=pool
+        )
+    if key == "openmpi":
+        return OpenMpiHierarchicalQueue(
+            entry_bytes=entry_bytes, port=port, heap=node_heap(), default_nranks=nranks
+        )
+    if key in ("hashmap", "hash-256"):
+        return BinnedHashQueue(256, entry_bytes=entry_bytes, port=port, heap=node_heap())
+    m = re.match(r"^hash-(\d+)$", key)
+    if m:
+        return BinnedHashQueue(
+            int(m.group(1)), entry_bytes=entry_bytes, port=port, heap=node_heap()
+        )
+    if key == "fourd":
+        return FourDimensionalQueue(
+            nranks, entry_bytes=entry_bytes, port=port, heap=node_heap()
+        )
+    if key == "ch4":
+        from repro.matching.ch4 import Ch4PerCommunicatorQueue
+
+        return Ch4PerCommunicatorQueue(
+            entry_bytes=entry_bytes, port=port, heap=node_heap()
+        )
+    if key == "adaptive":
+        from repro.matching.adaptive import AdaptiveHybridQueue
+
+        return AdaptiveHybridQueue(entry_bytes=entry_bytes, port=port, rng=rng)
+    raise ConfigurationError(
+        f"unknown queue family {name!r}; known: baseline, lla-<k>, lla-large, "
+        f"openmpi, hash-<n>, fourd, ch4, adaptive"
+    )
+
+
+#: Callables for the standard experiment line-up, keyed by figure label.
+QUEUE_FAMILIES: Dict[str, Callable[..., MatchQueue]] = {
+    "baseline": lambda **kw: make_queue("baseline", **kw),
+    **{f"lla-{k}": (lambda k=k: lambda **kw: make_queue(f"lla-{k}", **kw))() for k in LLA_SWEEP},
+    "lla-large": lambda **kw: make_queue("lla-large", **kw),
+    "openmpi": lambda **kw: make_queue("openmpi", **kw),
+    "hashmap": lambda **kw: make_queue("hashmap", **kw),
+    "fourd": lambda **kw: make_queue("fourd", **kw),
+    "ch4": lambda **kw: make_queue("ch4", **kw),
+    "adaptive": lambda **kw: make_queue("adaptive", **kw),
+}

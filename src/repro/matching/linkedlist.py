@@ -1,0 +1,124 @@
+"""The baseline single linked-list match queue (MPICH lineage).
+
+Paper section 2.2: "Implementations based on the open source MPICH
+implementation typically use a single linked list for all communicators."
+
+Each element lives in its own heap node: two pointers plus the entry, behind
+a malloc-style header. Nodes come from a :class:`SequentialHeap` by default —
+consecutive posts are *usually* adjacent in memory but each entry costs more
+than a cache line and the stream is irregular, which is exactly the layout
+the paper's baseline measurements reflect ("the unmodified baseline requires
+more than a cache line for a single entry", section 4.2). A
+:class:`FragmentedHeap` can be supplied instead to model a long-running,
+churned arena (used by the FDS study, whose lists are long-lived).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.matching.base import MatchQueue
+from repro.matching.entry import LL_NODE_POINTERS, MatchItem
+from repro.matching.envelope import items_match
+from repro.matching.port import MemoryPort
+from repro.mem.alloc import Allocation, SequentialHeap
+
+
+@dataclass
+class _Node:
+    item: MatchItem
+    alloc: Allocation
+
+
+class BaselineLinkedList(MatchQueue):
+    """Single FIFO linked list; O(n) search, one heap node per entry."""
+
+    family = "baseline"
+
+    #: Default arena placement for stand-alone construction.
+    DEFAULT_BASE = 0x1000_0000
+    DEFAULT_CAPACITY = 1 << 30
+
+    def __init__(
+        self,
+        *,
+        entry_bytes: int = 24,
+        port: Optional[MemoryPort] = None,
+        heap=None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(entry_bytes=entry_bytes, port=port)
+        if heap is None:
+            heap = SequentialHeap(
+                self.DEFAULT_BASE,
+                self.DEFAULT_CAPACITY,
+                rng if rng is not None else np.random.default_rng(0),
+            )
+        self.heap = heap
+        self.node_bytes = LL_NODE_POINTERS + entry_bytes
+        self._nodes: list[_Node] = []
+
+    def post(self, item: MatchItem) -> None:
+        """Append *item*; its FIFO position is its posting order."""
+        alloc = self.heap.alloc(self.node_bytes)
+        item.addr = alloc.addr + LL_NODE_POINTERS
+        node = _Node(item, alloc)
+        # Writing the new node and patching the old tail's next pointer.
+        self.port.store(alloc.addr, self.node_bytes)
+        if self._nodes:
+            self.port.store(self._nodes[-1].alloc.addr, 8)
+        self._nodes.append(node)
+        self.stats.posts += 1
+
+    #: How far ahead of the scan middleware prefetch hints are issued. The
+    #: software knows the pointer-chase targets the hardware cannot guess.
+    SW_PREFETCH_LOOKAHEAD = 4
+
+    def match_remove(self, probe: MatchItem) -> Optional[MatchItem]:
+        """Find, remove and return the earliest item matching *probe*, or None."""
+        probes = 0
+        nodes = self._nodes
+        lookahead = self.SW_PREFETCH_LOOKAHEAD
+        for idx, node in enumerate(nodes):
+            if idx + lookahead < len(nodes):
+                ahead = nodes[idx + lookahead]
+                self.port.hint(ahead.alloc.addr, self.node_bytes)
+            # One load covers the node's pointers and entry payload.
+            self.port.load(node.alloc.addr, self.node_bytes)
+            probes += 1
+            if items_match(node.item, probe):
+                self._unlink(idx)
+                self.stats.record_search(probes, True)
+                return node.item
+        self.stats.record_search(probes, False)
+        return None
+
+    def _unlink(self, idx: int) -> None:
+        node = self._nodes.pop(idx)
+        # Patch neighbours' pointers.
+        if idx > 0:
+            self.port.store(self._nodes[idx - 1].alloc.addr, 8)
+        if idx < len(self._nodes):
+            self.port.store(self._nodes[idx].alloc.addr + 8, 8)
+        self.heap.free(node.alloc)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def iter_items(self) -> Iterator[MatchItem]:
+        """Yield live items in FIFO (posting) order, without memory charges."""
+        for node in self._nodes:
+            yield node.item
+
+    def regions(self) -> list[Allocation]:
+        """One region per live node — the heater's worst case: the region
+        list is long and churns on every post/remove (section 3.2's lock
+        contention problem)."""
+        return [n.alloc for n in self._nodes]
+
+    def footprint_bytes(self) -> int:
+        """Total simulated bytes currently backing the structure."""
+        return len(self._nodes) * self.node_bytes

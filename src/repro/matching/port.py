@@ -1,0 +1,63 @@
+"""Memory ports: where queue traversals send their loads.
+
+A :class:`MemoryPort` receives every load/store a match queue performs while
+searching or mutating. The production port is
+:class:`~repro.matching.engine.MatchEngine` (cycle-accounted cache
+hierarchy); :class:`NullPort` is free and counts operations only, for
+semantics tests and the pure search-depth studies (Table 1, Figure 1).
+"""
+
+from __future__ import annotations
+
+
+class MemoryPort:
+    """Interface: queues call these for every simulated memory operation."""
+
+    def load(self, addr: int, nbytes: int) -> None:
+        """Record/charge a load of *nbytes* at *addr*."""
+        raise NotImplementedError
+
+    def store(self, addr: int, nbytes: int) -> None:
+        """Record/charge a store of *nbytes* at *addr*."""
+        raise NotImplementedError
+
+    def hint(self, addr: int, nbytes: int) -> None:
+        """Software prefetch hint: the caller knows it will touch this
+        region soon (the paper's section 6 proposal of "custom prefetching
+        units that can be used by middleware such as MPI"). Default: no-op;
+        the MatchEngine honours it when software prefetch is enabled."""
+
+
+class NullPort(MemoryPort):
+    """Cost-free port that only counts operations."""
+
+    __slots__ = ("loads", "stores", "hints", "bytes_loaded", "bytes_stored")
+
+    def __init__(self) -> None:
+        self.loads = 0
+        self.stores = 0
+        self.hints = 0
+        self.bytes_loaded = 0
+        self.bytes_stored = 0
+
+    def load(self, addr: int, nbytes: int) -> None:
+        """Record/charge a load of *nbytes* at *addr*."""
+        self.loads += 1
+        self.bytes_loaded += nbytes
+
+    def store(self, addr: int, nbytes: int) -> None:
+        """Record/charge a store of *nbytes* at *addr*."""
+        self.stores += 1
+        self.bytes_stored += nbytes
+
+    def hint(self, addr: int, nbytes: int) -> None:
+        """Record a software prefetch hint (cost-free on this port)."""
+        self.hints += 1
+
+    def reset(self) -> None:
+        """Clear accumulated state/counters."""
+        self.loads = 0
+        self.stores = 0
+        self.hints = 0
+        self.bytes_loaded = 0
+        self.bytes_stored = 0

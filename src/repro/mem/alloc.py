@@ -1,0 +1,282 @@
+"""Simulated allocators — the spatial-locality control knob.
+
+The paper's spatial-locality tool (the linked list of arrays) works because it
+changes *where* match entries live relative to each other. We therefore model
+allocation explicitly:
+
+* :class:`BumpAllocator` -- perfectly contiguous allocations. Used for the
+  LLA node pools: consecutive nodes are adjacent, so the L2 streamer engages.
+* :class:`SequentialHeap` -- mostly-sequential allocations with seeded
+  jitter (occasional gaps and out-of-order placement). This models a real
+  ``malloc`` arena early in a run: MPICH's baseline list nodes are usually
+  allocated back-to-back but with headers, padding, and interleaved foreign
+  allocations between them.
+* :class:`FragmentedHeap` -- allocations scattered pseudo-randomly over a
+  large arena, modelling a long-running application heap where the free list
+  has been churned. Defeats the streamer entirely.
+* :class:`SlabPool` -- fixed-size blocks carved from contiguous slabs with a
+  LIFO free list. Models the dedicated element pool the paper uses to avoid
+  heater lock contention (section 4.3).
+
+All allocators hand out non-overlapping `(address, size)` regions inside a
+caller-provided arena; a property-based test asserts non-overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import AllocationError
+from repro.mem.layout import LINE_SIZE, align_up
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """An allocated region of the simulated address space."""
+
+    addr: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the allocation."""
+        return self.addr + self.size
+
+    def overlaps(self, other: "Allocation") -> bool:
+        """True if this allocation shares any byte with *other*."""
+        return self.addr < other.end and other.addr < self.end
+
+
+class BumpAllocator:
+    """Contiguous bump-pointer allocation inside ``[base, base+capacity)``."""
+
+    def __init__(self, base: int, capacity: int, alignment: int = 8) -> None:
+        if capacity <= 0:
+            raise AllocationError(f"capacity must be positive, got {capacity}")
+        self.base = base
+        self.capacity = capacity
+        self.alignment = alignment
+        self._next = base
+        self.live_bytes = 0
+
+    def alloc(self, size: int) -> Allocation:
+        """Allocate a region; returns an Allocation."""
+        if size <= 0:
+            raise AllocationError(f"allocation size must be positive, got {size}")
+        addr = align_up(self._next, self.alignment)
+        if addr + size > self.base + self.capacity:
+            raise AllocationError(
+                f"bump arena exhausted: need {size} bytes at {addr:#x}, "
+                f"arena ends at {self.base + self.capacity:#x}"
+            )
+        self._next = addr + size
+        self.live_bytes += size
+        return Allocation(addr, size)
+
+    def free(self, allocation: Allocation) -> None:
+        """Bump allocators never reuse memory; freeing only updates counters."""
+        self.live_bytes -= allocation.size
+
+    def reset(self) -> None:
+        """Clear accumulated state/counters."""
+        self._next = self.base
+        self.live_bytes = 0
+
+
+class SequentialHeap:
+    """Mostly-sequential heap with per-allocation header and seeded jitter.
+
+    Each allocation is preceded by a *header* (default 16 bytes, like glibc
+    malloc bookkeeping) and, with probability *gap_prob*, followed by a gap of
+    a random number of bytes (a foreign allocation landing between two of
+    ours). This is the layout the paper's unmodified baseline linked list
+    sees: entries are *usually* near each other, but each one costs more than
+    a cache line and the stream is irregular.
+    """
+
+    def __init__(
+        self,
+        base: int,
+        capacity: int,
+        rng: np.random.Generator,
+        *,
+        header_bytes: int = 16,
+        alignment: int = 16,
+        gap_prob: float = 0.25,
+        max_gap: int = 256,
+    ) -> None:
+        self.base = base
+        self.capacity = capacity
+        self.rng = rng
+        self.header_bytes = header_bytes
+        self.alignment = alignment
+        self.gap_prob = gap_prob
+        self.max_gap = max_gap
+        self._next = base
+        self.live_bytes = 0
+        self._free: list[Allocation] = []
+
+    def alloc(self, size: int) -> Allocation:
+        """Allocate a region; returns an Allocation."""
+        if size <= 0:
+            raise AllocationError(f"allocation size must be positive, got {size}")
+        # Prefer recycling an exact-size hole (LIFO, like a size-class free
+        # list) -- recycled nodes are what makes long-lived baseline lists
+        # progressively less sequential.
+        for i in range(len(self._free) - 1, -1, -1):
+            if self._free[i].size == size:
+                alloc = self._free.pop(i)
+                self.live_bytes += size
+                return alloc
+        addr = align_up(self._next + self.header_bytes, self.alignment)
+        if addr + size > self.base + self.capacity:
+            raise AllocationError("sequential heap exhausted")
+        self._next = addr + size
+        if self.rng.random() < self.gap_prob:
+            self._next += int(self.rng.integers(self.alignment, self.max_gap + 1))
+        self.live_bytes += size
+        return Allocation(addr, size)
+
+    def free(self, allocation: Allocation) -> None:
+        """Return *allocation* to the allocator."""
+        self.live_bytes -= allocation.size
+        self._free.append(allocation)
+
+    def reset(self) -> None:
+        """Clear accumulated state/counters."""
+        self._next = self.base
+        self.live_bytes = 0
+        self._free.clear()
+
+
+class FragmentedHeap:
+    """Allocations scattered uniformly over the arena (churned free list).
+
+    Slots are precomputed per size class and handed out in a seeded shuffled
+    order, so two consecutive allocations land in unrelated cache lines and
+    usually unrelated pages. Freed slots return to the tail of their class's
+    order and will be reused eventually.
+    """
+
+    def __init__(
+        self,
+        base: int,
+        capacity: int,
+        rng: np.random.Generator,
+        *,
+        alignment: int = 16,
+    ) -> None:
+        self.base = base
+        self.capacity = capacity
+        self.rng = rng
+        self.alignment = alignment
+        self._classes: dict[int, list[int]] = {}
+        self._cursor = base
+        self.live_bytes = 0
+
+    def _size_class(self, size: int) -> int:
+        return align_up(size + self.alignment, self.alignment)
+
+    def _slots_for(self, cls_size: int) -> list[int]:
+        slots = self._classes.get(cls_size)
+        if slots is None or not slots:
+            # Carve a new span for this class and shuffle its slot order.
+            span = max(cls_size * 256, 64 * 1024)
+            span = min(span, self.base + self.capacity - self._cursor)
+            nslots = span // cls_size
+            if nslots <= 0:
+                raise AllocationError("fragmented heap exhausted")
+            addrs = [self._cursor + i * cls_size for i in range(nslots)]
+            self._cursor += nslots * cls_size
+            order = self.rng.permutation(nslots)
+            new_slots = [addrs[i] for i in order]
+            if slots is None:
+                self._classes[cls_size] = new_slots
+                slots = new_slots
+            else:
+                slots.extend(new_slots)
+        return slots
+
+    def alloc(self, size: int) -> Allocation:
+        """Allocate a region; returns an Allocation."""
+        if size <= 0:
+            raise AllocationError(f"allocation size must be positive, got {size}")
+        cls_size = self._size_class(size)
+        slots = self._slots_for(cls_size)
+        addr = slots.pop()
+        self.live_bytes += size
+        return Allocation(addr, size)
+
+    def free(self, allocation: Allocation) -> None:
+        """Return *allocation* to the allocator."""
+        cls_size = self._size_class(allocation.size)
+        self._classes.setdefault(cls_size, []).insert(0, allocation.addr)
+        self.live_bytes -= allocation.size
+
+
+class SlabPool:
+    """Fixed-size blocks from contiguous, line-aligned slabs (LIFO reuse).
+
+    This is both the LLA node pool ("tighter control over memory allocation",
+    section 4.3) and the hot-cache element pool that removes the heater's
+    region-list lock from the critical path: slabs are registered with the
+    heater once, and block reuse never changes the heated region set.
+    """
+
+    def __init__(
+        self,
+        block_size: int,
+        *,
+        arena: BumpAllocator,
+        blocks_per_slab: int = 64,
+        align_to_line: bool = True,
+    ) -> None:
+        if block_size <= 0:
+            raise AllocationError(f"block size must be positive, got {block_size}")
+        self.block_size = align_up(block_size, LINE_SIZE) if align_to_line else block_size
+        self.arena = arena
+        self.blocks_per_slab = blocks_per_slab
+        self.slabs: list[Allocation] = []
+        self._free: list[int] = []
+        self.live_blocks = 0
+
+    def _grow(self) -> None:
+        slab_bytes = self.block_size * self.blocks_per_slab
+        # Align the slab to a line boundary so packed nodes never straddle
+        # lines unintentionally (Figure 2's whole point).
+        slab = self.arena.alloc(slab_bytes + LINE_SIZE)
+        start = align_up(slab.addr, LINE_SIZE)
+        self.slabs.append(Allocation(start, slab_bytes))
+        # LIFO order with the lowest addresses on top, so a fresh pool hands
+        # out ascending, contiguous blocks.
+        for i in range(self.blocks_per_slab - 1, -1, -1):
+            self._free.append(start + i * self.block_size)
+
+    def alloc(self, size: Optional[int] = None) -> Allocation:
+        """Allocate a region; returns an Allocation."""
+        if size is not None and size > self.block_size:
+            raise AllocationError(
+                f"request of {size} bytes exceeds pool block size {self.block_size}"
+            )
+        if not self._free:
+            self._grow()
+        addr = self._free.pop()
+        self.live_blocks += 1
+        return Allocation(addr, self.block_size)
+
+    def free(self, allocation: Allocation) -> None:
+        """Return *allocation* to the allocator."""
+        self._free.append(allocation.addr)
+        self.live_blocks -= 1
+
+    def regions(self) -> list[Allocation]:
+        """The slab regions (what a heater would register: stable set)."""
+        return list(self.slabs)
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Total simulated bytes currently backing the structure."""
+        return sum(s.size for s in self.slabs)

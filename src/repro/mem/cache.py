@@ -1,0 +1,310 @@
+"""Set-associative cache model with partitioning support.
+
+Eviction classes
+----------------
+Every resident line carries a small integer *class*. ``CLS_DEFAULT`` is
+ordinary application data; ``CLS_NETWORK`` marks lines belonging to the MPI
+matching state. Classes exist so we can model the paper's proposal (section
+4.6): *semi-permanent occupancy* via way partitioning (Intel CAT style),
+where ordinary fills may not evict network lines beyond their share of ways.
+
+Eviction policies
+-----------------
+``lru`` (exact, via an ordered dict), ``plru`` (tree pseudo-LRU
+approximation) and ``random`` (seeded). The hot-caching technique works by
+refreshing recency under (P)LRU; the random policy is included as an ablation
+showing hot caching *requires* a recency-based policy.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mem.layout import LINE_SIZE
+
+CLS_DEFAULT = 0
+CLS_NETWORK = 1
+
+
+@dataclass
+class CacheStats:
+    """Demand/prefetch counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    prefetch_fills: int = 0
+    prefetch_hits: int = 0  # demand hits on prefetched lines
+    evictions: int = 0
+    flushes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total demand lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Demand hit fraction (0 when no accesses)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        """Clear accumulated state/counters."""
+        self.hits = 0
+        self.misses = 0
+        self.prefetch_fills = 0
+        self.prefetch_hits = 0
+        self.evictions = 0
+        self.flushes = 0
+
+    def snapshot(self) -> dict:
+        """Counters as a plain dict."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "prefetch_fills": self.prefetch_fills,
+            "prefetch_hits": self.prefetch_hits,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass(frozen=True)
+class WayPartition:
+    """CAT-style way reservation for the network class.
+
+    ``network_ways`` ways per set are reserved: ordinary (``CLS_DEFAULT``)
+    fills may never push network-class occupancy in a set below its current
+    level once it is within the reserved share, i.e. a default-class fill
+    must victimize a default-class line while network occupancy <= reserved
+    ways. Network fills may evict anything.
+    """
+
+    network_ways: int
+
+    def validate(self, assoc: int) -> None:
+        """Raise ConfigurationError if the reservation exceeds the ways."""
+        if not 0 < self.network_ways < assoc:
+            raise ConfigurationError(
+                f"network_ways must be in (0, {assoc}), got {self.network_ways}"
+            )
+
+
+@dataclass
+class _LineMeta:
+    cls: int
+    prefetched: bool
+    # Residual latency a demand access still pays on its first hit to a
+    # prefetched line (the prefetch was issued too late to hide everything).
+    penalty: float = 0.0
+
+
+class EvictionPolicy:
+    """Names of the supported eviction policies."""
+
+    LRU = "lru"
+    PLRU = "plru"
+    RANDOM = "random"
+    ALL = (LRU, PLRU, RANDOM)
+
+
+class SetAssociativeCache:
+    """One cache level.
+
+    The set container is an :class:`OrderedDict` from line index to
+    :class:`_LineMeta`; for LRU the dict order *is* recency order (oldest
+    first). PLRU approximates recency by only promoting a hit line halfway to
+    MRU, and random eviction ignores order entirely.
+    """
+
+    __slots__ = (
+        "name",
+        "size_bytes",
+        "assoc",
+        "latency",
+        "nsets",
+        "_set_mask",
+        "_sets",
+        "_dirty",
+        "policy",
+        "partition",
+        "stats",
+        "_rng",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        assoc: int,
+        latency: float,
+        *,
+        policy: str = EvictionPolicy.LRU,
+        partition: Optional[WayPartition] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if size_bytes % (assoc * LINE_SIZE):
+            raise ConfigurationError(
+                f"{name}: size {size_bytes} not divisible by assoc*line "
+                f"({assoc}*{LINE_SIZE})"
+            )
+        nsets = size_bytes // (assoc * LINE_SIZE)
+        if nsets & (nsets - 1):
+            raise ConfigurationError(
+                f"{name}: number of sets must be a power of two, got {nsets}"
+            )
+        if policy not in EvictionPolicy.ALL:
+            raise ConfigurationError(f"unknown eviction policy {policy!r}")
+        if policy == EvictionPolicy.RANDOM and rng is None:
+            raise ConfigurationError("random eviction policy requires an rng")
+        if partition is not None:
+            partition.validate(assoc)
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.latency = latency
+        self.nsets = nsets
+        self._set_mask = nsets - 1
+        self._sets: list[OrderedDict] = [OrderedDict() for _ in range(nsets)]
+        self._dirty: set = set()  # indices of sets that may hold lines
+        self.policy = policy
+        self.partition = partition
+        self.stats = CacheStats()
+        self._rng = rng
+
+    # -- lookup / fill ----------------------------------------------------
+
+    def lookup(self, line: int) -> Optional[_LineMeta]:
+        """Demand lookup. Updates recency and hit/miss statistics.
+
+        Returns the line's metadata on a hit (truthy) or ``None`` on a miss.
+        A first demand hit on a prefetched line exposes any residual
+        ``penalty`` exactly once: the caller reads it off the returned meta,
+        and this method clears it.
+        """
+        s = self._sets[line & self._set_mask]
+        meta = s.get(line)
+        if meta is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        if meta.prefetched:
+            self.stats.prefetch_hits += 1
+            meta.prefetched = False
+        self._promote(s, line)
+        return meta
+
+    def contains(self, line: int) -> bool:
+        """Presence check without touching recency or statistics."""
+        return line in self._sets[line & self._set_mask]
+
+    def _promote(self, s: OrderedDict, line: int) -> None:
+        if self.policy == EvictionPolicy.LRU:
+            s.move_to_end(line)
+        elif self.policy == EvictionPolicy.PLRU:
+            # Tree-PLRU approximation: a hit protects the line but does not
+            # make it strictly MRU; emulate by moving it to the middle of the
+            # recency order.
+            meta = s.pop(line)
+            items = list(s.items())
+            mid = len(items) // 2
+            s.clear()
+            for k, v in items[:mid]:
+                s[k] = v
+            s[line] = meta
+            for k, v in items[mid:]:
+                s[k] = v
+        # RANDOM: recency is irrelevant.
+
+    def fill(
+        self,
+        line: int,
+        cls: int = CLS_DEFAULT,
+        *,
+        prefetched: bool = False,
+        penalty: float = 0.0,
+    ) -> None:
+        """Insert *line*; evicts a victim if the set is full."""
+        s = self._sets[line & self._set_mask]
+        meta = s.get(line)
+        if meta is not None:
+            # Refill of a resident line (e.g. prefetch racing demand).
+            meta.cls = cls
+            if not prefetched:
+                meta.prefetched = False
+                meta.penalty = 0.0
+            self._promote(s, line)
+            return
+        if len(s) >= self.assoc:
+            self._evict(s, filling_cls=cls)
+        elif not s:
+            self._dirty.add(line & self._set_mask)
+        s[line] = _LineMeta(cls, prefetched, penalty if prefetched else 0.0)
+        if prefetched:
+            self.stats.prefetch_fills += 1
+
+    def _evict(self, s: OrderedDict, filling_cls: int) -> None:
+        victim: Optional[int] = None
+        if self.policy == EvictionPolicy.RANDOM:
+            keys = list(s.keys())
+            order = list(self._rng.permutation(len(keys)))
+            candidates = [keys[i] for i in order]
+        else:
+            candidates = list(s.keys())  # oldest first
+        if self.partition is not None and filling_cls == CLS_DEFAULT:
+            network_lines = sum(1 for m in s.values() if m.cls == CLS_NETWORK)
+            if network_lines <= self.partition.network_ways:
+                # Network share is protected: victimize oldest default line.
+                for cand in candidates:
+                    if s[cand].cls != CLS_NETWORK:
+                        victim = cand
+                        break
+                if victim is None:
+                    # Entire set is protected network data beyond its share
+                    # guarantee only up to network_ways; fall back to oldest.
+                    victim = candidates[0]
+            else:
+                victim = candidates[0]
+        else:
+            victim = candidates[0]
+        del s[victim]
+        self.stats.evictions += 1
+
+    def invalidate(self, line: int) -> bool:
+        """Drop *line* if resident; returns whether it was present."""
+        s = self._sets[line & self._set_mask]
+        if line in s:
+            del s[line]
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Drop every line (the benchmarks' inter-iteration cache clear)."""
+        sets = self._sets
+        for idx in self._dirty:
+            sets[idx].clear()
+        self._dirty.clear()
+        self.stats.flushes += 1
+
+    # -- introspection -----------------------------------------------------
+
+    def occupancy(self, cls: Optional[int] = None) -> int:
+        """Resident line count, optionally restricted to one class."""
+        if cls is None:
+            return sum(len(s) for s in self._sets)
+        return sum(1 for s in self._sets for m in s.values() if m.cls == cls)
+
+    @property
+    def capacity_lines(self) -> int:
+        """Total line capacity (sets x ways)."""
+        return self.nsets * self.assoc
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SetAssociativeCache({self.name}, {self.size_bytes >> 10}KiB, "
+            f"{self.assoc}-way, {self.policy})"
+        )

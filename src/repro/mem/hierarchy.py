@@ -1,0 +1,330 @@
+"""A multi-core socket: private L1/L2, shared L3, DRAM.
+
+This is the stage on which the whole study plays out:
+
+* The *matching core* runs the MPI matching engine; its queue traversals are
+  demand accesses here.
+* The *heater core* (hot caching, section 3.2) periodically touches the match
+  regions; its accesses fill the **shared** L3, which is exactly why the
+  matching core later finds the data close by ("Compute core fetches data
+  from shared cache instead of DRAM", Figure 3).
+* ``flush()`` models the cache-destroying compute phase between benchmark
+  iterations (section 4.1: "we cleared the cache between each iteration").
+  When a way partition or a dedicated network cache is configured, flush
+  leaves the protected network lines alone — that is the *semi-permanent
+  occupancy* the paper argues for.
+
+Simplifications (documented, deliberate):
+
+* Prefetched fills are free and instantaneous; realism comes from the
+  bounded prefetch distance and stream-detection rules instead.
+* No back-invalidation between levels (treated as non-inclusive); the
+  benchmarks' flushes reset all levels anyway.
+* Latency is charged per touched line with no memory-level parallelism; MPI
+  list traversal is serial pointer-chasing, which is the regime the paper
+  identifies as latency-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mem.cache import (
+    CLS_DEFAULT,
+    CLS_NETWORK,
+    EvictionPolicy,
+    SetAssociativeCache,
+    WayPartition,
+)
+from repro.mem.layout import LINE_SHIFT
+from repro.mem.prefetch import (
+    AdjacentPairPrefetcher,
+    NextLinePrefetcher,
+    Prefetcher,
+    StreamerPrefetcher,
+)
+
+
+@dataclass(frozen=True)
+class NetworkCacheConfig:
+    """The paper's proposed per-core dedicated network cache (section 3.2:
+    "a small 1-2KiB network specific cache to the core design")."""
+
+    size_bytes: int = 2048
+    latency: float = 4.0
+
+    def build(self, core_id: int) -> SetAssociativeCache:
+        # Fully associative within a single set keeps the tiny cache simple.
+        """Construct the per-core cache this config describes."""
+        nlines = self.size_bytes >> LINE_SHIFT
+        if nlines < 1:
+            raise ConfigurationError(
+                f"network cache too small: {self.size_bytes} bytes"
+            )
+        return SetAssociativeCache(
+            f"netcache{core_id}", self.size_bytes, nlines, self.latency
+        )
+
+
+class Core:
+    """Private L1 + L2 and their prefetchers, plus the optional net cache."""
+
+    __slots__ = ("core_id", "l1", "l2", "l1_prefetchers", "l2_prefetchers", "netcache")
+
+    def __init__(
+        self,
+        core_id: int,
+        l1: SetAssociativeCache,
+        l2: SetAssociativeCache,
+        l1_prefetchers: Sequence[Prefetcher],
+        l2_prefetchers: Sequence[Prefetcher],
+        netcache: Optional[SetAssociativeCache] = None,
+    ) -> None:
+        self.core_id = core_id
+        self.l1 = l1
+        self.l2 = l2
+        self.l1_prefetchers = list(l1_prefetchers)
+        self.l2_prefetchers = list(l2_prefetchers)
+        self.netcache = netcache
+
+
+def default_l1_prefetchers() -> list[Prefetcher]:
+    """The default L1 unit set: next-line (DCU)."""
+    return [NextLinePrefetcher()]
+
+
+def default_l2_prefetchers() -> list[Prefetcher]:
+    """The default L2 unit set: adjacent-pair + streamer."""
+    return [AdjacentPairPrefetcher(), StreamerPrefetcher()]
+
+
+class MemoryHierarchy:
+    """A socket with *n_cores* cores sharing one L3 and a DRAM behind it."""
+
+    def __init__(
+        self,
+        *,
+        n_cores: int = 2,
+        l1_size: int = 32 * 1024,
+        l1_assoc: int = 8,
+        l1_latency: float = 4.0,
+        l2_size: int = 256 * 1024,
+        l2_assoc: int = 8,
+        l2_latency: float = 12.0,
+        l3_size: int = 16 * 1024 * 1024,
+        l3_assoc: int = 16,
+        l3_latency: float = 30.0,
+        dram_latency: float = 200.0,
+        policy: str = EvictionPolicy.LRU,
+        l1_prefetcher_factory: Callable[[], list] = default_l1_prefetchers,
+        l2_prefetcher_factory: Callable[[], list] = default_l2_prefetchers,
+        partition: Optional[WayPartition] = None,
+        network_cache: Optional[NetworkCacheConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+        dram_stream_coverage: float = 0.75,
+        l3_stream_coverage: float = 0.75,
+    ) -> None:
+        if n_cores < 1:
+            raise ConfigurationError(f"need at least one core, got {n_cores}")
+        if not (0.0 <= dram_stream_coverage <= 1.0 and 0.0 <= l3_stream_coverage <= 1.0):
+            raise ConfigurationError("stream coverage fractions must be in [0, 1]")
+        self.n_cores = n_cores
+        self.dram_latency = dram_latency
+        self.partition = partition
+        # Fraction of the source latency a timely prefetch hides, by where
+        # the prefetched line came from. Sandy Bridge's core-clock L3 streams
+        # well into L2 (high l3 coverage); Haswell/Broadwell's decoupled,
+        # slower LLC does not — but their improved streamer covers DRAM
+        # streams better. These two knobs carry the paper's section 4.3
+        # architecture contrast.
+        self.dram_stream_coverage = dram_stream_coverage
+        self.l3_stream_coverage = l3_stream_coverage
+        self.l3 = SetAssociativeCache(
+            "l3", l3_size, l3_assoc, l3_latency,
+            policy=policy, partition=partition, rng=rng,
+        )
+        self.cores: list[Core] = []
+        for cid in range(n_cores):
+            l1 = SetAssociativeCache(
+                f"l1.{cid}", l1_size, l1_assoc, l1_latency, policy=policy, rng=rng
+            )
+            l2 = SetAssociativeCache(
+                f"l2.{cid}", l2_size, l2_assoc, l2_latency, policy=policy, rng=rng
+            )
+            netc = network_cache.build(cid) if network_cache is not None else None
+            self.cores.append(
+                Core(cid, l1, l2, l1_prefetcher_factory(), l2_prefetcher_factory(), netc)
+            )
+        self.demand_accesses = 0
+
+    # -- the demand path ----------------------------------------------------
+
+    def access(self, core_id: int, addr: int, nbytes: int, cls: int = CLS_DEFAULT) -> float:
+        """Demand access of *nbytes* at *addr* from *core_id*; returns cycles."""
+        if nbytes <= 0:
+            return 0.0
+        first = addr >> LINE_SHIFT
+        last = (addr + nbytes - 1) >> LINE_SHIFT
+        cycles = 0.0
+        line = first
+        while line <= last:
+            cycles += self._access_line(self.cores[core_id], line, cls)
+            line += 1
+        return cycles
+
+    def _prefetch_penalty(self, l2, line: int) -> float:
+        """Residual latency of a prefetch for *line*, by its source level."""
+        if l2.contains(line):
+            return 0.0  # already close: nothing left to hide
+        if self.l3.contains(line):
+            return (1.0 - self.l3_stream_coverage) * self.l3.latency
+        return (1.0 - self.dram_stream_coverage) * self.dram_latency
+
+    def _access_line(self, core: Core, line: int, cls: int) -> float:
+        self.demand_accesses += 1
+        netc = core.netcache
+        if netc is not None and cls == CLS_NETWORK and netc.lookup(line):
+            return netc.latency
+        l1, l2, l3 = core.l1, core.l2, self.l3
+        meta1 = l1.lookup(line)
+        if meta1 is not None:
+            cycles = l1.latency + meta1.penalty
+            meta1.penalty = 0.0
+            return cycles
+        # L1 miss: the DCU may fetch ahead.
+        for pf in core.l1_prefetchers:
+            for pline in pf.observe(line, False):
+                l1.fill(pline, cls, prefetched=True,
+                        penalty=self._prefetch_penalty(l2, pline))
+        meta2 = l2.lookup(line)
+        if meta2 is not None:
+            cycles = l2.latency + meta2.penalty
+            meta2.penalty = 0.0
+            hit2 = True
+        else:
+            hit2 = False
+            meta3 = l3.lookup(line)
+            if meta3 is not None:
+                cycles = l3.latency + meta3.penalty
+                meta3.penalty = 0.0
+            else:
+                cycles = self.dram_latency
+                l3.fill(line, cls)
+            l2.fill(line, cls)
+        # L2 prefetchers observe every access that reached L2.
+        for pf in core.l2_prefetchers:
+            for pline in pf.observe(line, hit2):
+                pen = self._prefetch_penalty(l2, pline)
+                l2.fill(pline, cls, prefetched=True, penalty=pen)
+                l3.fill(pline, cls, prefetched=True)
+        l1.fill(line, cls)
+        if netc is not None and cls == CLS_NETWORK:
+            netc.fill(line, cls)
+        return cycles
+
+    def write(self, core_id: int, addr: int, nbytes: int, cls: int = CLS_DEFAULT) -> float:
+        """A store of *nbytes* at *addr*: write-allocate into the core's
+        caches without demand latency (the write buffer absorbs it).
+
+        Returns the number of lines touched; the caller scales this by its
+        per-line store cost.
+        """
+        if nbytes <= 0:
+            return 0.0
+        core = self.cores[core_id]
+        first = addr >> LINE_SHIFT
+        last = (addr + nbytes - 1) >> LINE_SHIFT
+        for line in range(first, last + 1):
+            core.l1.fill(line, cls)
+            core.l2.fill(line, cls)
+            self.l3.fill(line, cls)
+            if core.netcache is not None and cls == CLS_NETWORK:
+                core.netcache.fill(line, cls)
+        return float(last - first + 1)
+
+    # -- the heater path ----------------------------------------------------
+
+    def touch_shared(self, core_id: int, addr: int, nbytes: int, cls: int = CLS_NETWORK) -> int:
+        """A heater pass over [addr, addr+nbytes): fills the shared L3 (and
+        the heater core's private caches, which nobody else benefits from).
+
+        Returns the number of lines touched, so the caller can charge the
+        heater's own time budget (its loads are off the critical path of the
+        matching core, but they determine pass duration and lock windows).
+        """
+        if nbytes <= 0:
+            return 0
+        core = self.cores[core_id]
+        first = addr >> LINE_SHIFT
+        last = (addr + nbytes - 1) >> LINE_SHIFT
+        for line in range(first, last + 1):
+            # Refresh recency in the shared cache; fill if absent.
+            if not self.l3.lookup(line):
+                self.l3.fill(line, cls)
+            core.l2.fill(line, cls)
+            core.l1.fill(line, cls)
+        return last - first + 1
+
+    # -- maintenance ---------------------------------------------------------
+
+    def flush(self, *, respect_protection: bool = True) -> None:
+        """Clear the caches, as the compute phase between iterations would.
+
+        Protected network state survives when *respect_protection* is true:
+        lines held by a way partition stay in L3, and dedicated network
+        caches are untouched — they are not subject to ordinary capacity
+        eviction, which is precisely the "semi-permanent occupancy" proposal.
+        """
+        for core in self.cores:
+            core.l1.flush()
+            core.l2.flush()
+            for pf in core.l1_prefetchers:
+                pf.reset()
+            for pf in core.l2_prefetchers:
+                pf.reset()
+            if core.netcache is not None and not respect_protection:
+                core.netcache.flush()
+        if self.partition is not None and respect_protection:
+            self._flush_l3_unprotected()
+        else:
+            self.l3.flush()
+
+    def _flush_l3_unprotected(self) -> None:
+        reserved = self.partition.network_ways
+        l3 = self.l3
+        still_dirty = set()
+        for idx in l3._dirty:
+            s = l3._sets[idx]
+            network = [(k, m) for k, m in s.items() if m.cls == CLS_NETWORK]
+            s.clear()
+            # The partition guarantees at most its way share survives.
+            for k, m in network[-reserved:]:
+                s[k] = m
+            if s:
+                still_dirty.add(idx)
+        l3._dirty = still_dirty
+        l3.stats.flushes += 1
+
+    def stats(self) -> dict:
+        """Aggregated per-level counters."""
+        out = {"l3": self.l3.stats.snapshot(), "demand_accesses": self.demand_accesses}
+        for core in self.cores:
+            out[f"l1.{core.core_id}"] = core.l1.stats.snapshot()
+            out[f"l2.{core.core_id}"] = core.l2.stats.snapshot()
+            if core.netcache is not None:
+                out[f"netcache.{core.core_id}"] = core.netcache.stats.snapshot()
+        return out
+
+    def reset_stats(self) -> None:
+        """Zero the accumulated statistics counters."""
+        self.l3.stats.reset()
+        self.demand_accesses = 0
+        for core in self.cores:
+            core.l1.stats.reset()
+            core.l2.stats.reset()
+            if core.netcache is not None:
+                core.netcache.stats.reset()

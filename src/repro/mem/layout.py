@@ -1,0 +1,53 @@
+"""Cache-line address arithmetic.
+
+Addresses are plain integers in a simulated 48-bit address space. All caches
+in this reproduction use 64-byte lines, matching the x86 machines in the
+paper (its Figure 2 packs two 24-byte posted-receive entries plus pointers
+into exactly one 64-byte line).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+LINE_SIZE = 64
+LINE_SHIFT = 6
+assert (1 << LINE_SHIFT) == LINE_SIZE
+
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+
+
+def line_of(addr: int) -> int:
+    """Cache-line index containing byte address *addr*."""
+    return addr >> LINE_SHIFT
+
+
+def page_of(addr: int) -> int:
+    """4 KiB page index containing byte address *addr* (streamer scope)."""
+    return addr >> PAGE_SHIFT
+
+
+def line_span(addr: int, nbytes: int) -> int:
+    """Number of cache lines an access of *nbytes* at *addr* touches."""
+    if nbytes <= 0:
+        return 0
+    return (addr + nbytes - 1 >> LINE_SHIFT) - (addr >> LINE_SHIFT) + 1
+
+
+def lines_touched(addr: int, nbytes: int) -> Iterator[int]:
+    """Iterate the line indices an access of *nbytes* at *addr* touches."""
+    if nbytes <= 0:
+        return
+    first = addr >> LINE_SHIFT
+    last = addr + nbytes - 1 >> LINE_SHIFT
+    for line in range(first, last + 1):
+        yield line
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round *value* up to a multiple of *alignment* (a power of two)."""
+    mask = alignment - 1
+    if alignment & mask:
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return (value + mask) & ~mask

@@ -1,0 +1,41 @@
+"""Communication-pattern motifs (the paper's SST stand-in, Figure 1).
+
+The paper instruments SST motif simulations of three patterns — AMR at 64K
+ranks, a 3-D sweep at 128K ranks, and a 3-D halo exchange at 256K ranks —
+sampling the posted and unexpected queue lengths at every list addition and
+deletion, and reports occurrence histograms (Figure 1a-c).
+
+We reproduce the instrument, not SST itself: each motif generates, per rank
+and per communication phase, the peak numbers of outstanding posted receives
+and unexpected messages; a queue that fills and drains passes through every
+intermediate length, which the closed-form occurrence counter in
+:mod:`~repro.motifs.base` turns into the same bucketed histograms (validated
+against an explicit event-level simulation in the tests).
+"""
+
+from repro.motifs.base import (
+    MotifResult,
+    QueueLengthSampler,
+    occurrences_closed_form,
+    occurrences_event_level,
+)
+from repro.motifs.amr import AmrMotif
+from repro.motifs.sweep3d import Sweep3dMotif
+from repro.motifs.halo3d import Halo3dMotif
+
+MOTIFS = {
+    "amr": AmrMotif,
+    "sweep3d": Sweep3dMotif,
+    "halo3d": Halo3dMotif,
+}
+
+__all__ = [
+    "AmrMotif",
+    "Halo3dMotif",
+    "MOTIFS",
+    "MotifResult",
+    "QueueLengthSampler",
+    "Sweep3dMotif",
+    "occurrences_closed_form",
+    "occurrences_event_level",
+]

@@ -1,0 +1,61 @@
+"""Halo3D nearest-neighbour exchange motif (Figure 1c, 256K ranks).
+
+A 3-D halo exchange has a fixed, small neighbour set (6 faces, up to 26 with
+edges/corners), so queues stay tiny: "relatively few elements in the queue
+and many very small queue length operations. Consequently, applications of
+this sort require good short list length performance." Figure 1c's x axis
+runs only to the 95-99 bucket, with the overwhelming mass in 0-4.
+
+Peaks are the neighbour count (faces + sometimes edges/corners) plus a thin
+jitter tail from iteration overlap (a rank starting phase i+1 while a
+straggler's phase-i messages are still queued).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.motifs.base import Motif
+
+HALO_MAX_PEAK = 99
+
+
+class Halo3dMotif(Motif):
+    """Figure 1c: 3-D halo exchange at 256K ranks."""
+    name = "halo3d"
+    nranks = 256 * 1024
+    phases = 400
+
+    bucket_width = 5
+
+    #: Probability the exchange is faces-only / +edges / +corners.
+    shape_probs = (0.70, 0.22, 0.08)
+    shape_neighbours = (3, 9, 13)  # half-exchange: only one direction queued
+
+    #: Straggler overlap: extra phase(s) worth of messages pile up.
+    overlap_prob = 0.015
+    overlap_mean_extra = 2.0
+
+    unexpected_fraction = 0.5
+
+    def _peaks(self, rng: np.random.Generator) -> np.ndarray:
+        n = self.n_draws
+        shapes = rng.choice(len(self.shape_probs), size=n, p=self.shape_probs)
+        peaks = np.asarray(self.shape_neighbours)[shapes].astype(np.float64)
+        # Small jitter: not all neighbours are in flight at once.
+        peaks = np.maximum(1, peaks - rng.integers(0, 3, size=n))
+        overlap = rng.random(n) < self.overlap_prob
+        extra = rng.exponential(self.overlap_mean_extra, size=n)
+        peaks[overlap] *= 1.0 + extra[overlap]
+        return np.clip(np.round(peaks), 0, HALO_MAX_PEAK).astype(np.int64)
+
+    def posted_peaks(self) -> np.ndarray:
+        """Per-(sim rank, phase) posted-queue peak lengths."""
+        return self._peaks(self.rng)
+
+    def unexpected_peaks(self) -> np.ndarray:
+        """Per-(sim rank, phase) unexpected-queue peak lengths."""
+        peaks = self._peaks(self.rng)
+        return np.maximum(
+            0, np.round(peaks * self.unexpected_fraction).astype(np.int64)
+        )

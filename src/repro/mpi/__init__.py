@@ -1,0 +1,41 @@
+"""Mini-MPI runtime: the receive-path semantics of paper section 2.1.
+
+    "Each process keeps two matching lists, a posted receive queue for
+    messages that are expected to arrive, and an unexpected message queue for
+    messages that have been received but did not find a corresponding match
+    in the posted receive list. When a process wishes to receive a message,
+    it calls MPI_Recv, which first searches the unexpected message list for a
+    match. If a match is found in the unexpected list, MPI moves the buffered
+    message into the correct location or fetches it if it is not buffered.
+    If no match was found, MPI places the recv on the posted receive list."
+
+:class:`~repro.mpi.process.MpiProcess` implements exactly that state machine
+over any pair of match queues; :class:`~repro.mpi.runtime.MpiWorld` runs
+multiple ranks as coroutine processes over the discrete-event kernel with a
+fabric model in between; :mod:`~repro.mpi.threads` emulates
+MPI_THREAD_MULTIPLE posting (seeded nondeterministic interleavings), the
+mechanism behind the paper's Table 1.
+"""
+
+from repro.mpi.communicator import COMM_WORLD_CID, Communicator
+from repro.mpi.collectives import COLLECTIVE_CID, allreduce, bcast, gather, reduce
+from repro.mpi.message import Message
+from repro.mpi.process import MpiProcess, RecvRequest
+from repro.mpi.runtime import MpiWorld, RankContext
+from repro.mpi.threads import interleave_streams
+
+__all__ = [
+    "COLLECTIVE_CID",
+    "COMM_WORLD_CID",
+    "allreduce",
+    "bcast",
+    "gather",
+    "reduce",
+    "Communicator",
+    "Message",
+    "MpiProcess",
+    "MpiWorld",
+    "RankContext",
+    "RecvRequest",
+    "interleave_streams",
+]

@@ -1,0 +1,105 @@
+"""Collective operations over the mini-MPI point-to-point layer.
+
+Binomial-tree broadcast and reduction (the textbook log2(P) algorithms),
+plus allreduce (reduce + bcast) and a linear gather. All are generator
+functions driven by the coroutine kernel: ``value = yield from
+bcast(ctx, value, root=0)``.
+
+Collectives draw their matching traffic through the same PRQ/UMQ machinery
+as everything else (on a reserved context id, as real MPI implementations
+reserve communicator contexts for collectives), so collective-heavy
+workloads exercise the matching engine realistically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+#: Context id reserved for collective traffic (disjoint from user cids).
+COLLECTIVE_CID = 0x3FFF
+
+
+def _coll_tag(ctx) -> int:
+    """Per-instance tag: all ranks call collectives in the same order."""
+    count = getattr(ctx, "_coll_count", 0) + 1
+    ctx._coll_count = count
+    return count
+
+
+def bcast(ctx, value: Any, root: int = 0, nbytes: int = 64) -> Generator:
+    """Binomial-tree broadcast; returns the root's value on every rank."""
+    size, rank = ctx.size, ctx.rank
+    tag = _coll_tag(ctx)
+    vrank = (rank - root) % size
+    # Receive from the parent (the set bit that covers us)...
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            src = ((vrank & ~mask) + root) % size
+            req = yield from ctx.recv(src=src, tag=tag, cid=COLLECTIVE_CID, nbytes=nbytes)
+            value = req.message.payload
+            break
+        mask <<= 1
+    # ...then forward to our children (bits below the one we received on;
+    # for the root, everything below the top of the tree).
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < size and not (vrank & mask):
+            dest = ((vrank | mask) + root) % size
+            yield from ctx.send(dest, tag=tag, nbytes=nbytes, cid=COLLECTIVE_CID, payload=value)
+        mask >>= 1
+    return value
+
+
+def reduce(
+    ctx,
+    value: Any,
+    op: Callable[[Any, Any], Any],
+    root: int = 0,
+    nbytes: int = 64,
+) -> Generator:
+    """Binomial-tree reduction; returns the combined value on *root*,
+    ``None`` elsewhere. *op* must be associative (and is applied in a
+    deterministic tree order)."""
+    size, rank = ctx.size, ctx.rank
+    tag = _coll_tag(ctx)
+    vrank = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            parent = ((vrank & ~mask) + root) % size
+            yield from ctx.send(parent, tag=tag, nbytes=nbytes, cid=COLLECTIVE_CID, payload=value)
+            return None
+        peer = vrank | mask
+        if peer < size:
+            src = (peer + root) % size
+            req = yield from ctx.recv(src=src, tag=tag, cid=COLLECTIVE_CID, nbytes=nbytes)
+            value = op(value, req.message.payload)
+        mask <<= 1
+    return value if rank == root else None
+
+
+def allreduce(
+    ctx, value: Any, op: Callable[[Any, Any], Any], nbytes: int = 64
+) -> Generator:
+    """Reduce to rank 0, then broadcast the result (two tree phases)."""
+    combined = yield from reduce(ctx, value, op, root=0, nbytes=nbytes)
+    result = yield from bcast(ctx, combined, root=0, nbytes=nbytes)
+    return result
+
+
+def gather(ctx, value: Any, root: int = 0, nbytes: int = 64) -> Generator:
+    """Linear gather; returns the rank-ordered list on *root*, None elsewhere."""
+    size, rank = ctx.size, ctx.rank
+    tag = _coll_tag(ctx)
+    if rank != root:
+        yield from ctx.send(root, tag=tag, nbytes=nbytes, cid=COLLECTIVE_CID, payload=value)
+        return None
+    out: List[Optional[Any]] = [None] * size
+    out[root] = value
+    for src in range(size):
+        if src == root:
+            continue
+        req = yield from ctx.recv(src=src, tag=tag, cid=COLLECTIVE_CID, nbytes=nbytes)
+        out[src] = req.message.payload
+    return out

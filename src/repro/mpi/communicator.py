@@ -1,0 +1,45 @@
+"""Communicators: the isolation mechanism of MPI matching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+
+from repro.errors import MpiUsageError
+
+#: Context id of the world communicator.
+COMM_WORLD_CID = 0
+
+_next_cid = count(1)
+
+
+@dataclass(frozen=True)
+class Communicator:
+    """A set of ranks with a private matching context id."""
+
+    cid: int
+    size: int
+    name: str = "comm"
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise MpiUsageError(f"communicator needs at least one rank, got {self.size}")
+        if self.cid < 0:
+            raise MpiUsageError(f"cid must be non-negative, got {self.cid}")
+
+    def check_rank(self, rank: int) -> None:
+        """Raise MpiUsageError if *rank* is outside this communicator."""
+        if not 0 <= rank < self.size:
+            raise MpiUsageError(
+                f"rank {rank} out of range for {self.name} (size {self.size})"
+            )
+
+    @classmethod
+    def world(cls, size: int) -> "Communicator":
+        """The world communicator (cid 0) over *size* ranks."""
+        return cls(COMM_WORLD_CID, size, "MPI_COMM_WORLD")
+
+    @classmethod
+    def derive(cls, size: int, name: str = "comm") -> "Communicator":
+        """A new communicator with a fresh context id (like MPI_Comm_dup)."""
+        return cls(next(_next_cid), size, name)

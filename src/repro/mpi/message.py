@@ -1,0 +1,34 @@
+"""Messages on the wire."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.matching.envelope import Envelope
+
+
+@dataclass
+class Message:
+    """A message as seen by the receive side."""
+
+    envelope: Envelope
+    nbytes: int
+    payload: Any = None
+    #: Simulated time the message was injected (for queue-time studies).
+    inject_time: float = 0.0
+
+    @property
+    def src(self) -> int:
+        """Source rank from the envelope."""
+        return self.envelope.src
+
+    @property
+    def tag(self) -> int:
+        """Message tag from the envelope."""
+        return self.envelope.tag
+
+    @property
+    def cid(self) -> int:
+        """Communicator context id from the envelope."""
+        return self.envelope.cid

@@ -1,0 +1,173 @@
+"""Per-rank matching state machine (PRQ + UMQ).
+
+This is the component under study: every ``post_recv`` searches the UMQ and
+every arrival searches the PRQ, exactly as section 2.1 specifies. Queue
+organizations are injected, so the same process logic runs over the baseline
+linked list, the LLA, or any of the related-work structures — with or without
+a hot-cache heater wrapped around them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+from typing import Callable, List, Optional, Union
+
+from repro.errors import MpiUsageError
+from repro.matching.base import MatchQueue
+from repro.matching.entry import (
+    MatchItem,
+    PRQ_ENTRY_BYTES,
+    UMQ_ENTRY_BYTES,
+)
+from repro.matching.envelope import make_pattern
+from repro.mpi.message import Message
+
+QueueLike = Union[MatchQueue, "object"]  # HeatedQueue is duck-typed
+
+
+@dataclass
+class RecvRequest:
+    """A posted receive and its completion state."""
+
+    src: int
+    tag: int
+    cid: int
+    nbytes: int = 0
+    completed: bool = False
+    matched_unexpected: bool = False
+    message: Optional[Message] = None
+    #: entries inspected by the search that completed (or posted) this recv
+    search_depth: int = 0
+    on_complete: Optional[Callable[["RecvRequest"], None]] = None
+
+    def complete(self, message: Optional[Message]) -> None:
+        """Mark the request complete (exactly once) and fire its callback."""
+        if self.completed:
+            raise MpiUsageError("receive request completed twice")
+        self.completed = True
+        self.message = message
+        if self.on_complete is not None:
+            self.on_complete(self)
+
+
+@dataclass
+class QueueDepthSample:
+    """One (time, prq_len, umq_len) observation."""
+
+    time: float
+    prq_len: int
+    umq_len: int
+
+
+class MpiProcess:
+    """Matching state of one MPI rank."""
+
+    def __init__(
+        self,
+        rank: int,
+        prq: QueueLike,
+        umq: QueueLike,
+        *,
+        sample_depths: bool = False,
+        clock=None,
+    ) -> None:
+        self.rank = rank
+        self.prq = prq
+        self.umq = umq
+        self._seq = count()
+        self.sample_depths = sample_depths
+        self.samples: List[QueueDepthSample] = []
+        self.clock = clock
+        # Search-depth traces (entries inspected per search that *found* a
+        # match), separated by which queue was searched.
+        self.prq_search_depths: List[int] = []
+        self.umq_search_depths: List[int] = []
+        # Unexpected-message queue times (Keller & Graham study the "length
+        # of time such messages spend in these queues"): clock delta between
+        # a message becoming unexpected and the receive that drains it.
+        self.umq_queue_times: List[float] = []
+
+    def _now(self) -> float:
+        return self.clock.now if self.clock is not None else 0.0
+
+    def _sample(self) -> None:
+        if self.sample_depths:
+            self.samples.append(
+                QueueDepthSample(self._now(), len(self.prq), len(self.umq))
+            )
+
+    # -- receive side ---------------------------------------------------------
+
+    def post_recv(
+        self, src: int, tag: int, cid: int = 0, nbytes: int = 0
+    ) -> RecvRequest:
+        """MPI_(I)recv: search the UMQ; on miss, append to the PRQ."""
+        req = RecvRequest(src=src, tag=tag, cid=cid, nbytes=nbytes)
+        probe = make_pattern(src, tag, cid, seq=next(self._seq))
+        probe.entry_bytes = UMQ_ENTRY_BYTES
+        found = self.umq.match_remove(probe)
+        req.search_depth = self.umq.stats.last_probes
+        if found is not None:
+            self.umq_search_depths.append(req.search_depth)
+            self.umq_queue_times.append(self._now() - found.meta.get("enqueued_at", 0.0))
+            req.matched_unexpected = True
+            req.complete(found.req)
+        else:
+            item = make_pattern(src, tag, cid, seq=probe.seq, req=req)
+            item.entry_bytes = PRQ_ENTRY_BYTES
+            self.prq.post(item)
+        self._sample()
+        return req
+
+    def handle_arrival(self, message: Message) -> Optional[RecvRequest]:
+        """An incoming message: search the PRQ; on miss, append to the UMQ.
+
+        Returns the completed receive request, or ``None`` if the message
+        became unexpected.
+        """
+        probe = MatchItem.from_envelope(
+            message.envelope, seq=next(self._seq), entry_bytes=PRQ_ENTRY_BYTES
+        )
+        found = self.prq.match_remove(probe)
+        if found is not None:
+            self.prq_search_depths.append(self.prq.stats.last_probes)
+            req: RecvRequest = found.req
+            req.search_depth = self.prq.stats.last_probes
+            req.complete(message)
+            self._sample()
+            return req
+        item = MatchItem.from_envelope(
+            message.envelope, seq=probe.seq, req=message, entry_bytes=UMQ_ENTRY_BYTES
+        )
+        item.meta["enqueued_at"] = self._now()
+        self.umq.post(item)
+        self._sample()
+        return None
+
+    # -- statistics -------------------------------------------------------------
+
+    @property
+    def mean_prq_search_depth(self) -> float:
+        """Mean probes per successful PRQ search."""
+        depths = self.prq_search_depths
+        return sum(depths) / len(depths) if depths else 0.0
+
+    @property
+    def mean_umq_search_depth(self) -> float:
+        """Mean probes per successful UMQ search."""
+        depths = self.umq_search_depths
+        return sum(depths) / len(depths) if depths else 0.0
+
+    @property
+    def mean_umq_queue_time(self) -> float:
+        """Mean clock time unexpected messages waited before matching."""
+        times = self.umq_queue_times
+        return sum(times) / len(times) if times else 0.0
+
+    def reset_traces(self) -> None:
+        """Clear recorded search-depth/queue-time traces and samples."""
+        self.prq_search_depths.clear()
+        self.umq_search_depths.clear()
+        self.umq_queue_times.clear()
+        self.samples.clear()

@@ -1,0 +1,241 @@
+"""Multi-rank discrete-event MPI runtime.
+
+Each rank runs as a coroutine process over :class:`~repro.sim.kernel
+.Simulator` (time unit: nanoseconds). Sends travel through a
+:class:`~repro.net.link.LinkSpec`; the receive side drives an
+:class:`~repro.mpi.process.MpiProcess`, so every arrival and receive performs
+real matching work against the configured queue organization — optionally
+cycle-accounted through per-rank cache hierarchies.
+
+This runtime exists for the end-to-end path (examples, integration tests,
+and small-scale studies). The large-scale motif and application studies use
+the dedicated generators in :mod:`repro.motifs` and :mod:`repro.apps`, which
+avoid simulating hundreds of thousands of coroutines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional
+
+import numpy as np
+
+from repro.errors import MpiUsageError
+from repro.matching.engine import MatchEngine
+from repro.matching.envelope import Envelope
+from repro.matching.factory import make_queue
+from repro.matching.port import NullPort
+from repro.mpi.communicator import Communicator
+from repro.mpi.message import Message
+from repro.mpi.process import MpiProcess, RecvRequest
+from repro.net.link import LinkSpec, QLOGIC_QDR
+from repro.sim.kernel import Process, Simulator, Timeout, Waiter
+
+
+class RankContext:
+    """The MPI-ish API handed to each rank's program.
+
+    All communication methods are generators: ``yield from ctx.send(...)``.
+    """
+
+    def __init__(self, world: "MpiWorld", rank: int) -> None:
+        self.world = world
+        self.rank = rank
+        self.proc = world.procs[rank]
+        self.engine: Optional[MatchEngine] = world.engines[rank]
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the world."""
+        return self.world.nranks
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.world.sim.now
+
+    def _charge_matching(self) -> Generator:
+        """Convert engine cycles accumulated since the last charge to ns."""
+        if self.engine is None:
+            return
+        cycles = self.engine.clock.now - self.world._charged_cycles[self.rank]
+        self.world._charged_cycles[self.rank] = self.engine.clock.now
+        if cycles > 0:
+            yield Timeout(cycles / self.world.ghz)
+
+    # -- point to point ----------------------------------------------------
+
+    def send(self, dest: int, tag: int, nbytes: int = 0, cid: int = 0, payload=None) -> Generator:
+        """Blocking-ish send: returns once the message is on the wire."""
+        if not 0 <= dest < self.world.nranks:
+            raise MpiUsageError(f"send to invalid rank {dest}")
+        link = self.world.link
+        env = Envelope(src=self.rank, tag=tag, cid=cid)
+        msg = Message(env, nbytes, payload, inject_time=self.now)
+        arrive = self.now + link.transfer_us(nbytes) * 1000.0
+        self.world.sim.queue.schedule(arrive, self.world._deliver, dest, msg)
+        yield Timeout(link.serialization_us(nbytes) * 1000.0)
+
+    def irecv(self, src: int, tag: int, cid: int = 0, nbytes: int = 0) -> RecvRequest:
+        """Post a receive; completion is observable via ``req.completed``."""
+        req = self.proc.post_recv(src, tag, cid, nbytes)
+        if not req.completed:
+            waiter = Waiter()
+            self.world._waiters.setdefault(self.rank, []).append((req, waiter))
+            req.meta_waiter = waiter  # type: ignore[attr-defined]
+        return req
+
+    def recv(self, src: int, tag: int, cid: int = 0, nbytes: int = 0) -> Generator:
+        """Blocking receive; returns the completed request."""
+        req = self.irecv(src, tag, cid, nbytes)
+        yield from self._charge_matching()
+        if not req.completed:
+            yield req.meta_waiter  # type: ignore[attr-defined]
+        yield from self._charge_matching()
+        return req
+
+    def wait(self, req: RecvRequest) -> Generator:
+        """Block until *req* completes; returns it."""
+        if not req.completed:
+            yield getattr(req, "meta_waiter")
+        return req
+
+    # -- collectives ---------------------------------------------------------
+
+    def bcast(self, value, root: int = 0, nbytes: int = 64) -> Generator:
+        """Binomial broadcast; returns the root's value on every rank."""
+        from repro.mpi.collectives import bcast
+
+        result = yield from bcast(self, value, root=root, nbytes=nbytes)
+        return result
+
+    def reduce(self, value, op, root: int = 0, nbytes: int = 64) -> Generator:
+        """Binomial reduction; result on *root*, None elsewhere."""
+        from repro.mpi.collectives import reduce
+
+        result = yield from reduce(self, value, op, root=root, nbytes=nbytes)
+        return result
+
+    def allreduce(self, value, op, nbytes: int = 64) -> Generator:
+        """Reduce-then-broadcast; the combined value on every rank."""
+        from repro.mpi.collectives import allreduce
+
+        result = yield from allreduce(self, value, op, nbytes=nbytes)
+        return result
+
+    def gather(self, value, root: int = 0, nbytes: int = 64) -> Generator:
+        """Gather to *root*; the rank-ordered list there, None elsewhere."""
+        from repro.mpi.collectives import gather
+
+        result = yield from gather(self, value, root=root, nbytes=nbytes)
+        return result
+
+    def barrier(self) -> Generator:
+        """A centralized barrier (counter + broadcast wake)."""
+        world = self.world
+        world._barrier_count += 1
+        if world._barrier_count == world.nranks:
+            world._barrier_count = 0
+            waiters, world._barrier_waiters = world._barrier_waiters, []
+            for w in waiters:
+                w.trigger(world.sim)
+            yield Timeout(0.0)
+        else:
+            w = Waiter()
+            world._barrier_waiters.append(w)
+            yield w
+
+
+class MpiWorld:
+    """N ranks + fabric + per-rank matching state."""
+
+    def __init__(
+        self,
+        nranks: int,
+        *,
+        link: LinkSpec = QLOGIC_QDR,
+        queue_family: str = "baseline",
+        seed: int = 0,
+        arch=None,
+        engine_ranks: tuple = (),
+        sample_depths: bool = False,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        engine_ranks:
+            Ranks whose queues should be cycle-accounted through a simulated
+            cache hierarchy of *arch* (requires *arch*). Other ranks match at
+            zero memory cost (NullPort) — semantics identical, time free.
+        """
+        if nranks < 1:
+            raise MpiUsageError(f"world needs at least one rank, got {nranks}")
+        self.nranks = nranks
+        self.link = link
+        self.sim = Simulator()
+        self.comm_world = Communicator.world(nranks)
+        self.ghz = arch.ghz if arch is not None else 1.0
+        self.procs: List[MpiProcess] = []
+        self.engines: List[Optional[MatchEngine]] = []
+        self._charged_cycles = [0.0] * nranks
+        rng = np.random.default_rng(seed)
+        for rank in range(nranks):
+            if rank in engine_ranks:
+                if arch is None:
+                    raise MpiUsageError("engine_ranks requires an arch")
+                hier = arch.build_hierarchy()
+                engine = MatchEngine(hier)
+                port = engine
+            else:
+                engine = None
+                port = NullPort()
+            prq = make_queue(
+                queue_family, port=port, rng=np.random.default_rng(rng.integers(2**63)),
+                arena_base=0x4000_0000,
+            )
+            umq = make_queue(
+                queue_family, entry_bytes=16, port=port,
+                rng=np.random.default_rng(rng.integers(2**63)),
+                arena_base=0x2000_0000,
+            )
+            self.procs.append(
+                MpiProcess(rank, prq, umq, sample_depths=sample_depths)
+            )
+            self.engines.append(engine)
+        self._waiters: dict[int, list] = {}
+        self._barrier_count = 0
+        self._barrier_waiters: List[Waiter] = []
+
+    # -- delivery ----------------------------------------------------------------
+
+    def _deliver(self, rank: int, msg: Message) -> None:
+        req = self.procs[rank].handle_arrival(msg)
+        if req is not None:
+            pending = self._waiters.get(rank, [])
+            for i, (r, waiter) in enumerate(pending):
+                if r is req:
+                    pending.pop(i)
+                    waiter.trigger(self.sim, req)
+                    break
+
+    # -- running ----------------------------------------------------------------
+
+    def spawn(self, program: Callable[[RankContext], Generator], rank: int) -> Process:
+        """Start *program* as rank *rank*'s coroutine process."""
+        ctx = RankContext(self, rank)
+        return self.sim.spawn(program(ctx), name=f"rank{rank}")
+
+    def run(
+        self,
+        program: Callable[[RankContext], Generator],
+        *,
+        until: Optional[float] = None,
+    ) -> float:
+        """Run *program* on every rank; returns the finish time in ns."""
+        procs = [self.spawn(program, r) for r in range(self.nranks)]
+        self.sim.run(until=until)
+        if until is None and not self.sim.all_finished(procs):
+            raise MpiUsageError(
+                "deadlock: some ranks never finished "
+                f"({[p.name for p in procs if not p.finished]})"
+            )
+        return self.sim.now

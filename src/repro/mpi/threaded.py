@@ -1,0 +1,179 @@
+"""Multithreaded matching under a shared engine lock (paper section 2.3).
+
+    "Since multithreaded communication increases message counts while
+    introducing nondeterminacy through scheduling and lock contention, list
+    lengths and search depths are anticipated to grow."
+
+This module simulates MPI_THREAD_MULTIPLE directly: T posting threads and T
+sending threads run as coroutine processes over the DES kernel; every
+matching operation (UMQ search + PRQ post, or PRQ search) happens inside the
+matching engine's mutex (:class:`~repro.sim.resources.KernelLock`), and
+per-thread compute jitter scrambles the interleaving. The measured outputs
+are exactly what section 2.3 predicts: search depths that grow with thread
+count (fixed total message volume, increasingly scrambled order) and lock
+contention that grows with it too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.arch.spec import ArchSpec
+from repro.errors import ConfigurationError
+from repro.matching.engine import MatchEngine
+from repro.matching.envelope import Envelope
+from repro.matching.factory import make_queue
+from repro.mpi.message import Message
+from repro.mpi.process import MpiProcess
+from repro.sim.kernel import Simulator, Timeout
+from repro.sim.resources import KernelLock
+
+_SENDER_RANK = 1
+
+
+@dataclass
+class ThreadedMatchResult:
+    """Outcome of one multithreaded matching run."""
+
+    threads: int
+    total_messages: int
+    mean_search_depth: float
+    max_prq_len: int
+    lock_acquisitions: int
+    lock_contended: int
+    finish_ns: float
+    match_cycles: float
+
+    @property
+    def contention_rate(self) -> float:
+        """Fraction of lock acquisitions that had to wait."""
+        return self.lock_contended / self.lock_acquisitions if self.lock_acquisitions else 0.0
+
+
+def run_threaded_matching(
+    nthreads: int,
+    total_messages: int,
+    *,
+    arch: Optional[ArchSpec] = None,
+    queue_family: str = "baseline",
+    seed: int = 0,
+    mean_compute_ns: float = 200.0,
+) -> ThreadedMatchResult:
+    """Simulate T receive threads + T send threads over one match engine.
+
+    ``total_messages`` receives are split across the posting threads (so
+    depth growth with T isolates the *ordering* effect, not volume); each
+    thread sleeps an exponential compute delay between operations, and all
+    queue operations serialize through the engine lock.
+    """
+    if nthreads < 1:
+        raise ConfigurationError(f"need at least one thread, got {nthreads}")
+    if total_messages < nthreads:
+        raise ConfigurationError("need at least one message per thread")
+
+    rng = np.random.default_rng(seed)
+    sim = Simulator()
+    lock = KernelLock("match-engine")
+
+    engine = None
+    port = None
+    ghz = arch.ghz if arch is not None else 1.0
+    if arch is not None:
+        hier = arch.build_hierarchy(rng=np.random.default_rng(seed + 1))
+        engine = MatchEngine(hier)
+        port = engine
+    prq = make_queue(queue_family, port=port, rng=np.random.default_rng(seed + 2))
+    umq = make_queue(
+        queue_family, entry_bytes=16, port=port,
+        rng=np.random.default_rng(seed + 3), arena_base=0x2000_0000,
+    )
+    proc = MpiProcess(0, prq, umq, sample_depths=True,
+                      clock=engine.clock if engine else None)
+
+    # Partition tags across posting threads; each sender thread sends the
+    # matching messages for one posting thread, in its own shuffled order.
+    tags = np.arange(total_messages)
+    chunks: List[np.ndarray] = np.array_split(tags, nthreads)
+
+    last_charged = [0.0]
+
+    def charge() -> float:
+        """ns of engine time accumulated since the last charge."""
+        if engine is None:
+            return 50.0  # nominal fixed op cost without a cache model
+        cycles = engine.clock.now - last_charged[0]
+        last_charged[0] = engine.clock.now
+        return cycles / ghz
+
+    def poster(chunk: np.ndarray, thread_rng: np.random.Generator):
+        for tag in chunk:
+            yield Timeout(float(thread_rng.exponential(mean_compute_ns)))
+            yield from lock.acquire(sim)
+            proc.post_recv(src=_SENDER_RANK, tag=int(tag), cid=0)
+            yield Timeout(charge())
+            lock.release(sim)
+
+    def sender(chunk: np.ndarray, thread_rng: np.random.Generator):
+        # Each sender thread sends *its* messages in posting order — the
+        # single-threaded case is the well-ordered one; "random-like
+        # distributions of match entries" emerge purely from unsynchronized
+        # cross-thread interleaving (section 4.5's observation).
+        yield Timeout(float(thread_rng.exponential(4 * mean_compute_ns)))
+        for tag in chunk:
+            yield Timeout(float(thread_rng.exponential(mean_compute_ns)))
+            yield from lock.acquire(sim)
+            proc.handle_arrival(Message(Envelope(_SENDER_RANK, int(tag), 0), 8))
+            yield Timeout(charge())
+            lock.release(sim)
+
+    for i, chunk in enumerate(chunks):
+        sim.spawn(poster(chunk, np.random.default_rng(seed * 977 + i)), f"post{i}")
+        sim.spawn(sender(chunk, np.random.default_rng(seed * 661 + i)), f"send{i}")
+    sim.run()
+
+    max_prq = max((s.prq_len for s in proc.samples), default=0)
+    return ThreadedMatchResult(
+        threads=nthreads,
+        total_messages=total_messages,
+        mean_search_depth=proc.mean_prq_search_depth,
+        max_prq_len=max_prq,
+        lock_acquisitions=lock.acquisitions,
+        lock_contended=lock.contended,
+        finish_ns=sim.now,
+        match_cycles=engine.clock.now if engine else 0.0,
+    )
+
+
+def thread_scaling_study(
+    thread_counts=(1, 2, 4, 8, 16),
+    *,
+    total_messages: int = 256,
+    trials: int = 3,
+    seed: int = 0,
+    **kwargs,
+) -> List[ThreadedMatchResult]:
+    """Mean results per thread count (fixed total volume)."""
+    out: List[ThreadedMatchResult] = []
+    for t in thread_counts:
+        runs = [
+            run_threaded_matching(
+                t, total_messages, seed=seed * 7919 + trial, **kwargs
+            )
+            for trial in range(trials)
+        ]
+        out.append(
+            ThreadedMatchResult(
+                threads=t,
+                total_messages=total_messages,
+                mean_search_depth=float(np.mean([r.mean_search_depth for r in runs])),
+                max_prq_len=int(np.max([r.max_prq_len for r in runs])),
+                lock_acquisitions=int(np.mean([r.lock_acquisitions for r in runs])),
+                lock_contended=int(np.mean([r.lock_contended for r in runs])),
+                finish_ns=float(np.mean([r.finish_ns for r in runs])),
+                match_cycles=float(np.mean([r.match_cycles for r in runs])),
+            )
+        )
+    return out

@@ -1,0 +1,47 @@
+"""MPI_THREAD_MULTIPLE emulation: nondeterministic thread interleavings.
+
+Section 2.3: "Threads are assumed to enter the communication phase
+concurrently, so the order in which entries are added depends on scheduling
+and lock contention." We model that by interleaving per-thread operation
+streams under a seeded random scheduler: at every step, a uniformly random
+non-empty stream issues its next operation. This is the source of the
+randomness behind Table 1's mean search depths.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+def interleave_streams(
+    streams: Sequence[Sequence[T]], rng: np.random.Generator
+) -> Iterator[T]:
+    """Yield items from *streams* in a random fair interleaving.
+
+    Each step picks one of the streams that still has items, uniformly at
+    random, and yields its next item; per-stream order is preserved (a thread
+    issues its own receives in program order), global order is scrambled by
+    "scheduling and lock contention".
+    """
+    cursors = [0] * len(streams)
+    live: List[int] = [i for i, s in enumerate(streams) if len(s) > 0]
+    while live:
+        pick = int(rng.integers(len(live)))
+        idx = live[pick]
+        stream = streams[idx]
+        yield stream[cursors[idx]]
+        cursors[idx] += 1
+        if cursors[idx] >= len(stream):
+            # Swap-remove keeps selection O(1).
+            live[pick] = live[-1]
+            live.pop()
+
+
+def shuffled(items: Sequence[T], rng: np.random.Generator) -> List[T]:
+    """A seeded random permutation of *items* (send arrival order)."""
+    order = rng.permutation(len(items))
+    return [items[i] for i in order]

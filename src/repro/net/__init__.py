@@ -1,0 +1,25 @@
+"""Fabric/link models for the clusters in the paper.
+
+Only two properties of the network matter to the figures: the large-message
+bandwidth ceiling the curves converge to, and the per-message wire cost that
+bounds small-message rates from above. A latency + bandwidth (LogGP-flavour)
+model captures both.
+"""
+
+from repro.net.link import (
+    ARIES,
+    MELLANOX_QDR,
+    OMNIPATH,
+    QLOGIC_QDR,
+    LinkSpec,
+    get_link,
+)
+
+__all__ = [
+    "ARIES",
+    "LinkSpec",
+    "MELLANOX_QDR",
+    "OMNIPATH",
+    "QLOGIC_QDR",
+    "get_link",
+]

@@ -1,0 +1,90 @@
+"""Link specifications and transfer-time model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+MiB = 1024.0 * 1024.0
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point fabric model.
+
+    *bandwidth_bytes_per_us* is the effective streaming bandwidth observed by
+    a bandwidth benchmark (not the signalling rate); *latency_us* is the
+    one-way half round trip; *per_msg_overhead_us* is the fabric's fixed
+    per-packet cost, which caps the small-message rate.
+    """
+
+    name: str
+    latency_us: float
+    bandwidth_bytes_per_us: float  # == MB/s / 1e0 (bytes per microsecond)
+    per_msg_overhead_us: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.latency_us < 0 or self.bandwidth_bytes_per_us <= 0:
+            raise ConfigurationError(f"invalid link spec {self!r}")
+
+    def serialization_us(self, nbytes: int) -> float:
+        """Time to push *nbytes* onto the wire (no propagation latency)."""
+        return self.per_msg_overhead_us + nbytes / self.bandwidth_bytes_per_us
+
+    def transfer_us(self, nbytes: int) -> float:
+        """End-to-end time for one message of *nbytes*."""
+        return self.latency_us + self.serialization_us(nbytes)
+
+    def transfer_cycles(self, nbytes: int, ghz: float) -> float:
+        """End-to-end time in cycles of a clock at *ghz*."""
+        return self.transfer_us(nbytes) * 1000.0 * ghz
+
+    def serialization_cycles(self, nbytes: int, ghz: float) -> float:
+        """Serialization time in cycles of a clock at *ghz*."""
+        return self.serialization_us(nbytes) * 1000.0 * ghz
+
+    def peak_bandwidth_mibps(self) -> float:
+        """Asymptotic streaming bandwidth in MiB/s."""
+        return self.bandwidth_bytes_per_us * 1e6 / MiB
+
+
+# Effective (benchmark-observed) numbers, not signalling rates. The modified
+# OSU benchmark in the paper tops out near 3.0-3.5 GiB/s on all three
+# systems (Figures 4a/5a/6a/7a), so the ceilings here are set accordingly.
+QLOGIC_QDR = LinkSpec(
+    name="qlogic-ib-qdr",
+    latency_us=1.3,
+    bandwidth_bytes_per_us=3400.0,  # ~3.24 GiB/s effective
+)
+
+OMNIPATH = LinkSpec(
+    name="omnipath",
+    latency_us=1.0,
+    bandwidth_bytes_per_us=3300.0,
+)
+
+MELLANOX_QDR = LinkSpec(
+    name="mellanox-qdr",
+    latency_us=1.5,
+    bandwidth_bytes_per_us=3200.0,
+)
+
+ARIES = LinkSpec(
+    name="aries",
+    latency_us=1.2,
+    bandwidth_bytes_per_us=8000.0,
+)
+
+_LINKS = {spec.name: spec for spec in (QLOGIC_QDR, OMNIPATH, MELLANOX_QDR, ARIES)}
+
+
+def get_link(name: str) -> LinkSpec:
+    """Look up a link preset by name."""
+    key = name.strip().lower()
+    try:
+        return _LINKS[key]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown link {name!r}; known: {sorted(_LINKS)}"
+        ) from None

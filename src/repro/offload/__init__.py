@@ -1,0 +1,19 @@
+"""Hardware matching offload (paper section 2.2).
+
+    "Some hardware will perform matching so that MPI does not have to.
+    Examples of such hardware include Intel's OmniPath PSM2 devices that
+    handle matching in software layer messaging, and Atos-Bull's BXI
+    interconnect which performs MPI-style message matching entirely in
+    hardware. Such solutions will only benefit from software MPI matching
+    improvements when list lengths are longer than that which can be
+    supported in hardware."
+
+:class:`~repro.offload.nic.OffloadedMatchQueue` models exactly that split: a
+bounded number of posted receives live in on-NIC match entries (searched at
+wire speed, no host-memory traffic), and the overflow spills to any software
+queue organization — where all of the paper's locality effects reappear.
+"""
+
+from repro.offload.nic import NicMatchConfig, OffloadedMatchQueue, BXI_LIKE, PSM2_LIKE
+
+__all__ = ["BXI_LIKE", "NicMatchConfig", "OffloadedMatchQueue", "PSM2_LIKE"]

@@ -1,0 +1,172 @@
+"""NIC match-offload model.
+
+The NIC holds the FIFO *prefix* of the posted-receive queue in its on-chip
+match entries (capacity ``hw_entries``); later receives overflow to the host
+software queue. Searches visit the NIC first (its entries are the
+earliest-posted, so any NIC hit beats any software hit), then the overflow.
+When NIC entries free up, the earliest overflow entries are promoted so the
+prefix invariant is maintained — the behaviour of Portals-style hardware
+with an overflow/priority list split.
+
+Costs:
+
+* NIC search: ``base_ns`` per operation plus ``per_entry_ns`` per entry
+  inspected, charged straight to the engine clock (no host-memory traffic —
+  that is the entire point of offload).
+* Promotion: ``promote_ns`` per entry DMA'd from host to NIC.
+* Overflow search: ordinary software matching through the wrapped queue's
+  memory port (cache-accounted, locality-sensitive).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterator, Optional
+
+from repro.errors import ConfigurationError
+from repro.matching.base import MatchQueue
+from repro.matching.engine import MatchEngine
+from repro.matching.entry import MatchItem
+from repro.matching.envelope import items_match
+
+
+@dataclass(frozen=True)
+class NicMatchConfig:
+    """Capacity and timing of the on-NIC matching engine."""
+
+    name: str = "nic"
+    hw_entries: int = 1024
+    base_ns: float = 80.0  # PCIe/command overhead per search
+    per_entry_ns: float = 0.8  # pipelined CAM/ALU match rate
+    promote_ns: float = 40.0  # host->NIC refill per entry
+
+    def __post_init__(self) -> None:
+        if self.hw_entries < 1:
+            raise ConfigurationError("hw_entries must be >= 1")
+
+
+#: BXI-style: large on-NIC list, matching entirely in hardware.
+BXI_LIKE = NicMatchConfig(name="bxi-like", hw_entries=4096, base_ns=60.0, per_entry_ns=0.5)
+
+#: PSM2-style: software-layer matching with a modest fast-path table.
+PSM2_LIKE = NicMatchConfig(name="psm2-like", hw_entries=512, base_ns=90.0, per_entry_ns=1.2)
+
+
+class OffloadedMatchQueue:
+    """NIC prefix + software overflow, duck-typed as a MatchQueue."""
+
+    family = "offload"
+
+    def __init__(
+        self,
+        overflow: MatchQueue,
+        config: NicMatchConfig,
+        *,
+        engine: Optional[MatchEngine] = None,
+        ghz: float = 2.6,
+    ) -> None:
+        self.overflow = overflow
+        self.config = config
+        self.engine = engine
+        self.ghz = ghz
+        self._nic: Deque[MatchItem] = deque()
+        self.stats = overflow.stats  # software-side stats
+        self.nic_searches = 0
+        self.nic_hits = 0
+        self.nic_entries_inspected = 0
+        self.promotions = 0
+
+    @property
+    def entry_bytes(self) -> int:
+        """Entry size of the wrapped software queue."""
+        return self.overflow.entry_bytes
+
+    # -- cost charging -------------------------------------------------------
+
+    def _charge_ns(self, ns: float) -> None:
+        if self.engine is not None and ns > 0:
+            self.engine.charge(ns * self.ghz)
+
+    # -- queue protocol --------------------------------------------------------
+
+    def post(self, item: MatchItem) -> None:
+        """Append *item*; its FIFO position is its posting order."""
+        if len(self._nic) < self.config.hw_entries and len(self.overflow) == 0:
+            # Goes straight to a free NIC entry (FIFO prefix maintained).
+            self._charge_ns(self.config.promote_ns)
+            self._nic.append(item)
+        else:
+            self.overflow.post(item)
+
+    def match_remove(self, probe: MatchItem) -> Optional[MatchItem]:
+        """Find, remove and return the earliest item matching *probe*, or None."""
+        cfg = self.config
+        self.nic_searches += 1
+        inspected = 0
+        found: Optional[MatchItem] = None
+        for item in self._nic:
+            inspected += 1
+            if items_match(item, probe):
+                found = item
+                break
+        self.nic_entries_inspected += inspected
+        self._charge_ns(cfg.base_ns + cfg.per_entry_ns * inspected)
+        if found is not None:
+            self._nic.remove(found)
+            self.nic_hits += 1
+            self._refill()
+            return found
+        # NIC miss: the overflow list is searched in software.
+        result = self.overflow.match_remove(probe)
+        if result is not None:
+            self._refill()
+        return result
+
+    def _refill(self) -> None:
+        """Promote the earliest overflow entries into free NIC slots."""
+        while len(self._nic) < self.config.hw_entries and len(self.overflow) > 0:
+            item = next(iter(self.overflow.iter_items()))
+            promoted = self.overflow.match_remove(_exact_probe(item))
+            if promoted is None:  # pragma: no cover - defensive
+                break
+            self._charge_ns(self.config.promote_ns)
+            self._nic.append(promoted)
+            self.promotions += 1
+
+    def __len__(self) -> int:
+        return len(self._nic) + len(self.overflow)
+
+    def iter_items(self) -> Iterator[MatchItem]:
+        """Yield live items in FIFO (posting) order, without memory charges."""
+        yield from self._nic
+        yield from self.overflow.iter_items()
+
+    def regions(self) -> list:
+        """Simulated memory regions backing this structure (heater targets)."""
+        return self.overflow.regions()
+
+    def footprint_bytes(self) -> int:
+        """Total simulated bytes currently backing the structure."""
+        return self.overflow.footprint_bytes()
+
+    @property
+    def overflow_depth(self) -> int:
+        """Entries currently spilled to the software queue."""
+        return len(self.overflow)
+
+    @property
+    def nic_depth(self) -> int:
+        """Entries currently held in on-NIC match slots."""
+        return len(self._nic)
+
+
+def _exact_probe(item: MatchItem) -> MatchItem:
+    return MatchItem(
+        seq=item.seq,
+        src=item.src,
+        tag=item.tag,
+        cid=item.cid,
+        src_mask=0xFFFFFFFF if item.src_mask else 0,
+        tag_mask=0xFFFFFFFF if item.tag_mask else 0,
+    )

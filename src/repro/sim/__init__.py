@@ -1,0 +1,37 @@
+"""Discrete-event simulation core.
+
+This package provides the minimal kernel the rest of the library builds on:
+
+* :class:`~repro.sim.clock.Clock` -- a cycle-granularity simulated clock.
+* :class:`~repro.sim.rng.RngRegistry` -- named, deterministic random streams.
+* :class:`~repro.sim.events.EventQueue` -- a time-ordered event queue.
+* :class:`~repro.sim.kernel.Simulator` -- a simpy-like coroutine kernel used
+  by the multi-rank mini-MPI runtime.
+* :class:`~repro.sim.resources.SpinLock` -- a lock with deterministic
+  contention accounting.
+
+Everything in the library is deterministic: all randomness flows through
+:class:`RngRegistry` streams derived from a single seed.
+"""
+
+from repro.sim.clock import Clock, cycles_to_ns, cycles_to_seconds, ns_to_cycles
+from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import Process, Simulator, Timeout, Waiter
+from repro.sim.resources import SpinLock
+from repro.sim.rng import RngRegistry, stream_seed
+
+__all__ = [
+    "Clock",
+    "Event",
+    "EventQueue",
+    "Process",
+    "RngRegistry",
+    "Simulator",
+    "SpinLock",
+    "Timeout",
+    "Waiter",
+    "cycles_to_ns",
+    "cycles_to_seconds",
+    "ns_to_cycles",
+    "stream_seed",
+]

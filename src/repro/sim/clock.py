@@ -1,0 +1,71 @@
+"""Simulated clocks.
+
+The whole library accounts time in *cycles* of a specific core clock; the
+conversion helpers translate to wall-clock units given a frequency in GHz.
+Cycles are floats so that fractional costs (e.g. amortized per-byte copy
+costs) accumulate without rounding bias.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+def cycles_to_ns(cycles: float, ghz: float) -> float:
+    """Convert a cycle count to nanoseconds for a clock running at *ghz*."""
+    if ghz <= 0:
+        raise SimulationError(f"clock frequency must be positive, got {ghz}")
+    return cycles / ghz
+
+
+def cycles_to_seconds(cycles: float, ghz: float) -> float:
+    """Convert a cycle count to seconds for a clock running at *ghz*."""
+    return cycles_to_ns(cycles, ghz) * 1e-9
+
+
+def ns_to_cycles(ns: float, ghz: float) -> float:
+    """Convert nanoseconds to cycles for a clock running at *ghz*."""
+    if ghz <= 0:
+        raise SimulationError(f"clock frequency must be positive, got {ghz}")
+    return ns * ghz
+
+
+class Clock:
+    """A monotonically advancing simulated clock, in cycles.
+
+    The clock is shared between the matching engine, the hot-cache heater and
+    the benchmark harnesses so that all of them observe a single consistent
+    notion of "now".
+    """
+
+    __slots__ = ("now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def advance(self, cycles: float) -> float:
+        """Advance the clock by *cycles* (must be non-negative); returns now."""
+        if cycles < 0:
+            raise SimulationError(f"cannot advance clock by {cycles} cycles")
+        self.now += cycles
+        return self.now
+
+    def advance_to(self, when: float) -> float:
+        """Advance the clock to an absolute time (must not be in the past)."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot move clock backwards: now={self.now}, target={when}"
+            )
+        self.now = when
+        return self.now
+
+    def reset(self, start: float = 0.0) -> None:
+        """Rewind the clock; only benchmark harnesses should do this."""
+        self.now = float(start)
+
+    def ns(self, ghz: float) -> float:
+        """Current time in nanoseconds for a clock at *ghz*."""
+        return cycles_to_ns(self.now, ghz)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Clock(now={self.now:.1f})"

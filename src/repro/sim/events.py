@@ -1,0 +1,96 @@
+"""A minimal time-ordered event queue.
+
+Used directly by the heater catch-up logic and, through
+:mod:`repro.sim.kernel`, by the multi-rank mini-MPI runtime. Ties are broken
+by insertion order so simulations are deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback. Ordering is (time, sequence number)."""
+
+    time: float
+    seq: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when its time comes."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A heap of :class:`Event` objects with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+
+    def __len__(self) -> int:
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    def schedule(self, when: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule *callback(\\*args)* at absolute time *when*."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: now={self.now}, when={when}"
+            )
+        ev = Event(when, next(self._counter), callback, args)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_in(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule *callback* after *delay* time units from now."""
+        return self.schedule(self.now + delay, callback, *args)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None if the queue is empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def step(self) -> bool:
+        """Run the next event. Returns False when the queue is empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return False
+        ev = heapq.heappop(self._heap)
+        self.now = ev.time
+        ev.callback(*ev.args)
+        return True
+
+    def run_until(self, deadline: float) -> None:
+        """Run all events with time <= deadline, then set now = deadline."""
+        while True:
+            t = self.peek_time()
+            if t is None or t > deadline:
+                break
+            self.step()
+        if deadline > self.now:
+            self.now = deadline
+
+    def run(self, max_events: int = 10_000_000) -> int:
+        """Run to exhaustion; returns the number of events executed."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed >= max_events:
+                raise SimulationError(
+                    f"event queue did not drain within {max_events} events"
+                )
+        return executed

@@ -1,0 +1,130 @@
+"""A small coroutine-based discrete-event kernel (simpy flavoured).
+
+Processes are generator functions that yield *waitables*:
+
+* ``Timeout(delay)`` -- resume after *delay* simulated time units.
+* ``Waiter()`` -- a one-shot event another process triggers with a value.
+* another ``Process`` -- resume when that process finishes; the yielded
+  value is its return value.
+
+The multi-rank mini-MPI runtime (:mod:`repro.mpi.runtime`) runs every rank as
+one of these processes; sends wake receive waiters after the network delay.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+
+
+class Timeout:
+    """Yield from a process to sleep for *delay* time units."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        self.delay = delay
+
+
+class Waiter:
+    """A one-shot event a process can block on until it is triggered."""
+
+    __slots__ = ("triggered", "value", "_waiting")
+
+    def __init__(self) -> None:
+        self.triggered = False
+        self.value: Any = None
+        self._waiting: list["Process"] = []
+
+    def trigger(self, sim: "Simulator", value: Any = None) -> None:
+        """Fire the event, resuming every process blocked on it."""
+        if self.triggered:
+            raise SimulationError("Waiter triggered twice")
+        self.triggered = True
+        self.value = value
+        waiting, self._waiting = self._waiting, []
+        for proc in waiting:
+            sim._resume_soon(proc, value)
+
+
+class Process:
+    """A running coroutine inside a :class:`Simulator`."""
+
+    __slots__ = ("gen", "name", "finished", "result", "_joiners")
+
+    def __init__(self, gen: Generator, name: str = "proc") -> None:
+        self.gen = gen
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self._joiners: list["Process"] = []
+
+
+class Simulator:
+    """Runs processes over a shared :class:`EventQueue`."""
+
+    def __init__(self) -> None:
+        self.queue = EventQueue()
+        self.processes: list[Process] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.queue.now
+
+    def spawn(self, gen: Generator, name: str = "proc") -> Process:
+        """Register a generator as a process, starting it at the current time."""
+        proc = Process(gen, name)
+        self.processes.append(proc)
+        self.queue.schedule(self.now, self._advance, proc, None)
+        return proc
+
+    def _resume_soon(self, proc: Process, value: Any) -> None:
+        self.queue.schedule(self.now, self._advance, proc, value)
+
+    def _advance(self, proc: Process, send_value: Any) -> None:
+        """Drive *proc* one step, interpreting what it yields."""
+        try:
+            yielded = proc.gen.send(send_value)
+        except StopIteration as stop:
+            proc.finished = True
+            proc.result = stop.value
+            for joiner in proc._joiners:
+                self._resume_soon(joiner, stop.value)
+            proc._joiners.clear()
+            return
+        self._dispatch(proc, yielded)
+
+    def _dispatch(self, proc: Process, yielded: Any) -> None:
+        if isinstance(yielded, Timeout):
+            self.queue.schedule(self.now + yielded.delay, self._advance, proc, None)
+        elif isinstance(yielded, Waiter):
+            if yielded.triggered:
+                self._resume_soon(proc, yielded.value)
+            else:
+                yielded._waiting.append(proc)
+        elif isinstance(yielded, Process):
+            if yielded.finished:
+                self._resume_soon(proc, yielded.result)
+            else:
+                yielded._joiners.append(proc)
+        else:
+            raise SimulationError(
+                f"process {proc.name!r} yielded unsupported object {yielded!r}"
+            )
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Run events (optionally up to time *until*). Returns the final time."""
+        if until is None:
+            self.queue.run(max_events=max_events)
+        else:
+            self.queue.run_until(until)
+        return self.now
+
+    def all_finished(self, procs: Optional[Iterable[Process]] = None) -> bool:
+        """True when every process in *procs* (default: all) has finished."""
+        return all(p.finished for p in (procs if procs is not None else self.processes))

@@ -1,0 +1,116 @@
+"""Synchronization resources with deterministic contention accounting.
+
+The paper's hot-caching technique guards its region list with a spin lock
+(section 3.2); lock contention is one of the three implementation challenges
+it reports, and shows up as the HC slowdown at scale in Figure 10. We model
+locks two ways:
+
+* :class:`SpinLock` -- an accounting lock used outside the coroutine kernel.
+  Holders record (start, duration) windows on a shared clock timeline; an
+  acquirer arriving inside a window waits for the remainder of the window.
+  This yields exactly the "removal must wait for the heater pass to finish"
+  behaviour, deterministically.
+* :class:`KernelLock` -- a FIFO mutex for coroutine processes in
+  :class:`~repro.sim.kernel.Simulator` (used by the MPI_THREAD_MULTIPLE
+  emulation).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator, Waiter
+
+
+class SpinLock:
+    """Deterministic window-based spin lock.
+
+    The lock does not block real execution; instead, :meth:`acquire` returns
+    the number of cycles the caller must spin given the currently recorded
+    hold window. Callers are expected to advance their clock by that amount
+    and then treat the lock as held for their own critical section by calling
+    :meth:`hold`.
+    """
+
+    __slots__ = ("name", "_window_start", "_window_end", "acquisitions", "contended", "wait_cycles")
+
+    def __init__(self, name: str = "lock") -> None:
+        self.name = name
+        self._window_start = 0.0
+        self._window_end = 0.0
+        self.acquisitions = 0
+        self.contended = 0
+        self.wait_cycles = 0.0
+
+    def hold(self, start: float, duration: float) -> None:
+        """Record that some holder owns the lock during [start, start+duration)."""
+        if duration < 0:
+            raise SimulationError(f"negative lock hold duration: {duration}")
+        self._window_start = start
+        self._window_end = start + duration
+
+    def acquire(self, now: float, hold_for: float = 0.0) -> float:
+        """Try to take the lock at time *now*; returns cycles spent waiting.
+
+        If a recorded hold window covers *now*, the caller spins until the
+        window ends. The caller's own critical section of length *hold_for*
+        is then recorded so later acquirers contend with it.
+        """
+        self.acquisitions += 1
+        wait = 0.0
+        if self._window_start <= now < self._window_end:
+            wait = self._window_end - now
+            self.contended += 1
+            self.wait_cycles += wait
+        start = now + wait
+        if hold_for > 0.0:
+            self.hold(start, hold_for)
+        return wait
+
+    def reset_stats(self) -> None:
+        """Zero the accumulated statistics counters."""
+        self.acquisitions = 0
+        self.contended = 0
+        self.wait_cycles = 0.0
+
+
+class KernelLock:
+    """FIFO mutex for :class:`~repro.sim.kernel.Simulator` processes.
+
+    Usage inside a process generator::
+
+        yield from lock.acquire(sim)
+        ... critical section (may yield Timeouts) ...
+        lock.release(sim)
+    """
+
+    def __init__(self, name: str = "klock") -> None:
+        self.name = name
+        self.locked = False
+        self._queue: list[Waiter] = []
+        self.acquisitions = 0
+        self.contended = 0
+
+    def acquire(self, sim: Simulator) -> Generator:
+        """Acquire the lock (FIFO); yields while contended."""
+        self.acquisitions += 1
+        if self.locked:
+            # Block until a releaser hands the (still-locked) lock to us.
+            self.contended += 1
+            waiter: Optional[Waiter] = Waiter()
+            self._queue.append(waiter)
+            yield waiter
+        else:
+            self.locked = True
+
+    def release(self, sim: Simulator) -> None:
+        """Release the lock, handing it to the next waiter if any."""
+        if not self.locked:
+            raise SimulationError(f"release of unlocked {self.name}")
+        if self._queue:
+            # Direct handoff: the lock never becomes observably free, so a
+            # same-timestamp acquirer cannot jump the FIFO queue.
+            self._queue.pop(0).trigger(sim)
+        else:
+            self.locked = False

@@ -1,0 +1,30 @@
+"""Trace-based matching simulation.
+
+The paper cites Ferreira et al., *Characterizing MPI matching via
+trace-based simulation* (EuroMPI'17), as the way applications avoid long
+match lists today. This package provides that workflow for the simulated
+substrate: record the matching operations of any run (posts and arrivals
+with their envelopes, in order), serialize them as JSON lines, and replay
+them later through *any* queue organization / architecture / heater
+configuration — so one captured workload can be evaluated against every
+design point without re-running the application.
+"""
+
+from repro.trace.events import TraceEvent, POST, ARRIVAL
+from repro.trace.recorder import TraceRecorder, RecordingProcess
+from repro.trace.replay import ReplayResult, replay
+from repro.trace.serialize import dumps, loads, read_trace, write_trace
+
+__all__ = [
+    "ARRIVAL",
+    "POST",
+    "RecordingProcess",
+    "ReplayResult",
+    "TraceEvent",
+    "TraceRecorder",
+    "dumps",
+    "loads",
+    "read_trace",
+    "replay",
+    "write_trace",
+]

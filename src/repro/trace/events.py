@@ -1,0 +1,64 @@
+"""Trace event model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+POST = "post"
+ARRIVAL = "arrival"
+
+_KINDS = (POST, ARRIVAL)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One matching operation.
+
+    ``kind`` is ``"post"`` (a receive posted: src/tag may be wildcards,
+    encoded as -1) or ``"arrival"`` (an incoming message: concrete
+    src/tag). ``time_ns`` is optional wall-clock context; replay preserves
+    order, not timing.
+    """
+
+    kind: str
+    src: int
+    tag: int
+    cid: int = 0
+    nbytes: int = 0
+    time_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ConfigurationError(f"unknown trace event kind {self.kind!r}")
+        if self.kind == ARRIVAL and (self.src < 0 or self.tag < 0):
+            raise ConfigurationError("arrival events need concrete src/tag")
+
+    @property
+    def is_post(self) -> bool:
+        """True for posted-receive events."""
+        return self.kind == POST
+
+    def as_dict(self) -> dict:
+        """Serializable plain-dict form."""
+        return {
+            "kind": self.kind,
+            "src": self.src,
+            "tag": self.tag,
+            "cid": self.cid,
+            "nbytes": self.nbytes,
+            "time_ns": self.time_ns,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceEvent":
+        """Inverse of as_dict."""
+        return cls(
+            kind=data["kind"],
+            src=int(data["src"]),
+            tag=int(data["tag"]),
+            cid=int(data.get("cid", 0)),
+            nbytes=int(data.get("nbytes", 0)),
+            time_ns=float(data.get("time_ns", 0.0)),
+        )

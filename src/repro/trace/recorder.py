@@ -1,0 +1,55 @@
+"""Recording matching operations from a live MpiProcess."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.mpi.message import Message
+from repro.mpi.process import MpiProcess, RecvRequest
+from repro.trace.events import ARRIVAL, POST, TraceEvent
+
+
+class TraceRecorder:
+    """Accumulates trace events."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def record_post(self, src: int, tag: int, cid: int, nbytes: int, time_ns: float = 0.0) -> None:
+        """Append a posted-receive event."""
+        self.events.append(TraceEvent(POST, src, tag, cid, nbytes, time_ns))
+
+    def record_arrival(self, message: Message, time_ns: float = 0.0) -> None:
+        """Append a message-arrival event."""
+        self.events.append(
+            TraceEvent(ARRIVAL, message.src, message.tag, message.cid, message.nbytes, time_ns)
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def clear(self) -> None:
+        """Drop all recorded entries."""
+        self.events.clear()
+
+
+class RecordingProcess(MpiProcess):
+    """An MpiProcess that records every matching operation it performs.
+
+    Drop-in replacement: hand it to a benchmark or the DES runtime and read
+    ``recorder.events`` afterwards.
+    """
+
+    def __init__(self, *args, recorder: Optional[TraceRecorder] = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.recorder = recorder if recorder is not None else TraceRecorder()
+
+    def post_recv(self, src: int, tag: int, cid: int = 0, nbytes: int = 0) -> RecvRequest:
+        """Record the operation, then run the normal receive path."""
+        self.recorder.record_post(src, tag, cid, nbytes, self._now())
+        return super().post_recv(src, tag, cid, nbytes)
+
+    def handle_arrival(self, message: Message):
+        """Record the arrival, then run the normal matching path."""
+        self.recorder.record_arrival(message, self._now())
+        return super().handle_arrival(message)

@@ -1,0 +1,118 @@
+"""Replay a recorded trace through any matching configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.arch.spec import ArchSpec
+from repro.hotcache.heater import Heater, HeaterConfig
+from repro.hotcache.wrapper import HeatedQueue
+from repro.matching.engine import MatchEngine
+from repro.matching.envelope import Envelope
+from repro.matching.factory import make_queue
+from repro.mpi.message import Message
+from repro.mpi.process import MpiProcess
+from repro.trace.events import TraceEvent
+
+
+@dataclass
+class ReplayResult:
+    """What a trace cost under one configuration."""
+
+    queue_family: str
+    arch: Optional[str]
+    events: int
+    matches: int
+    unexpected: int
+    mean_prq_search_depth: float
+    mean_umq_search_depth: float
+    max_prq_len: int
+    max_umq_len: int
+    match_cycles: float = 0.0
+    details: dict = field(default_factory=dict)
+
+    @property
+    def match_seconds(self) -> Optional[float]:
+        """Matching time in seconds (None without an arch)."""
+        ghz = self.details.get("ghz")
+        return self.match_cycles / ghz * 1e-9 if ghz else None
+
+
+def replay(
+    events: Sequence[TraceEvent],
+    *,
+    queue_family: str = "baseline",
+    arch: Optional[ArchSpec] = None,
+    heated: bool = False,
+    heater_config: Optional[HeaterConfig] = None,
+    flush_every: int = 0,
+    seed: int = 0,
+) -> ReplayResult:
+    """Run *events* through a fresh matching state.
+
+    With *arch* set, every probe is cycle-accounted through that
+    architecture's cache hierarchy (optionally heated); ``flush_every`` > 0
+    flushes the caches every N events, emulating interleaved compute.
+    """
+    engine = None
+    port = None
+    hier = None
+    if arch is not None:
+        hier = arch.build_hierarchy(rng=np.random.default_rng(seed + 1))
+        engine = MatchEngine(hier)
+        port = engine
+    prq = make_queue(queue_family, port=port, rng=np.random.default_rng(seed), arena_base=0x4000_0000)
+    heater = None
+    if heated:
+        if arch is None:
+            raise ValueError("heated replay requires an arch")
+        cfg = heater_config if heater_config is not None else HeaterConfig(
+            locked=queue_family == "baseline"
+        )
+        heater = Heater(hier, arch.ghz, cfg)
+        prq = HeatedQueue(prq, heater, engine)
+    umq = make_queue(
+        queue_family, entry_bytes=16, port=port,
+        rng=np.random.default_rng(seed + 2), arena_base=0x2000_0000,
+    )
+    proc = MpiProcess(0, prq, umq, clock=engine.clock if engine else None)
+
+    start_cycles = engine.clock.now if engine else 0.0
+    matches = 0
+    unexpected = 0
+    max_prq = 0
+    max_umq = 0
+    for i, ev in enumerate(events):
+        if flush_every and hier is not None and i and i % flush_every == 0:
+            hier.flush()
+            if heater is not None:
+                prq.prepare_phase()
+        if ev.is_post:
+            req = proc.post_recv(ev.src, ev.tag, ev.cid, ev.nbytes)
+            if req.completed:
+                matches += 1
+        else:
+            req = proc.handle_arrival(Message(Envelope(ev.src, ev.tag, ev.cid), ev.nbytes))
+            if req is not None:
+                matches += 1
+            else:
+                unexpected += 1
+        max_prq = max(max_prq, len(proc.prq))
+        max_umq = max(max_umq, len(proc.umq))
+
+    return ReplayResult(
+        queue_family=queue_family,
+        arch=arch.name if arch else None,
+        events=len(events),
+        matches=matches,
+        unexpected=unexpected,
+        mean_prq_search_depth=proc.mean_prq_search_depth,
+        mean_umq_search_depth=proc.mean_umq_search_depth,
+        max_prq_len=max_prq,
+        max_umq_len=max_umq,
+        match_cycles=(engine.clock.now - start_cycles) if engine else 0.0,
+        details={"ghz": arch.ghz} if arch else {},
+    )

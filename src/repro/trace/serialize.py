@@ -1,0 +1,43 @@
+"""JSON-lines (de)serialization of traces."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.errors import ConfigurationError
+from repro.trace.events import TraceEvent
+
+#: Format marker written as the first line of every trace file.
+HEADER = {"format": "repro-match-trace", "version": 1}
+
+
+def dumps(events: Iterable[TraceEvent]) -> str:
+    """Serialize events to a JSON-lines string (header + one line/event)."""
+    lines = [json.dumps(HEADER)]
+    lines.extend(json.dumps(ev.as_dict(), separators=(",", ":")) for ev in events)
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> List[TraceEvent]:
+    """Parse a JSON-lines trace string."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ConfigurationError("empty trace")
+    header = json.loads(lines[0])
+    if header.get("format") != HEADER["format"]:
+        raise ConfigurationError(f"not a repro match trace: {header!r}")
+    if header.get("version") != HEADER["version"]:
+        raise ConfigurationError(f"unsupported trace version {header.get('version')!r}")
+    return [TraceEvent.from_dict(json.loads(line)) for line in lines[1:]]
+
+
+def write_trace(path: Union[str, Path], events: Iterable[TraceEvent]) -> None:
+    """Write events to *path* as JSON lines."""
+    Path(path).write_text(dumps(events), encoding="utf-8")
+
+
+def read_trace(path: Union[str, Path]) -> List[TraceEvent]:
+    """Read a JSON-lines trace file."""
+    return loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,224 @@
+"""Programmatic reproduction validation — DESIGN.md section 7 as code.
+
+``repro validate`` (or :func:`run_validation`) executes every success
+criterion of the reproduction against freshly generated data and reports
+pass/fail per criterion. This is the one-command answer to "does this
+repository still reproduce the paper?" — and the checks double as the
+contract the benchmark assertions enforce piecewise.
+
+Criteria are grouped by experiment; each returns an observed value and the
+band it must fall in, so the report is auditable rather than a bare boolean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.analysis.report import render_table
+
+
+@dataclass
+class Criterion:
+    """One checked claim."""
+
+    experiment: str
+    claim: str
+    observed: str
+    expected: str
+    passed: bool
+
+
+@dataclass
+class ValidationReport:
+    """Accumulated pass/fail criteria with a rendered verdict."""
+    criteria: List[Criterion] = field(default_factory=list)
+
+    def check(self, experiment: str, claim: str, observed, expected: str, passed: bool) -> None:
+        """Append one checked criterion to the report."""
+        self.criteria.append(Criterion(experiment, claim, str(observed), expected, passed))
+
+    @property
+    def passed(self) -> bool:
+        """True when every criterion passed."""
+        return all(c.passed for c in self.criteria)
+
+    @property
+    def failures(self) -> List[Criterion]:
+        """The criteria that failed."""
+        return [c for c in self.criteria if not c.passed]
+
+    def render(self) -> str:
+        """The report as an ASCII table with a final verdict line."""
+        rows = [
+            (c.experiment, c.claim, c.observed, c.expected, "PASS" if c.passed else "FAIL")
+            for c in self.criteria
+        ]
+        verdict = "ALL CRITERIA PASS" if self.passed else (
+            f"{len(self.failures)} CRITERIA FAILED"
+        )
+        table = render_table(
+            ["experiment", "claim", "observed", "expected", "result"],
+            rows,
+            title="Reproduction validation (DESIGN.md section 7)",
+        )
+        return f"{table}\n\n=> {verdict}"
+
+
+def _validate_table1(report: ValidationReport, quick: bool) -> None:
+    from repro.decomp.bench import table1
+
+    results = table1(trials=2 if quick else 5)
+    counts_exact = all(
+        (r.counts.receiving_threads, r.counts.sending_threads, r.counts.list_length)
+        in {
+            ((32, 32), "5pt"): [(124, 128, 128)],
+            ((64, 32), "5pt"): [(188, 192, 192)],
+            ((32, 32), "9pt"): [(124, 132, 380)],
+            ((64, 32), "9pt"): [(188, 196, 572)],
+            ((8, 8, 4), "7pt"): [(184, 256, 256)],
+            ((1, 1, 128), "7pt"): [(128, 514, 514)],
+            ((1, 1, 256), "7pt"): [(256, 1026, 1026)],
+            ((8, 8, 4), "27pt"): [(184, 344, 2072)],
+            ((1, 1, 128), "27pt"): [(128, 1042, 3074)],
+            ((1, 1, 256), "27pt"): [(256, 2066, 6146)],
+        }[(r.dims, r.stencil)]
+        for r in results
+    )
+    report.check("Table 1", "tr/ts/length combinatorics", "exact" if counts_exact else "mismatch",
+                 "exact match, all 10 rows", counts_exact)
+    fracs = [r.mean_search_depth / r.counts.list_length for r in results]
+    in_band = all(0.15 <= f <= 0.30 for f in fracs)
+    report.check("Table 1", "depth/length band",
+                 f"{min(fracs):.2f}..{max(fracs):.2f}", "0.15..0.30", in_band)
+
+
+def _validate_fig1(report: ValidationReport, quick: bool) -> None:
+    from repro.motifs import MOTIFS
+
+    sim_ranks = 512 if quick else None
+    amr = MOTIFS["amr"](seed=0, sim_ranks=sim_ranks).run()
+    report.check("Fig 1a", "AMR extremes out to mid-400s", amr.max_posted_length,
+                 "390..439", 390 <= amr.max_posted_length <= 439)
+    sweep = MOTIFS["sweep3d"](seed=0, sim_ranks=sim_ranks).run()
+    report.check("Fig 1b", "Sweep3D capped below 200", sweep.max_posted_length,
+                 "<= 199", sweep.max_posted_length <= 199)
+    halo = MOTIFS["halo3d"](seed=0, sim_ranks=sim_ranks).run()
+    tiny = halo.posted[:15].sum() / halo.posted.sum()
+    report.check("Fig 1c", "Halo3D dominated by tiny queues",
+                 f"{100 * tiny:.1f}% < 15", "> 90%", tiny > 0.9)
+
+
+def _validate_spatial(report: ValidationReport, quick: bool) -> None:
+    from repro.arch import BROADWELL, SANDY_BRIDGE
+    from repro.bench.osu import OsuConfig, osu_bandwidth
+    from repro.bench.figures import default_link
+
+    iters = 2 if quick else 5
+    for arch in (SANDY_BRIDGE, BROADWELL):
+        link = default_link(arch)
+
+        def bw(family, depth=1024, nbytes=1):
+            return osu_bandwidth(
+                OsuConfig(arch=arch, link=link, queue_family=family,
+                          msg_bytes=nbytes, search_depth=depth, iterations=iters)
+            ).mibps
+
+        ratio = bw("lla-8") / bw("baseline")
+        report.check(f"Fig {'4' if arch.name.startswith('sandy') else '5'}",
+                     f"LLA-8 gain at depth 1024 ({arch.name})",
+                     f"{ratio:.2f}x", "1.8x..5x", 1.8 <= ratio <= 5.0)
+        big_base = bw("baseline", nbytes=1 << 20)
+        big_lla = bw("lla-8", nbytes=1 << 20)
+        conv = abs(big_lla - big_base) / big_base
+        report.check(f"Fig {'4' if arch.name.startswith('sandy') else '5'}",
+                     f"1 MiB network-bound convergence ({arch.name})",
+                     f"{100 * conv:.2f}% apart", "< 2%", conv < 0.02)
+
+
+def _validate_temporal(report: ValidationReport, quick: bool) -> None:
+    from repro.arch import BROADWELL, SANDY_BRIDGE
+    from repro.bench.osu import OsuConfig, osu_bandwidth
+    from repro.bench.figures import default_link
+
+    iters = 2 if quick else 5
+
+    def bw(arch, family, heated):
+        return osu_bandwidth(
+            OsuConfig(arch=arch, link=default_link(arch), queue_family=family,
+                      heated=heated, msg_bytes=1, search_depth=1024, iterations=iters)
+        ).mibps
+
+    snb_gain = bw(SANDY_BRIDGE, "baseline", True) / bw(SANDY_BRIDGE, "baseline", False)
+    report.check("Fig 6", "hot caching wins on Sandy Bridge",
+                 f"{snb_gain:.2f}x", "> 1.2x", snb_gain > 1.2)
+    bdw_gain = bw(BROADWELL, "baseline", True) / bw(BROADWELL, "baseline", False)
+    report.check("Fig 7", "hot caching loses on Broadwell (sign flip)",
+                 f"{bdw_gain:.2f}x", "< 1.0x", bdw_gain < 1.0)
+    bdw_lla = bw(BROADWELL, "lla-2", True) / bw(BROADWELL, "lla-2", False)
+    report.check("Fig 7", "HC+LLA slightly below LLA on Broadwell",
+                 f"{bdw_lla:.2f}x", "0.7x..1.0x", 0.7 <= bdw_lla < 1.0)
+
+
+def _validate_heater_micro(report: ValidationReport, quick: bool) -> None:
+    from repro.arch import BROADWELL, SANDY_BRIDGE
+    from repro.bench.heater_micro import heater_microbenchmark
+
+    samples = 512 if quick else 2048
+    for arch, (cold_p, hot_p) in (
+        (SANDY_BRIDGE, (47.5, 22.9)),
+        (BROADWELL, (38.5, 22.8)),
+    ):
+        r = heater_microbenchmark(arch, samples=samples)
+        ok = abs(r.cold_ns - cold_p) / cold_p < 0.15 and abs(r.hot_ns - hot_p) / hot_p < 0.15
+        report.check("§4.3 micro", f"{arch.name} random-access ns",
+                     f"{r.cold_ns:.1f}->{r.hot_ns:.1f}",
+                     f"{cold_p}->{hot_p} ±15%", ok)
+
+
+def _validate_apps(report: ValidationReport, quick: bool) -> None:
+    from repro.apps import fig8_amg_scaling, fig9_minife_lengths, fig10_fds_speedups
+
+    s8 = fig8_amg_scaling()
+    pct8 = 100 * (s8.series["Baseline"].at(1024) - s8.series["LLA"].at(1024)) / s8.series["Baseline"].at(1024)
+    report.check("Fig 8", "AMG LLA gain at 1024 ranks",
+                 f"{pct8:.2f}%", "1%..6% (paper 2.9%)", 1.0 < pct8 < 6.0)
+
+    s9 = fig9_minife_lengths()
+    pct9 = 100 * (s9.series["Baseline"].at(2048) - s9.series["LLA"].at(2048)) / s9.series["Baseline"].at(2048)
+    report.check("Fig 9", "MiniFE LLA gain at length 2048",
+                 f"{pct9:.2f}%", "1%..5% (paper 2.3%)", 1.0 < pct9 < 5.0)
+
+    scales = (1024, 4096) if quick else (1024, 2048, 4096, 8192)
+    s10 = fig10_fds_speedups(scales=scales)
+    lla4k = s10.series["LLA Nehalem"].at(4096)
+    report.check("Fig 10", "FDS LLA speedup at 4k ranks",
+                 f"{lla4k:.2f}x", "1.5x..2.6x (paper 2x)", 1.5 <= lla4k <= 2.6)
+    hc4k = s10.series["HC Nehalem"].at(4096)
+    report.check("Fig 10", "FDS HC slowdown at scale",
+                 f"{hc4k:.2f}x", "< 1.0x", hc4k < 1.0)
+    both1k = s10.series["HC+LLA Nehalem"].at(1024)
+    lla1k = s10.series["LLA Nehalem"].at(1024)
+    report.check("Fig 10", "HC+LLA above LLA at 1024",
+                 f"{both1k:.3f} vs {lla1k:.3f}", "HC+LLA > LLA", both1k > lla1k)
+
+
+_SECTIONS: List[Callable[[ValidationReport, bool], None]] = [
+    _validate_table1,
+    _validate_fig1,
+    _validate_spatial,
+    _validate_temporal,
+    _validate_heater_micro,
+    _validate_apps,
+]
+
+
+def run_validation(*, quick: bool = False, sections: Optional[List[str]] = None) -> ValidationReport:
+    """Run all (or the named) validation sections; returns the report."""
+    report = ValidationReport()
+    for fn in _SECTIONS:
+        name = fn.__name__.replace("_validate_", "")
+        if sections is not None and name not in sections:
+            continue
+        fn(report, quick)
+    return report

@@ -1,0 +1,109 @@
+"""Tests for series containers, statistics, and text renderers."""
+
+import pytest
+
+from repro.analysis import (
+    Series,
+    Sweep,
+    TrialStats,
+    factor_speedup,
+    mean_std,
+    render_series_table,
+    render_table,
+)
+from repro.analysis.stats import percent_improvement
+
+
+class TestSeries:
+    def test_add_and_at(self):
+        s = Series("x")
+        s.add(1, 10.0)
+        s.add(2, 20.0)
+        assert s.at(2) == 20.0
+        assert len(s) == 2
+
+    def test_at_missing_raises(self):
+        s = Series("x")
+        s.add(1, 10.0)
+        with pytest.raises(ValueError):
+            s.at(3)
+
+    def test_ratio_to(self):
+        a = Series("a")
+        b = Series("b")
+        for x in (1, 2):
+            a.add(x, 10.0 * x)
+            b.add(x, 5.0 * x)
+        r = a.ratio_to(b)
+        assert r.y == [2.0, 2.0]
+
+    def test_ratio_skips_missing_x(self):
+        a = Series("a")
+        a.add(1, 10.0)
+        a.add(3, 30.0)
+        b = Series("b")
+        b.add(1, 5.0)
+        r = a.ratio_to(b)
+        assert r.x == [1.0]
+
+
+class TestSweep:
+    def test_series_for_creates_once(self):
+        sw = Sweep("t", "x", "y")
+        s1 = sw.series_for("a")
+        s2 = sw.series_for("a")
+        assert s1 is s2
+        assert sw.labels() == ["a"]
+
+    def test_x_values_from_first_series(self):
+        sw = Sweep("t", "x", "y")
+        sw.series_for("a").add(1, 2.0)
+        assert sw.x_values() == [1.0]
+        assert Sweep("t", "x", "y").x_values() == []
+
+
+class TestStats:
+    def test_trial_stats(self):
+        st = TrialStats.from_values([1.0, 2.0, 3.0])
+        assert st.mean == 2.0
+        assert st.min == 1.0 and st.max == 3.0 and st.n == 3
+        assert st.std == pytest.approx(0.8165, rel=1e-3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TrialStats.from_values([])
+
+    def test_mean_std(self):
+        mean, std = mean_std([2.0, 2.0])
+        assert mean == 2.0 and std == 0.0
+
+    def test_factor_speedup(self):
+        assert factor_speedup(10.0, 5.0) == 2.0
+        with pytest.raises(ValueError):
+            factor_speedup(10.0, 0.0)
+
+    def test_percent_improvement(self):
+        assert percent_improvement(100.0, 97.1) == pytest.approx(2.9)
+        with pytest.raises(ValueError):
+            percent_improvement(0.0, 1.0)
+
+
+class TestRenderers:
+    def test_render_table_aligns(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [10, 0.001]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_scientific_for_extremes(self):
+        out = render_table(["v"], [[1e7], [1e-5]])
+        assert "e+07" in out and "e-05" in out
+
+    def test_render_series_table(self):
+        sw = Sweep("Fig", "depth", "MiBps")
+        sw.series_for("baseline").add(1, 0.5)
+        sw.series_for("LLA").add(1, 1.5)
+        out = render_series_table(sw)
+        assert "Fig" in out and "baseline" in out and "LLA" in out
+        assert "0.5" in out and "1.5" in out

@@ -1,0 +1,94 @@
+"""Tests for sweep export (CSV/JSON)."""
+
+import pytest
+
+from repro.analysis.export import (
+    sweep_from_json,
+    sweep_to_csv,
+    sweep_to_json,
+    write_sweep,
+)
+from repro.analysis.series import Sweep
+
+
+def sample_sweep():
+    sw = Sweep("Fig X", "depth", "MiBps")
+    a = sw.series_for("baseline")
+    b = sw.series_for("LLA")
+    for x, ya, yb in [(1, 0.9, 1.0), (64, 0.3, 0.6), (1024, 0.02, 0.08)]:
+        a.add(x, ya, 0.01)
+        b.add(x, yb, 0.02)
+    return sw
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        text = sweep_to_csv(sample_sweep())
+        lines = text.strip().splitlines()
+        assert lines[0] == "depth,baseline,LLA"
+        assert len(lines) == 4
+        assert lines[1].startswith("1.0,0.9,1.0")
+
+    def test_ragged_series_padded(self):
+        sw = Sweep("R", "x", "y")
+        sw.series_for("a").add(1, 1.0)
+        sw.series_for("a").add(2, 2.0)
+        sw.series_for("b").add(1, 3.0)
+        lines = sweep_to_csv(sw).strip().splitlines()
+        assert lines[2] == "2.0,2.0,"
+
+
+class TestJson:
+    def test_roundtrip(self):
+        sw = sample_sweep()
+        restored = sweep_from_json(sweep_to_json(sw))
+        assert restored.title == sw.title
+        assert restored.labels() == sw.labels()
+        for label in sw.labels():
+            assert restored.series[label].x == sw.series[label].x
+            assert restored.series[label].y == sw.series[label].y
+            assert restored.series[label].yerr == sw.series[label].yerr
+
+    def test_axes_preserved(self):
+        restored = sweep_from_json(sweep_to_json(sample_sweep()))
+        assert restored.xlabel == "depth" and restored.ylabel == "MiBps"
+
+
+class TestWriteSweep:
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "fig.csv"
+        write_sweep(path, sample_sweep())
+        assert path.read_text().startswith("depth,baseline,LLA")
+
+    def test_write_json(self, tmp_path):
+        path = tmp_path / "fig.json"
+        write_sweep(path, sample_sweep())
+        assert sweep_from_json(path.read_text()).title == "Fig X"
+
+    def test_unknown_suffix(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_sweep(tmp_path / "fig.xlsx", sample_sweep())
+
+
+class TestMessageRate:
+    def test_rate_inverse_of_bandwidth_time(self):
+        from repro.arch import SANDY_BRIDGE
+        from repro.bench.osu import OsuConfig, osu_bandwidth, osu_message_rate
+
+        cfg = OsuConfig(arch=SANDY_BRIDGE, msg_bytes=8, search_depth=16, iterations=2)
+        rate = osu_message_rate(cfg)
+        point = osu_bandwidth(cfg)
+        implied = point.mibps * 1024 * 1024 / 8
+        assert rate == pytest.approx(implied, rel=1e-6)
+
+    def test_rate_falls_with_depth(self):
+        from repro.arch import SANDY_BRIDGE
+        from repro.bench.osu import OsuConfig, osu_message_rate
+
+        shallow = osu_message_rate(
+            OsuConfig(arch=SANDY_BRIDGE, msg_bytes=8, search_depth=4, iterations=2)
+        )
+        deep = osu_message_rate(
+            OsuConfig(arch=SANDY_BRIDGE, msg_bytes=8, search_depth=1024, iterations=2)
+        )
+        assert deep < shallow

@@ -1,0 +1,84 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.analysis.plot import MARKS, render_ascii_chart, render_histogram
+from repro.analysis.series import Sweep
+
+
+def sample_sweep():
+    sw = Sweep("Panel", "depth", "MiBps")
+    a = sw.series_for("baseline")
+    b = sw.series_for("LLA")
+    for x, ya, yb in [(1, 1.0, 1.1), (10, 0.5, 0.9), (100, 0.1, 0.4), (1000, 0.01, 0.05)]:
+        a.add(x, ya)
+        b.add(x, yb)
+    return sw
+
+
+class TestAsciiChart:
+    def test_contains_title_and_legend(self):
+        out = render_ascii_chart(sample_sweep())
+        assert "Panel" in out
+        assert "o=baseline" in out and "x=LLA" in out
+
+    def test_marks_present(self):
+        out = render_ascii_chart(sample_sweep())
+        assert "o" in out and "x" in out
+
+    def test_dimensions(self):
+        out = render_ascii_chart(sample_sweep(), width=40, height=10)
+        lines = out.splitlines()
+        # title + height rows + axis + labels + legend
+        assert len(lines) == 1 + 10 + 3
+
+    def test_empty_sweep(self):
+        out = render_ascii_chart(Sweep("Empty", "x", "y"))
+        assert "no data" in out
+
+    def test_zero_values_skipped_on_log(self):
+        sw = Sweep("Z", "x", "y")
+        s = sw.series_for("s")
+        s.add(1, 0.0)
+        s.add(2, 1.0)
+        out = render_ascii_chart(sw, log_y=True)
+        assert "Z" in out
+
+    def test_linear_axes(self):
+        out = render_ascii_chart(sample_sweep(), log_x=False, log_y=False)
+        assert "Panel" in out
+
+    def test_single_point(self):
+        sw = Sweep("One", "x", "y")
+        sw.series_for("s").add(5, 2.0)
+        out = render_ascii_chart(sw)
+        assert "One" in out
+
+    def test_many_series_cycle_marks(self):
+        sw = Sweep("Many", "x", "y")
+        for i in range(len(MARKS) + 2):
+            sw.series_for(f"s{i}").add(1, float(i + 1))
+        out = render_ascii_chart(sw)
+        assert f"{MARKS[0]}=s0" in out
+
+
+class TestHistogram:
+    def test_bars_scale_with_log_counts(self):
+        out = render_histogram(["0-4", "5-9"], [10**6, 10], title="H")
+        lines = out.splitlines()
+        assert lines[0] == "H"
+        big = lines[1].count("#")
+        small = lines[2].count("#")
+        assert big > 3 * small > 0
+
+    def test_zero_count_renders_empty_bar(self):
+        out = render_histogram(["a", "b"], [100, 0])
+        assert out.splitlines()[-1].rstrip().endswith("0")
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            render_histogram(["a"], [1, 2])
+
+    def test_counts_annotated(self):
+        out = render_histogram(["a"], [12345])
+        assert "1.23e+04" in out

@@ -1,0 +1,93 @@
+"""Tests for the architecture presets and hierarchy construction."""
+
+import pytest
+
+from repro.arch import (
+    ALL_ARCHS,
+    BROADWELL,
+    KNL,
+    NEHALEM,
+    SANDY_BRIDGE,
+    ArchSpec,
+    get_arch,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPresets:
+    def test_all_presets_build(self):
+        for spec in ALL_ARCHS.values():
+            hier = spec.build_hierarchy()
+            assert hier.n_cores == 2
+
+    def test_lookup_by_name(self):
+        assert get_arch("sandy-bridge") is SANDY_BRIDGE
+        assert get_arch("Sandy_Bridge") is SANDY_BRIDGE
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            get_arch("zen4")
+
+    def test_paper_platform_facts(self):
+        # Section 4.1's system table.
+        assert SANDY_BRIDGE.ghz == 2.6 and SANDY_BRIDGE.cores_per_socket == 8
+        assert BROADWELL.ghz == 2.1 and BROADWELL.cores_per_socket == 18
+        assert NEHALEM.ghz == 2.53 and NEHALEM.cores_per_socket == 4
+        assert KNL.cores_per_socket == 68
+
+    def test_broadwell_llc_slower_than_sandy_bridge(self):
+        # The decoupled-clock contrast the paper's section 4.3 leans on.
+        assert BROADWELL.l3_latency > SANDY_BRIDGE.l3_latency
+
+    def test_broadwell_streams_dram_better(self):
+        assert BROADWELL.dram_stream_coverage > SANDY_BRIDGE.dram_stream_coverage
+        assert BROADWELL.l3_stream_coverage < SANDY_BRIDGE.l3_stream_coverage
+
+    def test_latencies_monotone_per_arch(self):
+        for spec in ALL_ARCHS.values():
+            assert spec.l1_latency < spec.l2_latency < spec.l3_latency < spec.dram_latency
+
+
+class TestConversions:
+    def test_cycles_ns_roundtrip(self):
+        assert SANDY_BRIDGE.ns(SANDY_BRIDGE.cycles(123.0)) == pytest.approx(123.0)
+
+    def test_seconds(self):
+        assert SANDY_BRIDGE.seconds(2.6e9) == pytest.approx(1.0)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArchSpec(name="bad", ghz=0.0, cores_per_socket=2)
+        with pytest.raises(ConfigurationError):
+            ArchSpec(name="bad", ghz=1.0, cores_per_socket=0)
+
+
+class TestBuildHierarchy:
+    def test_core_limit_enforced(self):
+        with pytest.raises(ConfigurationError):
+            NEHALEM.build_hierarchy(n_cores=5)
+
+    def test_latencies_propagate(self):
+        h = BROADWELL.build_hierarchy()
+        assert h.l3.latency == BROADWELL.l3_latency
+        assert h.dram_latency == BROADWELL.dram_latency
+
+    def test_prefetchers_attached(self):
+        h = SANDY_BRIDGE.build_hierarchy()
+        names = {pf.name for pf in h.cores[0].l2_prefetchers}
+        assert names == {"adjacent-pair", "streamer"}
+        assert [pf.name for pf in h.cores[0].l1_prefetchers] == ["next-line"]
+
+    def test_nehalem_lacks_adjacent_pair(self):
+        h = NEHALEM.build_hierarchy()
+        names = {pf.name for pf in h.cores[0].l2_prefetchers}
+        assert "adjacent-pair" not in names
+
+    def test_prefetch_disable(self):
+        h = SANDY_BRIDGE.build_hierarchy(prefetch_enabled=False)
+        assert h.cores[0].l1_prefetchers == []
+        assert h.cores[0].l2_prefetchers == []
+
+    def test_coverage_propagates(self):
+        h = BROADWELL.build_hierarchy()
+        assert h.l3_stream_coverage == BROADWELL.l3_stream_coverage

@@ -1,0 +1,86 @@
+"""Reduced-sweep runs of the figure drivers, checking the paper's shapes."""
+
+import pytest
+
+from repro.arch import BROADWELL, SANDY_BRIDGE
+from repro.bench.figures import (
+    PANEL_A_DEPTH,
+    SPATIAL_VARIANTS,
+    TEMPORAL_VARIANTS,
+    default_link,
+    fig_spatial_msg_size,
+    fig_spatial_search_length,
+    fig_temporal_search_length,
+)
+from repro.net import OMNIPATH, QLOGIC_QDR
+
+DEPTHS = [8, 512, 1024]
+SIZES = [1, 4096, 1 << 20]
+
+
+class TestSetup:
+    def test_variant_lineups_match_paper(self):
+        assert [v[0] for v in SPATIAL_VARIANTS] == [
+            "baseline", "LLA - 2", "LLA - 4", "LLA - 8", "LLA - 16", "LLA - 32",
+        ]
+        assert [v[0] for v in TEMPORAL_VARIANTS] == ["baseline", "HC", "LLA", "HC+LLA"]
+
+    def test_panel_a_depth(self):
+        assert PANEL_A_DEPTH == 1024
+
+    def test_links_by_platform(self):
+        assert default_link(SANDY_BRIDGE) is QLOGIC_QDR
+        assert default_link(BROADWELL) is OMNIPATH
+
+
+class TestSpatialPanels:
+    @pytest.fixture(scope="class")
+    def snb_panel_b(self):
+        return fig_spatial_search_length(
+            SANDY_BRIDGE, msg_bytes=1, depths=DEPTHS, iterations=2
+        )
+
+    def test_all_series_present(self, snb_panel_b):
+        assert set(snb_panel_b.labels()) == {v[0] for v in SPATIAL_VARIANTS}
+
+    def test_lla_orders_above_baseline(self, snb_panel_b):
+        base = snb_panel_b.series["baseline"]
+        for label in ("LLA - 2", "LLA - 8", "LLA - 32"):
+            lla = snb_panel_b.series[label]
+            assert lla.at(1024) > base.at(1024) * 2
+
+    def test_lla8_at_least_lla2(self, snb_panel_b):
+        assert snb_panel_b.series["LLA - 8"].at(1024) >= snb_panel_b.series["LLA - 2"].at(1024)
+
+    def test_bandwidth_decreases_with_depth(self, snb_panel_b):
+        for series in snb_panel_b.series.values():
+            assert series.at(8) > series.at(1024)
+
+    def test_msg_size_panel_converges(self):
+        panel = fig_spatial_msg_size(SANDY_BRIDGE, msg_sizes=SIZES, iterations=2)
+        base = panel.series["baseline"]
+        lla = panel.series["LLA - 8"]
+        # Big gap at small sizes, convergence at 1 MiB.
+        assert lla.at(1) > 2 * base.at(1)
+        assert lla.at(1 << 20) == pytest.approx(base.at(1 << 20), rel=0.02)
+
+
+class TestTemporalPanels:
+    def test_sandy_bridge_ordering(self):
+        panel = fig_temporal_search_length(
+            SANDY_BRIDGE, msg_bytes=1, depths=[512], iterations=2
+        )
+        at = {label: panel.series[label].at(512) for label in panel.labels()}
+        assert at["HC"] > at["baseline"]
+        assert at["LLA"] > at["baseline"]
+        assert at["HC+LLA"] > at["LLA"]
+
+    def test_broadwell_sign_flip(self):
+        """Figure 7: cache heating is a slight loss on Broadwell."""
+        panel = fig_temporal_search_length(
+            BROADWELL, msg_bytes=1, depths=[512], iterations=2
+        )
+        at = {label: panel.series[label].at(512) for label in panel.labels()}
+        assert at["HC"] < at["baseline"]
+        assert at["HC+LLA"] < at["LLA"]
+        assert at["LLA"] > at["baseline"]

@@ -1,0 +1,44 @@
+"""The section 4.3 heater micro-benchmark must land in the paper's bands."""
+
+import pytest
+
+from repro.arch import BROADWELL, SANDY_BRIDGE
+from repro.bench.heater_micro import heater_microbenchmark
+
+
+class TestHeaterMicro:
+    @pytest.fixture(scope="class")
+    def snb(self):
+        return heater_microbenchmark(SANDY_BRIDGE, samples=1024, seed=0)
+
+    @pytest.fixture(scope="class")
+    def bdw(self):
+        return heater_microbenchmark(BROADWELL, samples=1024, seed=0)
+
+    def test_sandy_bridge_cold_near_paper(self, snb):
+        assert snb.cold_ns == pytest.approx(47.5, rel=0.15)
+
+    def test_sandy_bridge_hot_near_paper(self, snb):
+        assert snb.hot_ns == pytest.approx(22.9, rel=0.15)
+
+    def test_broadwell_cold_near_paper(self, bdw):
+        assert bdw.cold_ns == pytest.approx(38.5, rel=0.15)
+
+    def test_broadwell_hot_near_paper(self, bdw):
+        assert bdw.hot_ns == pytest.approx(22.8, rel=0.15)
+
+    def test_nearly_doubled_throughput(self, snb, bdw):
+        """Paper: 'nearly a doubling of throughput' on both parts."""
+        assert 1.5 < snb.speedup < 2.5
+        assert 1.4 < bdw.speedup < 2.2
+
+    def test_heating_helps_both_architectures(self, snb, bdw):
+        # Random accesses cannot be prefetched, so — unlike the matching
+        # workload — heating helps on Broadwell too (section 4.3's point).
+        assert snb.hot_ns < snb.cold_ns
+        assert bdw.hot_ns < bdw.cold_ns
+
+    def test_deterministic(self):
+        a = heater_microbenchmark(SANDY_BRIDGE, samples=256, seed=3)
+        b = heater_microbenchmark(SANDY_BRIDGE, samples=256, seed=3)
+        assert a.cold_ns == b.cold_ns and a.hot_ns == b.hot_ns

@@ -1,0 +1,123 @@
+"""Tests for the modified-OSU benchmark harness (Figures 4-7 mechanics)."""
+
+import pytest
+
+from repro.arch import BROADWELL, SANDY_BRIDGE
+from repro.bench.osu import (
+    MSG_SIZE_SWEEP,
+    SEARCH_LENGTH_SWEEP,
+    OsuConfig,
+    osu_bandwidth,
+    osu_latency,
+    sweep_points,
+)
+from repro.errors import ConfigurationError
+from repro.net import QLOGIC_QDR
+
+
+def cfg(**kw):
+    defaults = dict(
+        arch=SANDY_BRIDGE,
+        link=QLOGIC_QDR,
+        queue_family="baseline",
+        msg_bytes=1,
+        search_depth=64,
+        iterations=3,
+        warmup=1,
+    )
+    defaults.update(kw)
+    return OsuConfig(**defaults)
+
+
+class TestAxes:
+    def test_paper_msg_size_axis(self):
+        assert MSG_SIZE_SWEEP[0] == 1
+        assert MSG_SIZE_SWEEP[-1] == 1 << 20  # 1 MiB
+
+    def test_paper_search_length_axis(self):
+        assert SEARCH_LENGTH_SWEEP[0] == 1
+        assert SEARCH_LENGTH_SWEEP[-1] == 8192
+
+
+class TestBandwidthPoint:
+    def test_basic_run(self):
+        point = osu_bandwidth(cfg())
+        assert point.mibps > 0
+        assert point.match_cycles.n == 3
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            osu_bandwidth(cfg(search_depth=-1))
+
+    def test_deeper_queue_slower(self):
+        shallow = osu_bandwidth(cfg(search_depth=4)).mibps
+        deep = osu_bandwidth(cfg(search_depth=1024)).mibps
+        assert deep < shallow
+
+    def test_lla_faster_at_depth(self):
+        base = osu_bandwidth(cfg(search_depth=1024)).mibps
+        lla = osu_bandwidth(cfg(search_depth=1024, queue_family="lla-8")).mibps
+        assert lla > 2 * base  # the paper's ~2x+ spatial gain
+
+    def test_large_messages_network_bound(self):
+        """Figures 4a/5a: curves converge at large sizes."""
+        base = osu_bandwidth(cfg(msg_bytes=1 << 20, search_depth=1024))
+        lla = osu_bandwidth(cfg(msg_bytes=1 << 20, search_depth=1024, queue_family="lla-8"))
+        assert base.network_bound and lla.network_bound
+        assert lla.mibps == pytest.approx(base.mibps, rel=0.01)
+
+    def test_bandwidth_ceiling_near_link_peak(self):
+        point = osu_bandwidth(cfg(msg_bytes=1 << 20, search_depth=0))
+        assert point.mibps <= QLOGIC_QDR.peak_bandwidth_mibps()
+        assert point.mibps > 0.8 * QLOGIC_QDR.peak_bandwidth_mibps()
+
+    def test_small_messages_processing_bound(self):
+        point = osu_bandwidth(cfg(msg_bytes=1, search_depth=1024))
+        assert not point.network_bound
+
+    def test_deterministic(self):
+        a = osu_bandwidth(cfg(seed=5)).mibps
+        b = osu_bandwidth(cfg(seed=5)).mibps
+        assert a == b
+
+    def test_variant_labels(self):
+        assert cfg().variant_label() == "baseline"
+        assert cfg(heated=True).variant_label() == "HC"
+        assert cfg(queue_family="lla-2", heated=True).variant_label() == "HC+lla-2"
+
+
+class TestTemporal:
+    def test_hot_caching_wins_on_sandy_bridge(self):
+        base = osu_bandwidth(cfg(search_depth=512)).mibps
+        hc = osu_bandwidth(cfg(search_depth=512, heated=True)).mibps
+        assert hc > base
+
+    def test_hot_caching_loses_on_broadwell(self):
+        base = osu_bandwidth(cfg(arch=BROADWELL, search_depth=512)).mibps
+        hc = osu_bandwidth(cfg(arch=BROADWELL, search_depth=512, heated=True)).mibps
+        assert hc < base
+
+    def test_hc_lla_beats_lla_on_sandy_bridge(self):
+        lla = osu_bandwidth(cfg(search_depth=512, queue_family="lla-2")).mibps
+        both = osu_bandwidth(cfg(search_depth=512, queue_family="lla-2", heated=True)).mibps
+        assert both > lla
+
+
+class TestLatency:
+    def test_latency_positive_and_grows_with_depth(self):
+        fast = osu_latency(cfg(search_depth=1))
+        slow = osu_latency(cfg(search_depth=1024))
+        assert 0 < fast < slow
+
+    def test_latency_includes_wire(self):
+        lat = osu_latency(cfg(search_depth=0, msg_bytes=0))
+        assert lat >= QLOGIC_QDR.transfer_us(0)
+
+
+class TestSweep:
+    def test_sweep_points_cross_product(self):
+        points = sweep_points(cfg(), msg_sizes=[1, 64], depths=[1, 8])
+        assert len(points) == 4
+        assert {(p.msg_bytes, p.search_depth) for p in points} == {
+            (1, 1), (1, 8), (64, 1), (64, 8),
+        }

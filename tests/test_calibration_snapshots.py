@@ -1,0 +1,73 @@
+"""Calibration snapshot guards.
+
+The reproduction's figure shapes rest on a handful of calibrated per-entry
+costs (MODELING.md section 3). These tests pin each to a band so future
+edits to the cache model, prefetchers, or allocators cannot silently drift
+the calibration. Bands are generous (±~30%) — they protect the *regime*,
+not the fourth digit.
+"""
+
+import pytest
+
+from repro.arch import BROADWELL, NEHALEM, SANDY_BRIDGE
+from tests.test_matching_engine import cold_search_cycles
+
+DEPTH = 1024
+
+
+def per_entry(arch, family, **kw):
+    return cold_search_cycles(arch, family, DEPTH, **kw) / (DEPTH + 1)
+
+
+class TestPerEntryCostBands:
+    """MODELING.md's table of cy/entry at depth 1024, as bands."""
+
+    def test_snb_baseline_sequential(self):
+        assert per_entry(SANDY_BRIDGE, "baseline") == pytest.approx(92, rel=0.3)
+
+    def test_snb_baseline_fragmented(self):
+        assert per_entry(SANDY_BRIDGE, "baseline", fragmented=True) == pytest.approx(130, rel=0.35)
+
+    def test_snb_lla2(self):
+        assert per_entry(SANDY_BRIDGE, "lla-2") == pytest.approx(29, rel=0.3)
+
+    def test_snb_lla8(self):
+        assert per_entry(SANDY_BRIDGE, "lla-8") == pytest.approx(26, rel=0.3)
+
+    def test_bdw_baseline(self):
+        assert per_entry(BROADWELL, "baseline") == pytest.approx(47, rel=0.3)
+
+    def test_bdw_lla2(self):
+        assert per_entry(BROADWELL, "lla-2") == pytest.approx(20, rel=0.3)
+
+    def test_nhm_baseline_fragmented(self):
+        # The FDS regime: near-DRAM per entry.
+        assert per_entry(NEHALEM, "baseline", fragmented=True) == pytest.approx(155, rel=0.3)
+
+    def test_nhm_lla2(self):
+        assert per_entry(NEHALEM, "lla-2") == pytest.approx(46, rel=0.35)
+
+
+class TestArchOrderings:
+    """Relations (not magnitudes) every calibration must preserve."""
+
+    def test_snb_baseline_slower_than_bdw_baseline(self):
+        # Broadwell's tolerant streamer covers the gappy heap better.
+        assert per_entry(SANDY_BRIDGE, "baseline") > per_entry(BROADWELL, "baseline")
+
+    def test_fragmentation_always_hurts_baseline(self):
+        for arch in (SANDY_BRIDGE, BROADWELL, NEHALEM):
+            assert per_entry(arch, "baseline", fragmented=True) > per_entry(arch, "baseline")
+
+    def test_lla_beats_baseline_everywhere(self):
+        for arch in (SANDY_BRIDGE, BROADWELL, NEHALEM):
+            assert per_entry(arch, "lla-2") < per_entry(arch, "baseline")
+
+    def test_ratio_bands_for_headline_claims(self):
+        """The figure-level factors live inside these per-entry ratios."""
+        snb = per_entry(SANDY_BRIDGE, "baseline") / per_entry(SANDY_BRIDGE, "lla-8")
+        assert 2.5 < snb < 5.0
+        bdw = per_entry(BROADWELL, "baseline") / per_entry(BROADWELL, "lla-8")
+        assert 1.8 < bdw < 4.0
+        nhm = per_entry(NEHALEM, "baseline", fragmented=True) / per_entry(NEHALEM, "lla-2")
+        assert 2.5 < nhm < 5.5  # feeds FDS's 2x at app level

@@ -1,0 +1,65 @@
+"""Smoke tests for the CLI: each command runs and prints the right shape."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for cmd in ("table1", "fig1", "layout", "heater-micro", "ablation", "list"):
+            assert parser.parse_args([cmd] if cmd == "list" else [cmd, "--quick"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        out = run_cli(capsys, "list")
+        assert "table1" in out and "fig10" in out
+
+    def test_layout(self, capsys):
+        out = run_cli(capsys, "layout", "--quick")
+        assert "PRQ" in out and "UMQ" in out
+        assert "2" in out and "3" in out  # Figure 2's entries per line
+
+    def test_table1_quick(self, capsys):
+        out = run_cli(capsys, "table1", "--quick")
+        assert "32x32" in out and "27pt" in out
+        assert "6146" in out  # the largest list length of Table 1
+
+    def test_fig1_single_motif(self, capsys):
+        out = run_cli(capsys, "fig1", "--quick", "--motif", "halo3d")
+        assert "halo3d" in out and "posted" in out and "unexpected" in out
+
+    def test_heater_micro(self, capsys):
+        out = run_cli(capsys, "heater-micro", "--quick")
+        assert "sandy-bridge" in out and "broadwell" in out
+
+    def test_ablation_quick(self, capsys):
+        out = run_cli(capsys, "ablation", "--quick")
+        assert "CAT partition" in out and "hot caching" in out
+
+
+class TestNewCommands:
+    def test_offload_quick(self, capsys):
+        out = run_cli(capsys, "offload", "--quick")
+        assert "bxi-like" in out and "psm2-like" in out and "software-only" in out
+
+    def test_chart_flag(self, capsys):
+        out = run_cli(capsys, "fig6", "--quick", "--chart")
+        assert "o=baseline" in out  # chart legend present
+        assert "HC+LLA" in out
+
+    def test_validate_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["validate", "--quick"])
+        assert args.command == "validate"

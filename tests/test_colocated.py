@@ -1,0 +1,70 @@
+"""Tests for the co-located LLC-pressure study (fast, tiny-cache variant)."""
+
+import pytest
+
+from repro.arch.spec import ArchSpec
+from repro.bench.colocated import ColocatedPoint, run_colocated_study
+from repro.errors import ConfigurationError
+
+#: A scaled-down socket so eviction pressure appears with tiny working sets:
+#: 256 KiB LLC, full prefetch stack, 8 cores.
+TINY = ArchSpec(
+    name="tiny",
+    ghz=2.0,
+    cores_per_socket=8,
+    l1_size=4 * 1024,
+    l1_assoc=4,
+    l2_size=16 * 1024,
+    l2_assoc=4,
+    l3_size=256 * 1024,
+    l3_assoc=16,
+    l3_latency=30.0,
+    dram_latency=200.0,
+)
+
+KW = dict(
+    rank_counts=(1, 4),
+    depth=256,
+    working_set_bytes=128 * 1024,  # 4 ranks x 128 KiB = 512 KiB > 256 KiB L3
+    iterations=1,
+)
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_colocated_study(TINY, **KW)
+
+    def test_grid_shape(self, points):
+        assert len(points) == 6  # 3 mechanisms x 2 rank counts
+        assert all(isinstance(p, ColocatedPoint) for p in points)
+
+    def test_unprotected_blows_up_past_capacity(self, points):
+        by = {(p.mechanism, p.ranks): p.cycles_per_search for p in points}
+        assert by[("none", 4)] > 1.5 * by[("none", 1)]
+
+    def test_partition_nearly_flat(self, points):
+        # The toy cache has only 256 sets, so a few sets locally exceed
+        # their reserved share and leak; at real LLC geometry the partition
+        # is exactly flat (see bench_colocated_pressure.py).
+        by = {(p.mechanism, p.ranks): p.cycles_per_search for p in points}
+        assert by[("cat-partition", 4)] <= 1.25 * by[("cat-partition", 1)]
+
+    def test_partition_beats_unprotected_under_pressure(self, points):
+        by = {(p.mechanism, p.ranks): p.cycles_per_search for p in points}
+        assert by[("cat-partition", 4)] < by[("none", 4)]
+
+    def test_hot_caching_defends_partially(self, points):
+        by = {(p.mechanism, p.ranks): p.cycles_per_search for p in points}
+        assert by[("hot-caching", 4)] < by[("none", 4)]
+
+    def test_core_budget_enforced(self):
+        with pytest.raises(ConfigurationError):
+            run_colocated_study(TINY, rank_counts=(16,), iterations=1)
+
+    def test_single_mechanism_selection(self):
+        points = run_colocated_study(
+            TINY, mechanisms=("none",), rank_counts=(1,), depth=64,
+            working_set_bytes=32 * 1024, iterations=1,
+        )
+        assert [p.mechanism for p in points] == ["none"]

@@ -1,0 +1,236 @@
+"""Tests for the hot-cache heater: regions, passes, locks, interference."""
+
+import numpy as np
+import pytest
+
+from repro.arch import BROADWELL, SANDY_BRIDGE
+from repro.errors import ConfigurationError
+from repro.hotcache import HeatedQueue, Heater, HeaterConfig, RegionSet
+from repro.matching import (
+    Envelope,
+    MatchEngine,
+    MatchItem,
+    make_pattern,
+    make_queue,
+)
+from repro.mem.alloc import Allocation
+
+
+class TestRegionSet:
+    def test_add_discard(self):
+        rs = RegionSet()
+        r = Allocation(0x1000, 64)
+        assert rs.add(r) is True
+        assert rs.add(r) is False
+        assert r in rs
+        assert rs.discard(r) is True
+        assert rs.discard(r) is False
+
+    def test_iteration_order(self):
+        rs = RegionSet()
+        regions = [Allocation(i * 0x1000, 64) for i in range(5)]
+        for r in regions:
+            rs.add(r)
+        assert list(rs) == regions
+
+    def test_totals(self):
+        rs = RegionSet([Allocation(0, 100), Allocation(0x1000, 60)])
+        assert rs.total_bytes() == 160
+        assert rs.total_lines() == 2 + 1
+
+    def test_replace_all(self):
+        rs = RegionSet([Allocation(0, 64)])
+        rs.replace_all([Allocation(0x1000, 64), Allocation(0x2000, 64)])
+        assert len(rs) == 2
+
+
+class TestHeaterPasses:
+    def _heater(self, arch=SANDY_BRIDGE, **cfg_kw):
+        hier = arch.build_hierarchy()
+        cfg = HeaterConfig(**cfg_kw)
+        return hier, Heater(hier, arch.ghz, cfg)
+
+    def test_bad_config(self):
+        hier = SANDY_BRIDGE.build_hierarchy()
+        with pytest.raises(ConfigurationError):
+            Heater(hier, 2.6, HeaterConfig(period_ns=0))
+        with pytest.raises(ConfigurationError):
+            Heater(hier, 2.6, HeaterConfig(core_id=9))
+
+    def test_catch_up_runs_due_passes(self):
+        hier, heater = self._heater(period_ns=1000.0)
+        heater.regions.add(Allocation(0x1000, 4096))
+        heater.catch_up(2.6e3 * 3.5)  # 3.5 periods in cycles
+        assert heater.passes == 4  # t=0, 1000, 2000, 3000 ns
+
+    def test_pass_fills_shared_l3(self):
+        hier, heater = self._heater()
+        heater.regions.add(Allocation(0x1000, 4096))
+        heater.force_pass(0.0)
+        assert hier.l3.contains(0x1000 >> 6)
+        # The matching core's private caches are untouched.
+        assert not hier.cores[0].l1.contains(0x1000 >> 6)
+
+    def test_matching_core_hits_l3_after_heating(self):
+        hier, heater = self._heater()
+        heater.regions.add(Allocation(0x1000, 4096))
+        heater.force_pass(0.0)
+        assert hier.access(0, 0x1000, 8) == pytest.approx(SANDY_BRIDGE.l3_latency)
+
+    def test_lock_window_covers_pass(self):
+        hier, heater = self._heater(locked=True, period_ns=1000.0)
+        heater.regions.add(Allocation(0x1000, 64 * 1024))
+        heater.catch_up(1.0)
+        # A deregister landing mid-pass must wait.
+        wait = heater.lock.acquire(heater.last_pass_duration / 2)
+        assert wait > 0
+
+    def test_unlocked_variant_has_free_ops(self):
+        hier, heater = self._heater(locked=False)
+        heater.regions.add(Allocation(0x1000, 4096))
+        heater.catch_up(100.0)
+        assert heater.on_deregister(None, 10.0) == 0.0
+        assert heater.on_register(None, 10.0) == 0.0
+
+    def test_locked_ops_cost_admin(self):
+        hier, heater = self._heater(locked=True)
+        cost = heater.on_register(Allocation(0x9000, 64), 10.0)
+        assert cost >= heater.config.register_cycles
+        assert Allocation(0x9000, 64) in heater.regions
+
+    def test_saturation(self):
+        hier, heater = self._heater(period_ns=100.0)  # 260 cycles
+        heater.regions.replace_all(
+            [Allocation(0x1000 + i * 64, 64) for i in range(200)]
+        )
+        heater.force_pass(0.0)
+        assert heater.saturated
+        # Starvation penalty applies to locked ops when saturated.
+        cost = heater.on_deregister(None, heater.next_pass_start + 1)
+        assert cost >= heater.config.saturated_retry_passes * heater.last_pass_duration
+
+    def test_not_saturated_with_small_region(self):
+        hier, heater = self._heater(period_ns=10000.0)
+        heater.regions.add(Allocation(0x1000, 64))
+        heater.force_pass(0.0)
+        assert not heater.saturated
+
+    def test_disabled_heater_is_inert(self):
+        hier, heater = self._heater()
+        heater.regions.add(Allocation(0x1000, 4096))
+        heater.enabled = False
+        heater.catch_up(1e9)
+        assert heater.passes == 0
+        assert heater.on_deregister(None, 0.0) == 0.0
+
+    def test_reset(self):
+        hier, heater = self._heater()
+        heater.regions.add(Allocation(0x1000, 4096))
+        heater.catch_up(1e6)
+        heater.reset(500.0)
+        assert heater.passes == 0
+        assert heater.next_pass_start == 500.0
+
+    def test_region_provider_refreshes_each_pass(self):
+        hier = SANDY_BRIDGE.build_hierarchy()
+        regions = [Allocation(0x1000, 64)]
+        heater = Heater(hier, 2.6, HeaterConfig(), region_provider=lambda: regions)
+        heater.force_pass(0.0)
+        assert len(heater.regions) == 1
+        regions.append(Allocation(0x2000, 64))
+        heater.force_pass(heater.next_pass_start)
+        assert len(heater.regions) == 2
+
+
+class TestHeatedQueue:
+    def _build(self, family, arch=SANDY_BRIDGE, locked=None):
+        hier = arch.build_hierarchy()
+        engine = MatchEngine(hier)
+        q = make_queue(family, port=engine, rng=np.random.default_rng(0))
+        if locked is None:
+            locked = family == "baseline"
+        heater = Heater(hier, arch.ghz, HeaterConfig(locked=locked))
+        return hier, engine, HeatedQueue(q, heater, engine)
+
+    def test_semantics_preserved(self):
+        _, _, q = self._build("baseline")
+        q.post(make_pattern(1, 2, 0, seq=0))
+        found = q.match_remove(MatchItem.from_envelope(Envelope(1, 2, 0), seq=9))
+        assert found.seq == 0
+        assert len(q) == 0
+
+    def test_family_label(self):
+        _, _, q = self._build("lla-2")
+        assert q.family == "hc+lla"
+
+    def test_lla_uses_pool_regions(self):
+        _, _, q = self._build("lla-2")
+        assert q._per_node_regions is False
+
+    def test_baseline_uses_node_regions(self):
+        _, _, q = self._build("baseline")
+        assert q._per_node_regions is True
+
+    def test_prepare_phase_heats(self):
+        hier, engine, q = self._build("lla-2")
+        for seq in range(64):
+            q.post(make_pattern(0, seq, 0, seq=seq))
+        hier.flush()
+        q.prepare_phase()
+        item = next(iter(q.iter_items()))
+        line = item.addr >> 6
+        assert hier.l3.contains(line)
+
+    def test_heating_speeds_up_cold_searches(self):
+        def run(heated):
+            hier = SANDY_BRIDGE.build_hierarchy()
+            engine = MatchEngine(hier)
+            q = make_queue("baseline", port=engine, rng=np.random.default_rng(0))
+            if heated:
+                heater = Heater(hier, 2.6, HeaterConfig(locked=True))
+                q = HeatedQueue(q, heater, engine)
+            for seq in range(512):
+                q.post(make_pattern(0, 10_000 + seq, 0, seq=seq))
+            q.post(make_pattern(1, 7, 0, seq=600))
+            hier.flush()
+            if heated:
+                q.prepare_phase()
+            probe = MatchItem.from_envelope(Envelope(1, 7, 0), seq=9999)
+            _, cycles = engine.timed(lambda: q.match_remove(probe))
+            return cycles
+
+        assert run(True) < run(False) / 1.5  # Sandy Bridge: clear HC win
+
+
+class TestArchitectureContrast:
+    """The paper's headline temporal result: HC wins on Sandy Bridge and is
+    a (slight) loss on Broadwell (sections 4.3, Figures 6/7)."""
+
+    @staticmethod
+    def _hc_vs_baseline(arch, depth=1024):
+        def run(heated):
+            hier = arch.build_hierarchy()
+            engine = MatchEngine(hier)
+            q = make_queue("baseline", port=engine, rng=np.random.default_rng(1))
+            if heated:
+                heater = Heater(hier, arch.ghz, HeaterConfig(locked=True))
+                q = HeatedQueue(q, heater, engine)
+            for seq in range(depth):
+                q.post(make_pattern(0, 10_000 + seq, 0, seq=seq))
+            q.post(make_pattern(1, 7, 0, seq=depth + 9))
+            hier.flush()
+            if heated:
+                q.prepare_phase()
+            probe = MatchItem.from_envelope(Envelope(1, 7, 0), seq=99_999)
+            _, cycles = engine.timed(lambda: q.match_remove(probe))
+            return cycles
+
+        return run(True), run(False)
+
+    def test_sandy_bridge_hot_caching_wins(self):
+        hot, cold = self._hc_vs_baseline(SANDY_BRIDGE)
+        assert hot < cold * 0.6
+
+    def test_broadwell_hot_caching_loses(self):
+        hot, cold = self._hc_vs_baseline(BROADWELL)
+        assert hot > cold  # the paper's negative result

@@ -1,0 +1,130 @@
+"""Tests for the heater mitigation policies of paper section 3.2."""
+
+import pytest
+
+from repro.arch import SANDY_BRIDGE
+from repro.errors import ConfigurationError
+from repro.hotcache import CollaborativeHeater, DefectiveCoreHeater, HeaterConfig
+from repro.mem.alloc import Allocation
+
+REGION = Allocation(0x4000_0000, 64 * 1024)  # 1024 lines
+
+
+def make_collab(**cfg_kw):
+    hier = SANDY_BRIDGE.build_hierarchy()
+    heater = CollaborativeHeater(hier, SANDY_BRIDGE.ghz, HeaterConfig(**cfg_kw))
+    heater.regions.add(REGION)
+    return hier, heater
+
+
+class TestCollaborativeHeater:
+    def test_paused_heater_runs_no_passes(self):
+        hier, heater = make_collab()
+        heater.pause()
+        heater.catch_up(1e9)
+        assert heater.passes == 0
+        assert not hier.l3.contains(REGION.addr >> 6)
+
+    def test_pause_does_not_backlog_passes(self):
+        """After a long pause, resuming must not replay every missed pass."""
+        hier, heater = make_collab()
+        heater.pause()
+        heater.catch_up(1e9)
+        heater.paused = False
+        heater.catch_up(1e9 + 1)
+        assert heater.passes <= 1
+
+    def test_generous_lead_fully_warms(self):
+        hier, heater = make_collab()
+        heater.pause()
+        warm = heater.resume_before_phase(phase_start=1e6, lead_ns=100_000.0)
+        assert warm == 1.0
+        assert hier.l3.contains(REGION.addr >> 6)
+        assert hier.l3.contains((REGION.addr + REGION.size - 64) >> 6)
+
+    def test_zero_lead_warms_nothing(self):
+        hier, heater = make_collab()
+        heater.pause()
+        warm = heater.resume_before_phase(phase_start=1e6, lead_ns=0.0)
+        assert warm == 0.0
+        assert not hier.l3.contains(REGION.addr >> 6)
+
+    def test_partial_lead_warms_prefix(self):
+        hier = SANDY_BRIDGE.build_hierarchy()
+        heater = CollaborativeHeater(hier, SANDY_BRIDGE.ghz, HeaterConfig())
+        # Several small regions: the lead covers only the first few.
+        regions = [Allocation(0x4000_0000 + i * 0x10000, 4096) for i in range(8)]
+        for r in regions:
+            heater.regions.add(r)
+        per_region = heater.config.region_admin_cycles + 64 * heater.config.touch_cycles_per_line
+        lead_ns = 3.2 * per_region / SANDY_BRIDGE.ghz  # ~3 regions worth
+        warm = heater.resume_before_phase(phase_start=1e6, lead_ns=lead_ns)
+        assert 0.0 < warm < 1.0
+        assert hier.l3.contains(regions[0].addr >> 6)
+        assert not hier.l3.contains(regions[-1].addr >> 6)
+
+    def test_negative_lead_rejected(self):
+        _, heater = make_collab()
+        with pytest.raises(ConfigurationError):
+            heater.resume_before_phase(0.0, -1.0)
+
+    def test_resume_records_lock_window(self):
+        _, heater = make_collab(locked=True)
+        heater.pause()
+        lead_ns = 100_000.0
+        heater.resume_before_phase(phase_start=1e6, lead_ns=lead_ns)
+        # The warming walk holds the lock from resume time on; an acquire in
+        # the middle of that window must wait.
+        window_start = 1e6 - lead_ns * SANDY_BRIDGE.ghz
+        mid = window_start + heater.last_pass_duration / 2
+        assert heater.lock.acquire(mid) > 0
+
+    def test_empty_region_set_is_fully_warm(self):
+        hier = SANDY_BRIDGE.build_hierarchy()
+        heater = CollaborativeHeater(hier, SANDY_BRIDGE.ghz, HeaterConfig())
+        assert heater.resume_before_phase(0.0, 1000.0) == 1.0
+
+
+class TestDefectiveCoreHeater:
+    def _heater(self, slowdown=3.0, **cfg_kw):
+        hier = SANDY_BRIDGE.build_hierarchy()
+        heater = DefectiveCoreHeater(
+            hier, SANDY_BRIDGE.ghz, HeaterConfig(**cfg_kw), slowdown=slowdown
+        )
+        heater.regions.add(REGION)
+        return hier, heater
+
+    def test_bad_slowdown(self):
+        hier = SANDY_BRIDGE.build_hierarchy()
+        with pytest.raises(ConfigurationError):
+            DefectiveCoreHeater(hier, 2.6, slowdown=0.5)
+
+    def test_still_heats_shared_cache(self):
+        hier, heater = self._heater()
+        heater.force_pass(0.0)
+        assert hier.l3.contains(REGION.addr >> 6)
+
+    def test_slower_passes(self):
+        _, slow = self._heater(slowdown=3.0)
+        hier2 = SANDY_BRIDGE.build_hierarchy()
+        from repro.hotcache import Heater
+
+        normal = Heater(hier2, SANDY_BRIDGE.ghz, HeaterConfig())
+        normal.regions.add(REGION)
+        slow.force_pass(0.0)
+        normal.force_pass(0.0)
+        assert slow.last_pass_duration == pytest.approx(3.0 * normal.last_pass_duration)
+
+    def test_no_interference_even_when_saturated(self):
+        _, heater = self._heater(period_ns=10.0)  # guarantees saturation
+        heater.force_pass(0.0)
+        assert heater.saturated
+        assert heater.config.interference_cycles == 0.0
+
+    def test_lock_semantics_preserved(self):
+        """The defective core still takes the region-list lock: correctness
+        does not come free, only pipeline interference does."""
+        _, heater = self._heater(locked=True, period_ns=10.0)
+        heater.force_pass(0.0)
+        cost = heater.on_deregister(None, heater.next_pass_start - 1.0)
+        assert cost > 0

@@ -1,0 +1,141 @@
+"""Cross-subsystem integration tests: whole pipelines, end to end."""
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.arch import BROADWELL, SANDY_BRIDGE
+from repro.matching import make_queue
+from repro.mpi import MpiWorld
+from repro.mpi.process import MpiProcess
+from repro.trace import RecordingProcess, TraceRecorder, loads, dumps, replay
+
+
+class TestDesRuntimeWithEngine:
+    """Full path: DES ranks -> fabric -> matching -> cache hierarchy."""
+
+    def test_halo_exchange_with_cycle_accounting(self):
+        NR, ROUNDS = 4, 3
+
+        def program(ctx):
+            left = (ctx.rank - 1) % ctx.size
+            right = (ctx.rank + 1) % ctx.size
+            for rnd in range(ROUNDS):
+                yield from ctx.send(right, tag=rnd, nbytes=1024)
+                yield from ctx.send(left, tag=100 + rnd, nbytes=1024)
+                r1 = yield from ctx.recv(src=left, tag=rnd)
+                r2 = yield from ctx.recv(src=right, tag=100 + rnd)
+                assert r1.completed and r2.completed
+                yield from ctx.barrier()
+
+        world = MpiWorld(NR, queue_family="lla-2", arch=SANDY_BRIDGE, engine_ranks=(0,))
+        finish = world.run(program)
+        assert finish > 0
+        engine = world.engines[0]
+        assert engine.loads > 0
+        # Matching happened on rank 0's accounted engine.
+        assert world.procs[0].prq_search_depths or world.procs[0].umq_search_depths
+
+    def test_collectives_through_accounted_engine(self):
+        def program(ctx):
+            total = yield from ctx.allreduce(ctx.rank, operator.add)
+            assert total == sum(range(ctx.size))
+            yield from ctx.barrier()
+
+        world = MpiWorld(8, queue_family="hashmap", arch=BROADWELL, engine_ranks=(0, 1))
+        world.run(program)
+        assert world.engines[0].loads > 0
+
+
+class TestRecordReplayPipeline:
+    """DES run -> trace -> serialize -> replay on another design point."""
+
+    def test_des_run_recorded_and_replayed(self):
+        recorder = TraceRecorder()
+        world = MpiWorld(2, seed=4)
+        # Swap rank 1's process for a recording one, preserving its queues.
+        old = world.procs[1]
+        world.procs[1] = RecordingProcess(
+            1, old.prq, old.umq, recorder=recorder, clock=old.clock
+        )
+
+        def program(ctx):
+            if ctx.rank == 0:
+                for tag in (5, 3, 9, 1):
+                    yield from ctx.send(1, tag=tag, nbytes=32)
+            else:
+                for tag in (1, 3, 5, 9):
+                    yield from ctx.recv(src=0, tag=tag)
+
+        world.run(program)
+        assert len(recorder.events) == 8  # 4 posts + 4 arrivals
+
+        # Serialize, parse, replay across organizations.
+        events = loads(dumps(recorder.events))
+        ref = replay(events, queue_family="baseline")
+        assert ref.matches == 4
+        for family in ("lla-4", "openmpi", "adaptive"):
+            out = replay(events, queue_family=family)
+            assert out.matches == ref.matches
+            assert out.unexpected == ref.unexpected
+
+    def test_replay_cost_comparison_pipeline(self):
+        """Record once, rank designs by replay cost — the tooling workflow."""
+        recorder = TraceRecorder()
+        rng = np.random.default_rng(0)
+        proc = RecordingProcess(
+            0,
+            make_queue("baseline", rng=rng),
+            make_queue("baseline", entry_bytes=16, rng=rng, arena_base=0x2000_0000),
+            recorder=recorder,
+        )
+        for i in range(512):
+            proc.post_recv(src=0, tag=1000 + i)
+        from repro.matching import Envelope
+        from repro.mpi.message import Message
+
+        for i in reversed(range(0, 512, 7)):
+            proc.handle_arrival(Message(Envelope(0, 1000 + i, 0), 64))
+
+        costs = {
+            family: replay(
+                recorder.events, queue_family=family, arch=SANDY_BRIDGE, flush_every=64
+            ).match_cycles
+            for family in ("baseline", "lla-8")
+        }
+        assert costs["lla-8"] < costs["baseline"]
+
+
+class TestMotifToReplay:
+    """Queue-length statistics from a live process match the motif model."""
+
+    def test_fill_drain_phase_matches_closed_form(self):
+        from repro.motifs import occurrences_closed_form
+        from repro.matching import Envelope
+        from repro.mpi.message import Message
+
+        rng = np.random.default_rng(0)
+        proc = MpiProcess(
+            0,
+            make_queue("baseline", rng=rng),
+            make_queue("baseline", entry_bytes=16, rng=rng, arena_base=0x2000_0000),
+            sample_depths=True,
+        )
+        k = 9
+        for i in range(k):  # fill
+            proc.post_recv(src=0, tag=i)
+        for i in range(k):  # drain
+            proc.handle_arrival(Message(Envelope(0, i, 0), 0))
+        observed = np.zeros(k + 1, dtype=np.int64)
+        for s in proc.samples:
+            observed[s.prq_len] += 1
+        assert np.array_equal(observed, occurrences_closed_form(np.array([k])))
+
+
+class TestValidationSmoke:
+    def test_quick_spatial_validation_passes(self):
+        from repro.validation import run_validation
+
+        report = run_validation(quick=True, sections=["spatial"])
+        assert report.passed, report.render()

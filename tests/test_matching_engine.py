@@ -1,0 +1,206 @@
+"""Tests for the cycle-accounted match engine and the locality orderings
+the paper's Figures 4-7 rest on."""
+
+import numpy as np
+import pytest
+
+from repro.arch import BROADWELL, NEHALEM, SANDY_BRIDGE
+from repro.matching import (
+    Envelope,
+    MatchEngine,
+    MatchItem,
+    make_pattern,
+    make_queue,
+)
+from repro.sim.clock import Clock
+
+
+def cold_search_cycles(arch, family, depth, *, fragmented=False, seed=1):
+    """Cycles for one cold traversal that matches at position `depth`."""
+    hier = arch.build_hierarchy()
+    engine = MatchEngine(hier)
+    q = make_queue(family, port=engine, rng=np.random.default_rng(seed), fragmented=fragmented)
+    for i in range(depth):
+        q.post(make_pattern(0, 10_000 + i, 0, seq=i))
+    q.post(make_pattern(1, 7, 0, seq=depth + 1))
+    hier.flush()
+    probe = MatchItem.from_envelope(Envelope(1, 7, 0), seq=99_999)
+    _, cycles = engine.timed(lambda: q.match_remove(probe))
+    return cycles
+
+
+class TestEngineBasics:
+    def test_loads_advance_clock(self):
+        hier = SANDY_BRIDGE.build_hierarchy()
+        clock = Clock()
+        engine = MatchEngine(hier, clock=clock)
+        engine.load(0x1000, 8)
+        assert clock.now > 0
+        assert engine.loads == 1
+
+    def test_repeat_load_cheaper(self):
+        hier = SANDY_BRIDGE.build_hierarchy()
+        engine = MatchEngine(hier)
+        _, first = engine.timed(lambda: engine.load(0x1000, 8))
+        _, second = engine.timed(lambda: engine.load(0x1000, 8))
+        assert second < first
+
+    def test_store_cheap(self):
+        hier = SANDY_BRIDGE.build_hierarchy()
+        engine = MatchEngine(hier)
+        _, cost = engine.timed(lambda: engine.store(0x1000, 8))
+        assert cost <= 2.0
+
+    def test_store_warms_cache(self):
+        hier = SANDY_BRIDGE.build_hierarchy()
+        engine = MatchEngine(hier)
+        engine.store(0x1000, 8)
+        _, cost = engine.timed(lambda: engine.load(0x1000, 8))
+        assert cost < 10.0
+
+    def test_charge(self):
+        engine = MatchEngine(SANDY_BRIDGE.build_hierarchy())
+        engine.charge(123.0)
+        assert engine.clock.now == pytest.approx(123.0)
+
+    def test_reset_counters(self):
+        engine = MatchEngine(SANDY_BRIDGE.build_hierarchy())
+        engine.load(0x1000, 8)
+        engine.reset_counters()
+        assert engine.loads == 0 and engine.load_cycles == 0.0
+
+
+class TestSpatialLocalityOrdering:
+    """The core claims of Figures 4/5 must hold at the cycle level."""
+
+    @pytest.mark.parametrize("arch", [SANDY_BRIDGE, BROADWELL], ids=lambda a: a.name)
+    def test_lla_beats_baseline_at_depth(self, arch):
+        base = cold_search_cycles(arch, "baseline", 1024)
+        lla = cold_search_cycles(arch, "lla-8", 1024)
+        assert lla < base / 2  # paper: up to 2x+ for small/medium messages
+
+    def test_gain_grows_then_plateaus(self):
+        """Section 4.2: 'a large jump from the baseline to the first linked
+        list of arrays, and a slight increase as we increase the number of
+        entries within an array'."""
+        base = cold_search_cycles(SANDY_BRIDGE, "baseline", 1024)
+        costs = {
+            k: cold_search_cycles(SANDY_BRIDGE, f"lla-{k}", 1024)
+            for k in (2, 4, 8, 16, 32)
+        }
+        assert costs[4] < costs[2]
+        assert costs[8] < costs[4]
+        # The whole k sweep moves far less than the baseline->LLA-2 jump...
+        assert (costs[2] - costs[32]) < 0.25 * (base - costs[2])
+        # ...and past 8 entries the residual gain is small.
+        assert (costs[8] - costs[32]) < 0.2 * costs[8]
+
+    def test_biggest_jump_is_baseline_to_first_lla(self):
+        """Section 4.2: 'a large jump from the baseline to the first linked
+        list of arrays, and a slight increase' thereafter."""
+        base = cold_search_cycles(SANDY_BRIDGE, "baseline", 1024)
+        lla2 = cold_search_cycles(SANDY_BRIDGE, "lla-2", 1024)
+        lla32 = cold_search_cycles(SANDY_BRIDGE, "lla-32", 1024)
+        assert (base - lla2) > 3 * (lla2 - lla32)
+
+    def test_fragmented_baseline_worse_than_sequential(self):
+        seq = cold_search_cycles(NEHALEM, "baseline", 512, fragmented=False)
+        frag = cold_search_cycles(NEHALEM, "baseline", 512, fragmented=True)
+        assert frag > seq
+
+    def test_lla_large_at_least_as_good_as_lla2(self):
+        lla2 = cold_search_cycles(NEHALEM, "lla-2", 2048)
+        large = cold_search_cycles(NEHALEM, "lla-large", 2048)
+        assert large <= lla2 * 1.05
+
+    def test_short_lists_no_regression(self):
+        """Key paper requirement: locality tricks must not hurt short lists."""
+        base = cold_search_cycles(SANDY_BRIDGE, "baseline", 2)
+        lla = cold_search_cycles(SANDY_BRIDGE, "lla-2", 2)
+        assert lla <= base * 1.1
+
+
+class TestPrefetchAblation:
+    def test_lla_advantage_needs_prefetchers(self):
+        """Without prefetch units the LLA keeps only its packing advantage."""
+        def run(prefetch):
+            hier = SANDY_BRIDGE.build_hierarchy(prefetch_enabled=prefetch)
+            engine = MatchEngine(hier)
+            q = make_queue("lla-8", port=engine, rng=np.random.default_rng(1))
+            for i in range(512):
+                q.post(make_pattern(0, 10_000 + i, 0, seq=i))
+            q.post(make_pattern(1, 7, 0, seq=600))
+            hier.flush()
+            probe = MatchItem.from_envelope(Envelope(1, 7, 0), seq=9999)
+            _, cycles = engine.timed(lambda: q.match_remove(probe))
+            return cycles
+
+        assert run(prefetch=True) < run(prefetch=False) / 2
+
+
+class TestSoftwarePrefetch:
+    """The section 6 middleware-prefetch proposal, unit level."""
+
+    def _cycles(self, family, sw, fragmented=False):
+        return cold_search_cycles_sw(family, sw, fragmented)
+
+    def test_hint_noop_when_disabled(self):
+        hier = SANDY_BRIDGE.build_hierarchy()
+        engine = MatchEngine(hier)
+        engine.hint(0x1000, 64)
+        assert engine.sw_prefetches == 0
+        assert engine.clock.now == 0.0
+
+    def test_hint_fills_l2_when_enabled(self):
+        hier = SANDY_BRIDGE.build_hierarchy()
+        engine = MatchEngine(hier, software_prefetch=True)
+        engine.hint(0x1000, 64)
+        assert engine.sw_prefetches == 1
+        assert hier.cores[0].l2.contains(0x1000 >> 6)
+
+    def test_hint_skips_resident_lines(self):
+        hier = SANDY_BRIDGE.build_hierarchy()
+        engine = MatchEngine(hier, software_prefetch=True)
+        engine.load(0x1000, 8)
+        before = engine.sw_prefetches
+        engine.hint(0x1000, 8)
+        assert engine.sw_prefetches == before
+
+    def test_rescues_baseline_traversal(self):
+        off = self._cycles("baseline", False)
+        on = self._cycles("baseline", True)
+        assert on < off / 2
+
+    def test_works_where_hardware_prefetch_is_blind(self):
+        off = self._cycles("baseline", False, fragmented=True)
+        on = self._cycles("baseline", True, fragmented=True)
+        assert on < off / 2
+
+    def test_stacks_with_lla(self):
+        off = self._cycles("lla-8", False)
+        on = self._cycles("lla-8", True)
+        assert on <= off
+
+    def test_null_port_counts_hints(self):
+        from repro.matching.port import NullPort
+
+        port = NullPort()
+        q = make_queue("baseline", port=port, rng=np.random.default_rng(0))
+        for i in range(16):
+            q.post(make_pattern(0, i, 0, seq=i))
+        port.reset()
+        q.match_remove(MatchItem.from_envelope(Envelope(0, 15, 0), seq=99))
+        assert port.hints > 0
+
+
+def cold_search_cycles_sw(family, sw_prefetch, fragmented=False, depth=512):
+    hier = SANDY_BRIDGE.build_hierarchy()
+    engine = MatchEngine(hier, software_prefetch=sw_prefetch)
+    q = make_queue(family, port=engine, rng=np.random.default_rng(1), fragmented=fragmented)
+    for i in range(depth):
+        q.post(make_pattern(0, 10_000 + i, 0, seq=i))
+    q.post(make_pattern(1, 7, 0, seq=depth + 1))
+    hier.flush()
+    probe = MatchItem.from_envelope(Envelope(1, 7, 0), seq=99_999)
+    _, cycles = engine.timed(lambda: q.match_remove(probe))
+    return cycles

@@ -1,0 +1,102 @@
+"""Tests for envelopes, patterns, and the symmetric matching rule."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.matching.entry import MatchItem
+from repro.matching.envelope import (
+    ANY_SOURCE,
+    ANY_TAG,
+    FULL_MASK,
+    Envelope,
+    items_match,
+    make_pattern,
+)
+
+ranks = st.integers(min_value=0, max_value=2**15 - 1)
+tags = st.integers(min_value=0, max_value=2**20)
+cids = st.integers(min_value=0, max_value=64)
+
+
+class TestEnvelope:
+    def test_fields(self):
+        env = Envelope(src=3, tag=7, cid=1)
+        assert (env.src, env.tag, env.cid) == (3, 7, 1)
+
+    def test_wildcard_send_rejected(self):
+        with pytest.raises(ValueError):
+            Envelope(src=ANY_SOURCE, tag=0, cid=0)
+        with pytest.raises(ValueError):
+            Envelope(src=0, tag=ANY_TAG, cid=0)
+
+
+class TestMakePattern:
+    def test_concrete_pattern(self):
+        p = make_pattern(3, 7, 1, seq=0)
+        assert p.src_mask == FULL_MASK and p.tag_mask == FULL_MASK
+
+    def test_any_source(self):
+        p = make_pattern(ANY_SOURCE, 7, 1, seq=0)
+        assert p.src_mask == 0 and p.wildcard_source
+
+    def test_any_tag(self):
+        p = make_pattern(3, ANY_TAG, 1, seq=0)
+        assert p.tag_mask == 0 and p.wildcard_tag
+
+
+class TestMatching:
+    def _env_item(self, src, tag, cid):
+        return MatchItem.from_envelope(Envelope(src, tag, cid), seq=99)
+
+    def test_exact_match(self):
+        assert items_match(make_pattern(3, 7, 1, 0), self._env_item(3, 7, 1))
+
+    def test_source_mismatch(self):
+        assert not items_match(make_pattern(3, 7, 1, 0), self._env_item(4, 7, 1))
+
+    def test_tag_mismatch(self):
+        assert not items_match(make_pattern(3, 7, 1, 0), self._env_item(3, 8, 1))
+
+    def test_communicator_isolation(self):
+        assert not items_match(make_pattern(3, 7, 1, 0), self._env_item(3, 7, 2))
+
+    def test_any_source_matches_all_sources(self):
+        p = make_pattern(ANY_SOURCE, 7, 1, 0)
+        assert items_match(p, self._env_item(0, 7, 1))
+        assert items_match(p, self._env_item(999, 7, 1))
+
+    def test_any_tag_matches_all_tags(self):
+        p = make_pattern(3, ANY_TAG, 1, 0)
+        assert items_match(p, self._env_item(3, 0, 1))
+        assert items_match(p, self._env_item(3, 12345, 1))
+
+    def test_double_wildcard(self):
+        p = make_pattern(ANY_SOURCE, ANY_TAG, 1, 0)
+        assert items_match(p, self._env_item(8, 9, 1))
+        assert not items_match(p, self._env_item(8, 9, 2))
+
+    @given(ranks, tags, cids, ranks, tags, cids)
+    def test_concrete_matching_is_field_equality(self, s1, t1, c1, s2, t2, c2):
+        p = make_pattern(s1, t1, c1, 0)
+        e = self._env_item(s2, t2, c2)
+        assert items_match(p, e) == ((s1, t1, c1) == (s2, t2, c2))
+
+    @given(ranks, tags, cids)
+    def test_matching_is_symmetric(self, src, tag, cid):
+        p = make_pattern(src, tag, cid, 0)
+        e = self._env_item(src, tag, cid)
+        assert items_match(p, e) == items_match(e, p)
+
+    @given(
+        st.one_of(st.just(ANY_SOURCE), ranks),
+        st.one_of(st.just(ANY_TAG), tags),
+        ranks,
+        tags,
+        cids,
+    )
+    def test_wildcard_semantics_reference(self, psrc, ptag, esrc, etag, cid):
+        """The mask rule must agree with the obvious wildcard definition."""
+        p = make_pattern(psrc, ptag, cid, 0)
+        e = self._env_item(esrc, etag, cid)
+        expected = (psrc in (ANY_SOURCE, esrc)) and (ptag in (ANY_TAG, etag))
+        assert items_match(p, e) == expected

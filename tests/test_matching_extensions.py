@@ -1,0 +1,124 @@
+"""Behaviour specific to the extension queue families (CH4, adaptive)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.matching import Envelope, MatchItem, make_pattern, make_queue
+from repro.matching.adaptive import AdaptiveHybridQueue
+from repro.matching.ch4 import Ch4PerCommunicatorQueue
+from repro.matching.port import NullPort
+
+
+def env_probe(src, tag, cid=0, seq=10_000):
+    return MatchItem.from_envelope(Envelope(src, tag, cid), seq=seq)
+
+
+class TestCh4:
+    def test_per_communicator_isolation_in_probes(self):
+        """Traffic on other communicators never inflates a search."""
+        q = Ch4PerCommunicatorQueue(rng=np.random.default_rng(0))
+        for seq in range(100):
+            q.post(make_pattern(0, seq, cid=seq % 10, seq=seq))
+        q.match_remove(env_probe(0, 90, cid=0))
+        # cid 0 holds only 10 entries; the probe may inspect at most those.
+        assert q.stats.last_probes <= 10
+
+    def test_single_communicator_degenerates_to_baseline_scan(self):
+        q = Ch4PerCommunicatorQueue(rng=np.random.default_rng(0))
+        for seq in range(50):
+            q.post(make_pattern(0, seq, cid=0, seq=seq))
+        q.match_remove(env_probe(0, 49, cid=0))
+        assert q.stats.last_probes == 50
+
+    def test_communicator_count(self):
+        q = Ch4PerCommunicatorQueue(rng=np.random.default_rng(0))
+        for cid in (0, 3, 7):
+            q.post(make_pattern(0, 1, cid=cid, seq=cid))
+        assert q.communicator_count() == 3
+        q.match_remove(env_probe(0, 1, cid=3, seq=50))
+        assert q.communicator_count() == 2
+
+    def test_footprint_includes_table(self):
+        q = Ch4PerCommunicatorQueue(rng=np.random.default_rng(0))
+        assert q.footprint_bytes() >= 64 * 8
+
+
+class TestAdaptive:
+    def _queue(self, promote=8, demote=2):
+        return AdaptiveHybridQueue(
+            rng=np.random.default_rng(0), promote_at=promote, demote_at=demote
+        )
+
+    def test_bad_thresholds(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveHybridQueue(promote_at=10, demote_at=10)
+
+    def test_starts_as_list(self):
+        assert not self._queue().hashed
+
+    def test_promotes_at_threshold(self):
+        q = self._queue(promote=8)
+        for seq in range(8):
+            q.post(make_pattern(0, seq, 0, seq=seq))
+        assert q.hashed
+        assert q.migrations == 1
+
+    def test_demotes_with_hysteresis(self):
+        q = self._queue(promote=8, demote=2)
+        for seq in range(8):
+            q.post(make_pattern(0, seq, 0, seq=seq))
+        assert q.hashed
+        # Draining to 3 (> demote_at) must NOT flap back.
+        for tag in range(5):
+            q.match_remove(env_probe(0, tag, seq=100 + tag))
+        assert q.hashed
+        q.match_remove(env_probe(0, 5, seq=200))
+        assert not q.hashed  # now at 2 == demote_at
+        assert q.migrations == 2
+
+    def test_items_survive_migration_in_order(self):
+        q = self._queue(promote=4)
+        for seq in range(6):
+            q.post(make_pattern(0, 7, 0, seq=seq))  # identical patterns
+        assert q.hashed
+        got = [q.match_remove(env_probe(0, 7, seq=100 + i)).seq for i in range(6)]
+        assert got == list(range(6))
+
+    def test_hashed_mode_short_circuits_search(self):
+        q = self._queue(promote=16)
+        for seq in range(64):
+            q.post(make_pattern(0, seq, 0, seq=seq))
+        assert q.hashed
+        q.match_remove(env_probe(0, 60, seq=1000))
+        assert q.stats.last_probes < 10
+
+    def test_list_mode_has_no_bin_overhead(self):
+        port = NullPort()
+        q = AdaptiveHybridQueue(rng=np.random.default_rng(0), port=port, promote_at=64, demote_at=4)
+        q.post(make_pattern(0, 1, 0, seq=0))
+        port.reset()
+        q.match_remove(env_probe(0, 1))
+        # One node load (+unlink stores); no bin-array loads.
+        assert port.loads == 1
+
+    def test_migration_charges_memory_traffic(self):
+        port = NullPort()
+        q = AdaptiveHybridQueue(rng=np.random.default_rng(0), port=port, promote_at=8, demote_at=2)
+        for seq in range(7):
+            q.post(make_pattern(0, seq, 0, seq=seq))
+        before = port.loads + port.stores
+        q.post(make_pattern(0, 7, 0, seq=7))  # triggers migration
+        after = port.loads + port.stores
+        assert after - before > 8  # drained + re-posted entries
+
+
+class TestFactoryExtensions:
+    def test_factory_builds_extensions(self):
+        for family, cls in (("ch4", Ch4PerCommunicatorQueue), ("adaptive", AdaptiveHybridQueue)):
+            q = make_queue(family, rng=np.random.default_rng(0))
+            assert isinstance(q, cls)
+
+    def test_unknown_family_message_lists_extensions(self):
+        with pytest.raises(ConfigurationError, match="ch4"):
+            make_queue("btree")

@@ -1,0 +1,159 @@
+"""LLA-specific behaviour: Figure 2 layout, hole management, node lifecycle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.matching import Envelope, MatchItem, make_pattern
+from repro.matching.entry import (
+    LLA_NODE_OVERHEAD,
+    PRQ_ENTRY_BYTES,
+    UMQ_ENTRY_BYTES,
+    lla_entries_per_line,
+    lla_node_bytes,
+)
+from repro.matching.lla import LinkedListOfArrays
+from repro.matching.port import NullPort
+
+
+def probe(src, tag, seq=1_000_000):
+    return MatchItem.from_envelope(Envelope(src, tag, 0), seq=seq)
+
+
+class TestFigure2Layout:
+    def test_prq_two_entries_per_line(self):
+        assert lla_entries_per_line(PRQ_ENTRY_BYTES) == 2
+
+    def test_umq_three_entries_per_line(self):
+        assert lla_entries_per_line(UMQ_ENTRY_BYTES) == 3
+
+    def test_prq_k2_node_is_exactly_one_line(self):
+        # 8B head/tail + 2x24B + 8B next = 64B (Figure 2).
+        assert lla_node_bytes(2, PRQ_ENTRY_BYTES) == 64
+
+    def test_umq_k3_node_is_exactly_one_line(self):
+        assert lla_node_bytes(3, UMQ_ENTRY_BYTES) == 64
+
+    def test_node_bytes_line_multiple(self):
+        for k in (2, 4, 8, 16, 32, 128):
+            assert lla_node_bytes(k) % 64 == 0
+
+    def test_overhead_constant(self):
+        assert LLA_NODE_OVERHEAD == 16
+
+
+class TestNodeLifecycle:
+    def test_bad_arity(self):
+        with pytest.raises(ConfigurationError):
+            LinkedListOfArrays(0)
+
+    def test_node_count_growth(self):
+        q = LinkedListOfArrays(4)
+        for seq in range(9):
+            q.post(make_pattern(0, seq, 0, seq=seq))
+        assert q.node_count == 3
+
+    def test_entries_within_node_contiguous(self):
+        q = LinkedListOfArrays(4)
+        items = [make_pattern(0, seq, 0, seq=seq) for seq in range(4)]
+        for it in items:
+            q.post(it)
+        addrs = [it.addr for it in items]
+        assert all(b - a == PRQ_ENTRY_BYTES for a, b in zip(addrs, addrs[1:]))
+
+    def test_drained_node_released_to_pool(self):
+        q = LinkedListOfArrays(2)
+        for seq in range(4):
+            q.post(make_pattern(0, seq, 0, seq=seq))
+        assert q.node_count == 2
+        q.match_remove(probe(0, 0))
+        q.match_remove(probe(0, 1))  # first node drained
+        assert q.node_count == 1
+        assert q.pool.live_blocks == 1
+
+    def test_interior_hole_then_reuse_on_drain(self):
+        q = LinkedListOfArrays(4)
+        for seq in range(8):
+            q.post(make_pattern(0, seq, 0, seq=seq))
+        q.match_remove(probe(0, 1))  # interior hole in node 0
+        assert q.hole_count() == 1
+        assert len(q) == 7
+
+    def test_boundary_holes_tightened(self):
+        q = LinkedListOfArrays(4)
+        for seq in range(4):
+            q.post(make_pattern(0, seq, 0, seq=seq))
+        q.match_remove(probe(0, 0))  # head hole: start advances
+        assert q.hole_count() == 0
+        q.match_remove(probe(0, 3))  # tail hole: end retreats
+        assert q.hole_count() == 0
+        assert len(q) == 2
+
+    def test_append_after_tail_tighten(self):
+        q = LinkedListOfArrays(4)
+        for seq in range(4):
+            q.post(make_pattern(0, seq, 0, seq=seq))
+        q.match_remove(probe(0, 3))
+        q.post(make_pattern(0, 99, 0, seq=100))
+        # FIFO must be preserved: the tail slot is reused for the new item.
+        assert [it.seq for it in q.iter_items()] == [0, 1, 2, 100]
+
+    def test_holes_cost_loads_but_not_probes(self):
+        port = NullPort()
+        q = LinkedListOfArrays(4, port=port)
+        for seq in range(4):
+            q.post(make_pattern(0, seq, 0, seq=seq))
+        q.match_remove(probe(0, 1))
+        port.reset()
+        q.hole_probes = 0
+        q.match_remove(probe(0, 3))
+        assert q.hole_probes == 1  # walked over the seq=1 hole
+        assert q.stats.last_probes == 3  # live entries 0, 2, 3
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 9)), min_size=1, max_size=80))
+    @settings(max_examples=60, deadline=None)
+    def test_live_count_invariant(self, ops):
+        q = LinkedListOfArrays(3)
+        live = {}
+        seq = 0
+        for is_post, tag in ops:
+            if is_post:
+                q.post(make_pattern(0, tag, 0, seq=seq))
+                live.setdefault(tag, []).append(seq)
+                seq += 1
+            else:
+                found = q.match_remove(probe(0, tag, seq=10_000 + seq))
+                seq += 1
+                if live.get(tag):
+                    assert found.seq == live[tag].pop(0)
+                else:
+                    assert found is None
+        assert len(q) == sum(len(v) for v in live.values())
+        # Node bookkeeping: every node's live total matches the queue's.
+        assert sum(n.live for n in q._nodes) == len(q)
+        # Every slot outside [start, end) is dead.
+        for node in q._nodes:
+            for idx in range(node.start):
+                assert node.slots[idx] is None or idx >= node.start
+            assert all(node.slots[i] is None for i in range(node.end, q.entries_per_node))
+
+
+class TestRegions:
+    def test_regions_are_slabs(self):
+        q = LinkedListOfArrays(2)
+        for seq in range(100):
+            q.post(make_pattern(0, seq, 0, seq=seq))
+        regions = q.regions()
+        assert regions == q.pool.regions()
+        assert sum(r.size for r in regions) >= 100 // 2 * 64
+
+    def test_region_set_stable_under_churn(self):
+        q = LinkedListOfArrays(2)
+        for seq in range(64):
+            q.post(make_pattern(0, seq, 0, seq=seq))
+        before = [(r.addr, r.size) for r in q.regions()]
+        for seq in range(64):
+            q.match_remove(probe(0, seq))
+            q.post(make_pattern(0, 1000 + seq, 0, seq=1000 + seq))
+        assert [(r.addr, r.size) for r in q.regions()] == before

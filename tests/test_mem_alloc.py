@@ -1,0 +1,209 @@
+"""Tests for the simulated allocators, including non-overlap properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AllocationError
+from repro.mem.alloc import (
+    Allocation,
+    BumpAllocator,
+    FragmentedHeap,
+    SequentialHeap,
+    SlabPool,
+)
+from repro.mem.layout import LINE_SIZE
+
+BASE = 0x1000_0000
+CAP = 1 << 26
+
+
+def _no_overlap(allocs):
+    ordered = sorted(allocs, key=lambda a: a.addr)
+    for a, b in zip(ordered, ordered[1:]):
+        assert a.end <= b.addr, f"{a} overlaps {b}"
+
+
+class TestAllocation:
+    def test_end(self):
+        assert Allocation(100, 50).end == 150
+
+    def test_overlap_detection(self):
+        assert Allocation(0, 10).overlaps(Allocation(5, 10))
+        assert not Allocation(0, 10).overlaps(Allocation(10, 10))
+
+
+class TestBumpAllocator:
+    def test_sequential_addresses(self):
+        arena = BumpAllocator(BASE, CAP)
+        a = arena.alloc(100)
+        b = arena.alloc(100)
+        assert b.addr >= a.end
+
+    def test_alignment(self):
+        arena = BumpAllocator(BASE, CAP, alignment=64)
+        for _ in range(10):
+            assert arena.alloc(17).addr % 64 == 0
+
+    def test_exhaustion(self):
+        arena = BumpAllocator(BASE, 128)
+        arena.alloc(100)
+        with pytest.raises(AllocationError):
+            arena.alloc(100)
+
+    def test_bad_size(self):
+        with pytest.raises(AllocationError):
+            BumpAllocator(BASE, CAP).alloc(0)
+
+    def test_live_bytes(self):
+        arena = BumpAllocator(BASE, CAP)
+        a = arena.alloc(100)
+        assert arena.live_bytes == 100
+        arena.free(a)
+        assert arena.live_bytes == 0
+
+    def test_reset(self):
+        arena = BumpAllocator(BASE, CAP)
+        first = arena.alloc(64).addr
+        arena.reset()
+        assert arena.alloc(64).addr == first
+
+    @given(st.lists(st.integers(min_value=1, max_value=512), min_size=1, max_size=100))
+    def test_never_overlaps(self, sizes):
+        arena = BumpAllocator(BASE, CAP)
+        _no_overlap([arena.alloc(s) for s in sizes])
+
+
+class TestSequentialHeap:
+    def _heap(self, seed=0, **kw):
+        return SequentialHeap(BASE, CAP, np.random.default_rng(seed), **kw)
+
+    def test_mostly_ascending(self):
+        heap = self._heap()
+        addrs = [heap.alloc(40).addr for _ in range(100)]
+        assert addrs == sorted(addrs)
+
+    def test_header_gap_between_allocations(self):
+        heap = self._heap(gap_prob=0.0)
+        a = heap.alloc(40)
+        b = heap.alloc(40)
+        assert b.addr - a.end >= 0  # header/padding separates them
+        assert b.addr - a.addr >= 40 + heap.header_bytes - heap.alignment
+
+    def test_exact_size_reuse(self):
+        heap = self._heap()
+        a = heap.alloc(40)
+        heap.free(a)
+        b = heap.alloc(40)
+        assert b.addr == a.addr
+
+    def test_different_size_not_reused(self):
+        heap = self._heap()
+        a = heap.alloc(40)
+        heap.free(a)
+        b = heap.alloc(48)
+        assert b.addr != a.addr
+
+    def test_deterministic_given_seed(self):
+        a = [self._heap(3).alloc(40).addr for _ in range(1)]
+        b = [self._heap(3).alloc(40).addr for _ in range(1)]
+        assert a == b
+
+    @given(st.lists(st.integers(min_value=1, max_value=256), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_never_overlaps(self, sizes):
+        heap = self._heap(11)
+        _no_overlap([heap.alloc(s) for s in sizes])
+
+
+class TestFragmentedHeap:
+    def _heap(self, seed=0):
+        return FragmentedHeap(BASE, 1 << 30, np.random.default_rng(seed))
+
+    def test_scattered_addresses(self):
+        heap = self._heap()
+        addrs = [heap.alloc(40).addr for _ in range(50)]
+        # Consecutive allocations should usually be far apart.
+        gaps = [abs(b - a) for a, b in zip(addrs, addrs[1:])]
+        assert sum(g > 1024 for g in gaps) > len(gaps) // 2
+
+    def test_free_and_reuse(self):
+        heap = self._heap()
+        a = heap.alloc(40)
+        heap.free(a)
+        # Freed slot goes to the back of the class order; many allocations
+        # later it can come out again.
+        seen = {heap.alloc(40).addr for _ in range(600)}
+        assert a.addr in seen or len(seen) == 600
+
+    @given(st.lists(st.integers(min_value=1, max_value=128), min_size=1, max_size=200))
+    @settings(max_examples=30)
+    def test_never_overlaps(self, sizes):
+        heap = self._heap(5)
+        _no_overlap([heap.alloc(s) for s in sizes])
+
+
+class TestSlabPool:
+    def test_block_size_rounded_to_line(self):
+        pool = SlabPool(40, arena=BumpAllocator(BASE, CAP))
+        assert pool.block_size == 64
+
+    def test_unrounded_when_disabled(self):
+        pool = SlabPool(40, arena=BumpAllocator(BASE, CAP), align_to_line=False)
+        assert pool.block_size == 40
+
+    def test_fresh_pool_ascending_contiguous(self):
+        pool = SlabPool(64, arena=BumpAllocator(BASE, CAP))
+        addrs = [pool.alloc().addr for _ in range(16)]
+        assert all(b - a == 64 for a, b in zip(addrs, addrs[1:]))
+
+    def test_line_aligned_blocks(self):
+        pool = SlabPool(64, arena=BumpAllocator(BASE + 8, CAP))
+        for _ in range(10):
+            assert pool.alloc().addr % LINE_SIZE == 0
+
+    def test_lifo_reuse(self):
+        pool = SlabPool(64, arena=BumpAllocator(BASE, CAP))
+        a = pool.alloc()
+        pool.free(a)
+        assert pool.alloc().addr == a.addr
+
+    def test_grows_new_slab(self):
+        pool = SlabPool(64, arena=BumpAllocator(BASE, CAP), blocks_per_slab=4)
+        for _ in range(9):
+            pool.alloc()
+        assert len(pool.slabs) == 3
+
+    def test_regions_stable_under_churn(self):
+        pool = SlabPool(64, arena=BumpAllocator(BASE, CAP), blocks_per_slab=8)
+        blocks = [pool.alloc() for _ in range(8)]
+        regions_before = [(r.addr, r.size) for r in pool.regions()]
+        for b in blocks:
+            pool.free(b)
+        for _ in range(8):
+            pool.alloc()
+        assert [(r.addr, r.size) for r in pool.regions()] == regions_before
+
+    def test_oversized_request_rejected(self):
+        pool = SlabPool(64, arena=BumpAllocator(BASE, CAP))
+        with pytest.raises(AllocationError):
+            pool.alloc(65)
+
+    def test_footprint(self):
+        pool = SlabPool(64, arena=BumpAllocator(BASE, CAP), blocks_per_slab=8)
+        pool.alloc()
+        assert pool.footprint_bytes == 8 * 64
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    @settings(max_examples=30)
+    def test_live_blocks_never_share_addresses(self, ops):
+        pool = SlabPool(64, arena=BumpAllocator(BASE, CAP), blocks_per_slab=4)
+        live = []
+        for do_alloc in ops:
+            if do_alloc or not live:
+                live.append(pool.alloc())
+            else:
+                pool.free(live.pop())
+        addrs = [b.addr for b in live]
+        assert len(addrs) == len(set(addrs))
+        _no_overlap(live)

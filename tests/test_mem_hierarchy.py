@@ -1,0 +1,172 @@
+"""Tests for the multi-core memory hierarchy."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem.cache import CLS_DEFAULT, CLS_NETWORK, WayPartition
+from repro.mem.hierarchy import MemoryHierarchy, NetworkCacheConfig
+
+
+def tiny_hierarchy(**kw):
+    defaults = dict(
+        n_cores=2,
+        l1_size=1024,
+        l1_assoc=2,
+        l1_latency=4.0,
+        l2_size=4096,
+        l2_assoc=4,
+        l2_latency=12.0,
+        l3_size=64 * 1024,
+        l3_assoc=16,
+        l3_latency=30.0,
+        dram_latency=200.0,
+        l1_prefetcher_factory=list,
+        l2_prefetcher_factory=list,
+    )
+    defaults.update(kw)
+    return MemoryHierarchy(**defaults)
+
+
+class TestDemandPath:
+    def test_cold_access_costs_dram(self):
+        h = tiny_hierarchy()
+        assert h.access(0, 0x1000, 8) == pytest.approx(200.0)
+
+    def test_second_access_hits_l1(self):
+        h = tiny_hierarchy()
+        h.access(0, 0x1000, 8)
+        assert h.access(0, 0x1000, 8) == pytest.approx(4.0)
+
+    def test_fill_is_inclusive_up_the_levels(self):
+        h = tiny_hierarchy()
+        h.access(0, 0x1000, 8)
+        line = 0x1000 >> 6
+        assert h.cores[0].l1.contains(line)
+        assert h.cores[0].l2.contains(line)
+        assert h.l3.contains(line)
+
+    def test_l3_hit_after_other_core_access(self):
+        h = tiny_hierarchy()
+        h.access(1, 0x1000, 8)  # core 1 pulls into shared L3
+        assert h.access(0, 0x1000, 8) == pytest.approx(30.0)
+
+    def test_multi_line_access_charges_per_line(self):
+        h = tiny_hierarchy()
+        assert h.access(0, 0x1000, 128) == pytest.approx(400.0)
+
+    def test_straddling_access(self):
+        h = tiny_hierarchy()
+        assert h.access(0, 0x1000 + 60, 8) == pytest.approx(400.0)
+
+    def test_zero_bytes_free(self):
+        h = tiny_hierarchy()
+        assert h.access(0, 0x1000, 0) == 0.0
+
+    def test_needs_at_least_one_core(self):
+        with pytest.raises(ConfigurationError):
+            tiny_hierarchy(n_cores=0)
+
+    def test_bad_coverage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tiny_hierarchy(dram_stream_coverage=1.5)
+
+
+class TestWrites:
+    def test_write_fills_without_latency(self):
+        h = tiny_hierarchy()
+        lines = h.write(0, 0x1000, 8)
+        assert lines == 1.0
+        assert h.access(0, 0x1000, 8) == pytest.approx(4.0)
+
+    def test_write_line_count(self):
+        h = tiny_hierarchy()
+        assert h.write(0, 0x1000, 129) == 3.0
+
+
+class TestHeaterPath:
+    def test_touch_fills_shared_l3_only_for_other_cores(self):
+        h = tiny_hierarchy()
+        touched = h.touch_shared(1, 0x2000, 256)
+        assert touched == 4
+        # Matching core 0 sees an L3 hit, not its private caches.
+        assert h.access(0, 0x2000, 8) == pytest.approx(30.0)
+
+    def test_touch_refreshes_recency(self):
+        h = tiny_hierarchy(l3_size=2 * 16 * 64, l3_assoc=16)  # 2 sets
+        h.touch_shared(1, 0x0, 64)
+        line = 0
+        # Fill the same set with conflicting lines; re-touching keeps ours.
+        for i in range(1, 16):
+            h.touch_shared(1, i * 2 * 64, 64)
+            h.touch_shared(1, 0x0, 64)
+        assert h.l3.contains(line)
+
+
+class TestFlush:
+    def test_flush_clears_everything(self):
+        h = tiny_hierarchy()
+        h.access(0, 0x1000, 8)
+        h.flush()
+        assert h.access(0, 0x1000, 8) == pytest.approx(200.0)
+
+    def test_flush_respects_partition(self):
+        h = tiny_hierarchy(partition=WayPartition(network_ways=4))
+        h.access(0, 0x1000, 8, CLS_NETWORK)
+        h.access(0, 0x8000, 8, CLS_DEFAULT)
+        h.flush()
+        line = 0x1000 >> 6
+        assert h.l3.contains(line)  # protected network line survives
+        assert not h.l3.contains(0x8000 >> 6)
+        # Private caches are cleared regardless.
+        assert not h.cores[0].l1.contains(line)
+        assert h.access(0, 0x1000, 8, CLS_NETWORK) == pytest.approx(30.0)
+
+    def test_flush_without_protection_clears_l3(self):
+        h = tiny_hierarchy(partition=WayPartition(network_ways=4))
+        h.access(0, 0x1000, 8, CLS_NETWORK)
+        h.flush(respect_protection=False)
+        assert not h.l3.contains(0x1000 >> 6)
+
+
+class TestNetworkCache:
+    def test_network_access_served_by_netcache(self):
+        h = tiny_hierarchy(network_cache=NetworkCacheConfig(size_bytes=2048, latency=4.0))
+        h.access(0, 0x1000, 8, CLS_NETWORK)
+        h.flush()  # netcache survives the flush
+        assert h.access(0, 0x1000, 8, CLS_NETWORK) == pytest.approx(4.0)
+
+    def test_default_class_bypasses_netcache(self):
+        h = tiny_hierarchy(network_cache=NetworkCacheConfig(size_bytes=2048, latency=4.0))
+        h.access(0, 0x1000, 8, CLS_DEFAULT)
+        h.flush()
+        assert h.access(0, 0x1000, 8, CLS_DEFAULT) == pytest.approx(200.0)
+
+    def test_netcache_capacity_is_tiny(self):
+        h = tiny_hierarchy(network_cache=NetworkCacheConfig(size_bytes=2048, latency=4.0))
+        # 2 KiB = 32 lines; touching 64 lines thrashes it.
+        for i in range(64):
+            h.access(0, 0x1000 + i * 64, 8, CLS_NETWORK)
+        h.flush()
+        cost = h.access(0, 0x1000, 8, CLS_NETWORK)
+        assert cost > 4.0  # first lines were evicted by later ones
+
+    def test_too_small_netcache_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkCacheConfig(size_bytes=32).build(0)
+
+
+class TestStats:
+    def test_stats_shape(self):
+        h = tiny_hierarchy()
+        h.access(0, 0x1000, 8)
+        stats = h.stats()
+        assert stats["l3"]["misses"] == 1
+        assert stats["l1.0"]["misses"] == 1
+        assert stats["demand_accesses"] == 1
+
+    def test_reset_stats(self):
+        h = tiny_hierarchy()
+        h.access(0, 0x1000, 8)
+        h.reset_stats()
+        assert h.stats()["demand_accesses"] == 0
+        assert h.stats()["l3"]["misses"] == 0

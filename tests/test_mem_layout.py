@@ -1,0 +1,87 @@
+"""Tests for cache-line address arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.layout import (
+    LINE_SIZE,
+    align_up,
+    line_of,
+    line_span,
+    lines_touched,
+    page_of,
+)
+
+
+class TestLineOf:
+    def test_first_line(self):
+        assert line_of(0) == 0
+        assert line_of(63) == 0
+
+    def test_second_line(self):
+        assert line_of(64) == 1
+
+    def test_large_address(self):
+        assert line_of(0x1000_0000) == 0x1000_0000 // 64
+
+
+class TestLineSpan:
+    def test_zero_bytes(self):
+        assert line_span(0, 0) == 0
+
+    def test_single_byte(self):
+        assert line_span(10, 1) == 1
+
+    def test_full_line_aligned(self):
+        assert line_span(64, 64) == 1
+
+    def test_straddle(self):
+        assert line_span(60, 8) == 2
+
+    def test_figure2_lla_node_is_one_line(self):
+        # 8B indexes + 2x24B entries + 8B next pointer at a line boundary.
+        assert line_span(0x1000, 64) == 1
+
+    def test_baseline_entry_exceeds_line_when_misaligned(self):
+        # A 40-byte baseline node placed mid-line straddles two lines.
+        assert line_span(0x1030, 40) == 2
+
+    @given(st.integers(min_value=0, max_value=2**40), st.integers(min_value=1, max_value=4096))
+    def test_span_matches_enumeration(self, addr, nbytes):
+        assert line_span(addr, nbytes) == len(list(lines_touched(addr, nbytes)))
+
+    @given(st.integers(min_value=0, max_value=2**40), st.integers(min_value=1, max_value=4096))
+    def test_lines_are_consecutive(self, addr, nbytes):
+        lines = list(lines_touched(addr, nbytes))
+        assert lines == list(range(lines[0], lines[0] + len(lines)))
+
+
+class TestAlignUp:
+    def test_already_aligned(self):
+        assert align_up(128, 64) == 128
+
+    def test_rounds_up(self):
+        assert align_up(65, 64) == 128
+
+    def test_zero(self):
+        assert align_up(0, 64) == 0
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            align_up(10, 3)
+
+    @given(st.integers(min_value=0, max_value=2**40), st.sampled_from([1, 2, 8, 64, 4096]))
+    def test_result_is_aligned_and_minimal(self, value, alignment):
+        out = align_up(value, alignment)
+        assert out % alignment == 0
+        assert out >= value
+        assert out - value < alignment
+
+
+class TestPageOf:
+    def test_page_boundaries(self):
+        assert page_of(4095) == 0
+        assert page_of(4096) == 1
+
+    def test_lines_per_page(self):
+        assert 4096 // LINE_SIZE == 64

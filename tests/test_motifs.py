@@ -1,0 +1,124 @@
+"""Tests for the Figure 1 motif generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.motifs import (
+    AmrMotif,
+    Halo3dMotif,
+    MOTIFS,
+    Sweep3dMotif,
+    occurrences_closed_form,
+    occurrences_event_level,
+)
+from repro.motifs.base import QueueLengthSampler, bucketize
+
+
+class TestOccurrenceAccounting:
+    def test_single_phase(self):
+        out = occurrences_closed_form(np.array([3]))
+        # Lengths 1..2 visited twice (rising/falling), the peak 3 once,
+        # and 0 once after the final deletion.
+        assert list(out) == [1, 2, 2, 1]
+
+    def test_empty(self):
+        assert list(occurrences_closed_form(np.array([], dtype=int))) == [0]
+
+    def test_zero_peaks(self):
+        assert list(occurrences_closed_form(np.array([0, 0]))) == [0]
+
+    @given(st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=50))
+    @settings(max_examples=80)
+    def test_closed_form_equals_event_level(self, peaks):
+        """The vectorized counter must match an explicit event replay."""
+        arr = np.asarray(peaks, dtype=np.int64)
+        closed = occurrences_closed_form(arr)
+        event = occurrences_event_level(peaks)
+        n = max(len(closed), len(event))
+        closed = np.pad(closed, (0, n - len(closed)))
+        event = np.pad(event, (0, n - len(event)))
+        assert np.array_equal(closed, event)
+
+    def test_sampler(self):
+        s = QueueLengthSampler()
+        s.record(2)
+        s.record(2)
+        s.record(0)
+        assert list(s.as_array()) == [1, 0, 2]
+
+    def test_bucketize(self):
+        occ = np.array([5, 5, 5, 5, 1, 1])
+        buckets = bucketize(occ, 4)
+        assert buckets == [("0-3", 20), ("4-7", 2)]
+
+
+class TestMotifShapes:
+    @pytest.mark.parametrize("name", list(MOTIFS))
+    def test_runs_and_scales(self, name):
+        motif = MOTIFS[name](seed=1, sim_ranks=256)
+        result = motif.run()
+        assert result.posted.sum() > 0
+        assert result.unexpected.sum() > 0
+        assert result.meta["sim_ranks"] == 256
+
+    def test_paper_rank_counts(self):
+        assert AmrMotif.nranks == 64 * 1024
+        assert Sweep3dMotif.nranks == 128 * 1024
+        assert Halo3dMotif.nranks == 256 * 1024
+
+    def test_paper_bucket_widths(self):
+        # Figure 1's x-axis bucket widths: 20 / 10 / 5.
+        assert AmrMotif.bucket_width == 20
+        assert Sweep3dMotif.bucket_width == 10
+        assert Halo3dMotif.bucket_width == 5
+
+    def test_amr_extremes_reach_mid_400s(self):
+        result = AmrMotif(seed=0).run()
+        assert 390 <= result.max_posted_length <= 439
+
+    def test_amr_mass_in_low_lengths(self):
+        result = AmrMotif(seed=0).run()
+        total = result.posted.sum()
+        assert result.posted[:200].sum() > 0.85 * total
+
+    def test_amr_histogram_decays(self):
+        result = AmrMotif(seed=0).run()
+        buckets = [c for _, c in result.posted_buckets()]
+        assert buckets[0] > buckets[len(buckets) // 2] > buckets[-1]
+        # Figure 1a spans several decades between first and last bucket.
+        assert buckets[0] > 1000 * max(1, buckets[-1])
+
+    def test_sweep3d_capped_below_200(self):
+        result = Sweep3dMotif(seed=0).run()
+        assert result.max_posted_length <= 199
+
+    def test_sweep3d_mass_below_100(self):
+        result = Sweep3dMotif(seed=0).run()
+        assert result.posted[:100].sum() > 0.95 * result.posted.sum()
+
+    def test_halo3d_dominated_by_tiny_queues(self):
+        """Figure 1c: 'relatively few elements in the queue and many very
+        small queue length operations'."""
+        result = Halo3dMotif(seed=0).run()
+        assert result.posted[:15].sum() > 0.9 * result.posted.sum()
+
+    def test_halo3d_capped_below_100(self):
+        result = Halo3dMotif(seed=0).run()
+        assert result.max_posted_length <= 99
+
+    def test_unexpected_shorter_than_posted(self):
+        for name, cls in MOTIFS.items():
+            result = cls(seed=0, sim_ranks=512).run()
+            assert result.max_unexpected_length <= result.max_posted_length
+
+    def test_deterministic(self):
+        a = AmrMotif(seed=9, sim_ranks=256).run()
+        b = AmrMotif(seed=9, sim_ranks=256).run()
+        assert np.array_equal(a.posted, b.posted)
+
+    def test_scaling_factor_applied(self):
+        small = AmrMotif(seed=0, sim_ranks=256).run()
+        assert small.meta["scale"] == pytest.approx(64 * 1024 / 256)
+        # Total occurrences reflect the full machine, not the sample.
+        assert small.posted.sum() > 1e6

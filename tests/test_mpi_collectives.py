@@ -1,0 +1,133 @@
+"""Tests for the binomial-tree collectives over the DES runtime."""
+
+import operator
+
+import pytest
+
+from repro.mpi import MpiWorld
+
+SIZES = [1, 2, 3, 4, 5, 8, 13, 16]
+
+
+def run_world(nranks, program):
+    world = MpiWorld(nranks, seed=1)
+    world.run(program)
+    return world
+
+
+class TestBcast:
+    @pytest.mark.parametrize("nranks", SIZES)
+    def test_all_ranks_get_root_value(self, nranks):
+        got = {}
+
+        def program(ctx):
+            value = yield from ctx.bcast("payload" if ctx.rank == 0 else None)
+            got[ctx.rank] = value
+
+        run_world(nranks, program)
+        assert got == {r: "payload" for r in range(nranks)}
+
+    @pytest.mark.parametrize("root", [0, 1, 3])
+    def test_nonzero_root(self, root):
+        got = {}
+
+        def program(ctx):
+            value = yield from ctx.bcast(ctx.rank * 10, root=root)
+            got[ctx.rank] = value
+
+        run_world(5, program)
+        assert set(got.values()) == {root * 10}
+
+    def test_back_to_back_bcasts_do_not_cross(self):
+        got = {}
+
+        def program(ctx):
+            a = yield from ctx.bcast("first" if ctx.rank == 0 else None)
+            b = yield from ctx.bcast("second" if ctx.rank == 0 else None)
+            got[ctx.rank] = (a, b)
+
+        run_world(4, program)
+        assert all(v == ("first", "second") for v in got.values())
+
+
+class TestReduce:
+    @pytest.mark.parametrize("nranks", SIZES)
+    def test_sum_of_ranks(self, nranks):
+        got = {}
+
+        def program(ctx):
+            value = yield from ctx.reduce(ctx.rank, operator.add)
+            got[ctx.rank] = value
+
+        run_world(nranks, program)
+        assert got[0] == sum(range(nranks))
+        assert all(got[r] is None for r in range(1, nranks))
+
+    def test_max_reduce_to_nonzero_root(self):
+        got = {}
+
+        def program(ctx):
+            value = yield from ctx.reduce(ctx.rank * 7 % 5, max, root=2)
+            got[ctx.rank] = value
+
+        run_world(6, program)
+        assert got[2] == max(r * 7 % 5 for r in range(6))
+        assert got[0] is None
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("nranks", SIZES)
+    def test_everyone_gets_the_sum(self, nranks):
+        got = {}
+
+        def program(ctx):
+            value = yield from ctx.allreduce(ctx.rank + 1, operator.add)
+            got[ctx.rank] = value
+
+        run_world(nranks, program)
+        expected = sum(range(1, nranks + 1))
+        assert got == {r: expected for r in range(nranks)}
+
+
+class TestGather:
+    @pytest.mark.parametrize("nranks", SIZES)
+    def test_rank_ordered_list_at_root(self, nranks):
+        got = {}
+
+        def program(ctx):
+            value = yield from ctx.gather(ctx.rank * ctx.rank)
+            got[ctx.rank] = value
+
+        run_world(nranks, program)
+        assert got[0] == [r * r for r in range(nranks)]
+        assert all(got[r] is None for r in range(1, nranks))
+
+
+class TestComposition:
+    def test_collectives_mixed_with_point_to_point(self):
+        results = {}
+
+        def program(ctx):
+            # p2p ring shift, then a reduction over what arrived.
+            right = (ctx.rank + 1) % ctx.size
+            left = (ctx.rank - 1) % ctx.size
+            yield from ctx.send(right, tag=5, nbytes=8, payload=ctx.rank)
+            req = yield from ctx.recv(src=left, tag=5)
+            total = yield from ctx.allreduce(req.message.payload, operator.add)
+            results[ctx.rank] = total
+
+        run_world(6, program)
+        assert set(results.values()) == {sum(range(6))}
+
+    def test_collective_matching_goes_through_queues(self):
+        """Collective traffic must exercise the PRQ/UMQ machinery."""
+        world = MpiWorld(4, seed=3)
+
+        def program(ctx):
+            yield from ctx.bcast("x" if ctx.rank == 0 else None)
+
+        world.run(program)
+        total_matches = sum(
+            len(p.prq_search_depths) + len(p.umq_search_depths) for p in world.procs
+        )
+        assert total_matches >= 3  # one receive per non-root rank

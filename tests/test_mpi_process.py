@@ -1,0 +1,205 @@
+"""Tests for the per-rank PRQ/UMQ state machine (paper section 2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MpiUsageError
+from repro.matching import ANY_SOURCE, ANY_TAG, Envelope, make_queue
+from repro.mpi.communicator import Communicator
+from repro.mpi.message import Message
+from repro.mpi.process import MpiProcess, RecvRequest
+
+
+def new_proc(family="baseline", sample_depths=False):
+    rng = np.random.default_rng(0)
+    return MpiProcess(
+        0,
+        make_queue(family, rng=rng),
+        make_queue(family, entry_bytes=16, rng=rng, arena_base=0x2000_0000),
+        sample_depths=sample_depths,
+    )
+
+
+def msg(src, tag, cid=0, nbytes=8):
+    return Message(Envelope(src, tag, cid), nbytes)
+
+
+class TestReceivePath:
+    def test_expected_message(self):
+        proc = new_proc()
+        req = proc.post_recv(src=1, tag=5)
+        assert not req.completed
+        completed = proc.handle_arrival(msg(1, 5))
+        assert completed is req
+        assert req.completed and not req.matched_unexpected
+        assert req.message.tag == 5
+
+    def test_unexpected_message(self):
+        proc = new_proc()
+        assert proc.handle_arrival(msg(1, 5)) is None
+        assert len(proc.umq) == 1
+        req = proc.post_recv(src=1, tag=5)
+        assert req.completed and req.matched_unexpected
+        assert len(proc.umq) == 0
+
+    def test_unmatched_recv_lands_in_prq(self):
+        proc = new_proc()
+        proc.post_recv(src=1, tag=5)
+        assert len(proc.prq) == 1
+        assert len(proc.umq) == 0
+
+    def test_umq_searched_before_posting(self):
+        """Section 2.1: recv searches the UMQ *first*."""
+        proc = new_proc()
+        proc.handle_arrival(msg(1, 5))
+        proc.handle_arrival(msg(1, 6))
+        req = proc.post_recv(src=1, tag=6)
+        assert req.completed
+        assert len(proc.prq) == 0
+        assert len(proc.umq) == 1
+
+    def test_wildcard_recv_matches_unexpected(self):
+        proc = new_proc()
+        proc.handle_arrival(msg(3, 9))
+        req = proc.post_recv(src=ANY_SOURCE, tag=ANY_TAG)
+        assert req.completed
+        assert req.message.src == 3
+
+    def test_fifo_across_unexpected(self):
+        proc = new_proc()
+        proc.handle_arrival(msg(3, 9))
+        proc.handle_arrival(msg(4, 9))
+        req = proc.post_recv(src=ANY_SOURCE, tag=9)
+        assert req.message.src == 3
+
+    def test_double_complete_rejected(self):
+        req = RecvRequest(src=0, tag=0, cid=0)
+        req.complete(None)
+        with pytest.raises(MpiUsageError):
+            req.complete(None)
+
+    def test_on_complete_callback(self):
+        proc = new_proc()
+        req = proc.post_recv(src=1, tag=5)
+        fired = []
+        req.on_complete = lambda r: fired.append(r)
+        proc.handle_arrival(msg(1, 5))
+        assert fired == [req]
+
+    def test_communicator_isolation(self):
+        proc = new_proc()
+        proc.post_recv(src=1, tag=5, cid=3)
+        assert proc.handle_arrival(msg(1, 5, cid=4)) is None
+        assert len(proc.umq) == 1
+
+
+class TestDepthTraces:
+    def test_prq_search_depth_recorded(self):
+        proc = new_proc()
+        for tag in range(5):
+            proc.post_recv(src=1, tag=tag)
+        proc.handle_arrival(msg(1, 3))
+        assert proc.prq_search_depths == [4]
+        assert proc.mean_prq_search_depth == 4.0
+
+    def test_umq_search_depth_recorded(self):
+        proc = new_proc()
+        for tag in range(5):
+            proc.handle_arrival(msg(1, tag))
+        proc.post_recv(src=1, tag=4)
+        assert proc.umq_search_depths == [5]
+
+    def test_samples(self):
+        proc = new_proc(sample_depths=True)
+        proc.post_recv(src=1, tag=0)
+        proc.handle_arrival(msg(1, 0))
+        assert [(s.prq_len, s.umq_len) for s in proc.samples] == [(1, 0), (0, 0)]
+
+    def test_reset_traces(self):
+        proc = new_proc(sample_depths=True)
+        proc.post_recv(src=1, tag=0)
+        proc.reset_traces()
+        assert proc.samples == [] and proc.prq_search_depths == []
+
+    def test_mean_depth_empty(self):
+        proc = new_proc()
+        assert proc.mean_prq_search_depth == 0.0
+
+
+class TestCommunicator:
+    def test_world(self):
+        comm = Communicator.world(16)
+        assert comm.cid == 0 and comm.size == 16
+
+    def test_rank_check(self):
+        comm = Communicator.world(4)
+        comm.check_rank(3)
+        with pytest.raises(MpiUsageError):
+            comm.check_rank(4)
+        with pytest.raises(MpiUsageError):
+            comm.check_rank(-1)
+
+    def test_derive_unique_cids(self):
+        a = Communicator.derive(4)
+        b = Communicator.derive(4)
+        assert a.cid != b.cid != 0
+
+    def test_invalid(self):
+        with pytest.raises(MpiUsageError):
+            Communicator(cid=0, size=0)
+        with pytest.raises(MpiUsageError):
+            Communicator(cid=-1, size=4)
+
+
+class TestUmqQueueTimes:
+    """Keller & Graham (section 5): how long unexpected messages wait."""
+
+    def test_queue_time_measured_on_drain(self):
+        from repro.sim.clock import Clock
+
+        clock = Clock()
+        rng = np.random.default_rng(0)
+        proc = MpiProcess(
+            0,
+            make_queue("baseline", rng=rng),
+            make_queue("baseline", entry_bytes=16, rng=rng, arena_base=0x2000_0000),
+            clock=clock,
+        )
+        proc.handle_arrival(msg(1, 5))
+        clock.advance(1234.0)
+        req = proc.post_recv(src=1, tag=5)
+        assert req.matched_unexpected
+        assert proc.umq_queue_times == [pytest.approx(1234.0)]
+        assert proc.mean_umq_queue_time == pytest.approx(1234.0)
+
+    def test_no_queue_time_for_expected_messages(self):
+        proc = new_proc()
+        proc.post_recv(src=1, tag=5)
+        proc.handle_arrival(msg(1, 5))
+        assert proc.umq_queue_times == []
+
+    def test_mean_over_multiple(self):
+        from repro.sim.clock import Clock
+
+        clock = Clock()
+        rng = np.random.default_rng(0)
+        proc = MpiProcess(
+            0,
+            make_queue("baseline", rng=rng),
+            make_queue("baseline", entry_bytes=16, rng=rng, arena_base=0x2000_0000),
+            clock=clock,
+        )
+        proc.handle_arrival(msg(1, 1))
+        clock.advance(100.0)
+        proc.handle_arrival(msg(1, 2))
+        clock.advance(100.0)
+        proc.post_recv(src=1, tag=1)  # waited 200
+        proc.post_recv(src=1, tag=2)  # waited 100
+        assert proc.mean_umq_queue_time == pytest.approx(150.0)
+
+    def test_reset_clears_queue_times(self):
+        proc = new_proc()
+        proc.handle_arrival(msg(1, 5))
+        proc.post_recv(src=1, tag=5)
+        proc.reset_traces()
+        assert proc.umq_queue_times == []

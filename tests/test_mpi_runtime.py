@@ -1,0 +1,162 @@
+"""Integration tests for the multi-rank DES runtime."""
+
+import pytest
+
+from repro.arch import SANDY_BRIDGE
+from repro.errors import MpiUsageError
+from repro.mpi import MpiWorld
+from repro.net import QLOGIC_QDR
+
+
+class TestPointToPoint:
+    def test_simple_send_recv(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, tag=7, nbytes=128)
+            else:
+                req = yield from ctx.recv(src=0, tag=7)
+                assert req.completed
+                assert req.message.nbytes == 128
+            return ctx.rank
+
+        w = MpiWorld(2)
+        w.run(program)
+
+    def test_network_latency_applied(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, tag=1, nbytes=0)
+            else:
+                yield from ctx.recv(src=0, tag=1)
+
+        w = MpiWorld(2, link=QLOGIC_QDR)
+        finish = w.run(program)
+        assert finish >= QLOGIC_QDR.transfer_us(0) * 1000.0
+
+    def test_out_of_order_tags_via_umq(self):
+        received = []
+
+        def program(ctx):
+            if ctx.rank == 0:
+                for tag in (0, 1, 2, 3):
+                    yield from ctx.send(1, tag=tag, nbytes=8)
+            else:
+                for tag in (3, 1, 0, 2):
+                    req = yield from ctx.recv(src=0, tag=tag)
+                    received.append(req.message.tag)
+
+        MpiWorld(2).run(program)
+        assert received == [3, 1, 0, 2]
+
+    def test_unexpected_path_exercised(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, tag=9, nbytes=8)
+            else:
+                # Wait long enough that the message is unexpected.
+                from repro.sim.kernel import Timeout
+
+                yield Timeout(1e6)
+                req = yield from ctx.recv(src=0, tag=9)
+                assert req.matched_unexpected
+
+        MpiWorld(2).run(program)
+
+    def test_invalid_destination(self):
+        def program(ctx):
+            yield from ctx.send(5, tag=0)
+
+        w = MpiWorld(2)
+        with pytest.raises(MpiUsageError):
+            w.run(program)
+
+
+class TestBarrier:
+    def test_barrier_synchronizes(self):
+        exit_times = {}
+
+        def program(ctx):
+            from repro.sim.kernel import Timeout
+
+            yield Timeout(float(ctx.rank) * 100.0)
+            yield from ctx.barrier()
+            exit_times[ctx.rank] = ctx.now
+
+        MpiWorld(4).run(program)
+        assert len(set(exit_times.values())) == 1
+        assert list(exit_times.values())[0] >= 300.0
+
+    def test_barrier_repeatable(self):
+        def program(ctx):
+            for _ in range(3):
+                yield from ctx.barrier()
+
+        MpiWorld(3).run(program)
+
+
+class TestDeadlockDetection:
+    def test_unmatched_recv_detected(self):
+        def program(ctx):
+            if ctx.rank == 1:
+                yield from ctx.recv(src=0, tag=1)  # never sent
+
+        w = MpiWorld(2)
+        with pytest.raises(MpiUsageError, match="deadlock"):
+            w.run(program)
+
+
+class TestEngineRanks:
+    def test_cycle_accounting_adds_time(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                for tag in range(32):
+                    yield from ctx.send(1, tag=tag, nbytes=8)
+            else:
+                for tag in reversed(range(32)):  # force deep searches
+                    yield from ctx.recv(src=0, tag=tag)
+
+        fast = MpiWorld(2, queue_family="baseline")
+        t_fast = fast.run(program)
+        slow = MpiWorld(
+            2, queue_family="baseline", arch=SANDY_BRIDGE, engine_ranks=(1,)
+        )
+        t_slow = slow.run(program)
+        assert t_slow > t_fast
+
+    def test_engine_requires_arch(self):
+        with pytest.raises(MpiUsageError):
+            MpiWorld(2, engine_ranks=(0,))
+
+    def test_queue_family_choice(self):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield from ctx.send(1, tag=0, nbytes=8)
+            else:
+                yield from ctx.recv(src=0, tag=0)
+
+        for family in ("lla-4", "openmpi", "hashmap"):
+            MpiWorld(2, queue_family=family).run(program)
+
+    def test_world_needs_rank(self):
+        with pytest.raises(MpiUsageError):
+            MpiWorld(0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        def make_log():
+            log = []
+
+            def program(ctx):
+                if ctx.rank == 0:
+                    for tag in range(8):
+                        yield from ctx.send(1, tag=tag, nbytes=64)
+                else:
+                    for tag in range(8):
+                        req = yield from ctx.recv(src=0, tag=tag)
+                        log.append((req.message.tag, ctx.now))
+
+            MpiWorld(2, seed=5).run(program)
+            return log
+
+        assert make_log() == make_log()

@@ -1,0 +1,71 @@
+"""Tests for the MPI_THREAD_MULTIPLE contention simulation (section 2.3)."""
+
+import pytest
+
+from repro.arch import SANDY_BRIDGE
+from repro.errors import ConfigurationError
+from repro.mpi.threaded import (
+    ThreadedMatchResult,
+    run_threaded_matching,
+    thread_scaling_study,
+)
+
+
+class TestSingleRun:
+    def test_all_messages_match(self):
+        r = run_threaded_matching(4, 64, seed=1)
+        assert r.total_messages == 64
+        assert r.finish_ns > 0
+
+    def test_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            run_threaded_matching(0, 10)
+        with pytest.raises(ConfigurationError):
+            run_threaded_matching(8, 4)
+
+    def test_single_thread_is_well_ordered(self):
+        r = run_threaded_matching(1, 128, seed=2)
+        assert r.mean_search_depth == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        a = run_threaded_matching(4, 64, seed=9)
+        b = run_threaded_matching(4, 64, seed=9)
+        assert a.mean_search_depth == b.mean_search_depth
+        assert a.finish_ns == b.finish_ns
+
+    def test_seed_changes_interleaving(self):
+        a = run_threaded_matching(8, 128, seed=1)
+        b = run_threaded_matching(8, 128, seed=2)
+        assert a.mean_search_depth != b.mean_search_depth
+
+    def test_cycle_accounted_variant(self):
+        r = run_threaded_matching(2, 32, seed=1, arch=SANDY_BRIDGE)
+        assert r.match_cycles > 0
+
+    def test_contention_rate_bounds(self):
+        r = run_threaded_matching(8, 64, seed=1)
+        assert 0.0 <= r.contention_rate <= 1.0
+
+
+class TestScalingStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return thread_scaling_study((1, 2, 8), total_messages=128, trials=3, seed=0)
+
+    def test_depth_grows_with_threads(self, study):
+        """Section 2.3: 'list lengths and search depths are anticipated to
+        grow' under multithreaded communication."""
+        by_t = {r.threads: r for r in study}
+        assert by_t[1].mean_search_depth == pytest.approx(1.0)
+        assert by_t[2].mean_search_depth > by_t[1].mean_search_depth
+        assert by_t[8].mean_search_depth > by_t[2].mean_search_depth
+
+    def test_contention_grows_with_threads(self, study):
+        by_t = {r.threads: r for r in study}
+        assert by_t[8].contention_rate > by_t[2].contention_rate > by_t[1].contention_rate
+
+    def test_volume_held_fixed(self, study):
+        assert len({r.total_messages for r in study}) == 1
+
+    def test_result_type(self, study):
+        assert all(isinstance(r, ThreadedMatchResult) for r in study)

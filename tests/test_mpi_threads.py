@@ -1,0 +1,81 @@
+"""Tests for the MPI_THREAD_MULTIPLE interleaving utilities."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi.threads import interleave_streams, shuffled
+
+
+class TestInterleave:
+    def test_all_items_emitted_once(self):
+        rng = np.random.default_rng(0)
+        streams = [[1, 2, 3], [4, 5], [6]]
+        out = list(interleave_streams(streams, rng))
+        assert sorted(out) == [1, 2, 3, 4, 5, 6]
+
+    def test_per_stream_order_preserved(self):
+        rng = np.random.default_rng(1)
+        streams = [list(range(10)), list(range(100, 110))]
+        out = list(interleave_streams(streams, rng))
+        first = [x for x in out if x < 100]
+        second = [x for x in out if x >= 100]
+        assert first == list(range(10))
+        assert second == list(range(100, 110))
+
+    def test_empty_streams_skipped(self):
+        rng = np.random.default_rng(0)
+        assert list(interleave_streams([[], [1], []], rng)) == [1]
+
+    def test_no_streams(self):
+        rng = np.random.default_rng(0)
+        assert list(interleave_streams([], rng)) == []
+
+    def test_deterministic_with_seed(self):
+        streams = [list(range(20)), list(range(100, 120))]
+        a = list(interleave_streams(streams, np.random.default_rng(7)))
+        b = list(interleave_streams(streams, np.random.default_rng(7)))
+        assert a == b
+
+    def test_orders_differ_across_seeds(self):
+        streams = [list(range(20)), list(range(100, 120))]
+        a = list(interleave_streams(streams, np.random.default_rng(1)))
+        b = list(interleave_streams(streams, np.random.default_rng(2)))
+        assert a != b
+
+    def test_actually_interleaves(self):
+        streams = [list(range(50)), list(range(100, 150))]
+        out = list(interleave_streams(streams, np.random.default_rng(3)))
+        # Not simply concatenated.
+        assert out[:50] != list(range(50))
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=10), min_size=0, max_size=6),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=60)
+    def test_properties_hold_for_any_input(self, lengths, seed):
+        # Unique (stream, index) items make the ordering check unambiguous.
+        streams = [[(i, j) for j in range(n)] for i, n in enumerate(lengths)]
+        rng = np.random.default_rng(seed)
+        out = list(interleave_streams(streams, rng))
+        assert len(out) == sum(lengths)
+        assert sorted(out) == sorted(x for s in streams for x in s)
+        for i in range(len(streams)):
+            emitted = [j for (si, j) in out if si == i]
+            assert emitted == list(range(lengths[i]))
+
+
+class TestShuffled:
+    def test_permutation(self):
+        out = shuffled(list(range(10)), np.random.default_rng(0))
+        assert sorted(out) == list(range(10))
+
+    def test_deterministic(self):
+        a = shuffled(list(range(10)), np.random.default_rng(4))
+        b = shuffled(list(range(10)), np.random.default_rng(4))
+        assert a == b
+
+    def test_original_untouched(self):
+        items = list(range(10))
+        shuffled(items, np.random.default_rng(0))
+        assert items == list(range(10))

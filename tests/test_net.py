@@ -1,0 +1,48 @@
+"""Tests for the fabric models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.net import ARIES, MELLANOX_QDR, OMNIPATH, QLOGIC_QDR, LinkSpec, get_link
+
+
+class TestPresets:
+    def test_lookup(self):
+        assert get_link("qlogic-ib-qdr") is QLOGIC_QDR
+        assert get_link("omnipath") is OMNIPATH
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_link("token-ring")
+
+    def test_paper_fabric_ceilings(self):
+        # All three systems converge near 3.0-3.5 GiB/s in the figures.
+        for link in (QLOGIC_QDR, OMNIPATH, MELLANOX_QDR):
+            assert 2500 < link.peak_bandwidth_mibps() < 3500
+        assert ARIES.peak_bandwidth_mibps() > QLOGIC_QDR.peak_bandwidth_mibps()
+
+
+class TestTiming:
+    def test_transfer_includes_latency(self):
+        assert QLOGIC_QDR.transfer_us(0) > QLOGIC_QDR.serialization_us(0)
+
+    def test_serialization_grows_linearly(self):
+        small = QLOGIC_QDR.serialization_us(1024)
+        large = QLOGIC_QDR.serialization_us(1024 * 1024)
+        overhead = QLOGIC_QDR.per_msg_overhead_us
+        assert (large - overhead) / (small - overhead) == pytest.approx(1024.0)
+
+    def test_transfer_cycles(self):
+        us = QLOGIC_QDR.transfer_us(4096)
+        assert QLOGIC_QDR.transfer_cycles(4096, 2.6) == pytest.approx(us * 2600)
+
+    def test_invalid_spec(self):
+        with pytest.raises(ConfigurationError):
+            LinkSpec("bad", latency_us=-1.0, bandwidth_bytes_per_us=100.0)
+        with pytest.raises(ConfigurationError):
+            LinkSpec("bad", latency_us=1.0, bandwidth_bytes_per_us=0.0)
+
+    @given(st.integers(min_value=0, max_value=1 << 24))
+    def test_monotone_in_size(self, nbytes):
+        assert QLOGIC_QDR.transfer_us(nbytes + 1) >= QLOGIC_QDR.transfer_us(nbytes)

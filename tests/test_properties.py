@@ -1,0 +1,208 @@
+"""Cross-cutting property-based tests on core invariants.
+
+These complement the per-module tests with whole-subsystem invariants under
+randomized operation sequences: allocator non-overlap with reuse, cache
+capacity/partition guarantees, warming monotonicity, LLA FIFO structure,
+heater lazy-schedule coherence, and the offload prefix invariant.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import SANDY_BRIDGE
+from repro.hotcache import Heater, HeaterConfig
+from repro.matching import make_pattern, MatchItem, Envelope
+from repro.matching.lla import LinkedListOfArrays
+from repro.mem.alloc import Allocation, BumpAllocator, FragmentedHeap, SequentialHeap
+from repro.mem.cache import CLS_DEFAULT, CLS_NETWORK, SetAssociativeCache, WayPartition
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.offload import NicMatchConfig, OffloadedMatchQueue
+from repro.matching.factory import make_queue
+
+BASE = 0x1000_0000
+
+
+class TestAllocatorReuseProperties:
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=1, max_value=96)),
+            min_size=1,
+            max_size=120,
+        ),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sequential_heap_live_allocations_never_overlap(self, ops, seed):
+        heap = SequentialHeap(BASE, 1 << 28, np.random.default_rng(seed))
+        live = []
+        for do_alloc, size in ops:
+            if do_alloc or not live:
+                live.append(heap.alloc(size))
+            else:
+                heap.free(live.pop(len(live) // 2))
+        ordered = sorted(live, key=lambda a: a.addr)
+        for a, b in zip(ordered, ordered[1:]):
+            assert a.end <= b.addr
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=1, max_value=96)),
+            min_size=1,
+            max_size=120,
+        ),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fragmented_heap_live_allocations_never_overlap(self, ops, seed):
+        heap = FragmentedHeap(BASE, 1 << 30, np.random.default_rng(seed))
+        live = []
+        for do_alloc, size in ops:
+            if do_alloc or not live:
+                live.append(heap.alloc(size))
+            else:
+                heap.free(live.pop(0))
+        ordered = sorted(live, key=lambda a: a.addr)
+        for a, b in zip(ordered, ordered[1:]):
+            assert a.end <= b.addr
+
+
+class TestCacheProperties:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=300),
+        st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, lines, assoc):
+        c = SetAssociativeCache("t", 4 * assoc * 64, assoc, 10.0)
+        for line in lines:
+            if c.lookup(line) is None:
+                c.fill(line)
+            assert c.occupancy() <= c.capacity_lines
+            for s in c._sets:
+                assert len(s) <= assoc
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=31), st.booleans()),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_partition_preserves_network_share(self, ops):
+        """Once network lines occupy the reserved share of a set, default
+        fills can never push that set's network occupancy below the share."""
+        reserved = 2
+        c = SetAssociativeCache(
+            "t", 1 * 4 * 64, 4, 10.0, partition=WayPartition(network_ways=reserved)
+        )
+        for line, is_net in ops:
+            before = c.occupancy(CLS_NETWORK)
+            refill_of_network_line = not is_net and c.contains(line) and before > 0
+            c.fill(line, CLS_NETWORK if is_net else CLS_DEFAULT)
+            after = c.occupancy(CLS_NETWORK)
+            if not is_net and not refill_of_network_line:
+                # A default fill of a *new* line may never evict protected
+                # network lines (re-filling a resident network line with
+                # default data legitimately reclassifies it).
+                assert after >= min(before, reserved)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_warming_monotonicity(self, addrs):
+        """The second access to the same address is never more expensive."""
+        hier = MemoryHierarchy(
+            l1_prefetcher_factory=list, l2_prefetcher_factory=list
+        )
+        for addr in addrs:
+            first = hier.access(0, addr * 8, 8)
+            second = hier.access(0, addr * 8, 8)
+            assert second <= first
+
+
+class TestLlaStructureProperties:
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=0, max_value=7)),
+            min_size=1,
+            max_size=150,
+        ),
+        st.sampled_from([2, 3, 8]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fifo_sequence_strictly_increasing(self, ops, k):
+        q = LinkedListOfArrays(k)
+        seq = 0
+        for is_post, tag in ops:
+            if is_post:
+                q.post(make_pattern(0, tag, 0, seq=seq))
+                seq += 1
+            else:
+                q.match_remove(
+                    MatchItem.from_envelope(Envelope(0, tag, 0), seq=100_000 + seq)
+                )
+                seq += 1
+            items = [it.seq for it in q.iter_items()]
+            assert items == sorted(items)
+            # Node windows are consistent.
+            for node in q._nodes:
+                assert 0 <= node.start <= node.end <= k
+                assert node.live >= 1  # empty nodes are unlinked eagerly
+
+
+class TestHeaterScheduleCoherence:
+    @given(
+        st.lists(st.floats(min_value=1.0, max_value=50_000.0), min_size=1, max_size=12),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_incremental_catch_up_equals_single_jump(self, deltas, nregions):
+        """Lazy heater scheduling: many small catch_ups == one big one."""
+
+        def build():
+            hier = SANDY_BRIDGE.build_hierarchy()
+            heater = Heater(hier, SANDY_BRIDGE.ghz, HeaterConfig(locked=False))
+            for i in range(nregions):
+                heater.regions.add(Allocation(0x4000_0000 + i * 0x1000, 256))
+            return heater
+
+        incremental = build()
+        t = 0.0
+        for d in deltas:
+            t += d
+            incremental.catch_up(t)
+        jump = build()
+        jump.catch_up(t)
+        assert incremental.passes == jump.passes
+        assert incremental.next_pass_start == jump.next_pass_start
+        assert incremental.lines_touched == jump.lines_touched
+
+
+class TestOffloadPrefixProperty:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["post", "probe"]), st.integers(0, 3), st.integers(0, 3)),
+            min_size=1,
+            max_size=80,
+        ),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_nic_always_holds_the_fifo_prefix(self, ops, hw_entries):
+        overflow = make_queue("baseline", rng=np.random.default_rng(0))
+        q = OffloadedMatchQueue(overflow, NicMatchConfig(hw_entries=hw_entries))
+        for seq, (kind, src, tag) in enumerate(ops):
+            if kind == "post":
+                q.post(make_pattern(src, tag, 0, seq=seq))
+            else:
+                q.match_remove(
+                    MatchItem.from_envelope(Envelope(src, tag, 0), seq=10_000 + seq)
+                )
+            nic_seqs = [it.seq for it in q._nic]
+            sw_seqs = [it.seq for it in q.overflow.iter_items()]
+            assert nic_seqs == sorted(nic_seqs)
+            if sw_seqs:
+                # Either the NIC is full, or software is empty.
+                assert len(q._nic) == hw_entries
+                assert max(nic_seqs) < min(sw_seqs)
+            assert len(q) == len(nic_seqs) + len(sw_seqs)

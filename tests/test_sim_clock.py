@@ -1,0 +1,75 @@
+"""Tests for repro.sim.clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import Clock, cycles_to_ns, cycles_to_seconds, ns_to_cycles
+
+
+class TestConversions:
+    def test_cycles_to_ns(self):
+        assert cycles_to_ns(2600.0, 2.6) == pytest.approx(1000.0)
+
+    def test_ns_to_cycles_roundtrip(self):
+        assert ns_to_cycles(cycles_to_ns(12345.0, 2.1), 2.1) == pytest.approx(12345.0)
+
+    def test_cycles_to_seconds(self):
+        assert cycles_to_seconds(2.6e9, 2.6) == pytest.approx(1.0)
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(SimulationError):
+            cycles_to_ns(1.0, 0.0)
+        with pytest.raises(SimulationError):
+            ns_to_cycles(1.0, -1.0)
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_custom_start(self):
+        assert Clock(42.0).now == 42.0
+
+    def test_advance_accumulates(self):
+        c = Clock()
+        c.advance(10.0)
+        c.advance(5.5)
+        assert c.now == pytest.approx(15.5)
+
+    def test_advance_returns_now(self):
+        c = Clock(1.0)
+        assert c.advance(2.0) == pytest.approx(3.0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(SimulationError):
+            Clock().advance(-1.0)
+
+    def test_advance_to(self):
+        c = Clock()
+        c.advance_to(100.0)
+        assert c.now == 100.0
+
+    def test_advance_to_past_rejected(self):
+        c = Clock(50.0)
+        with pytest.raises(SimulationError):
+            c.advance_to(49.0)
+
+    def test_advance_to_same_time_ok(self):
+        c = Clock(50.0)
+        assert c.advance_to(50.0) == 50.0
+
+    def test_reset(self):
+        c = Clock()
+        c.advance(99.0)
+        c.reset()
+        assert c.now == 0.0
+
+    def test_ns_helper(self):
+        c = Clock()
+        c.advance(2600.0)
+        assert c.ns(2.6) == pytest.approx(1000.0)
+
+    def test_zero_advance_allowed(self):
+        c = Clock(7.0)
+        c.advance(0.0)
+        assert c.now == 7.0

@@ -1,0 +1,120 @@
+"""Tests for repro.sim.events: ordering, cancellation, run_until."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+
+
+class TestScheduling:
+    def test_time_order(self):
+        q = EventQueue()
+        log = []
+        q.schedule(3.0, log.append, "c")
+        q.schedule(1.0, log.append, "a")
+        q.schedule(2.0, log.append, "b")
+        q.run()
+        assert log == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        q = EventQueue()
+        log = []
+        for name in "abcde":
+            q.schedule(5.0, log.append, name)
+        q.run()
+        assert log == list("abcde")
+
+    def test_now_advances_to_event_time(self):
+        q = EventQueue()
+        q.schedule(7.5, lambda: None)
+        q.step()
+        assert q.now == 7.5
+
+    def test_schedule_in_past_rejected(self):
+        q = EventQueue()
+        q.schedule(5.0, lambda: None)
+        q.step()
+        with pytest.raises(SimulationError):
+            q.schedule(4.0, lambda: None)
+
+    def test_schedule_in_relative(self):
+        q = EventQueue()
+        q.schedule(2.0, lambda: None)
+        q.step()
+        ev = q.schedule_in(3.0, lambda: None)
+        assert ev.time == pytest.approx(5.0)
+
+    def test_events_scheduled_during_run(self):
+        q = EventQueue()
+        log = []
+
+        def first():
+            log.append("first")
+            q.schedule_in(1.0, lambda: log.append("second"))
+
+        q.schedule(1.0, first)
+        q.run()
+        assert log == ["first", "second"]
+
+
+class TestCancellation:
+    def test_cancelled_event_not_run(self):
+        q = EventQueue()
+        log = []
+        ev = q.schedule(1.0, log.append, "x")
+        q.schedule(2.0, log.append, "y")
+        ev.cancel()
+        q.run()
+        assert log == ["y"]
+
+    def test_len_excludes_cancelled(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        assert len(q) == 2
+        ev.cancel()
+        assert len(q) == 1
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        ev.cancel()
+        assert q.peek_time() == 2.0
+
+
+class TestRunUntil:
+    def test_run_until_stops_at_deadline(self):
+        q = EventQueue()
+        log = []
+        q.schedule(1.0, log.append, "a")
+        q.schedule(5.0, log.append, "b")
+        q.run_until(3.0)
+        assert log == ["a"]
+        assert q.now == 3.0
+
+    def test_run_until_includes_boundary(self):
+        q = EventQueue()
+        log = []
+        q.schedule(3.0, log.append, "a")
+        q.run_until(3.0)
+        assert log == ["a"]
+
+    def test_step_on_empty_returns_false(self):
+        assert EventQueue().step() is False
+
+    def test_run_returns_count(self):
+        q = EventQueue()
+        for i in range(5):
+            q.schedule(float(i), lambda: None)
+        assert q.run() == 5
+
+    def test_runaway_guard(self):
+        q = EventQueue()
+
+        def reschedule():
+            q.schedule_in(1.0, reschedule)
+
+        q.schedule(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            q.run(max_events=100)

@@ -1,0 +1,178 @@
+"""Tests for the coroutine DES kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator, Timeout, Waiter
+
+
+class TestTimeout:
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-1.0)
+
+    def test_process_sleeps(self):
+        sim = Simulator()
+        times = []
+
+        def proc():
+            yield Timeout(5.0)
+            times.append(sim.now)
+            yield Timeout(2.5)
+            times.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert times == [5.0, 7.5]
+
+    def test_two_processes_interleave(self):
+        sim = Simulator()
+        log = []
+
+        def proc(name, delay):
+            for i in range(3):
+                yield Timeout(delay)
+                log.append((name, sim.now))
+
+        sim.spawn(proc("fast", 1.0))
+        sim.spawn(proc("slow", 2.0))
+        sim.run()
+        # At t=2.0 both fire; slow's timeout was scheduled first (at t=0)
+        # so deterministic FIFO tie-breaking runs it first.
+        assert log == [
+            ("fast", 1.0),
+            ("slow", 2.0),
+            ("fast", 2.0),
+            ("fast", 3.0),
+            ("slow", 4.0),
+            ("slow", 6.0),
+        ]
+
+
+class TestWaiter:
+    def test_trigger_resumes_with_value(self):
+        sim = Simulator()
+        w = Waiter()
+        got = []
+
+        def consumer():
+            value = yield w
+            got.append(value)
+
+        def producer():
+            yield Timeout(3.0)
+            w.trigger(sim, "payload")
+
+        sim.spawn(consumer())
+        sim.spawn(producer())
+        sim.run()
+        assert got == ["payload"]
+
+    def test_pretriggered_waiter_returns_immediately(self):
+        sim = Simulator()
+        w = Waiter()
+        w.trigger(sim, 42)
+        got = []
+
+        def consumer():
+            got.append((yield w))
+
+        sim.spawn(consumer())
+        sim.run()
+        assert got == [42]
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        w = Waiter()
+        w.trigger(sim)
+        with pytest.raises(SimulationError):
+            w.trigger(sim)
+
+    def test_multiple_waiters_released(self):
+        sim = Simulator()
+        w = Waiter()
+        got = []
+
+        def consumer(name):
+            yield w
+            got.append(name)
+
+        sim.spawn(consumer("a"))
+        sim.spawn(consumer("b"))
+
+        def producer():
+            yield Timeout(1.0)
+            w.trigger(sim)
+
+        sim.spawn(producer())
+        sim.run()
+        assert sorted(got) == ["a", "b"]
+
+
+class TestJoin:
+    def test_yielding_process_joins(self):
+        sim = Simulator()
+
+        def child():
+            yield Timeout(4.0)
+            return "result"
+
+        def parent():
+            value = yield sim.spawn(child(), "child")
+            assert value == "result"
+            return sim.now
+
+        p = sim.spawn(parent(), "parent")
+        sim.run()
+        assert p.finished and p.result == 4.0
+
+    def test_join_already_finished(self):
+        sim = Simulator()
+
+        def child():
+            return "done"
+            yield  # pragma: no cover
+
+        c = sim.spawn(child())
+        sim.run()
+
+        def parent():
+            value = yield c
+            return value
+
+        p = sim.spawn(parent())
+        sim.run()
+        assert p.result == "done"
+
+    def test_bad_yield_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield 42
+
+        sim.spawn(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_all_finished(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(1.0)
+
+        sim.spawn(proc())
+        assert not sim.all_finished()
+        sim.run()
+        assert sim.all_finished()
+
+    def test_run_until_partial(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(10.0)
+
+        p = sim.spawn(proc())
+        sim.run(until=5.0)
+        assert not p.finished
+        sim.run()
+        assert p.finished

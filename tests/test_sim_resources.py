@@ -1,0 +1,103 @@
+"""Tests for SpinLock windows and KernelLock FIFO handoff."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator, Timeout
+from repro.sim.resources import KernelLock, SpinLock
+
+
+class TestSpinLock:
+    def test_uncontended_acquire_is_free(self):
+        lock = SpinLock()
+        assert lock.acquire(now=10.0) == 0.0
+        assert lock.contended == 0
+
+    def test_acquire_inside_window_waits_remainder(self):
+        lock = SpinLock()
+        lock.hold(start=100.0, duration=50.0)
+        assert lock.acquire(now=120.0) == pytest.approx(30.0)
+        assert lock.contended == 1
+
+    def test_acquire_after_window_free(self):
+        lock = SpinLock()
+        lock.hold(start=100.0, duration=50.0)
+        assert lock.acquire(now=151.0) == 0.0
+
+    def test_acquire_before_window_free(self):
+        lock = SpinLock()
+        lock.hold(start=100.0, duration=50.0)
+        assert lock.acquire(now=99.0) == 0.0
+
+    def test_own_hold_recorded(self):
+        lock = SpinLock()
+        lock.acquire(now=10.0, hold_for=5.0)
+        assert lock.acquire(now=12.0) == pytest.approx(3.0)
+
+    def test_wait_cycles_accumulate(self):
+        lock = SpinLock()
+        lock.hold(0.0, 100.0)
+        lock.acquire(now=40.0)
+        lock.hold(0.0, 100.0)
+        lock.acquire(now=90.0)
+        assert lock.wait_cycles == pytest.approx(70.0)
+
+    def test_negative_hold_rejected(self):
+        with pytest.raises(SimulationError):
+            SpinLock().hold(0.0, -1.0)
+
+    def test_reset_stats(self):
+        lock = SpinLock()
+        lock.hold(0.0, 10.0)
+        lock.acquire(5.0)
+        lock.reset_stats()
+        assert lock.acquisitions == 0
+        assert lock.wait_cycles == 0.0
+
+
+class TestKernelLock:
+    def test_mutual_exclusion_and_fifo(self):
+        sim = Simulator()
+        lock = KernelLock()
+        log = []
+
+        def proc(name, work):
+            yield from lock.acquire(sim)
+            log.append(f"{name}:in@{sim.now}")
+            yield Timeout(work)
+            log.append(f"{name}:out@{sim.now}")
+            lock.release(sim)
+
+        sim.spawn(proc("a", 5.0))
+        sim.spawn(proc("b", 3.0))
+        sim.spawn(proc("c", 1.0))
+        sim.run()
+        assert log == [
+            "a:in@0.0",
+            "a:out@5.0",
+            "b:in@5.0",
+            "b:out@8.0",
+            "c:in@8.0",
+            "c:out@9.0",
+        ]
+
+    def test_release_unlocked_raises(self):
+        sim = Simulator()
+        lock = KernelLock()
+        with pytest.raises(SimulationError):
+            lock.release(sim)
+
+    def test_contention_counted(self):
+        sim = Simulator()
+        lock = KernelLock()
+
+        def proc():
+            yield from lock.acquire(sim)
+            yield Timeout(1.0)
+            lock.release(sim)
+
+        for _ in range(3):
+            sim.spawn(proc())
+        sim.run()
+        assert lock.acquisitions == 3
+        assert lock.contended == 2

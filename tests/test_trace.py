@@ -1,0 +1,193 @@
+"""Tests for trace recording, serialization, and replay."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import SANDY_BRIDGE
+from repro.errors import ConfigurationError
+from repro.matching import ANY_SOURCE, ANY_TAG, Envelope, make_queue
+from repro.mpi.message import Message
+from repro.trace import (
+    ARRIVAL,
+    POST,
+    RecordingProcess,
+    TraceEvent,
+    TraceRecorder,
+    dumps,
+    loads,
+    read_trace,
+    replay,
+    write_trace,
+)
+
+_event_st = st.one_of(
+    st.builds(
+        TraceEvent,
+        kind=st.just(POST),
+        src=st.one_of(st.just(ANY_SOURCE), st.integers(0, 5)),
+        tag=st.one_of(st.just(ANY_TAG), st.integers(0, 5)),
+        cid=st.integers(0, 2),
+        nbytes=st.integers(0, 4096),
+    ),
+    st.builds(
+        TraceEvent,
+        kind=st.just(ARRIVAL),
+        src=st.integers(0, 5),
+        tag=st.integers(0, 5),
+        cid=st.integers(0, 2),
+        nbytes=st.integers(0, 4096),
+    ),
+)
+
+
+def sample_trace():
+    return [
+        TraceEvent(POST, 1, 10),
+        TraceEvent(POST, 1, 11),
+        TraceEvent(ARRIVAL, 1, 11),  # matches second post (depth 2)
+        TraceEvent(ARRIVAL, 2, 99),  # unexpected
+        TraceEvent(POST, 2, 99),  # drains the UMQ
+        TraceEvent(ARRIVAL, 1, 10),
+    ]
+
+
+class TestEvents:
+    def test_kinds_validated(self):
+        with pytest.raises(ConfigurationError):
+            TraceEvent("send", 0, 0)
+
+    def test_arrival_needs_concrete_envelope(self):
+        with pytest.raises(ConfigurationError):
+            TraceEvent(ARRIVAL, ANY_SOURCE, 0)
+
+    def test_post_may_wildcard(self):
+        ev = TraceEvent(POST, ANY_SOURCE, ANY_TAG)
+        assert ev.is_post
+
+    def test_dict_roundtrip(self):
+        ev = TraceEvent(ARRIVAL, 3, 7, cid=2, nbytes=64, time_ns=1.5)
+        assert TraceEvent.from_dict(ev.as_dict()) == ev
+
+
+class TestSerialization:
+    def test_string_roundtrip(self):
+        events = sample_trace()
+        assert loads(dumps(events)) == events
+
+    def test_file_roundtrip(self, tmp_path):
+        events = sample_trace()
+        path = tmp_path / "run.trace"
+        write_trace(path, events)
+        assert read_trace(path) == events
+
+    def test_header_checked(self):
+        with pytest.raises(ConfigurationError):
+            loads('{"format": "something-else"}\n')
+
+    def test_version_checked(self):
+        with pytest.raises(ConfigurationError):
+            loads('{"format": "repro-match-trace", "version": 99}\n')
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            loads("")
+
+    @given(st.lists(_event_st, max_size=40))
+    @settings(max_examples=40)
+    def test_roundtrip_property(self, events):
+        assert loads(dumps(events)) == events
+
+
+class TestRecorder:
+    def test_recording_process_captures_operations(self):
+        rec = TraceRecorder()
+        rng = np.random.default_rng(0)
+        proc = RecordingProcess(
+            0,
+            make_queue("baseline", rng=rng),
+            make_queue("baseline", entry_bytes=16, rng=rng, arena_base=0x2000_0000),
+            recorder=rec,
+        )
+        proc.post_recv(src=1, tag=5)
+        proc.handle_arrival(Message(Envelope(1, 5, 0), 64))
+        assert [ev.kind for ev in rec.events] == [POST, ARRIVAL]
+        assert rec.events[1].nbytes == 64
+
+    def test_semantics_unchanged_by_recording(self):
+        rng = np.random.default_rng(0)
+        proc = RecordingProcess(
+            0,
+            make_queue("baseline", rng=rng),
+            make_queue("baseline", entry_bytes=16, rng=rng, arena_base=0x2000_0000),
+        )
+        req = proc.post_recv(src=1, tag=5)
+        proc.handle_arrival(Message(Envelope(1, 5, 0), 0))
+        assert req.completed
+
+    def test_clear(self):
+        rec = TraceRecorder()
+        rec.record_post(1, 2, 0, 0)
+        rec.clear()
+        assert len(rec) == 0
+
+
+class TestReplay:
+    def test_replay_counts(self):
+        result = replay(sample_trace())
+        assert result.events == 6
+        assert result.matches == 3
+        assert result.unexpected == 1
+        assert result.max_prq_len == 2
+        assert result.max_umq_len == 1
+
+    def test_replay_depths(self):
+        result = replay(sample_trace())
+        # PRQ matches at depths 2 (tag 11) and 1 (tag 10): mean 1.5.
+        assert result.mean_prq_search_depth == pytest.approx(1.5)
+
+    def test_replay_agrees_across_families(self):
+        events = sample_trace()
+        ref = replay(events, queue_family="baseline")
+        for family in ("lla-4", "openmpi", "hashmap", "ch4", "adaptive"):
+            out = replay(events, queue_family=family)
+            assert (out.matches, out.unexpected) == (ref.matches, ref.unexpected), family
+
+    def test_cycle_accounted_replay(self):
+        events = []
+        for i in range(256):
+            events.append(TraceEvent(POST, 0, 1000 + i))
+        events.append(TraceEvent(POST, 1, 7))
+        events.append(TraceEvent(ARRIVAL, 1, 7))
+        base = replay(events, queue_family="baseline", arch=SANDY_BRIDGE, flush_every=256)
+        lla = replay(events, queue_family="lla-8", arch=SANDY_BRIDGE, flush_every=256)
+        assert base.match_cycles > lla.match_cycles > 0
+        assert base.match_seconds > 0
+
+    def test_heated_replay_requires_arch(self):
+        with pytest.raises(ValueError):
+            replay(sample_trace(), heated=True)
+
+    def test_heated_replay_runs(self):
+        events = sample_trace()
+        result = replay(events, arch=SANDY_BRIDGE, heated=True, flush_every=2)
+        assert result.matches == 3
+
+    def test_record_then_replay_is_consistent(self):
+        """Round trip: record a run, replay it, observe the same matching."""
+        rec = TraceRecorder()
+        rng = np.random.default_rng(0)
+        proc = RecordingProcess(
+            0,
+            make_queue("baseline", rng=rng),
+            make_queue("baseline", entry_bytes=16, rng=rng, arena_base=0x2000_0000),
+            recorder=rec,
+        )
+        order = [3, 1, 4, 1, 5, 9, 2, 6]
+        for i, tag in enumerate(order):
+            proc.post_recv(src=0, tag=tag * 100 + i)
+        for i, tag in reversed(list(enumerate(order))):
+            proc.handle_arrival(Message(Envelope(0, tag * 100 + i, 0), 8))
+        result = replay(rec.events)
+        assert result.matches == len(order)
+        assert result.mean_prq_search_depth == pytest.approx(proc.mean_prq_search_depth)

@@ -1,0 +1,54 @@
+"""Tests for the reproduction-validation machinery.
+
+The full `run_validation` sweep is exercised by the CLI/benchmarks; here we
+test the report mechanics plus a couple of cheap sections end to end.
+"""
+
+from repro.validation import Criterion, ValidationReport, run_validation
+
+
+class TestReport:
+    def test_all_pass(self):
+        report = ValidationReport()
+        report.check("X", "claim", 1.0, "1..2", True)
+        assert report.passed
+        assert report.failures == []
+
+    def test_failure_detected(self):
+        report = ValidationReport()
+        report.check("X", "good", 1.0, "1..2", True)
+        report.check("X", "bad", 9.0, "1..2", False)
+        assert not report.passed
+        assert len(report.failures) == 1
+        assert report.failures[0].claim == "bad"
+
+    def test_render_contains_verdict(self):
+        report = ValidationReport()
+        report.check("X", "claim", "v", "e", True)
+        assert "ALL CRITERIA PASS" in report.render()
+        report.check("X", "claim2", "v", "e", False)
+        assert "1 CRITERIA FAILED" in report.render()
+
+    def test_criterion_fields(self):
+        c = Criterion("exp", "claim", "obs", "exp-band", True)
+        assert c.passed
+
+
+class TestSections:
+    def test_table1_section(self):
+        report = run_validation(quick=True, sections=["table1"])
+        assert report.passed
+        assert any("combinatorics" in c.claim for c in report.criteria)
+
+    def test_fig1_section(self):
+        report = run_validation(quick=True, sections=["fig1"])
+        assert report.passed
+        assert len(report.criteria) == 3
+
+    def test_heater_micro_section(self):
+        report = run_validation(quick=True, sections=["heater_micro"])
+        assert report.passed
+
+    def test_unknown_section_runs_nothing(self):
+        report = run_validation(quick=True, sections=["nope"])
+        assert report.criteria == []
