@@ -9,7 +9,11 @@ from repro.analysis.export import (
 from repro.analysis.plot import render_ascii_chart, render_histogram
 from repro.analysis.series import Series, Sweep
 from repro.analysis.stats import TrialStats, factor_speedup, mean_std
-from repro.analysis.report import render_series_table, render_table
+from repro.analysis.report import (
+    render_mem_stats_table,
+    render_series_table,
+    render_table,
+)
 
 __all__ = [
     "Series",
@@ -19,6 +23,7 @@ __all__ = [
     "mean_std",
     "render_ascii_chart",
     "render_histogram",
+    "render_mem_stats_table",
     "render_series_table",
     "render_table",
     "sweep_from_json",

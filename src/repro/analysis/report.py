@@ -6,9 +6,10 @@ and the CLI produce the same rows/series the paper reports.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.analysis.series import Sweep
+from repro.mem.result import LEVEL_FIELDS, LEVEL_LABELS, LevelStats
 
 
 def _fmt(value) -> str:
@@ -38,6 +39,41 @@ def render_table(
     for row in str_rows:
         lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def render_mem_stats_table(
+    stats: "Dict[str, LevelStats]", title: Optional[str] = None
+) -> str:
+    """Per-level hit attribution, one row per variant label.
+
+    Each row shows where the variant's traversed lines were served
+    (netcache/L1/L2/L3/DRAM, as percentages of lines) plus the totals the
+    percentages are over. This is the paper's locality argument made
+    directly visible: LLA shifts attribution from DRAM into L1/L2 via
+    prefetch coverage, hot caching shifts it from DRAM into L3.
+    """
+    headers = (
+        ["variant", "loads", "lines"]
+        + [f"{label} %" for label in LEVEL_LABELS]
+        + ["pf-covered %", "hit rate %"]
+    )
+    rows = []
+    for label, ls in stats.items():
+        if ls is None or not ls.lines:
+            rows.append([label, 0, 0] + ["-"] * (len(LEVEL_LABELS) + 2))
+            continue
+        attribution = [100.0 * getattr(ls, field) / ls.lines for field in LEVEL_FIELDS]
+        rows.append(
+            [label, ls.loads, ls.lines]
+            + [f"{pct:.1f}" for pct in attribution]
+            + [
+                f"{100.0 * ls.prefetch_covered / ls.lines:.1f}",
+                f"{100.0 * ls.hit_rate:.1f}",
+            ]
+        )
+    return render_table(
+        headers, rows, title=title or "Memory-level hit attribution (lines served)"
+    )
 
 
 def render_series_table(sweep: Sweep) -> str:

@@ -47,6 +47,9 @@ class Sweep:
     xlabel: str
     ylabel: str
     series: Dict[str, Series] = field(default_factory=dict)
+    # Side-channel annotations attached by the producers (e.g. the figure
+    # drivers store per-label memory-level attribution under "mem_stats").
+    meta: Dict[str, object] = field(default_factory=dict)
 
     def series_for(self, label: str) -> Series:
         """Get (or create) the series labelled *label*."""

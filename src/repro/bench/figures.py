@@ -65,6 +65,7 @@ def _run_variants(
     seed: int,
 ) -> Sweep:
     link = default_link(arch)
+    mem_stats = sweep.meta.setdefault("mem_stats", {})
     for label, family, heated in variants:
         base_cfg = OsuConfig(
             arch=arch,
@@ -84,6 +85,12 @@ def _run_variants(
                 cfg = replace(base_cfg, search_depth=int(x))
             point = osu_bandwidth(cfg)
             series.add(x, point.mibps, point.mibps_std)
+            if point.mem_stats is not None:
+                acc = mem_stats.get(label)
+                if acc is None:
+                    mem_stats[label] = point.mem_stats.copy()
+                else:
+                    acc.merge(point.mem_stats)
     return sweep
 
 

@@ -38,6 +38,7 @@ from repro.matching.envelope import Envelope
 from repro.matching.factory import make_queue
 from repro.mem.cache import WayPartition
 from repro.mem.hierarchy import NetworkCacheConfig
+from repro.mem.result import LevelStats
 from repro.mpi.message import Message
 from repro.mpi.process import MpiProcess
 from repro.net.link import LinkSpec, QLOGIC_QDR
@@ -92,6 +93,9 @@ class BandwidthPoint:
     latency_us: float
     match_cycles: TrialStats = field(repr=False, default=None)
     network_bound: bool = False
+    # Per-level hit attribution of the measured (post-warmup) iterations'
+    # load transactions; None when the producer predates the telemetry.
+    mem_stats: Optional[LevelStats] = field(repr=False, default=None)
 
 
 class _OsuSession:
@@ -185,6 +189,9 @@ def osu_bandwidth(cfg: OsuConfig) -> BandwidthPoint:
     session.prepopulate()
     match_samples: List[float] = []
     for i in range(cfg.warmup + cfg.iterations):
+        if i == cfg.warmup:
+            # Attribution covers only the measured iterations.
+            session.engine.level_stats.reset()
         cycles = session.one_message(cfg.msg_bytes)
         if i >= cfg.warmup:
             match_samples.append(cycles)
@@ -210,6 +217,7 @@ def osu_bandwidth(cfg: OsuConfig) -> BandwidthPoint:
         latency_us=cfg.link.latency_us + t_msg_us,
         match_cycles=stats,
         network_bound=wire_us >= proc_us,
+        mem_stats=session.engine.level_stats.copy(),
     )
 
 

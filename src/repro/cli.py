@@ -89,6 +89,11 @@ _PANEL_COUNTER = {"n": 0}
 
 def _render_panel(sweep, args: argparse.Namespace) -> None:
     print(render_series_table(sweep))
+    if getattr(args, "mem_stats", False) and sweep.meta.get("mem_stats"):
+        from repro.analysis.report import render_mem_stats_table
+
+        print()
+        print(render_mem_stats_table(sweep.meta["mem_stats"]))
     if getattr(args, "chart", False):
         from repro.analysis.plot import render_ascii_chart
 
@@ -199,6 +204,7 @@ def _cmd_ablation(args: argparse.Namespace) -> None:
     from repro.mem.hierarchy import NetworkCacheConfig
 
     rows = []
+    mem_stats = {}
     for arch in (SANDY_BRIDGE, BROADWELL):
         link = default_link(arch)
         variants = [
@@ -220,6 +226,7 @@ def _cmd_ablation(args: argparse.Namespace) -> None:
             )
             point = osu_bandwidth(cfg)
             rows.append((arch.name, label, round(point.mibps, 4)))
+            mem_stats[f"{arch.name}: {label}"] = point.mem_stats
     print(
         render_table(
             ["arch", "occupancy mechanism", "bandwidth (MiBps), 1B msgs"],
@@ -227,6 +234,11 @@ def _cmd_ablation(args: argparse.Namespace) -> None:
             title="Semi-permanent cache occupancy proposals (section 4.6)",
         )
     )
+    if getattr(args, "mem_stats", False):
+        from repro.analysis.report import render_mem_stats_table
+
+        print()
+        print(render_mem_stats_table(mem_stats))
 
 
 def _cmd_offload(args: argparse.Namespace) -> None:
@@ -313,6 +325,9 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--chart", action="store_true", help="ASCII charts too")
             p.add_argument("--export", metavar="DIR", default=None,
                            help="write each panel as CSV + JSON into DIR")
+        if name in ("fig4", "fig5", "fig6", "fig7", "ablation"):
+            p.add_argument("--mem-stats", action="store_true",
+                           help="per-level hit-attribution table per variant")
     sub.add_parser("list", help="list available commands")
     return parser
 

@@ -30,6 +30,7 @@ from repro.errors import ConfigurationError
 from repro.mem.alloc import Allocation
 from repro.mem.cache import CLS_NETWORK
 from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.result import AccessResult
 from repro.hotcache.regions import RegionSet
 from repro.sim.resources import SpinLock
 
@@ -103,9 +104,17 @@ class Heater:
         self.next_pass_start = 0.0
         self.passes = 0
         self.lines_touched = 0
+        # Split of every touched line: already LLC-resident (recency refresh,
+        # the heater doing its job) vs installed from DRAM (the heater paying
+        # to rebuild state a flush destroyed).
+        self.lines_refreshed = 0
+        self.lines_installed = 0
         self.busy_cycles = 0.0
         self.last_pass_duration = 0.0
+        self.last_pass_lines = 0
+        self.last_pass_refreshed = 0
         self.enabled = True
+        self._tx = AccessResult()  # scratch for touch transactions
 
     # -- pass machinery ------------------------------------------------------
 
@@ -130,18 +139,27 @@ class Heater:
             self.regions.replace_all(self.region_provider())
         duration = 0.0
         lines = 0
+        refreshed = 0
+        installed = 0
+        touch = self.hierarchy.touch_shared_tx
+        tx = self._tx
         for region in self.regions:
             duration += cfg.region_admin_cycles
-            lines += self.hierarchy.touch_shared(
-                cfg.core_id, region.addr, region.size, self.mem_class
-            )
+            touch(cfg.core_id, region.addr, region.size, self.mem_class, out=tx)
+            lines += tx.lines
+            refreshed += tx.l3_hits
+            installed += tx.dram_fills
         duration += lines * cfg.touch_cycles_per_line
         if cfg.locked:
             self.lock.hold(start, duration)
         self.passes += 1
         self.lines_touched += lines
+        self.lines_refreshed += refreshed
+        self.lines_installed += installed
         self.busy_cycles += duration
         self.last_pass_duration = duration
+        self.last_pass_lines = lines
+        self.last_pass_refreshed = refreshed
         self.next_pass_start = start + max(self.period_cycles, duration)
 
     # -- MPI-side region maintenance -------------------------------------------
@@ -195,10 +213,34 @@ class Heater:
         horizon = self.next_pass_start
         return min(1.0, self.busy_cycles / horizon) if horizon > 0 else 0.0
 
+    @property
+    def refreshed_per_pass(self) -> float:
+        """Mean lines refreshed (found LLC-resident) per completed pass."""
+        return self.lines_refreshed / self.passes if self.passes else 0.0
+
+    def pass_stats(self) -> dict:
+        """Pass counters as a plain dict (reporter/CLI friendly)."""
+        return {
+            "passes": self.passes,
+            "lines_touched": self.lines_touched,
+            "lines_refreshed": self.lines_refreshed,
+            "lines_installed": self.lines_installed,
+            "refreshed_per_pass": self.refreshed_per_pass,
+            "last_pass_lines": self.last_pass_lines,
+            "last_pass_refreshed": self.last_pass_refreshed,
+            "busy_cycles": self.busy_cycles,
+            "duty_cycle": self.duty_cycle,
+            "saturated": self.saturated,
+        }
+
     def reset(self, now: float = 0.0) -> None:
         """Clear accumulated state/counters."""
         self.next_pass_start = now
         self.passes = 0
         self.lines_touched = 0
+        self.lines_refreshed = 0
+        self.lines_installed = 0
         self.busy_cycles = 0.0
+        self.last_pass_lines = 0
+        self.last_pass_refreshed = 0
         self.lock.reset_stats()

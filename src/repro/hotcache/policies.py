@@ -30,6 +30,7 @@ from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.hotcache.heater import Heater, HeaterConfig
+from repro.mem.layout import line_span
 
 
 class CollaborativeHeater(Heater):
@@ -76,15 +77,19 @@ class CollaborativeHeater(Heater):
         budget = lead_cycles
         warmed_lines = 0
         total_lines = 0
+        refreshed = 0
+        installed = 0
         duration = 0.0
+        touch = self.hierarchy.touch_shared_tx
+        tx = self._tx
         for region in self.regions:
-            from repro.mem.layout import line_span
-
             lines = line_span(region.addr, region.size)
             total_lines += lines
             cost = cfg.region_admin_cycles + lines * cfg.touch_cycles_per_line
             if budget >= cost:
-                self.hierarchy.touch_shared(cfg.core_id, region.addr, region.size, self.mem_class)
+                touch(cfg.core_id, region.addr, region.size, self.mem_class, out=tx)
+                refreshed += tx.l3_hits
+                installed += tx.dram_fills
                 warmed_lines += lines
                 budget -= cost
                 duration += cost
@@ -92,8 +97,12 @@ class CollaborativeHeater(Heater):
             self.lock.hold(phase_start - lead_cycles, duration)
         self.partial_passes += 1
         self.lines_touched += warmed_lines
+        self.lines_refreshed += refreshed
+        self.lines_installed += installed
         self.busy_cycles += duration
         self.last_pass_duration = duration
+        self.last_pass_lines = warmed_lines
+        self.last_pass_refreshed = refreshed
         self.next_pass_start = max(self.next_pass_start, phase_start)
         return warmed_lines / total_lines if total_lines else 1.0
 

@@ -19,6 +19,8 @@ from typing import Callable, Optional, Tuple, TypeVar
 from repro.matching.port import MemoryPort
 from repro.mem.cache import CLS_NETWORK
 from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.layout import LINE_SHIFT
+from repro.mem.result import AccessResult, LevelStats
 from repro.sim.clock import Clock
 
 T = TypeVar("T")
@@ -67,6 +69,12 @@ class MatchEngine(MemoryPort):
         self.sw_prefetches = 0
         self.load_cycles = 0.0
         self.store_cycles_total = 0.0
+        # Per-level hit attribution over every load transaction (where each
+        # traversed line was served: netcache/L1/L2/L3/DRAM).
+        self.level_stats = LevelStats()
+        # Scratch transaction reused across loads/stores: the hot path
+        # allocates nothing.
+        self._tx = AccessResult()
 
     # -- heater wiring -------------------------------------------------------
 
@@ -87,7 +95,18 @@ class MatchEngine(MemoryPort):
     def load(self, addr: int, nbytes: int) -> None:
         """Record/charge a load of *nbytes* at *addr*."""
         interference = self._sync_heater()
-        cycles = self.hierarchy.access(self.core_id, addr, nbytes, self.mem_class)
+        if nbytes <= 0:
+            cycles = 0.0
+        else:
+            tx = self.hierarchy.access_lines(
+                self.core_id,
+                addr >> LINE_SHIFT,
+                (addr + nbytes - 1) >> LINE_SHIFT,
+                self.mem_class,
+                self._tx,
+            )
+            self.level_stats.add(tx)
+            cycles = tx.cycles
         cycles += self.compare_cycles + interference
         self.clock.advance(cycles)
         self.loads += 1
@@ -96,8 +115,8 @@ class MatchEngine(MemoryPort):
     def store(self, addr: int, nbytes: int) -> None:
         """Record/charge a store of *nbytes* at *addr*."""
         interference = self._sync_heater()
-        cycles = self.hierarchy.write(self.core_id, addr, nbytes, self.mem_class)
-        cycles = cycles * self.store_cycles + interference
+        tx = self.hierarchy.write_tx(self.core_id, addr, nbytes, self.mem_class, out=self._tx)
+        cycles = tx.lines * self.store_cycles + interference
         self.clock.advance(cycles)
         self.stores += 1
         self.store_cycles_total += cycles
@@ -106,8 +125,6 @@ class MatchEngine(MemoryPort):
         """Middleware prefetch hint (no-op unless software_prefetch is on)."""
         if not self.software_prefetch or nbytes <= 0:
             return
-        from repro.mem.layout import LINE_SHIFT
-
         hier = self.hierarchy
         core = hier.cores[self.core_id]
         first = addr >> LINE_SHIFT
@@ -138,9 +155,15 @@ class MatchEngine(MemoryPort):
         result = fn()
         return result, self.clock.now - start
 
+    def mem_stats(self) -> LevelStats:
+        """Per-level hit attribution over this engine's load transactions."""
+        return self.level_stats
+
     def reset_counters(self) -> None:
-        """Zero the engine's load/store counters."""
+        """Zero the engine's load/store/prefetch counters and attribution."""
         self.loads = 0
         self.stores = 0
+        self.sw_prefetches = 0
         self.load_cycles = 0.0
         self.store_cycles_total = 0.0
+        self.level_stats.reset()

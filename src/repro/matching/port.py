@@ -27,6 +27,14 @@ class MemoryPort:
         units that can be used by middleware such as MPI"). Default: no-op;
         the MatchEngine honours it when software prefetch is enabled."""
 
+    def mem_stats(self):
+        """Per-level hit attribution accumulated by this port, if any.
+
+        Returns a :class:`~repro.mem.result.LevelStats` for ports backed by
+        a memory hierarchy (the MatchEngine), else ``None``.
+        """
+        return None
+
 
 class NullPort(MemoryPort):
     """Cost-free port that only counts operations."""

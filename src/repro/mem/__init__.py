@@ -37,6 +37,7 @@ from repro.mem.cache import (
 )
 from repro.mem.hierarchy import Core, MemoryHierarchy, NetworkCacheConfig
 from repro.mem.layout import LINE_SIZE, line_of, line_span, lines_touched
+from repro.mem.result import AccessResult, LevelStats
 from repro.mem.prefetch import (
     AdjacentPairPrefetcher,
     NextLinePrefetcher,
@@ -45,6 +46,7 @@ from repro.mem.prefetch import (
 )
 
 __all__ = [
+    "AccessResult",
     "Allocation",
     "AdjacentPairPrefetcher",
     "BumpAllocator",
@@ -55,6 +57,7 @@ __all__ = [
     "EvictionPolicy",
     "FragmentedHeap",
     "LINE_SIZE",
+    "LevelStats",
     "MemoryHierarchy",
     "NetworkCacheConfig",
     "NextLinePrefetcher",

@@ -18,7 +18,6 @@ showing hot caching *requires* a recency-based policy.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
@@ -31,16 +30,22 @@ CLS_DEFAULT = 0
 CLS_NETWORK = 1
 
 
-@dataclass
 class CacheStats:
-    """Demand/prefetch counters for one cache level."""
+    """Demand/prefetch counters for one cache level.
 
-    hits: int = 0
-    misses: int = 0
-    prefetch_fills: int = 0
-    prefetch_hits: int = 0  # demand hits on prefetched lines
-    evictions: int = 0
-    flushes: int = 0
+    A ``__slots__`` class, not a dataclass: these counters are bumped on
+    every simulated line access, and slot attribute access keeps that cheap.
+    """
+
+    __slots__ = ("hits", "misses", "prefetch_fills", "prefetch_hits", "evictions", "flushes")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.prefetch_fills = 0
+        self.prefetch_hits = 0  # demand hits on prefetched lines
+        self.evictions = 0
+        self.flushes = 0
 
     @property
     def accesses(self) -> int:
@@ -62,13 +67,14 @@ class CacheStats:
         self.flushes = 0
 
     def snapshot(self) -> dict:
-        """Counters as a plain dict."""
+        """Counters as a plain dict (round-trips everything reset() clears)."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "prefetch_fills": self.prefetch_fills,
             "prefetch_hits": self.prefetch_hits,
             "evictions": self.evictions,
+            "flushes": self.flushes,
             "hit_rate": self.hit_rate,
         }
 
@@ -94,13 +100,16 @@ class WayPartition:
             )
 
 
-@dataclass
 class _LineMeta:
-    cls: int
-    prefetched: bool
-    # Residual latency a demand access still pays on its first hit to a
-    # prefetched line (the prefetch was issued too late to hide everything).
-    penalty: float = 0.0
+    __slots__ = ("cls", "prefetched", "penalty")
+
+    def __init__(self, cls: int, prefetched: bool, penalty: float = 0.0) -> None:
+        self.cls = cls
+        self.prefetched = prefetched
+        # Residual latency a demand access still pays on its first hit to a
+        # prefetched line (the prefetch was issued too late to hide
+        # everything).
+        self.penalty = penalty
 
 
 class EvictionPolicy:
@@ -115,10 +124,14 @@ class EvictionPolicy:
 class SetAssociativeCache:
     """One cache level.
 
-    The set container is an :class:`OrderedDict` from line index to
-    :class:`_LineMeta`; for LRU the dict order *is* recency order (oldest
-    first). PLRU approximates recency by only promoting a hit line halfway to
-    MRU, and random eviction ignores order entirely.
+    Each set is a plain dict from line index to :class:`_LineMeta` plus an
+    array-backed recency list of line indices (oldest first). Keeping the
+    recency order in a list instead of an :class:`OrderedDict` makes the
+    PLRU mid-queue promotion two C-level list operations instead of a full
+    dict rebuild, and lets eviction scan candidates without copying — this
+    ``lookup``/``fill`` pair is the hottest call in the repository. For
+    RANDOM, the list degenerates to insertion order and is ignored by
+    victim selection.
     """
 
     __slots__ = (
@@ -129,6 +142,7 @@ class SetAssociativeCache:
         "nsets",
         "_set_mask",
         "_sets",
+        "_order",
         "_dirty",
         "policy",
         "partition",
@@ -169,7 +183,8 @@ class SetAssociativeCache:
         self.latency = latency
         self.nsets = nsets
         self._set_mask = nsets - 1
-        self._sets: list[OrderedDict] = [OrderedDict() for _ in range(nsets)]
+        self._sets: list[dict] = [{} for _ in range(nsets)]
+        self._order: list[list] = [[] for _ in range(nsets)]  # recency, oldest first
         self._dirty: set = set()  # indices of sets that may hold lines
         self.policy = policy
         self.partition = partition
@@ -186,8 +201,8 @@ class SetAssociativeCache:
         ``penalty`` exactly once: the caller reads it off the returned meta,
         and this method clears it.
         """
-        s = self._sets[line & self._set_mask]
-        meta = s.get(line)
+        idx = line & self._set_mask
+        meta = self._sets[idx].get(line)
         if meta is None:
             self.stats.misses += 1
             return None
@@ -195,29 +210,25 @@ class SetAssociativeCache:
         if meta.prefetched:
             self.stats.prefetch_hits += 1
             meta.prefetched = False
-        self._promote(s, line)
+        self._promote(self._order[idx], line)
         return meta
 
     def contains(self, line: int) -> bool:
         """Presence check without touching recency or statistics."""
         return line in self._sets[line & self._set_mask]
 
-    def _promote(self, s: OrderedDict, line: int) -> None:
-        if self.policy == EvictionPolicy.LRU:
-            s.move_to_end(line)
-        elif self.policy == EvictionPolicy.PLRU:
+    def _promote(self, order: list, line: int) -> None:
+        policy = self.policy
+        if policy == EvictionPolicy.LRU:
+            if order[-1] != line:
+                order.remove(line)
+                order.append(line)
+        elif policy == EvictionPolicy.PLRU:
             # Tree-PLRU approximation: a hit protects the line but does not
             # make it strictly MRU; emulate by moving it to the middle of the
             # recency order.
-            meta = s.pop(line)
-            items = list(s.items())
-            mid = len(items) // 2
-            s.clear()
-            for k, v in items[:mid]:
-                s[k] = v
-            s[line] = meta
-            for k, v in items[mid:]:
-                s[k] = v
+            order.remove(line)
+            order.insert(len(order) // 2, line)
         # RANDOM: recency is irrelevant.
 
     def fill(
@@ -229,7 +240,8 @@ class SetAssociativeCache:
         penalty: float = 0.0,
     ) -> None:
         """Insert *line*; evicts a victim if the set is full."""
-        s = self._sets[line & self._set_mask]
+        idx = line & self._set_mask
+        s = self._sets[idx]
         meta = s.get(line)
         if meta is not None:
             # Refill of a resident line (e.g. prefetch racing demand).
@@ -237,24 +249,23 @@ class SetAssociativeCache:
             if not prefetched:
                 meta.prefetched = False
                 meta.penalty = 0.0
-            self._promote(s, line)
+            self._promote(self._order[idx], line)
             return
         if len(s) >= self.assoc:
-            self._evict(s, filling_cls=cls)
+            self._evict(s, self._order[idx], filling_cls=cls)
         elif not s:
-            self._dirty.add(line & self._set_mask)
+            self._dirty.add(idx)
         s[line] = _LineMeta(cls, prefetched, penalty if prefetched else 0.0)
+        self._order[idx].append(line)
         if prefetched:
             self.stats.prefetch_fills += 1
 
-    def _evict(self, s: OrderedDict, filling_cls: int) -> None:
+    def _evict(self, s: dict, order: list, filling_cls: int) -> None:
         victim: Optional[int] = None
         if self.policy == EvictionPolicy.RANDOM:
-            keys = list(s.keys())
-            order = list(self._rng.permutation(len(keys)))
-            candidates = [keys[i] for i in order]
+            candidates = [order[i] for i in self._rng.permutation(len(order))]
         else:
-            candidates = list(s.keys())  # oldest first
+            candidates = order  # oldest first; scanned in place, never copied
         if self.partition is not None and filling_cls == CLS_DEFAULT:
             network_lines = sum(1 for m in s.values() if m.cls == CLS_NETWORK)
             if network_lines <= self.partition.network_ways:
@@ -272,21 +283,26 @@ class SetAssociativeCache:
         else:
             victim = candidates[0]
         del s[victim]
+        order.remove(victim)
         self.stats.evictions += 1
 
     def invalidate(self, line: int) -> bool:
         """Drop *line* if resident; returns whether it was present."""
-        s = self._sets[line & self._set_mask]
+        idx = line & self._set_mask
+        s = self._sets[idx]
         if line in s:
             del s[line]
+            self._order[idx].remove(line)
             return True
         return False
 
     def flush(self) -> None:
         """Drop every line (the benchmarks' inter-iteration cache clear)."""
         sets = self._sets
+        orders = self._order
         for idx in self._dirty:
             sets[idx].clear()
+            orders[idx].clear()
         self._dirty.clear()
         self.stats.flushes += 1
 
@@ -297,6 +313,13 @@ class SetAssociativeCache:
         if cls is None:
             return sum(len(s) for s in self._sets)
         return sum(1 for s in self._sets for m in s.values() if m.cls == cls)
+
+    def recency(self, set_index: int) -> list:
+        """Resident lines of one set in recency order (oldest first).
+
+        For RANDOM the order is insertion order (recency is never updated).
+        """
+        return list(self._order[set_index])
 
     @property
     def capacity_lines(self) -> int:

@@ -47,6 +47,7 @@ from repro.mem.prefetch import (
     Prefetcher,
     StreamerPrefetcher,
 )
+from repro.mem.result import AccessResult
 
 
 @dataclass(frozen=True)
@@ -73,7 +74,9 @@ class NetworkCacheConfig:
 class Core:
     """Private L1 + L2 and their prefetchers, plus the optional net cache."""
 
-    __slots__ = ("core_id", "l1", "l2", "l1_prefetchers", "l2_prefetchers", "netcache")
+    __slots__ = (
+        "core_id", "l1", "l2", "l1_prefetchers", "l2_prefetchers", "netcache", "hot", "hot1",
+    )
 
     def __init__(
         self,
@@ -90,6 +93,36 @@ class Core:
         self.l1_prefetchers = list(l1_prefetchers)
         self.l2_prefetchers = list(l2_prefetchers)
         self.netcache = netcache
+        # Construction-time invariants of the demand path, prebound so
+        # ``MemoryHierarchy.access_lines`` pays one attribute load plus a
+        # tuple unpack instead of ~20 chained lookups per call. Everything
+        # here is fixed after construction (prefetcher lists are mutated in
+        # place by ``reset()``, never replaced).
+        self.hot = (
+            l1,
+            l2,
+            l1._sets,
+            l1._order,
+            l1._set_mask,
+            l1.policy == EvictionPolicy.LRU,
+            l1.policy == EvictionPolicy.PLRU,
+            l1.latency,
+            l1.stats,
+            l2.stats,
+            self.l1_prefetchers,
+            self.l2_prefetchers,
+        )
+        # Smaller variant for the single-line L1-hit fast path (the match
+        # engine's node loads are almost always exactly this shape).
+        self.hot1 = (
+            l1._sets,
+            l1._order,
+            l1._set_mask,
+            l1.policy == EvictionPolicy.LRU,
+            l1.policy == EvictionPolicy.PLRU,
+            l1.latency,
+            l1.stats,
+        )
 
 
 def default_l1_prefetchers() -> list[Prefetcher]:
@@ -160,11 +193,258 @@ class MemoryHierarchy:
                 Core(cid, l1, l2, l1_prefetcher_factory(), l2_prefetcher_factory(), netc)
             )
         self.demand_accesses = 0
+        # Scratch transaction reused by the float-returning legacy wrappers,
+        # so they stay allocation-free on the hot path.
+        self._scratch = AccessResult()
+        # Socket-level demand-path invariants, prebound like Core.hot (the
+        # bound ``_prefetch_penalty`` in particular is costly to rebuild per
+        # call).
+        self._hot = (self.l3, self.l3.stats, self.dram_latency, self._prefetch_penalty)
 
     # -- the demand path ----------------------------------------------------
 
     def access(self, core_id: int, addr: int, nbytes: int, cls: int = CLS_DEFAULT) -> float:
-        """Demand access of *nbytes* at *addr* from *core_id*; returns cycles."""
+        """Demand access of *nbytes* at *addr* from *core_id*; returns cycles.
+
+        Thin wrapper over :meth:`access_tx` for call sites that only need
+        the total; the batched transaction path underneath is the single
+        implementation of the demand protocol.
+        """
+        if nbytes <= 0:
+            return 0.0
+        return self.access_lines(
+            core_id,
+            addr >> LINE_SHIFT,
+            (addr + nbytes - 1) >> LINE_SHIFT,
+            cls,
+            self._scratch,
+        ).cycles
+
+    def access_tx(
+        self,
+        core_id: int,
+        addr: int,
+        nbytes: int,
+        cls: int = CLS_DEFAULT,
+        *,
+        out: Optional[AccessResult] = None,
+    ) -> AccessResult:
+        """Demand access returning the full :class:`AccessResult`.
+
+        Pass ``out`` to reuse a transaction object and keep the hot path
+        allocation-free; it is reset before use and returned.
+        """
+        if nbytes <= 0:
+            if out is None:
+                return AccessResult()
+            out.reset()
+            return out
+        return self.access_lines(
+            core_id,
+            addr >> LINE_SHIFT,
+            (addr + nbytes - 1) >> LINE_SHIFT,
+            cls,
+            out,
+        )
+
+    def _prefetch_penalty(self, l2, line: int) -> float:
+        """Residual latency of a prefetch for *line*, by its source level."""
+        if l2.contains(line):
+            return 0.0  # already close: nothing left to hide
+        if self.l3.contains(line):
+            return (1.0 - self.l3_stream_coverage) * self.l3.latency
+        return (1.0 - self.dram_stream_coverage) * self.dram_latency
+
+    def access_lines(
+        self,
+        core_id: int,
+        first: int,
+        last: int,
+        cls: int = CLS_DEFAULT,
+        out: Optional[AccessResult] = None,
+    ) -> AccessResult:
+        """Batched demand traversal of the line range [*first*, *last*].
+
+        One call processes a whole node's line span: the per-core cache
+        objects, their prefetcher lists and latencies are bound once instead
+        of per line, which is where the wall-clock of the scalar loop went
+        (see ``benchmarks/bench_access_path.py``). Simulated behaviour is
+        bit-identical to :meth:`access_legacy` — same lookup/fill/prefetch
+        order per line, same float accumulation order — the batching is
+        purely a host-side optimization plus per-level attribution.
+        """
+        n = last - first + 1
+        if n <= 0:
+            if out is None:
+                return AccessResult()
+            out.reset()
+            return out
+        self.demand_accesses += n
+        core = self.cores[core_id]
+        netc = core.netcache
+        cycles = 0.0
+        l1_hits = 0
+        l1_covered = 0
+        pf_covered = 0
+        penalty_cycles = 0.0
+        line = first
+        if netc is None or cls != CLS_NETWORK:
+            # Fast prefix: consume leading L1 hits with minimal setup. Node
+            # loads from a warm queue are entirely this shape, and a pure-hit
+            # transaction never touches the general machinery below. Counter
+            # updates mirror ``SetAssociativeCache.lookup`` exactly, with
+            # L1 stats batched into one add per call (nothing reads them
+            # mid-transaction); the first missing line breaks out uncounted
+            # and the general loop resumes from it.
+            l1_sets, l1_order, l1_mask, l1_lru, l1_plru, l1_lat, l1_stats = core.hot1
+            while line <= last:
+                idx = line & l1_mask
+                meta = l1_sets[idx].get(line)
+                if meta is None:
+                    break
+                if meta.prefetched:
+                    meta.prefetched = False
+                    l1_covered += 1
+                if l1_lru:
+                    order = l1_order[idx]
+                    if order[-1] != line:
+                        order.remove(line)
+                        order.append(line)
+                elif l1_plru:
+                    order = l1_order[idx]
+                    order.remove(line)
+                    order.insert(len(order) // 2, line)
+                l1_hits += 1
+                pen = meta.penalty
+                if pen:
+                    meta.penalty = 0.0
+                    penalty_cycles += pen
+                cycles += l1_lat + pen
+                line += 1
+            if line > last:
+                l1_stats.hits += l1_hits
+                if l1_covered:
+                    l1_stats.prefetch_hits += l1_covered
+                res = out if out is not None else AccessResult()
+                res.lines = n
+                res.cycles = cycles
+                res.netcache_hits = 0
+                res.l1_hits = l1_hits
+                res.l2_hits = 0
+                res.l3_hits = 0
+                res.dram_fills = 0
+                res.prefetch_covered = l1_covered
+                res.penalty_cycles = penalty_cycles
+                return res
+        # Every field of `res` is overwritten below, so a passed-in `out`
+        # needs no reset here.
+        res = out if out is not None else AccessResult()
+        want_netc = netc is not None and cls == CLS_NETWORK
+        (l1, l2, l1_sets, l1_order, l1_mask, l1_lru, l1_plru, l1_lat,
+         l1_stats, l2_stats, l1_pf, l2_pf) = core.hot
+        l3, l3_stats, dram_lat, penalty_of = self._hot
+        l2_hits = l3_hits = netc_hits = dram_fills = 0
+        l1_misses = 0
+        for line in range(line, last + 1):
+            if want_netc and netc.lookup(line):
+                netc_hits += 1
+                cycles += netc.latency
+                continue
+            idx = line & l1_mask
+            meta = l1_sets[idx].get(line)
+            if meta is not None:
+                # Inlined ``l1.lookup()`` hit path — must stay bit-identical
+                # to it (the equivalence tests pin this against
+                # :meth:`access_legacy`); L1 stats are batched below.
+                if meta.prefetched:
+                    meta.prefetched = False
+                    l1_covered += 1
+                if l1_lru:
+                    order = l1_order[idx]
+                    if order[-1] != line:
+                        order.remove(line)
+                        order.append(line)
+                elif l1_plru:
+                    order = l1_order[idx]
+                    order.remove(line)
+                    order.insert(len(order) // 2, line)
+                l1_hits += 1
+                pen = meta.penalty
+                if pen:
+                    meta.penalty = 0.0
+                    penalty_cycles += pen
+                cycles += l1_lat + pen
+                continue
+            # L1 demand miss, counted exactly as l1.lookup() would have
+            # (deferred to the batched update below).
+            l1_misses += 1
+            # The DCU may fetch ahead.
+            for pf in l1_pf:
+                for pline in pf.observe(line, False):
+                    l1.fill(pline, cls, prefetched=True, penalty=penalty_of(l2, pline))
+            covered = l2_stats.prefetch_hits
+            meta = l2.lookup(line)
+            if meta is not None:
+                l2_hits += 1
+                if l2_stats.prefetch_hits != covered:
+                    pf_covered += 1
+                pen = meta.penalty
+                if pen:
+                    meta.penalty = 0.0
+                    penalty_cycles += pen
+                cycles += l2.latency + pen
+                hit2 = True
+            else:
+                hit2 = False
+                covered = l3_stats.prefetch_hits
+                meta = l3.lookup(line)
+                if meta is not None:
+                    l3_hits += 1
+                    if l3_stats.prefetch_hits != covered:
+                        pf_covered += 1
+                    pen = meta.penalty
+                    if pen:
+                        meta.penalty = 0.0
+                        penalty_cycles += pen
+                    cycles += l3.latency + pen
+                else:
+                    dram_fills += 1
+                    cycles += dram_lat
+                    l3.fill(line, cls)
+                l2.fill(line, cls)
+            # L2 prefetchers observe every access that reached L2.
+            for pf in l2_pf:
+                for pline in pf.observe(line, hit2):
+                    pen = penalty_of(l2, pline)
+                    l2.fill(pline, cls, prefetched=True, penalty=pen)
+                    l3.fill(pline, cls, prefetched=True)
+            l1.fill(line, cls)
+            if want_netc:
+                netc.fill(line, cls)
+        if l1_hits:
+            l1_stats.hits += l1_hits
+        if l1_misses:
+            l1_stats.misses += l1_misses
+        if l1_covered:
+            l1_stats.prefetch_hits += l1_covered
+        res.lines = n
+        res.cycles = cycles
+        res.netcache_hits = netc_hits
+        res.l1_hits = l1_hits
+        res.l2_hits = l2_hits
+        res.l3_hits = l3_hits
+        res.dram_fills = dram_fills
+        res.prefetch_covered = pf_covered + l1_covered
+        res.penalty_cycles = penalty_cycles
+        return res
+
+    def access_legacy(self, core_id: int, addr: int, nbytes: int, cls: int = CLS_DEFAULT) -> float:
+        """The pre-batching scalar loop, kept as the reference semantics.
+
+        Calls :meth:`_access_line` once per line exactly as the original
+        ``access()`` did. Equivalence tests pin ``access_lines`` against it,
+        and ``benchmarks/bench_access_path.py`` measures the gap.
+        """
         if nbytes <= 0:
             return 0.0
         first = addr >> LINE_SHIFT
@@ -175,14 +455,6 @@ class MemoryHierarchy:
             cycles += self._access_line(self.cores[core_id], line, cls)
             line += 1
         return cycles
-
-    def _prefetch_penalty(self, l2, line: int) -> float:
-        """Residual latency of a prefetch for *line*, by its source level."""
-        if l2.contains(line):
-            return 0.0  # already close: nothing left to hide
-        if self.l3.contains(line):
-            return (1.0 - self.l3_stream_coverage) * self.l3.latency
-        return (1.0 - self.dram_stream_coverage) * self.dram_latency
 
     def _access_line(self, core: Core, line: int, cls: int) -> float:
         self.demand_accesses += 1
@@ -235,16 +507,43 @@ class MemoryHierarchy:
         """
         if nbytes <= 0:
             return 0.0
+        return float(self.write_tx(core_id, addr, nbytes, cls, out=self._scratch).lines)
+
+    def write_tx(
+        self,
+        core_id: int,
+        addr: int,
+        nbytes: int,
+        cls: int = CLS_DEFAULT,
+        *,
+        out: Optional[AccessResult] = None,
+    ) -> AccessResult:
+        """Store transaction: write-allocate fills, no demand latency.
+
+        The returned result carries ``lines`` (the caller scales this by its
+        per-line store cost); level counters stay zero — stores expose no
+        serving level in this model.
+        """
+        if out is None:
+            res = AccessResult()
+        else:
+            res = out
+            res.reset()
+        if nbytes <= 0:
+            return res
         core = self.cores[core_id]
         first = addr >> LINE_SHIFT
         last = (addr + nbytes - 1) >> LINE_SHIFT
+        l1_fill, l2_fill, l3_fill = core.l1.fill, core.l2.fill, self.l3.fill
+        netc = core.netcache if cls == CLS_NETWORK else None
         for line in range(first, last + 1):
-            core.l1.fill(line, cls)
-            core.l2.fill(line, cls)
-            self.l3.fill(line, cls)
-            if core.netcache is not None and cls == CLS_NETWORK:
-                core.netcache.fill(line, cls)
-        return float(last - first + 1)
+            l1_fill(line, cls)
+            l2_fill(line, cls)
+            l3_fill(line, cls)
+            if netc is not None:
+                netc.fill(line, cls)
+        res.lines = last - first + 1
+        return res
 
     # -- the heater path ----------------------------------------------------
 
@@ -258,16 +557,49 @@ class MemoryHierarchy:
         """
         if nbytes <= 0:
             return 0
+        return self.touch_shared_tx(core_id, addr, nbytes, cls, out=self._scratch).lines
+
+    def touch_shared_tx(
+        self,
+        core_id: int,
+        addr: int,
+        nbytes: int,
+        cls: int = CLS_NETWORK,
+        *,
+        out: Optional[AccessResult] = None,
+    ) -> AccessResult:
+        """Heater touch transaction over [addr, addr+nbytes).
+
+        ``l3_hits`` counts lines that were already LLC-resident (a recency
+        refresh — the heater doing its job), ``dram_fills`` lines it had to
+        install; the split is what the heater reports as refreshed-per-pass.
+        """
+        if out is None:
+            res = AccessResult()
+        else:
+            res = out
+            res.reset()
+        if nbytes <= 0:
+            return res
         core = self.cores[core_id]
         first = addr >> LINE_SHIFT
         last = (addr + nbytes - 1) >> LINE_SHIFT
+        l3_lookup, l3_fill = self.l3.lookup, self.l3.fill
+        l2_fill, l1_fill = core.l2.fill, core.l1.fill
+        refreshed = installed = 0
         for line in range(first, last + 1):
             # Refresh recency in the shared cache; fill if absent.
-            if not self.l3.lookup(line):
-                self.l3.fill(line, cls)
-            core.l2.fill(line, cls)
-            core.l1.fill(line, cls)
-        return last - first + 1
+            if not l3_lookup(line):
+                l3_fill(line, cls)
+                installed += 1
+            else:
+                refreshed += 1
+            l2_fill(line, cls)
+            l1_fill(line, cls)
+        res.lines = last - first + 1
+        res.l3_hits = refreshed
+        res.dram_fills = installed
+        return res
 
     # -- maintenance ---------------------------------------------------------
 
@@ -299,11 +631,16 @@ class MemoryHierarchy:
         still_dirty = set()
         for idx in l3._dirty:
             s = l3._sets[idx]
-            network = [(k, m) for k, m in s.items() if m.cls == CLS_NETWORK]
+            order = l3._order[idx]
+            network = [k for k in order if s[k].cls == CLS_NETWORK]
+            # The partition guarantees at most its way share survives; keep
+            # the most recently used of the network lines.
+            keep = network[-reserved:]
+            kept = {k: s[k] for k in keep}
             s.clear()
-            # The partition guarantees at most its way share survives.
-            for k, m in network[-reserved:]:
-                s[k] = m
+            order.clear()
+            s.update(kept)
+            order.extend(keep)
             if s:
                 still_dirty.add(idx)
         l3._dirty = still_dirty

@@ -25,7 +25,6 @@ the *bounded distance* is what keeps it from being a free lunch).
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
 
 from repro.mem.layout import LINE_SHIFT, PAGE_SHIFT
 
@@ -72,11 +71,13 @@ class AdjacentPairPrefetcher(Prefetcher):
         return [line ^ 1]
 
 
-@dataclass
 class _Stream:
-    last_line: int
-    run: int  # consecutive ascending accesses seen
-    distance: int  # current run-ahead distance, ramps up to max
+    __slots__ = ("last_line", "run", "distance")
+
+    def __init__(self, last_line: int, run: int, distance: int) -> None:
+        self.last_line = last_line
+        self.run = run  # consecutive ascending accesses seen
+        self.distance = distance  # current run-ahead distance, ramps up to max
 
 
 class StreamerPrefetcher(Prefetcher):

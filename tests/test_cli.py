@@ -63,3 +63,23 @@ class TestNewCommands:
         parser = build_parser()
         args = parser.parse_args(["validate", "--quick"])
         assert args.command == "validate"
+
+    def test_mem_stats_flag_registered(self):
+        parser = build_parser()
+        for cmd in ("fig4", "fig5", "fig6", "fig7", "ablation"):
+            args = parser.parse_args([cmd, "--quick", "--mem-stats"])
+            assert args.mem_stats is True
+
+    def test_ablation_mem_stats(self, capsys):
+        out = run_cli(capsys, "ablation", "--quick", "--mem-stats")
+        assert "Memory-level hit attribution" in out
+        assert "DRAM %" in out and "netcache %" in out
+
+    def test_fig6_mem_stats(self, capsys):
+        out = run_cli(capsys, "fig6", "--quick", "--mem-stats")
+        assert "Memory-level hit attribution" in out
+        assert "HC+LLA" in out and "L3 %" in out
+
+    def test_fig6_without_flag_has_no_attribution(self, capsys):
+        out = run_cli(capsys, "fig6", "--quick")
+        assert "Memory-level hit attribution" not in out

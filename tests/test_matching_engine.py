@@ -69,6 +69,40 @@ class TestEngineBasics:
         engine.reset_counters()
         assert engine.loads == 0 and engine.load_cycles == 0.0
 
+    def test_reset_counters_zeroes_sw_prefetches(self):
+        engine = MatchEngine(SANDY_BRIDGE.build_hierarchy(), software_prefetch=True)
+        engine.hint(0x1000, 256)
+        assert engine.sw_prefetches > 0
+        engine.reset_counters()
+        assert engine.sw_prefetches == 0
+
+    def test_level_stats_accumulate_per_load(self):
+        hier = SANDY_BRIDGE.build_hierarchy()
+        engine = MatchEngine(hier)
+        engine.load(0x1000, 8)  # cold: the line comes from DRAM
+        engine.load(0x1000, 8)  # warm: L1 serves it
+        stats = engine.mem_stats()
+        assert stats is engine.level_stats
+        assert stats.loads == 2
+        assert stats.dram_fills == 1
+        assert stats.l1_hits == 1
+        assert stats.lines == 2
+        assert stats.cycles == pytest.approx(
+            engine.load_cycles - 2 * engine.compare_cycles
+        )
+
+    def test_level_stats_reset_with_counters(self):
+        engine = MatchEngine(SANDY_BRIDGE.build_hierarchy())
+        engine.load(0x1000, 8)
+        engine.reset_counters()
+        assert engine.level_stats.loads == 0
+        assert engine.level_stats.lines == 0
+
+    def test_stores_do_not_enter_level_stats(self):
+        engine = MatchEngine(SANDY_BRIDGE.build_hierarchy())
+        engine.store(0x1000, 8)
+        assert engine.level_stats.loads == 0
+
 
 class TestSpatialLocalityOrdering:
     """The core claims of Figures 4/5 must hold at the cycle level."""

@@ -172,6 +172,18 @@ class TestPartition:
         c.fill(10, CLS_DEFAULT)  # may evict the excess network line
         assert c.contains(10)
 
+    def test_all_network_set_default_fill_evicts_oldest(self):
+        # When network data over-occupies the whole set (beyond its reserved
+        # share), a default-class fill falls through to plain recency: the
+        # *oldest* network line is the victim, not an arbitrary one.
+        c = self._cache()
+        for line in range(4):
+            c.fill(line, CLS_NETWORK)
+        c.fill(10, CLS_DEFAULT)
+        assert not c.contains(0)  # oldest network line went
+        assert c.contains(1) and c.contains(2) and c.contains(3)
+        assert c.recency(0) == [1, 2, 3, 10]
+
 
 class TestFlushInvalidate:
     def test_flush_empties(self):
@@ -196,6 +208,19 @@ class TestFlushInvalidate:
         assert c.invalidate(1) is False
         assert not c.contains(1)
 
+    def test_snapshot_roundtrips_flushes(self):
+        c = small_cache()
+        c.fill(1)
+        c.flush()
+        c.flush()
+        snap = c.stats.snapshot()
+        assert snap["flushes"] == 2
+        # snapshot covers every counter reset() clears.
+        c.stats.reset()
+        cleared = c.stats.snapshot()
+        assert cleared["flushes"] == 0
+        assert set(snap) == set(cleared)
+
 
 class TestPolicies:
     def test_plru_approximates_recency(self):
@@ -205,6 +230,23 @@ class TestPolicies:
         c.lookup(0)  # protect 0
         c.fill(4)
         assert c.contains(0)
+
+    def test_plru_hit_promotes_to_middle(self):
+        # Tree-PLRU approximation: a hit protects the line without making it
+        # strictly MRU — it moves to the *middle* of the recency order.
+        c = small_cache(assoc=4, nsets=1, policy=EvictionPolicy.PLRU)
+        for line in range(4):
+            c.fill(line)
+        assert c.recency(0) == [0, 1, 2, 3]
+        c.lookup(0)
+        assert c.recency(0) == [1, 0, 2, 3]
+
+    def test_lru_hit_promotes_to_mru(self):
+        c = small_cache(assoc=4, nsets=1, policy=EvictionPolicy.LRU)
+        for line in range(4):
+            c.fill(line)
+        c.lookup(0)
+        assert c.recency(0) == [1, 2, 3, 0]
 
     def test_random_policy_runs(self):
         c = small_cache(

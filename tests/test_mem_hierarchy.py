@@ -1,10 +1,12 @@
 """Tests for the multi-core memory hierarchy."""
 
+import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.mem.cache import CLS_DEFAULT, CLS_NETWORK, WayPartition
 from repro.mem.hierarchy import MemoryHierarchy, NetworkCacheConfig
+from repro.mem.result import AccessResult
 
 
 def tiny_hierarchy(**kw):
@@ -153,6 +155,118 @@ class TestNetworkCache:
     def test_too_small_netcache_rejected(self):
         with pytest.raises(ConfigurationError):
             NetworkCacheConfig(size_bytes=32).build(0)
+
+
+class TestTransactions:
+    def test_access_tx_attributes_cold_lines_to_dram(self):
+        h = tiny_hierarchy()
+        tx = h.access_tx(0, 0x1000, 128)
+        assert tx.lines == 2
+        assert tx.dram_fills == 2
+        assert tx.l1_hits == 0
+        assert tx.cycles == pytest.approx(400.0)
+
+    def test_access_tx_attributes_warm_lines_to_l1(self):
+        h = tiny_hierarchy()
+        h.access(0, 0x1000, 8)
+        tx = h.access_tx(0, 0x1000, 8)
+        assert tx.l1_hits == 1 and tx.dram_fills == 0
+        assert tx.hit_rate == 1.0
+
+    def test_access_tx_levels_sum_to_lines(self):
+        h = tiny_hierarchy()
+        h.access(1, 0x1000, 8)  # shared L3 holds the first line
+        tx = h.access_tx(0, 0x1000, 80)
+        assert tx.l3_hits == 1 and tx.dram_fills == 1
+        assert tx.netcache_hits + tx.l1_hits + tx.l2_hits + tx.l3_hits + tx.dram_fills == tx.lines
+
+    def test_access_tx_zero_bytes(self):
+        h = tiny_hierarchy()
+        tx = h.access_tx(0, 0x1000, 0)
+        assert tx.lines == 0 and tx.cycles == 0.0
+
+    def test_access_tx_reuses_out(self):
+        h = tiny_hierarchy()
+        scratch = AccessResult()
+        tx = h.access_tx(0, 0x1000, 8, out=scratch)
+        assert tx is scratch
+        assert tx.dram_fills == 1
+        tx2 = h.access_tx(0, 0x2000, 8, out=scratch)
+        assert tx2 is scratch and tx2.lines == 1  # reset, not accumulated
+
+    def test_netcache_hits_attributed(self):
+        h = tiny_hierarchy(network_cache=NetworkCacheConfig(size_bytes=2048, latency=4.0))
+        h.access(0, 0x1000, 8, CLS_NETWORK)
+        h.flush()
+        tx = h.access_tx(0, 0x1000, 8, CLS_NETWORK)
+        assert tx.netcache_hits == 1
+        assert tx.cycles == pytest.approx(4.0)
+
+    def test_write_tx_counts_lines(self):
+        h = tiny_hierarchy()
+        tx = h.write_tx(0, 0x1000, 129)
+        assert tx.lines == 3
+        assert h.write(0, 0x2000, 129) == 3.0
+
+    def test_touch_shared_tx_splits_refresh_vs_install(self):
+        h = tiny_hierarchy()
+        tx = h.touch_shared_tx(1, 0x2000, 256)
+        assert tx.lines == 4
+        assert tx.dram_fills == 4 and tx.l3_hits == 0  # cold: all installed
+        tx = h.touch_shared_tx(1, 0x2000, 256)
+        assert tx.l3_hits == 4 and tx.dram_fills == 0  # warm: all refreshed
+
+
+class TestBatchedEquivalence:
+    """access_lines must be *bit-identical* to the seed's scalar loop."""
+
+    CONFIGS = {
+        "plain": {},
+        "plru": {"policy": "plru"},
+        "random": {"policy": "random"},
+        "partition": {"partition": WayPartition(network_ways=4)},
+        "netcache": {"network_cache": NetworkCacheConfig(size_bytes=2048, latency=4.0)},
+    }
+
+    @staticmethod
+    def _stream(seed):
+        rng = np.random.default_rng(seed)
+        stream = []
+        for _ in range(400):
+            addr = int(rng.integers(0, 1 << 18))
+            nbytes = int(rng.integers(1, 300))
+            cls = CLS_NETWORK if rng.random() < 0.5 else CLS_DEFAULT
+            stream.append((addr, nbytes, cls))
+        return stream
+
+    @pytest.mark.parametrize("name", sorted(CONFIGS))
+    def test_bit_identical_to_legacy(self, name):
+        kw = dict(self.CONFIGS[name])
+        stream = self._stream(seed=3)
+
+        def run(use_batched):
+            h = tiny_hierarchy(rng=np.random.default_rng(11), **kw)
+            totals = []
+            if use_batched:
+                tx = AccessResult()
+                for i, (addr, nbytes, cls) in enumerate(stream):
+                    first = addr >> 6
+                    last = (addr + nbytes - 1) >> 6
+                    totals.append(h.access_lines(0, first, last, cls, tx).cycles)
+                    if i % 97 == 0:
+                        h.flush()
+            else:
+                for i, (addr, nbytes, cls) in enumerate(stream):
+                    totals.append(h.access_legacy(0, addr, nbytes, cls))
+                    if i % 97 == 0:
+                        h.flush()
+            return totals, h.stats()
+
+        batched_cycles, batched_stats = run(True)
+        legacy_cycles, legacy_stats = run(False)
+        # repr-level equality: same float accumulation order, not "approx".
+        assert list(map(repr, batched_cycles)) == list(map(repr, legacy_cycles))
+        assert batched_stats == legacy_stats
 
 
 class TestStats:

@@ -1,0 +1,91 @@
+"""Tests for the access-transaction containers (AccessResult / LevelStats)."""
+
+import pytest
+
+from repro.mem.result import LEVEL_FIELDS, LEVEL_LABELS, AccessResult, LevelStats
+
+
+def make_tx(**kw):
+    tx = AccessResult()
+    tx.lines = kw.pop("lines", 0)
+    tx.cycles = kw.pop("cycles", 0.0)
+    for field, value in kw.items():
+        setattr(tx, field, value)
+    return tx
+
+
+class TestAccessResult:
+    def test_starts_zeroed(self):
+        tx = AccessResult()
+        assert tx.lines == 0 and tx.cycles == 0.0
+        assert all(getattr(tx, f) == 0 for f in LEVEL_FIELDS)
+
+    def test_reset_clears_everything(self):
+        tx = make_tx(lines=3, cycles=42.0, l1_hits=2, dram_fills=1, prefetch_covered=1)
+        tx.reset()
+        assert tx.as_dict() == AccessResult().as_dict()
+
+    def test_hits_excludes_dram(self):
+        tx = make_tx(lines=5, netcache_hits=1, l1_hits=2, l2_hits=1, dram_fills=1)
+        assert tx.hits == 4
+        assert tx.hit_rate == pytest.approx(0.8)
+
+    def test_hit_rate_of_empty_transaction(self):
+        assert AccessResult().hit_rate == 0.0
+
+    def test_as_dict_keys_cover_level_fields(self):
+        d = AccessResult().as_dict()
+        for field in LEVEL_FIELDS:
+            assert field in d
+
+
+class TestLevelStats:
+    def test_add_folds_transaction(self):
+        ls = LevelStats()
+        ls.add(make_tx(lines=2, cycles=10.0, l1_hits=1, dram_fills=1))
+        ls.add(make_tx(lines=1, cycles=4.0, l1_hits=1, prefetch_covered=1))
+        assert ls.loads == 2
+        assert ls.lines == 3
+        assert ls.cycles == pytest.approx(14.0)
+        assert ls.l1_hits == 2 and ls.dram_fills == 1
+        assert ls.prefetch_covered == 1
+
+    def test_merge_and_copy_are_independent(self):
+        a = LevelStats()
+        a.add(make_tx(lines=1, l1_hits=1))
+        b = a.copy()
+        b.add(make_tx(lines=1, dram_fills=1))
+        assert a.lines == 1 and b.lines == 2
+        a.merge(b)
+        assert a.loads == 3 and a.lines == 3
+
+    def test_attribution_sums_to_one(self):
+        ls = LevelStats()
+        ls.add(make_tx(lines=4, netcache_hits=1, l1_hits=1, l3_hits=1, dram_fills=1))
+        attribution = ls.attribution()
+        assert set(attribution) == set(LEVEL_LABELS)
+        assert sum(attribution.values()) == pytest.approx(1.0)
+        assert attribution["netcache"] == pytest.approx(0.25)
+
+    def test_attribution_of_empty_stats(self):
+        assert all(v == 0.0 for v in LevelStats().attribution().values())
+
+    def test_snapshot_roundtrip(self):
+        ls = LevelStats()
+        ls.add(make_tx(lines=2, cycles=8.0, l2_hits=2))
+        snap = ls.snapshot()
+        assert snap["loads"] == 1
+        assert snap["l2_hits"] == 2
+        assert snap["hit_rate"] == pytest.approx(1.0)
+
+    def test_merged_skips_none(self):
+        a = LevelStats()
+        a.add(make_tx(lines=1, l1_hits=1))
+        merged = LevelStats.merged([a, None, a])
+        assert merged.loads == 2 and merged.lines == 2
+
+    def test_reset(self):
+        ls = LevelStats()
+        ls.add(make_tx(lines=1, l1_hits=1))
+        ls.reset()
+        assert ls.snapshot() == LevelStats().snapshot()
