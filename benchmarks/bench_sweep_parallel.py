@@ -1,0 +1,56 @@
+"""Parallel sweep execution — correctness gate plus a speedup smoke test.
+
+Runs a Figure-4-sized grid (6 spatial variants x 6 search depths on Sandy
+Bridge) serially and with a 4-process pool. The reduced sweeps must be
+repr-identical — that gate always applies. The >= 2x speedup gate applies
+only on machines with at least 4 cores; below that the timing is printed
+for the record but cannot be meaningful (CI runners and containers are
+often 1-2 cores wide).
+"""
+
+import os
+import time
+
+from conftest import emit
+
+from repro.arch import SANDY_BRIDGE
+from repro.bench.figures import plan_spatial_search_length
+from repro.exp import Runner
+
+DEPTHS = [1, 8, 64, 512, 1024, 4096]
+ITERS = 3
+JOBS = 4
+
+
+def run_sweep(jobs):
+    plan = plan_spatial_search_length(
+        SANDY_BRIDGE, msg_bytes=1, depths=DEPTHS, iterations=ITERS, seed=0
+    )
+    start = time.perf_counter()
+    sweep = Runner(jobs=jobs).run_sweep(plan)
+    return sweep, time.perf_counter() - start
+
+
+def test_parallel_sweep_identical_and_fast(once):
+    serial, serial_s = run_sweep(1)
+    parallel, parallel_s = once(run_sweep, JOBS)
+
+    cores = os.cpu_count() or 1
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    emit(
+        f"serial {serial_s:.2f}s, --jobs {JOBS} {parallel_s:.2f}s "
+        f"({speedup:.2f}x on {cores} cores)"
+    )
+
+    # Correctness always gates: parallel output is bit-identical to serial.
+    assert repr(parallel) == repr(serial)
+    serial_ms = {k: v.snapshot() for k, v in serial.meta["mem_stats"].items()}
+    parallel_ms = {k: v.snapshot() for k, v in parallel.meta["mem_stats"].items()}
+    assert parallel_ms == serial_ms
+
+    # Speedup gates only where the hardware can deliver one.
+    if cores >= JOBS:
+        assert speedup >= 2.0, (
+            f"expected >= 2x speedup at --jobs {JOBS} on {cores} cores, "
+            f"got {speedup:.2f}x"
+        )

@@ -4,6 +4,12 @@ Figures regenerate as :class:`~repro.analysis.series.Sweep` objects; these
 helpers flatten them to CSV (one x column, one column per series) or a
 self-describing JSON document, so the data can be re-plotted with any stack
 without re-running the simulations.
+
+The JSON form round-trips everything a figure carries: series values,
+y-error bars, and the per-series memory-level attribution the drivers
+attach under ``meta["mem_stats"]`` (serialized as
+:meth:`~repro.mem.result.LevelStats.snapshot` dicts). CSV is the lossy
+flat view — values only — but :func:`sweep_from_csv` reads it back.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from pathlib import Path
 from typing import Union
 
 from repro.analysis.series import Sweep
+from repro.mem.result import LevelStats
 
 
 def sweep_to_csv(sweep: Sweep) -> str:
@@ -33,6 +40,29 @@ def sweep_to_csv(sweep: Sweep) -> str:
     return buf.getvalue()
 
 
+def sweep_from_csv(text: str, *, title: str = "", ylabel: str = "") -> Sweep:
+    """Rebuild a sweep from :func:`sweep_to_csv` output (values only).
+
+    CSV does not carry the title, ylabel, yerr, or meta; the first two can
+    be supplied by the caller, the rest come back empty/zero.
+    """
+    rows = list(csv.reader(io.StringIO(text)))
+    if not rows or len(rows[0]) < 2:
+        raise ValueError("CSV is not a sweep export (need an x column + series)")
+    xlabel, labels = rows[0][0], rows[0][1:]
+    sweep = Sweep(title=title, xlabel=xlabel, ylabel=ylabel)
+    for label in labels:
+        sweep.series_for(label)
+    for row in rows[1:]:
+        if not row:
+            continue
+        x = float(row[0])
+        for label, cell in zip(labels, row[1:]):
+            if cell != "":
+                sweep.series[label].add(x, float(cell))
+    return sweep
+
+
 def sweep_to_json(sweep: Sweep) -> str:
     """A self-describing JSON document (title, axes, per-series points)."""
     doc = {
@@ -49,6 +79,13 @@ def sweep_to_json(sweep: Sweep) -> str:
             for label, series in sweep.series.items()
         ],
     }
+    mem_stats = sweep.meta.get("mem_stats")
+    if mem_stats:
+        doc["mem_stats"] = {
+            label: stats.snapshot()
+            for label, stats in mem_stats.items()
+            if stats is not None
+        }
     return json.dumps(doc, indent=2)
 
 
@@ -61,6 +98,11 @@ def sweep_from_json(text: str) -> Sweep:
         yerrs = sdoc.get("yerr") or [0.0] * len(sdoc["x"])
         for x, y, e in zip(sdoc["x"], sdoc["y"], yerrs):
             series.add(x, y, e)
+    if doc.get("mem_stats"):
+        sweep.meta["mem_stats"] = {
+            label: LevelStats.from_snapshot(snap)
+            for label, snap in doc["mem_stats"].items()
+        }
     return sweep
 
 

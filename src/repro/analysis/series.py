@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 @dataclass
@@ -14,25 +14,55 @@ class Series:
     x: List[float] = field(default_factory=list)
     y: List[float] = field(default_factory=list)
     yerr: List[float] = field(default_factory=list)
+    # Lazy exact-float x -> first-index map. Keeps at()/ratio_to() O(1) per
+    # lookup (figure reduction does one per point) instead of list.index's
+    # O(n) scan; rebuilt whenever x grew since it was last computed, so
+    # direct appends to .x by older callers stay correct.
+    _xindex: Optional[Dict[float, int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _xindex_len: int = field(default=-1, init=False, repr=False, compare=False)
 
     def add(self, x: float, y: float, yerr: float = 0.0) -> None:
         """Append one (x, y[, yerr]) point."""
-        self.x.append(float(x))
+        xf = float(x)
+        if self._xindex is not None and self._xindex_len == len(self.x):
+            # Keep the map current instead of invalidating it; first
+            # occurrence wins, matching list.index semantics exactly.
+            self._xindex.setdefault(xf, len(self.x))
+            self._xindex_len += 1
+        self.x.append(xf)
         self.y.append(float(y))
         self.yerr.append(float(yerr))
 
+    def index_of(self, x: float) -> int:
+        """First index holding exactly *x* (ValueError if absent)."""
+        xf = float(x)
+        if self._xindex is None or self._xindex_len != len(self.x):
+            mapping: Dict[float, int] = {}
+            for i, xv in enumerate(self.x):
+                if xv not in mapping:
+                    mapping[xv] = i
+            self._xindex = mapping
+            self._xindex_len = len(self.x)
+        try:
+            return self._xindex[xf]
+        except KeyError:
+            raise ValueError(f"{xf!r} is not in series {self.label!r}") from None
+
     def at(self, x: float) -> float:
         """y value at an exact x (raises if absent)."""
-        idx = self.x.index(float(x))
-        return self.y[idx]
+        return self.y[self.index_of(x)]
 
     def ratio_to(self, other: "Series") -> "Series":
         """Pointwise self/other on the common x grid."""
         out = Series(f"{self.label}/{other.label}")
         for x, y in zip(self.x, self.y):
-            if float(x) in other.x:
+            try:
                 base = other.at(x)
-                out.add(x, y / base if base else float("inf"))
+            except ValueError:
+                continue
+            out.add(x, y / base if base else float("inf"))
         return out
 
     def __len__(self) -> int:

@@ -25,7 +25,34 @@ from repro.apps.minife import MiniFE, fig9_minife_lengths
 from repro.apps.minimd import MiniMD
 from repro.apps.fds import FireDynamicsSimulator, fig10_fds_speedups
 
+#: Proxy apps by name, for declarative point specs (repro.exp).
+APP_CLASSES = {
+    Amg2013.name: Amg2013,
+    MiniFE.name: MiniFE,
+    MiniMD.name: MiniMD,
+    FireDynamicsSimulator.name: FireDynamicsSimulator,
+}
+
+
+def build_app(name: str, *, match_list_length=None) -> ProxyApp:
+    """Instantiate a proxy app by name (worker-side spec resolution)."""
+    from repro.errors import ConfigurationError
+
+    try:
+        cls = APP_CLASSES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown proxy app {name!r}; known: {sorted(APP_CLASSES)}"
+        ) from None
+    if match_list_length is not None:
+        if cls is not MiniFE:
+            raise ConfigurationError(f"{name} does not take match_list_length")
+        return cls(match_list_length=int(match_list_length))
+    return cls()
+
+
 __all__ = [
+    "APP_CLASSES",
     "Amg2013",
     "AppConfig",
     "AppResult",
@@ -34,6 +61,7 @@ __all__ = [
     "MiniFE",
     "MiniMD",
     "ProxyApp",
+    "build_app",
     "fig10_fds_speedups",
     "fig8_amg_scaling",
     "fig9_minife_lengths",

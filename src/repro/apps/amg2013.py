@@ -67,33 +67,52 @@ class Amg2013(ProxyApp):
         return self.base_compute_s * (1.0 + 0.02 * math.log2(max(1, cfg.nranks / 128)))
 
 
+def fig8_plan(
+    *,
+    arch=BROADWELL,
+    scales: Sequence[int] = FIG8_SCALES,
+    families: Tuple[str, ...] = ("baseline", "lla-2"),
+    seed: int = 0,
+):
+    """Figure 8's grid: one ``app`` point per (family, scale)."""
+    from repro.exp import ExperimentPlan, encode_arch
+
+    plan = ExperimentPlan(
+        title="AMG2013 scaling (Broadwell)",
+        xlabel="Process Count",
+        ylabel="Execution Time (s)",
+    )
+    arch_enc = encode_arch(arch)
+    for family in families:
+        label = "Baseline" if family == "baseline" else "LLA"
+        for nranks in scales:
+            plan.add_point(
+                "app",
+                label,
+                float(nranks),
+                seed=seed,
+                app=Amg2013.name,
+                arch=arch_enc,
+                link=OMNIPATH.name,
+                nranks=int(nranks),
+                queue_family=family,
+                # AMG is a long-running production-configuration code: its
+                # baseline list nodes come from a churned heap arena.
+                fragmented=family == "baseline",
+            )
+    return plan
+
+
 def fig8_amg_scaling(
     *,
     arch=BROADWELL,
     scales: Sequence[int] = FIG8_SCALES,
     families: Tuple[str, ...] = ("baseline", "lla-2"),
     seed: int = 0,
+    runner=None,
 ) -> Sweep:
     """Figure 8: AMG2013 execution time vs process count on Broadwell."""
-    app = Amg2013()
-    sweep = Sweep(
-        title="AMG2013 scaling (Broadwell)",
-        xlabel="Process Count",
-        ylabel="Execution Time (s)",
-    )
-    for family in families:
-        label = "Baseline" if family == "baseline" else "LLA"
-        series = sweep.series_for(label)
-        for nranks in scales:
-            cfg = AppConfig(
-                arch=arch,
-                nranks=nranks,
-                link=OMNIPATH,
-                queue_family=family,
-                seed=seed,
-                # AMG is a long-running production-configuration code: its
-                # baseline list nodes come from a churned heap arena.
-                fragmented=family == "baseline",
-            )
-            series.add(nranks, app.run(cfg).runtime_s)
-    return sweep
+    from repro.exp import Runner
+
+    plan = fig8_plan(arch=arch, scales=scales, families=families, seed=seed)
+    return (runner or Runner()).run_sweep(plan)

@@ -96,28 +96,91 @@ def _config(arch_name: str, family: str, heated: bool, nranks: int, seed: int) -
     )
 
 
+def _point_params(arch_name: str, family: str, heated: bool, nranks: int) -> dict:
+    from repro.exp import encode_arch
+
+    arch = NEHALEM if arch_name == "nehalem" else BROADWELL
+    link = MELLANOX_QDR if arch_name == "nehalem" else OMNIPATH
+    return dict(
+        app=FireDynamicsSimulator.name,
+        arch=encode_arch(arch),
+        link=link.name,
+        nranks=int(nranks),
+        queue_family=family,
+        heated=heated,
+        # FDS lists are long-lived: the baseline's heap is churned.
+        fragmented=family == "baseline",
+    )
+
+
+def fig10_plan(
+    *,
+    scales: Sequence[int] = FIG10_SCALES,
+    variants=FIG10_VARIANTS,
+    seed: int = 0,
+):
+    """Figure 10's grid: per-platform baselines first, then the variants.
+
+    The baseline points carry ``baseline/<arch>`` series labels; the driver
+    reduces them into factor speedups rather than plotting them directly.
+    """
+    from repro.exp import ExperimentPlan
+
+    plan = ExperimentPlan(
+        title="Fire Dynamics Simulator scaling",
+        xlabel="Process Count",
+        ylabel="Factor Speedup Over Baseline",
+    )
+    arch_names = list(dict.fromkeys(v[1] for v in variants))
+    for nranks in scales:
+        for arch_name in arch_names:
+            plan.add_point(
+                "app",
+                f"baseline/{arch_name}",
+                float(nranks),
+                seed=seed,
+                **_point_params(arch_name, "baseline", False, nranks),
+            )
+    for label, arch_name, family, heated in variants:
+        for nranks in scales:
+            plan.add_point(
+                "app",
+                label,
+                float(nranks),
+                seed=seed,
+                **_point_params(arch_name, family, heated, nranks),
+            )
+    return plan
+
+
 def fig10_fds_speedups(
     *,
     scales: Sequence[int] = FIG10_SCALES,
     variants=FIG10_VARIANTS,
     seed: int = 0,
+    runner=None,
 ) -> Sweep:
     """Figure 10: FDS factor speedup over each platform's baseline."""
-    app = FireDynamicsSimulator()
+    from repro.exp import Runner
+
+    plan = fig10_plan(scales=scales, variants=variants, seed=seed)
+    results = (runner or Runner()).run(plan)
     sweep = Sweep(
-        title="Fire Dynamics Simulator scaling",
-        xlabel="Process Count",
-        ylabel="Factor Speedup Over Baseline",
+        title=plan.title,
+        xlabel=plan.xlabel,
+        ylabel=plan.ylabel,
     )
     baselines: Dict[tuple, float] = {}
-    for nranks in scales:
-        for arch_name in {v[1] for v in variants}:
-            cfg = _config(arch_name, "baseline", False, nranks, seed)
-            baselines[(arch_name, nranks)] = app.run(cfg).runtime_s
-    for label, arch_name, family, heated in variants:
+    by_label: Dict[str, Dict[float, float]] = {}
+    for spec, result in zip(plan.points, results):
+        if spec.series.startswith("baseline/"):
+            arch_name = spec.series.split("/", 1)[1]
+            baselines[(arch_name, int(spec.x))] = result.y
+        else:
+            by_label.setdefault(spec.series, {})[spec.x] = result.y
+    for label, arch_name, _family, _heated in variants:
         series = sweep.series_for(label)
         for nranks in scales:
-            cfg = _config(arch_name, family, heated, nranks, seed)
-            runtime = app.run(cfg).runtime_s
+            runtime = by_label[label][float(nranks)]
             series.add(nranks, factor_speedup(baselines[(arch_name, nranks)], runtime))
     return sweep

@@ -65,6 +65,41 @@ class MiniFE(ProxyApp):
         return self.base_compute_s
 
 
+def fig9_plan(
+    *,
+    arch=BROADWELL,
+    lengths: Sequence[int] = FIG9_LENGTHS,
+    families: Tuple[str, ...] = ("baseline", "lla-2"),
+    nranks: int = FIG9_NRANKS,
+    seed: int = 0,
+):
+    """Figure 9's grid: one ``app`` point per (family, list length)."""
+    from repro.exp import ExperimentPlan, encode_arch
+
+    plan = ExperimentPlan(
+        title=f"MiniFE at {nranks} processes (Broadwell)",
+        xlabel="Match list Length",
+        ylabel="Execution Time (s)",
+    )
+    arch_enc = encode_arch(arch)
+    for family in families:
+        label = "Baseline" if family == "baseline" else "LLA"
+        for length in lengths:
+            plan.add_point(
+                "app",
+                label,
+                float(length),
+                seed=seed,
+                app=MiniFE.name,
+                match_list_length=int(length),
+                arch=arch_enc,
+                link=OMNIPATH.name,
+                nranks=int(nranks),
+                queue_family=family,
+            )
+    return plan
+
+
 def fig9_minife_lengths(
     *,
     arch=BROADWELL,
@@ -72,20 +107,10 @@ def fig9_minife_lengths(
     families: Tuple[str, ...] = ("baseline", "lla-2"),
     nranks: int = FIG9_NRANKS,
     seed: int = 0,
+    runner=None,
 ) -> Sweep:
     """Figure 9: MiniFE execution time at 512 ranks vs match list length."""
-    sweep = Sweep(
-        title=f"MiniFE at {nranks} processes (Broadwell)",
-        xlabel="Match list Length",
-        ylabel="Execution Time (s)",
-    )
-    for family in families:
-        label = "Baseline" if family == "baseline" else "LLA"
-        series = sweep.series_for(label)
-        for length in lengths:
-            app = MiniFE(match_list_length=length)
-            cfg = AppConfig(
-                arch=arch, nranks=nranks, link=OMNIPATH, queue_family=family, seed=seed
-            )
-            series.add(length, app.run(cfg).runtime_s)
-    return sweep
+    from repro.exp import Runner
+
+    plan = fig9_plan(arch=arch, lengths=lengths, families=families, nranks=nranks, seed=seed)
+    return (runner or Runner()).run_sweep(plan)

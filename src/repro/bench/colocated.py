@@ -59,6 +59,106 @@ def _stream_compute(hier, core_id: int, base: int, nbytes: int) -> None:
         addr += step
 
 
+def colocated_point(
+    arch: ArchSpec,
+    mechanism: str,
+    nranks: int,
+    *,
+    depth: int = 2048,
+    working_set_bytes: int = 4 * 1024 * 1024,
+    iterations: int = 2,
+    seed: int = 0,
+) -> float:
+    """Rank 0's mean cold-phase search cycles for one (mechanism, N) cell."""
+    if nranks + 1 > arch.cores_per_socket:
+        raise ConfigurationError(
+            f"{arch.name} has {arch.cores_per_socket} cores; "
+            f"need {nranks + 1} (ranks + heater)"
+        )
+    partition = WayPartition(network_ways=4) if mechanism == "cat-partition" else None
+    hier = arch.build_hierarchy(
+        n_cores=nranks + 1,  # + heater core
+        partition=partition,
+        rng=np.random.default_rng(seed + 1),
+    )
+    engine = MatchEngine(hier)
+    q = make_queue(
+        "baseline", port=engine, rng=np.random.default_rng(seed), arena_base=0x4000_0000
+    )
+    heater: Optional[Heater] = None
+    if mechanism == "hot-caching":
+        # Pool-style (unlocked) region list: this study isolates LLC
+        # *residency*; the lock costs are covered elsewhere.
+        heater = Heater(
+            hier, arch.ghz,
+            HeaterConfig(locked=False, core_id=nranks),
+        )
+        q = HeatedQueue(q, heater, engine)
+    for i in range(depth):
+        q.post(make_pattern(0, 10_000 + i, 0, seq=i))
+    samples = []
+    tag = depth + 100
+    for it in range(iterations):
+        q.post(make_pattern(1, tag, 0, seq=tag))
+        # Every rank computes — including rank 0, whose own phase
+        # evicts its private caches. The heater's pass lands in the
+        # *middle* of the node's compute, not conveniently at its
+        # end, so later compute traffic fights it for LLC capacity.
+        for r in range(nranks):
+            _stream_compute(hier, r, _COMPUTE_ARENA + r * (1 << 26), working_set_bytes)
+        if heater is not None:
+            heater.force_pass(engine.clock.now)
+        for r in range(nranks):
+            _stream_compute(hier, r, _COMPUTE_ARENA + r * (1 << 26), working_set_bytes)
+        probe = MatchItem.from_envelope(Envelope(1, tag, 0), seq=1 << 30)
+        _, cycles = engine.timed(lambda: q.match_remove(probe))
+        samples.append(cycles)
+        tag += 1
+    return float(np.mean(samples))
+
+
+def colocated_plan(
+    arch: ArchSpec,
+    *,
+    rank_counts: Sequence[int] = (1, 2, 4, 8),
+    mechanisms: Sequence[str] = ("none", "hot-caching", "cat-partition"),
+    depth: int = 2048,
+    working_set_bytes: int = 4 * 1024 * 1024,
+    iterations: int = 2,
+    seed: int = 0,
+) -> "ExperimentPlan":
+    """The study's grid (mechanism-major, as the serial loop ran it)."""
+    from repro.exp import ExperimentPlan, encode_arch
+
+    max_ranks = max(rank_counts)
+    if max_ranks + 1 > arch.cores_per_socket:
+        raise ConfigurationError(
+            f"{arch.name} has {arch.cores_per_socket} cores; "
+            f"need {max_ranks + 1} (ranks + heater)"
+        )
+    plan = ExperimentPlan(
+        title=f"Co-located capacity pressure ({arch.name})",
+        xlabel="co-located ranks",
+        ylabel="cycles/search",
+    )
+    arch_enc = encode_arch(arch)
+    for mechanism in mechanisms:
+        for nranks in rank_counts:
+            plan.add_point(
+                "colocated",
+                mechanism,
+                float(nranks),
+                seed=seed,
+                arch=arch_enc,
+                mechanism=mechanism,
+                ranks=int(nranks),
+                depth=depth,
+                working_set_bytes=working_set_bytes,
+                iterations=iterations,
+            )
+    return plan
+
+
 def run_colocated_study(
     arch: ArchSpec,
     *,
@@ -68,57 +168,22 @@ def run_colocated_study(
     working_set_bytes: int = 4 * 1024 * 1024,
     iterations: int = 2,
     seed: int = 0,
+    runner=None,
 ) -> List[ColocatedPoint]:
     """Measure rank 0's cold-phase search cost under co-located pressure."""
-    max_ranks = max(rank_counts)
-    if max_ranks + 1 > arch.cores_per_socket:
-        raise ConfigurationError(
-            f"{arch.name} has {arch.cores_per_socket} cores; "
-            f"need {max_ranks + 1} (ranks + heater)"
-        )
-    points: List[ColocatedPoint] = []
-    for mechanism in mechanisms:
-        for nranks in rank_counts:
-            partition = WayPartition(network_ways=4) if mechanism == "cat-partition" else None
-            hier = arch.build_hierarchy(
-                n_cores=nranks + 1,  # + heater core
-                partition=partition,
-                rng=np.random.default_rng(seed + 1),
-            )
-            engine = MatchEngine(hier)
-            q = make_queue(
-                "baseline", port=engine, rng=np.random.default_rng(seed), arena_base=0x4000_0000
-            )
-            heater: Optional[Heater] = None
-            if mechanism == "hot-caching":
-                # Pool-style (unlocked) region list: this study isolates LLC
-                # *residency*; the lock costs are covered elsewhere.
-                heater = Heater(
-                    hier, arch.ghz,
-                    HeaterConfig(locked=False, core_id=nranks),
-                )
-                q = HeatedQueue(q, heater, engine)
-            for i in range(depth):
-                q.post(make_pattern(0, 10_000 + i, 0, seq=i))
-            samples = []
-            tag = depth + 100
-            for it in range(iterations):
-                q.post(make_pattern(1, tag, 0, seq=tag))
-                # Every rank computes — including rank 0, whose own phase
-                # evicts its private caches. The heater's pass lands in the
-                # *middle* of the node's compute, not conveniently at its
-                # end, so later compute traffic fights it for LLC capacity.
-                for r in range(nranks):
-                    _stream_compute(hier, r, _COMPUTE_ARENA + r * (1 << 26), working_set_bytes)
-                if heater is not None:
-                    heater.force_pass(engine.clock.now)
-                for r in range(nranks):
-                    _stream_compute(hier, r, _COMPUTE_ARENA + r * (1 << 26), working_set_bytes)
-                probe = MatchItem.from_envelope(Envelope(1, tag, 0), seq=1 << 30)
-                _, cycles = engine.timed(lambda: q.match_remove(probe))
-                samples.append(cycles)
-                tag += 1
-            points.append(
-                ColocatedPoint(mechanism, nranks, float(np.mean(samples)))
-            )
-    return points
+    from repro.exp import Runner
+
+    plan = colocated_plan(
+        arch,
+        rank_counts=rank_counts,
+        mechanisms=mechanisms,
+        depth=depth,
+        working_set_bytes=working_set_bytes,
+        iterations=iterations,
+        seed=seed,
+    )
+    results = (runner or Runner()).run(plan)
+    return [
+        ColocatedPoint(spec.kwargs["mechanism"], int(spec.kwargs["ranks"]), result.y)
+        for spec, result in zip(plan.points, results)
+    ]

@@ -1,14 +1,18 @@
 """Figure drivers: panels 4a-c, 5a-c (spatial) and 6a-c, 7a-c (temporal).
 
-Each driver returns a :class:`~repro.analysis.series.Sweep` whose series are
-the figure's lines, labelled as in the paper ("baseline", "LLA - 2", ...,
-"HC", "HC+LLA"). Architectures select the figure: Sandy Bridge gives
+Each driver *describes* its grid as an :class:`~repro.exp.plan.ExperimentPlan`
+(one ``osu`` point per variant x x-value) and hands it to a
+:class:`~repro.exp.runner.Runner` — serial by default, process-parallel or
+store-backed when the caller passes one. The reduced
+:class:`~repro.analysis.series.Sweep` is bit-identical to the historical
+serial nested-loop drivers: points carry the same root seed, reduction is
+in plan (variant-major) order, and ``meta["mem_stats"]`` merges per label
+exactly as before. Architectures select the figure: Sandy Bridge gives
 Figures 4/6, Broadwell gives Figures 5/7.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Optional, Sequence, Tuple
 
 from repro.analysis.series import Sweep
@@ -16,9 +20,8 @@ from repro.arch.spec import ArchSpec
 from repro.bench.osu import (
     MSG_SIZE_SWEEP,
     SEARCH_LENGTH_SWEEP,
-    OsuConfig,
-    osu_bandwidth,
 )
+from repro.exp import ExperimentPlan, Runner, encode_arch
 from repro.net.link import LinkSpec, OMNIPATH, QLOGIC_QDR
 
 #: The spatial-locality line-up (Figures 4 and 5).
@@ -52,46 +55,143 @@ def default_link(arch: ArchSpec) -> LinkSpec:
     return OMNIPATH if arch.name == "broadwell" else QLOGIC_QDR
 
 
-def _run_variants(
+def variant_grid_plan(
     arch: ArchSpec,
     variants: Sequence[Tuple[str, str, bool]],
-    sweep: Sweep,
     *,
+    title: str,
+    xlabel: str,
+    ylabel: str = "bandwidth (MiBps)",
     x_axis: str,
     msg_bytes: int,
     depth: int,
     xs: Sequence[int],
     iterations: int,
     seed: int,
-) -> Sweep:
+) -> ExperimentPlan:
+    """One figure panel as a declarative grid: variants x x-values.
+
+    Points are enumerated variant-major (all x of one line, then the next)
+    because that is the reduction order the historical drivers produced.
+    All points share the figure's root seed — each ``osu`` point builds its
+    private RNGs from it, and the locked EXPERIMENTS.md numbers depend on
+    that convention.
+    """
     link = default_link(arch)
-    mem_stats = sweep.meta.setdefault("mem_stats", {})
+    plan = ExperimentPlan(title=title, xlabel=xlabel, ylabel=ylabel)
+    arch_enc = encode_arch(arch)
     for label, family, heated in variants:
-        base_cfg = OsuConfig(
-            arch=arch,
-            link=link,
-            queue_family=family,
-            heated=heated,
-            msg_bytes=msg_bytes,
-            search_depth=depth,
-            iterations=iterations,
-            seed=seed,
-        )
-        series = sweep.series_for(label)
         for x in xs:
-            if x_axis == "msg_bytes":
-                cfg = replace(base_cfg, msg_bytes=int(x))
-            else:
-                cfg = replace(base_cfg, search_depth=int(x))
-            point = osu_bandwidth(cfg)
-            series.add(x, point.mibps, point.mibps_std)
-            if point.mem_stats is not None:
-                acc = mem_stats.get(label)
-                if acc is None:
-                    mem_stats[label] = point.mem_stats.copy()
-                else:
-                    acc.merge(point.mem_stats)
-    return sweep
+            plan.add_point(
+                "osu",
+                label,
+                float(x),
+                seed=seed,
+                arch=arch_enc,
+                link=link.name,
+                queue_family=family,
+                heated=heated,
+                msg_bytes=int(x) if x_axis == "msg_bytes" else msg_bytes,
+                search_depth=int(x) if x_axis == "depth" else depth,
+                iterations=iterations,
+            )
+    return plan
+
+
+def plan_spatial_msg_size(
+    arch: ArchSpec,
+    *,
+    depth: int = PANEL_A_DEPTH,
+    msg_sizes: Optional[Sequence[int]] = None,
+    iterations: int = 10,
+    seed: int = 0,
+) -> ExperimentPlan:
+    """The grid behind Figures 4a / 5a."""
+    return variant_grid_plan(
+        arch,
+        SPATIAL_VARIANTS,
+        title=f"Impact of spatial locality ({arch.name}), queue depth {depth}",
+        xlabel="msg size per process (B)",
+        x_axis="msg_bytes",
+        msg_bytes=1,
+        depth=depth,
+        xs=msg_sizes if msg_sizes is not None else MSG_SIZE_SWEEP,
+        iterations=iterations,
+        seed=seed,
+    )
+
+
+def plan_spatial_search_length(
+    arch: ArchSpec,
+    *,
+    msg_bytes: int = PANEL_B_BYTES,
+    depths: Optional[Sequence[int]] = None,
+    iterations: int = 10,
+    seed: int = 0,
+) -> ExperimentPlan:
+    """The grid behind Figures 4b/c and 5b/c."""
+    return variant_grid_plan(
+        arch,
+        SPATIAL_VARIANTS,
+        title=f"Impact of spatial locality ({arch.name}), {msg_bytes} B messages",
+        xlabel="Posted Receive Queue Search Length",
+        x_axis="depth",
+        msg_bytes=msg_bytes,
+        depth=0,
+        xs=depths if depths is not None else SEARCH_LENGTH_SWEEP,
+        iterations=iterations,
+        seed=seed,
+    )
+
+
+def plan_temporal_msg_size(
+    arch: ArchSpec,
+    *,
+    depth: int = PANEL_A_DEPTH,
+    msg_sizes: Optional[Sequence[int]] = None,
+    iterations: int = 10,
+    seed: int = 0,
+) -> ExperimentPlan:
+    """The grid behind Figures 6a / 7a."""
+    return variant_grid_plan(
+        arch,
+        TEMPORAL_VARIANTS,
+        title=f"Impact of temporal locality ({arch.name}), queue depth {depth}",
+        xlabel="msg size per process (B)",
+        x_axis="msg_bytes",
+        msg_bytes=1,
+        depth=depth,
+        xs=msg_sizes if msg_sizes is not None else MSG_SIZE_SWEEP,
+        iterations=iterations,
+        seed=seed,
+    )
+
+
+def plan_temporal_search_length(
+    arch: ArchSpec,
+    *,
+    msg_bytes: int = PANEL_B_BYTES,
+    depths: Optional[Sequence[int]] = None,
+    iterations: int = 10,
+    seed: int = 0,
+) -> ExperimentPlan:
+    """The grid behind Figures 6b/c / 7b/c."""
+    return variant_grid_plan(
+        arch,
+        TEMPORAL_VARIANTS,
+        title=f"Impact of temporal locality ({arch.name}), {msg_bytes} B messages",
+        xlabel="Posted Receive Queue Search Length",
+        x_axis="depth",
+        msg_bytes=msg_bytes,
+        depth=0,
+        xs=depths if depths is not None else SEARCH_LENGTH_SWEEP,
+        iterations=iterations,
+        seed=seed,
+    )
+
+
+def _run(plan: ExperimentPlan, runner: Optional[Runner]) -> Sweep:
+    return (runner or Runner()).run_sweep(plan)
 
 
 def fig_spatial_msg_size(
@@ -101,23 +201,14 @@ def fig_spatial_msg_size(
     msg_sizes: Optional[Sequence[int]] = None,
     iterations: int = 10,
     seed: int = 0,
+    runner: Optional[Runner] = None,
 ) -> Sweep:
     """Figures 4a / 5a: bandwidth vs message size at queue depth 1024."""
-    sweep = Sweep(
-        title=f"Impact of spatial locality ({arch.name}), queue depth {depth}",
-        xlabel="msg size per process (B)",
-        ylabel="bandwidth (MiBps)",
-    )
-    return _run_variants(
-        arch,
-        SPATIAL_VARIANTS,
-        sweep,
-        x_axis="msg_bytes",
-        msg_bytes=1,
-        depth=depth,
-        xs=msg_sizes if msg_sizes is not None else MSG_SIZE_SWEEP,
-        iterations=iterations,
-        seed=seed,
+    return _run(
+        plan_spatial_msg_size(
+            arch, depth=depth, msg_sizes=msg_sizes, iterations=iterations, seed=seed
+        ),
+        runner,
     )
 
 
@@ -128,23 +219,14 @@ def fig_spatial_search_length(
     depths: Optional[Sequence[int]] = None,
     iterations: int = 10,
     seed: int = 0,
+    runner: Optional[Runner] = None,
 ) -> Sweep:
     """Figures 4b/c and 5b/c: bandwidth vs PRQ search length at fixed size."""
-    sweep = Sweep(
-        title=f"Impact of spatial locality ({arch.name}), {msg_bytes} B messages",
-        xlabel="Posted Receive Queue Search Length",
-        ylabel="bandwidth (MiBps)",
-    )
-    return _run_variants(
-        arch,
-        SPATIAL_VARIANTS,
-        sweep,
-        x_axis="depth",
-        msg_bytes=msg_bytes,
-        depth=0,
-        xs=depths if depths is not None else SEARCH_LENGTH_SWEEP,
-        iterations=iterations,
-        seed=seed,
+    return _run(
+        plan_spatial_search_length(
+            arch, msg_bytes=msg_bytes, depths=depths, iterations=iterations, seed=seed
+        ),
+        runner,
     )
 
 
@@ -155,23 +237,14 @@ def fig_temporal_msg_size(
     msg_sizes: Optional[Sequence[int]] = None,
     iterations: int = 10,
     seed: int = 0,
+    runner: Optional[Runner] = None,
 ) -> Sweep:
     """Figures 6a / 7a: baseline vs HC vs LLA vs HC+LLA over message size."""
-    sweep = Sweep(
-        title=f"Impact of temporal locality ({arch.name}), queue depth {depth}",
-        xlabel="msg size per process (B)",
-        ylabel="bandwidth (MiBps)",
-    )
-    return _run_variants(
-        arch,
-        TEMPORAL_VARIANTS,
-        sweep,
-        x_axis="msg_bytes",
-        msg_bytes=1,
-        depth=depth,
-        xs=msg_sizes if msg_sizes is not None else MSG_SIZE_SWEEP,
-        iterations=iterations,
-        seed=seed,
+    return _run(
+        plan_temporal_msg_size(
+            arch, depth=depth, msg_sizes=msg_sizes, iterations=iterations, seed=seed
+        ),
+        runner,
     )
 
 
@@ -182,21 +255,12 @@ def fig_temporal_search_length(
     depths: Optional[Sequence[int]] = None,
     iterations: int = 10,
     seed: int = 0,
+    runner: Optional[Runner] = None,
 ) -> Sweep:
     """Figures 6b/c / 7b/c: temporal line-up over PRQ search length."""
-    sweep = Sweep(
-        title=f"Impact of temporal locality ({arch.name}), {msg_bytes} B messages",
-        xlabel="Posted Receive Queue Search Length",
-        ylabel="bandwidth (MiBps)",
-    )
-    return _run_variants(
-        arch,
-        TEMPORAL_VARIANTS,
-        sweep,
-        x_axis="depth",
-        msg_bytes=msg_bytes,
-        depth=0,
-        xs=depths if depths is not None else SEARCH_LENGTH_SWEEP,
-        iterations=iterations,
-        seed=seed,
+    return _run(
+        plan_temporal_search_length(
+            arch, msg_bytes=msg_bytes, depths=depths, iterations=iterations, seed=seed
+        ),
+        runner,
     )

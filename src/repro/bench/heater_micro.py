@@ -80,3 +80,35 @@ def heater_microbenchmark(
         cold_ns=measure(False),
         hot_ns=measure(True),
     )
+
+
+def heater_micro_plan(
+    archs,
+    *,
+    region_bytes: int = 4 * 1024 * 1024,
+    samples: int = 2048,
+    seed: int = 0,
+):
+    """The micro-benchmark as a declarative plan: one point per arch.
+
+    Cold and hot measurements share one RNG stream, so each arch is a
+    single ``heater-micro`` point (y = cold ns, ``extras["hot_ns"]``).
+    """
+    from repro.exp import ExperimentPlan, encode_arch
+
+    plan = ExperimentPlan(
+        title="Section 4.3 cache-heater random-access micro-benchmark",
+        xlabel="arch",
+        ylabel="ns / iteration (cold)",
+    )
+    for i, arch in enumerate(archs):
+        plan.add_point(
+            "heater-micro",
+            arch.name,
+            float(i),
+            seed=seed,
+            arch=encode_arch(arch),
+            region_bytes=region_bytes,
+            samples=samples,
+        )
+    return plan

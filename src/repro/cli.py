@@ -12,7 +12,11 @@ Usage (installed as ``repro``, or ``python -m repro``)::
     repro fig8 / fig9 / fig10  # application studies
     repro ablation             # semi-permanent-occupancy proposal study
 
-Every command accepts ``--quick`` to shrink sweeps for a fast look.
+Every command accepts ``--quick`` to shrink sweeps for a fast look. Sweep
+commands additionally accept ``--jobs N`` (process-parallel execution,
+bit-identical to serial), ``--cache-dir DIR`` (content-addressed result
+store), and ``--resume`` (shorthand for the default cache directory) — see
+:mod:`repro.exp`.
 """
 
 from __future__ import annotations
@@ -22,6 +26,34 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.report import render_series_table, render_table
+
+#: Default --resume store location (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Commands whose grids run through the repro.exp plan/runner subsystem.
+_SWEEP_COMMANDS = (
+    "fig4", "fig5", "fig6", "fig7",
+    "fig8", "fig9", "fig10",
+    "heater-micro", "ablation", "offload",
+)
+
+
+def _progress_to_stderr(done, total, spec, result, cached) -> None:
+    tag = " (cached)" if cached else f" [{result.elapsed_s:.2f}s]"
+    print(f"[exp] {done}/{total} {spec.series} @ {spec.x:g}{tag}", file=sys.stderr)
+
+
+def _runner_from_args(args: argparse.Namespace):
+    """Build the Runner a sweep command asked for (serial, quiet default)."""
+    from repro.exp import ResultStore, Runner
+
+    jobs = getattr(args, "jobs", 1) or 1
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is None and getattr(args, "resume", False):
+        cache_dir = DEFAULT_CACHE_DIR
+    store = ResultStore(cache_dir) if cache_dir else None
+    progress = _progress_to_stderr if (jobs > 1 or store is not None) else None
+    return Runner(jobs=jobs, store=store, progress=progress)
 
 
 def _cmd_table1(args: argparse.Namespace) -> None:
@@ -84,10 +116,9 @@ def _cmd_layout(args: argparse.Namespace) -> None:
     )
 
 
-_PANEL_COUNTER = {"n": 0}
-
-
-def _render_panel(sweep, args: argparse.Namespace) -> None:
+def _render_panel(sweep, args: argparse.Namespace, panel: str) -> None:
+    """Print one figure panel; *panel* names it deterministically ("a".."c"),
+    so export stems are stable across repeated main() calls in one process."""
     print(render_series_table(sweep))
     if getattr(args, "mem_stats", False) and sweep.meta.get("mem_stats"):
         from repro.analysis.report import render_mem_stats_table
@@ -106,8 +137,7 @@ def _render_panel(sweep, args: argparse.Namespace) -> None:
         from repro.analysis.export import write_sweep
 
         Path(export_dir).mkdir(parents=True, exist_ok=True)
-        _PANEL_COUNTER["n"] += 1
-        stem = f"{args.command}_panel{_PANEL_COUNTER['n']}"
+        stem = f"{args.command}_panel_{panel}"
         for suffix in (".csv", ".json"):
             path = Path(export_dir) / (stem + suffix)
             write_sweep(path, sweep)
@@ -120,15 +150,28 @@ def _fig_spatial(arch_name: str, args: argparse.Namespace) -> None:
     from repro.bench.figures import fig_spatial_msg_size, fig_spatial_search_length
 
     arch = get_arch(arch_name)
+    runner = _runner_from_args(args)
     iters = 3 if args.quick else 10
     sizes = [1, 64, 1024, 65536, 1 << 20] if args.quick else None
     depths = [1, 8, 64, 512, 1024, 4096] if args.quick else None
-    _render_panel(fig_spatial_msg_size(arch, msg_sizes=sizes, iterations=iters), args)
     _render_panel(
-        fig_spatial_search_length(arch, msg_bytes=1, depths=depths, iterations=iters), args
+        fig_spatial_msg_size(arch, msg_sizes=sizes, iterations=iters, runner=runner),
+        args,
+        "a",
     )
     _render_panel(
-        fig_spatial_search_length(arch, msg_bytes=4096, depths=depths, iterations=iters), args
+        fig_spatial_search_length(
+            arch, msg_bytes=1, depths=depths, iterations=iters, runner=runner
+        ),
+        args,
+        "b",
+    )
+    _render_panel(
+        fig_spatial_search_length(
+            arch, msg_bytes=4096, depths=depths, iterations=iters, runner=runner
+        ),
+        args,
+        "c",
     )
 
 
@@ -137,28 +180,48 @@ def _fig_temporal(arch_name: str, args: argparse.Namespace) -> None:
     from repro.bench.figures import fig_temporal_msg_size, fig_temporal_search_length
 
     arch = get_arch(arch_name)
+    runner = _runner_from_args(args)
     iters = 3 if args.quick else 10
     sizes = [1, 64, 1024, 65536, 1 << 20] if args.quick else None
     depths = [1, 8, 64, 512, 1024, 4096] if args.quick else None
-    _render_panel(fig_temporal_msg_size(arch, msg_sizes=sizes, iterations=iters), args)
     _render_panel(
-        fig_temporal_search_length(arch, msg_bytes=1, depths=depths, iterations=iters), args
+        fig_temporal_msg_size(arch, msg_sizes=sizes, iterations=iters, runner=runner),
+        args,
+        "a",
     )
     _render_panel(
-        fig_temporal_search_length(arch, msg_bytes=4096, depths=depths, iterations=iters), args
+        fig_temporal_search_length(
+            arch, msg_bytes=1, depths=depths, iterations=iters, runner=runner
+        ),
+        args,
+        "b",
+    )
+    _render_panel(
+        fig_temporal_search_length(
+            arch, msg_bytes=4096, depths=depths, iterations=iters, runner=runner
+        ),
+        args,
+        "c",
     )
 
 
 def _cmd_heater_micro(args: argparse.Namespace) -> None:
     from repro.arch import BROADWELL, SANDY_BRIDGE
-    from repro.bench.heater_micro import heater_microbenchmark
+    from repro.bench.heater_micro import heater_micro_plan
 
-    rows = []
     paper = {"sandy-bridge": (47.5, 22.9), "broadwell": (38.5, 22.8)}
-    for arch in (SANDY_BRIDGE, BROADWELL):
-        r = heater_microbenchmark(arch, samples=512 if args.quick else 2048, seed=args.seed)
-        cold_p, hot_p = paper[arch.name]
-        rows.append((arch.name, round(r.cold_ns, 1), round(r.hot_ns, 1), cold_p, hot_p))
+    plan = heater_micro_plan(
+        (SANDY_BRIDGE, BROADWELL),
+        samples=512 if args.quick else 2048,
+        seed=args.seed,
+    )
+    results = _runner_from_args(args).run(plan)
+    rows = []
+    for spec, result in zip(plan.points, results):
+        cold_p, hot_p = paper[spec.series]
+        rows.append(
+            (spec.series, round(result.y, 1), round(result.extras["hot_ns"], 1), cold_p, hot_p)
+        )
     print(
         render_table(
             ["arch", "cold ns", "hot ns", "paper cold", "paper hot"],
@@ -171,7 +234,7 @@ def _cmd_heater_micro(args: argparse.Namespace) -> None:
 def _cmd_fig8(args: argparse.Namespace) -> None:
     from repro.apps import fig8_amg_scaling
 
-    sweep = fig8_amg_scaling(seed=args.seed)
+    sweep = fig8_amg_scaling(seed=args.seed, runner=_runner_from_args(args))
     print(render_series_table(sweep))
     base, lla = sweep.series["Baseline"], sweep.series["LLA"]
     pct = 100.0 * (base.at(1024) - lla.at(1024)) / base.at(1024)
@@ -181,7 +244,7 @@ def _cmd_fig8(args: argparse.Namespace) -> None:
 def _cmd_fig9(args: argparse.Namespace) -> None:
     from repro.apps import fig9_minife_lengths
 
-    sweep = fig9_minife_lengths(seed=args.seed)
+    sweep = fig9_minife_lengths(seed=args.seed, runner=_runner_from_args(args))
     print(render_series_table(sweep))
     base, lla = sweep.series["Baseline"], sweep.series["LLA"]
     pct = 100.0 * (base.at(2048) - lla.at(2048)) / base.at(2048)
@@ -192,46 +255,66 @@ def _cmd_fig10(args: argparse.Namespace) -> None:
     from repro.apps import fig10_fds_speedups
 
     scales = (1024, 4096, 8192) if args.quick else None
-    sweep = fig10_fds_speedups(scales=scales or (128, 256, 512, 1024, 2048, 4096, 8192), seed=args.seed)
+    sweep = fig10_fds_speedups(
+        scales=scales or (128, 256, 512, 1024, 2048, 4096, 8192),
+        seed=args.seed,
+        runner=_runner_from_args(args),
+    )
     print(render_series_table(sweep))
 
 
-def _cmd_ablation(args: argparse.Namespace) -> None:
-    from repro.arch import BROADWELL, SANDY_BRIDGE
-    from repro.bench.osu import OsuConfig, osu_bandwidth
-    from repro.bench.figures import default_link
-    from repro.mem.cache import WayPartition
-    from repro.mem.hierarchy import NetworkCacheConfig
+#: The section 4.6 occupancy-mechanism line-up: (label, extra osu params).
+_ABLATION_VARIANTS = (
+    ("baseline", {}),
+    ("hot caching", {"heated": True}),
+    ("CAT partition (4 ways)", {"partition_ways": 4}),
+    ("dedicated net cache 2KiB", {"network_cache_bytes": 2048}),
+)
 
-    rows = []
-    mem_stats = {}
+
+def _ablation_plan(args: argparse.Namespace):
+    from repro.arch import BROADWELL, SANDY_BRIDGE
+    from repro.bench.figures import default_link
+    from repro.exp import ExperimentPlan, encode_arch
+
+    plan = ExperimentPlan(
+        title="Semi-permanent cache occupancy proposals (section 4.6)",
+        xlabel="occupancy mechanism",
+        ylabel="bandwidth (MiBps), 1B msgs",
+    )
     for arch in (SANDY_BRIDGE, BROADWELL):
         link = default_link(arch)
-        variants = [
-            ("baseline", {}),
-            ("hot caching", {"heated": True}),
-            ("CAT partition (4 ways)", {"partition": WayPartition(network_ways=4)}),
-            ("dedicated net cache 2KiB", {"network_cache": NetworkCacheConfig()}),
-        ]
-        for label, extra in variants:
-            cfg = OsuConfig(
-                arch=arch,
-                link=link,
+        for label, extra in _ABLATION_VARIANTS:
+            plan.add_point(
+                "osu",
+                f"{arch.name}: {label}",
+                0.0,
+                seed=args.seed,
+                arch=encode_arch(arch),
+                link=link.name,
                 queue_family="baseline",
                 msg_bytes=1,
                 search_depth=64 if args.quick else 512,
                 iterations=3 if args.quick else 10,
-                seed=args.seed,
                 **extra,
             )
-            point = osu_bandwidth(cfg)
-            rows.append((arch.name, label, round(point.mibps, 4)))
-            mem_stats[f"{arch.name}: {label}"] = point.mem_stats
+    return plan
+
+
+def _cmd_ablation(args: argparse.Namespace) -> None:
+    plan = _ablation_plan(args)
+    results = _runner_from_args(args).run(plan)
+    rows = []
+    mem_stats = {}
+    for spec, result in zip(plan.points, results):
+        arch_name, label = spec.series.split(": ", 1)
+        rows.append((arch_name, label, round(result.y, 4)))
+        mem_stats[spec.series] = result.mem_stats
     print(
         render_table(
             ["arch", "occupancy mechanism", "bandwidth (MiBps), 1B msgs"],
             rows,
-            title="Semi-permanent cache occupancy proposals (section 4.6)",
+            title=plan.title,
         )
     )
     if getattr(args, "mem_stats", False):
@@ -241,34 +324,41 @@ def _cmd_ablation(args: argparse.Namespace) -> None:
         print(render_mem_stats_table(mem_stats))
 
 
-def _cmd_offload(args: argparse.Namespace) -> None:
-    import numpy as np
-
-    from repro.arch import SANDY_BRIDGE
-    from repro.matching import Envelope, MatchEngine, MatchItem, make_pattern, make_queue
-    from repro.offload import BXI_LIKE, PSM2_LIKE, OffloadedMatchQueue
+def _offload_plan(args: argparse.Namespace):
+    from repro.exp import ExperimentPlan
 
     depths = (64, 1024, 4000, 16384) if not args.quick else (64, 4000)
-    rows = []
-    for nic_label, nic in (("software-only", None), ("psm2-like", PSM2_LIKE), ("bxi-like", BXI_LIKE)):
+    plan = ExperimentPlan(
+        title="Hardware matching offload and its capacity cliff (section 2.2)",
+        xlabel="queue depth",
+        ylabel="cycles/search",
+    )
+    for nic_label in ("software-only", "psm2-like", "bxi-like"):
         for depth in depths:
-            hier = SANDY_BRIDGE.build_hierarchy()
-            engine = MatchEngine(hier)
-            q = make_queue("baseline", port=engine, rng=np.random.default_rng(args.seed + 1))
-            if nic is not None:
-                q = OffloadedMatchQueue(q, nic, engine=engine, ghz=SANDY_BRIDGE.ghz)
-            for seq in range(depth):
-                q.post(make_pattern(0, 10_000 + seq, 0, seq=seq))
-            q.post(make_pattern(1, 7, 0, seq=depth + 5))
-            hier.flush()
-            probe = MatchItem.from_envelope(Envelope(1, 7, 0), seq=999_999)
-            _, cycles = engine.timed(lambda: q.match_remove(probe))
-            rows.append((nic_label, depth, round(cycles)))
+            plan.add_point(
+                "offload",
+                nic_label,
+                float(depth),
+                seed=args.seed,
+                arch="sandy-bridge",
+                nic=nic_label,
+                depth=int(depth),
+            )
+    return plan
+
+
+def _cmd_offload(args: argparse.Namespace) -> None:
+    plan = _offload_plan(args)
+    results = _runner_from_args(args).run(plan)
+    rows = [
+        (spec.series, int(spec.x), round(result.y))
+        for spec, result in zip(plan.points, results)
+    ]
     print(
         render_table(
             ["matching engine", "queue depth", "cycles/search"],
             rows,
-            title="Hardware matching offload and its capacity cliff (section 2.2)",
+            title=plan.title,
         )
     )
 
@@ -328,6 +418,15 @@ def build_parser() -> argparse.ArgumentParser:
         if name in ("fig4", "fig5", "fig6", "fig7", "ablation"):
             p.add_argument("--mem-stats", action="store_true",
                            help="per-level hit-attribution table per variant")
+        if name in _SWEEP_COMMANDS:
+            p.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="run sweep points on N processes "
+                           "(bit-identical to serial)")
+            p.add_argument("--cache-dir", metavar="DIR", default=None,
+                           help="content-addressed result store; completed "
+                           "points are reused, fresh ones written back")
+            p.add_argument("--resume", action="store_true",
+                           help=f"shorthand for --cache-dir {DEFAULT_CACHE_DIR}")
     sub.add_parser("list", help="list available commands")
     return parser
 

@@ -1,0 +1,48 @@
+"""Sweep orchestration: declarative plans, parallel runner, result store.
+
+The paper's figures are grids of independent simulation points; this
+package makes those grids first-class:
+
+* :mod:`repro.exp.plan` — :class:`PointSpec` / :class:`ExperimentPlan`
+  describe a grid (and reduce results in plan order, the parallel-equals-
+  serial guarantee).
+* :mod:`repro.exp.producers` — how each point kind executes, with
+  worker-side construction of the real config objects.
+* :mod:`repro.exp.runner` — :class:`Runner` runs a plan serially or on a
+  process pool (``--jobs N``), with progress callbacks and dedup.
+* :mod:`repro.exp.store` — :class:`ResultStore`, a content-addressed
+  on-disk cache (``--cache-dir`` / ``--resume``).
+"""
+
+from repro.exp.plan import (
+    ExperimentPlan,
+    PointResult,
+    PointSpec,
+    derive_seed,
+)
+from repro.exp.producers import (
+    encode_arch,
+    execute_point,
+    producer_for,
+    register_producer,
+    resolve_arch,
+)
+from repro.exp.runner import Runner, RunStats
+from repro.exp.store import STORE_SCHEMA, ResultStore, default_salt
+
+__all__ = [
+    "ExperimentPlan",
+    "PointResult",
+    "PointSpec",
+    "ResultStore",
+    "RunStats",
+    "Runner",
+    "STORE_SCHEMA",
+    "default_salt",
+    "derive_seed",
+    "encode_arch",
+    "execute_point",
+    "producer_for",
+    "register_producer",
+    "resolve_arch",
+]

@@ -1,0 +1,184 @@
+"""Declarative experiment plans (the grid, not the loop).
+
+Every figure of the paper is a *grid* of independent simulation points —
+variants x message sizes, mechanisms x rank counts, apps x scales. Before
+this subsystem each driver walked its grid with a private nested ``for``
+loop; here the grid is first-class data:
+
+* :class:`PointSpec` — one fully-resolved simulation point: which producer
+  runs it (``kind``), which series/x cell of the figure it lands in, its
+  scalar parameters, and its seed. Specs are frozen, hashable, picklable
+  and JSON-stable, so the same object drives serial execution, process
+  pools, and the content-addressed :class:`~repro.exp.store.ResultStore`.
+* :class:`PointResult` — the producer's answer (y, yerr, per-level
+  ``mem_stats`` attribution, producer extras).
+* :class:`ExperimentPlan` — an ordered list of specs plus the figure's
+  axis labels, with :meth:`ExperimentPlan.reduce` folding a result list
+  into a :class:`~repro.analysis.series.Sweep` **in plan order** — which
+  is what makes parallel execution bit-identical to serial: workers may
+  finish in any order, the reduction never sees that order.
+
+Seeds: :func:`derive_seed` gives plans a deterministic per-point seed
+stream from one root seed. The paper-figure plans intentionally do *not*
+decorrelate points — every point of a figure shares the root seed, exactly
+as the historical serial drivers ran them, so the locked EXPERIMENTS.md
+numbers are unchanged. Plans that need independent points (trial
+replication, randomized ablations) opt in via ``derive_seed``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.series import Sweep
+from repro.errors import ConfigurationError
+from repro.mem.result import LevelStats
+
+#: Parameter values a spec may carry: JSON scalars and flat tuples of them.
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+def _freeze_value(key: str, value):
+    if isinstance(value, bool) or value is None or isinstance(value, (str, int, float)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(key, v) for v in value)
+    raise ConfigurationError(
+        f"PointSpec parameter {key!r} must be a JSON scalar or a flat "
+        f"sequence of them, got {type(value).__name__}"
+    )
+
+
+def derive_seed(root: int, *parts) -> int:
+    """A deterministic 31-bit seed from a root seed and any hashable labels.
+
+    Stable across processes and Python versions (no ``hash()``; a SHA-256
+    over the canonical repr), so a plan built in the CLI and a point
+    executed in a pool worker agree on every seed.
+    """
+    digest = hashlib.sha256(repr((int(root),) + parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "little") & 0x7FFF_FFFF
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One fully-resolved point of an experiment grid.
+
+    ``kind`` names a producer registered in :mod:`repro.exp.producers`;
+    ``params`` (sorted key/value pairs) plus ``seed`` are everything the
+    producer needs to reconstruct its config worker-side. ``series``/``x``
+    are presentation only: they say where the result lands in the reduced
+    sweep and are deliberately excluded from the content hash, so two
+    panels that share a configuration share a cache entry.
+    """
+
+    kind: str
+    series: str
+    x: float
+    params: Tuple[Tuple[str, object], ...]
+    seed: int = 0
+
+    @classmethod
+    def make(cls, kind: str, series: str, x: float, *, seed: int = 0, **params) -> "PointSpec":
+        """Build a spec from keyword parameters (sorted + frozen)."""
+        frozen = tuple(sorted((k, _freeze_value(k, v)) for k, v in params.items()))
+        return cls(kind=kind, series=series, x=float(x), params=frozen, seed=int(seed))
+
+    @property
+    def kwargs(self) -> Dict[str, object]:
+        """The parameters as a plain dict (producer-side view)."""
+        return dict(self.params)
+
+    def content(self) -> Dict[str, object]:
+        """The identity of the *computation* (not its presentation)."""
+        return {
+            "kind": self.kind,
+            "params": [[k, list(v) if isinstance(v, tuple) else v] for k, v in self.params],
+            "seed": self.seed,
+        }
+
+    def content_key(self) -> str:
+        """Stable SHA-256 hex digest of :meth:`content` (the cache key)."""
+        text = json.dumps(self.content(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class PointResult:
+    """What one executed point produced."""
+
+    y: float
+    yerr: float = 0.0
+    #: Per-level hit attribution of the point's measured loads (merged into
+    #: the sweep's per-series accumulator by the reducer), or None when the
+    #: producer has no memory telemetry.
+    mem_stats: Optional[LevelStats] = None
+    #: Producer-specific scalars (latency, hot_ns, runtime decomposition...).
+    extras: Dict[str, float] = field(default_factory=dict)
+    #: Wall-clock seconds the producer took (filled by the runner; not part
+    #: of equality so cached and fresh results compare equal).
+    elapsed_s: float = field(default=0.0, compare=False)
+
+
+@dataclass
+class ExperimentPlan:
+    """An ordered grid of points plus the axes they reduce onto."""
+
+    title: str
+    xlabel: str = "x"
+    ylabel: str = "y"
+    points: List[PointSpec] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def add(self, spec: PointSpec) -> PointSpec:
+        """Append one spec (plan order is reduction order)."""
+        self.points.append(spec)
+        return spec
+
+    def add_point(self, kind: str, series: str, x: float, *, seed: int = 0, **params) -> PointSpec:
+        """Build a :class:`PointSpec` and append it."""
+        return self.add(PointSpec.make(kind, series, x, seed=seed, **params))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def series_labels(self) -> List[str]:
+        """Distinct series labels in first-appearance (plan) order."""
+        return list(dict.fromkeys(spec.series for spec in self.points))
+
+    def reduce(self, results: Sequence[Optional[PointResult]]) -> Sweep:
+        """Fold a result list (plan order) into a sweep.
+
+        This is the serial/parallel convergence point: whatever order the
+        points *ran* in, they are folded strictly in plan order, so the
+        sweep — series insertion order, per-series x order, and the
+        ``meta["mem_stats"]`` merge order — is identical either way.
+        """
+        if len(results) != len(self.points):
+            raise ConfigurationError(
+                f"plan has {len(self.points)} points but got {len(results)} results"
+            )
+        sweep = Sweep(title=self.title, xlabel=self.xlabel, ylabel=self.ylabel)
+        sweep.meta.update(self.meta)
+        for spec, result in zip(self.points, results):
+            if result is None:
+                raise ConfigurationError(f"point {spec.series!r}@{spec.x} has no result")
+            series = sweep.series_for(spec.series)
+            series.add(spec.x, result.y, result.yerr)
+            if result.mem_stats is not None:
+                # Created on first use so sweeps without memory telemetry
+                # (the app figures) keep their historical bare meta.
+                mem_stats = sweep.meta.setdefault("mem_stats", {})
+                acc = mem_stats.get(spec.series)
+                if acc is None:
+                    mem_stats[spec.series] = result.mem_stats.copy()
+                else:
+                    acc.merge(result.mem_stats)
+        return sweep
+
+
+#: Signature of a progress callback: (done, total, spec, result, cached).
+ProgressFn = Callable[[int, int, PointSpec, PointResult, bool], None]

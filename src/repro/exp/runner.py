@@ -1,0 +1,145 @@
+"""Plan execution: serial or process-parallel, cache-aware, order-stable.
+
+The runner owns *how* a plan's points execute; the plan owns *what* they
+are. Three invariants:
+
+1. **Bit-identical parallel output.** Every point is an independent
+   simulation (its producer builds a fresh hierarchy/engine from the
+   spec), so the same spec computes the same floats in any process.
+   Results are placed by plan index and reduced in plan order — never in
+   completion order — so ``jobs=N`` reproduces ``jobs=1`` exactly.
+2. **Content-addressed reuse.** With a :class:`~repro.exp.store.ResultStore`
+   attached, points whose content key is already stored are not executed;
+   fresh results are written back, so an interrupted run resumes where it
+   stopped and a re-run is a pure cache read.
+3. **In-plan deduplication.** Two specs with the same content key (e.g. a
+   figure's panel grids overlapping at a shared corner point) execute once.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.series import Sweep
+from repro.errors import ConfigurationError
+from repro.exp.plan import ExperimentPlan, PointResult, PointSpec, ProgressFn
+from repro.exp.producers import execute_point
+from repro.exp.store import ResultStore
+
+
+@dataclass
+class RunStats:
+    """Accounting for one :meth:`Runner.run` call."""
+
+    total: int = 0
+    #: Points actually simulated (pool or serial).
+    executed: int = 0
+    #: Points served from the result store.
+    cached: int = 0
+    #: Points aliased to an identical point earlier in the same plan.
+    deduped: int = 0
+    elapsed_s: float = 0.0
+
+
+@dataclass
+class Runner:
+    """Executes :class:`~repro.exp.plan.ExperimentPlan` objects.
+
+    ``jobs`` is the process-pool width (1 = in-process serial execution);
+    ``store`` enables content-addressed reuse; ``progress`` is called as
+    ``progress(done, total, spec, result, cached)`` after every point, in
+    completion order (presentation only — reduction order is plan order).
+    """
+
+    jobs: int = 1
+    store: Optional[ResultStore] = None
+    progress: Optional[ProgressFn] = None
+    #: Stats of the most recent :meth:`run` (read-only convenience).
+    last_stats: RunStats = field(default_factory=RunStats, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, plan: ExperimentPlan) -> List[PointResult]:
+        """Execute every point; returns results **in plan order**."""
+        import time
+
+        start = time.perf_counter()
+        specs = plan.points
+        stats = RunStats(total=len(specs))
+        results: List[Optional[PointResult]] = [None] * len(specs)
+        done = 0
+
+        def report(i: int, cached: bool) -> None:
+            nonlocal done
+            done += 1
+            if self.progress is not None:
+                self.progress(done, len(specs), specs[i], results[i], cached)
+
+        # Resolve store hits and in-plan duplicates first.
+        first_by_key: Dict[str, int] = {}
+        pending: List[int] = []  # canonical (first-occurrence) indices to run
+        aliases: Dict[int, int] = {}  # duplicate index -> canonical index
+        for i, spec in enumerate(specs):
+            key = spec.content_key()
+            canonical = first_by_key.get(key)
+            if canonical is not None:
+                aliases[i] = canonical
+                continue
+            first_by_key[key] = i
+            hit = self.store.get(spec) if self.store is not None else None
+            if hit is not None:
+                results[i] = hit
+                stats.cached += 1
+                report(i, True)
+            else:
+                pending.append(i)
+
+        if self.jobs > 1 and len(pending) > 1:
+            self._run_pool(specs, pending, results, stats, report)
+        else:
+            for i in pending:
+                results[i] = execute_point(specs[i])
+                stats.executed += 1
+                self._store_put(specs[i], results[i])
+                report(i, False)
+
+        # Fill duplicates from their canonical point (same computation, so
+        # sharing the result object preserves bit-identical reduction).
+        for i, canonical in aliases.items():
+            results[i] = results[canonical]
+            stats.deduped += 1
+            report(i, True)
+
+        stats.elapsed_s = time.perf_counter() - start
+        self.last_stats = stats
+        return results  # type: ignore[return-value]
+
+    def run_sweep(self, plan: ExperimentPlan) -> Sweep:
+        """Execute and reduce (plan order) into a figure sweep."""
+        return plan.reduce(self.run(plan))
+
+    # -- internals -------------------------------------------------------------
+
+    def _store_put(self, spec: PointSpec, result: PointResult) -> None:
+        if self.store is not None:
+            self.store.put(spec, result)
+
+    def _run_pool(self, specs, pending, results, stats, report) -> None:
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(execute_point, specs[i]): i for i in pending}
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    i = futures[fut]
+                    results[i] = fut.result()  # re-raises worker exceptions
+                    stats.executed += 1
+                    self._store_put(specs[i], results[i])
+                    report(i, False)

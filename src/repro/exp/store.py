@@ -1,0 +1,134 @@
+"""Content-addressed on-disk result store (``--cache-dir`` / ``--resume``).
+
+Every executed point is stored under a key derived from the *computation*,
+not the figure it feeds: SHA-256 over the spec's canonical content (kind +
+fully-resolved params + seed) plus a code-version salt. Consequences:
+
+* Re-running a figure against a warm store performs zero simulations.
+* An interrupted sweep resumes: completed points are hits, the rest run.
+* Two panels sharing a grid corner (same config, different presentation)
+  share one entry — ``series``/``x`` are excluded from the key.
+* A package release (or a bump of :data:`STORE_SCHEMA` after a modeling
+  change) salts every key, so stale physics is never replayed.
+
+Entries are single JSON files sharded two hex characters deep; writes are
+atomic (temp file + ``os.replace``), and unreadable/foreign files are
+treated as misses, never errors — a cache must not be able to break a run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro._version import __version__
+from repro.exp.plan import PointResult, PointSpec
+from repro.mem.result import LevelStats
+
+#: Bump when stored-result semantics change without a version bump.
+STORE_SCHEMA = 1
+
+
+def default_salt() -> str:
+    """The code-version salt mixed into every content key."""
+    return f"repro-{__version__}/store-{STORE_SCHEMA}"
+
+
+class ResultStore:
+    """A directory of content-addressed :class:`PointResult` entries."""
+
+    def __init__(self, root: Union[str, Path], *, salt: Optional[str] = None) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.salt = default_salt() if salt is None else salt
+        #: Hit/miss/put counters for the lifetime of this instance.
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    # -- keys ------------------------------------------------------------------
+
+    def key_for(self, spec: PointSpec) -> str:
+        """The salted content key of one spec."""
+        doc = {"content": spec.content(), "salt": self.salt}
+        text = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def path_for(self, spec: PointSpec) -> Path:
+        """Where the spec's entry lives (whether or not it exists)."""
+        key = self.key_for(spec)
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- read/write ------------------------------------------------------------
+
+    def get(self, spec: PointSpec) -> Optional[PointResult]:
+        """The stored result, or None on any kind of miss."""
+        path = self.path_for(spec)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+            result = PointResult(
+                y=float(doc["y"]),
+                yerr=float(doc.get("yerr", 0.0)),
+                mem_stats=(
+                    LevelStats.from_snapshot(doc["mem_stats"])
+                    if doc.get("mem_stats") is not None
+                    else None
+                ),
+                extras={str(k): float(v) for k, v in (doc.get("extras") or {}).items()},
+                elapsed_s=float(doc.get("elapsed_s", 0.0)),
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            # Absent, truncated, or foreign file: a miss, never an error.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: PointSpec, result: PointResult) -> Path:
+        """Persist one result atomically; returns the entry path."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "spec": spec.content(),
+            "series": spec.series,
+            "x": spec.x,
+            "salt": self.salt,
+            "y": result.y,
+            "yerr": result.yerr,
+            "mem_stats": result.mem_stats.snapshot() if result.mem_stats is not None else None,
+            "extras": result.extras,
+            "elapsed_s": result.elapsed_s,
+        }
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.puts += 1
+        return path
+
+    # -- maintenance -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

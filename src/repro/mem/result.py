@@ -212,6 +212,26 @@ class LevelStats:
         }
 
     @classmethod
+    def from_snapshot(cls, data: dict) -> "LevelStats":
+        """Rebuild an accumulator from a :meth:`snapshot` dict.
+
+        Derived keys (``hit_rate``) and unknown keys are ignored; missing
+        counters default to zero, so snapshots from older schemas load.
+        """
+        out = cls()
+        out.loads = int(data.get("loads", 0))
+        out.lines = int(data.get("lines", 0))
+        out.cycles = float(data.get("cycles", 0.0))
+        out.netcache_hits = int(data.get("netcache_hits", 0))
+        out.l1_hits = int(data.get("l1_hits", 0))
+        out.l2_hits = int(data.get("l2_hits", 0))
+        out.l3_hits = int(data.get("l3_hits", 0))
+        out.dram_fills = int(data.get("dram_fills", 0))
+        out.prefetch_covered = int(data.get("prefetch_covered", 0))
+        out.penalty_cycles = float(data.get("penalty_cycles", 0.0))
+        return out
+
+    @classmethod
     def merged(cls, parts: Iterable[Optional["LevelStats"]]) -> "LevelStats":
         """Merge any number of accumulators (``None`` entries are skipped)."""
         out = cls()

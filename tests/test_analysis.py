@@ -46,6 +46,46 @@ class TestSeries:
         r = a.ratio_to(b)
         assert r.x == [1.0]
 
+    def test_duplicate_x_first_occurrence_wins(self):
+        # list.index semantics: at() returns the first matching point.
+        s = Series("d")
+        s.add(1, 10.0)
+        s.add(1, 99.0)
+        assert s.at(1) == 10.0
+        assert s.index_of(1) == 0
+
+    def test_index_map_survives_interleaved_adds(self):
+        s = Series("i")
+        s.add(1, 10.0)
+        assert s.at(1) == 10.0  # builds the lazy index
+        s.add(2, 20.0)  # must keep (or correctly rebuild) it
+        assert s.at(2) == 20.0
+        s.add(1, 99.0)
+        assert s.at(1) == 10.0
+
+    def test_index_rebuilds_after_direct_x_append(self):
+        # Older call sites append to .x/.y directly; the map must notice.
+        s = Series("raw")
+        s.add(1, 10.0)
+        assert s.at(1) == 10.0
+        s.x.append(5.0)
+        s.y.append(50.0)
+        s.yerr.append(0.0)
+        assert s.at(5) == 50.0
+
+    def test_exact_float_matching(self):
+        # Lookups are exact, same as list.index — no tolerance matching.
+        s = Series("f")
+        s.add(0.1, 1.0)
+        assert s.at(0.1) == 1.0
+        with pytest.raises(ValueError):
+            s.at(0.1000001)
+
+    def test_int_and_float_keys_coincide(self):
+        s = Series("c")
+        s.add(1024, 7.0)
+        assert s.at(1024.0) == 7.0
+
 
 class TestSweep:
     def test_series_for_creates_once(self):

@@ -3,12 +3,14 @@
 import pytest
 
 from repro.analysis.export import (
+    sweep_from_csv,
     sweep_from_json,
     sweep_to_csv,
     sweep_to_json,
     write_sweep,
 )
 from repro.analysis.series import Sweep
+from repro.mem.result import LevelStats
 
 
 def sample_sweep():
@@ -18,6 +20,22 @@ def sample_sweep():
     for x, ya, yb in [(1, 0.9, 1.0), (64, 0.3, 0.6), (1024, 0.02, 0.08)]:
         a.add(x, ya, 0.01)
         b.add(x, yb, 0.02)
+    return sw
+
+
+def sample_sweep_with_mem_stats():
+    sw = sample_sweep()
+    stats = {}
+    for i, label in enumerate(sw.labels(), start=1):
+        ms = LevelStats()
+        ms.loads = 10 * i
+        ms.lines = 40 * i
+        ms.l1_hits = 18 * i
+        ms.l3_hits = 12 * i
+        ms.dram_fills = 10 * i
+        ms.cycles = 123.5 * i
+        stats[label] = ms
+    sw.meta["mem_stats"] = stats
     return sw
 
 
@@ -53,6 +71,46 @@ class TestJson:
         restored = sweep_from_json(sweep_to_json(sample_sweep()))
         assert restored.xlabel == "depth" and restored.ylabel == "MiBps"
 
+    def test_mem_stats_roundtrip(self):
+        sw = sample_sweep_with_mem_stats()
+        restored = sweep_from_json(sweep_to_json(sw))
+        assert set(restored.meta["mem_stats"]) == {"baseline", "LLA"}
+        for label, original in sw.meta["mem_stats"].items():
+            back = restored.meta["mem_stats"][label]
+            assert isinstance(back, LevelStats)
+            assert back.snapshot() == original.snapshot()
+
+    def test_no_mem_stats_key_when_absent(self):
+        import json
+
+        doc = json.loads(sweep_to_json(sample_sweep()))
+        assert "mem_stats" not in doc
+        assert sweep_from_json(json.dumps(doc)).meta == {}
+
+
+class TestCsvRoundTrip:
+    def test_values_reproduced(self):
+        sw = sample_sweep()
+        restored = sweep_from_csv(sweep_to_csv(sw), title=sw.title, ylabel=sw.ylabel)
+        assert restored.labels() == sw.labels()
+        assert restored.xlabel == sw.xlabel
+        for label in sw.labels():
+            assert restored.series[label].x == sw.series[label].x
+            assert restored.series[label].y == sw.series[label].y
+
+    def test_ragged_cells_skipped(self):
+        sw = Sweep("R", "x", "y")
+        sw.series_for("a").add(1, 1.0)
+        sw.series_for("a").add(2, 2.0)
+        sw.series_for("b").add(1, 3.0)
+        restored = sweep_from_csv(sweep_to_csv(sw))
+        assert restored.series["a"].y == [1.0, 2.0]
+        assert restored.series["b"].x == [1.0]
+
+    def test_rejects_non_sweep_text(self):
+        with pytest.raises(ValueError):
+            sweep_from_csv("just-one-column\n1\n2\n")
+
 
 class TestWriteSweep:
     def test_write_csv(self, tmp_path):
@@ -68,6 +126,26 @@ class TestWriteSweep:
     def test_unknown_suffix(self, tmp_path):
         with pytest.raises(ValueError):
             write_sweep(tmp_path / "fig.xlsx", sample_sweep())
+
+    def test_json_file_roundtrips_everything(self, tmp_path):
+        sw = sample_sweep_with_mem_stats()
+        path = tmp_path / "fig.json"
+        write_sweep(path, sw)
+        restored = sweep_from_json(path.read_text(encoding="utf-8"))
+        for label in sw.labels():
+            assert restored.series[label].y == sw.series[label].y
+            assert restored.series[label].yerr == sw.series[label].yerr
+        for label, original in sw.meta["mem_stats"].items():
+            assert restored.meta["mem_stats"][label].snapshot() == original.snapshot()
+
+    def test_csv_file_roundtrips_values(self, tmp_path):
+        sw = sample_sweep()
+        path = tmp_path / "fig.csv"
+        write_sweep(path, sw)
+        restored = sweep_from_csv(path.read_text(encoding="utf-8"), title=sw.title)
+        for label in sw.labels():
+            assert restored.series[label].x == sw.series[label].x
+            assert restored.series[label].y == sw.series[label].y
 
 
 class TestMessageRate:

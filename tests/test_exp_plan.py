@@ -1,0 +1,126 @@
+"""Tests for the declarative experiment-plan layer (repro.exp.plan)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exp import ExperimentPlan, PointResult, PointSpec, derive_seed
+from repro.mem.result import LevelStats
+
+
+def stats(loads=1, lines=4, l1=2, dram=2, cycles=10.0):
+    out = LevelStats()
+    out.loads = loads
+    out.lines = lines
+    out.l1_hits = l1
+    out.dram_fills = dram
+    out.cycles = cycles
+    return out
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "baseline", 64) == derive_seed(7, "baseline", 64)
+
+    def test_sensitive_to_every_part(self):
+        base = derive_seed(7, "baseline", 64)
+        assert derive_seed(8, "baseline", 64) != base
+        assert derive_seed(7, "lla-2", 64) != base
+        assert derive_seed(7, "baseline", 65) != base
+
+    def test_31_bit_range(self):
+        for root in range(50):
+            s = derive_seed(root, "x")
+            assert 0 <= s < 2**31
+
+
+class TestPointSpec:
+    def test_make_sorts_and_freezes_params(self):
+        spec = PointSpec.make("osu", "baseline", 1.0, seed=3, zeta=1, alpha="a")
+        assert spec.params == (("alpha", "a"), ("zeta", 1))
+        assert spec.kwargs == {"alpha": "a", "zeta": 1}
+        # Frozen + hashable: usable as a dict key and safe to share.
+        assert hash(spec) == hash(
+            PointSpec.make("osu", "baseline", 1.0, seed=3, alpha="a", zeta=1)
+        )
+
+    def test_sequences_become_tuples(self):
+        spec = PointSpec.make("osu", "s", 0.0, sizes=[32, 64])
+        assert spec.kwargs["sizes"] == (32, 64)
+
+    def test_rejects_non_scalar_values(self):
+        with pytest.raises(ConfigurationError):
+            PointSpec.make("osu", "s", 0.0, cfg={"nested": 1})
+        with pytest.raises(ConfigurationError):
+            PointSpec.make("osu", "s", 0.0, fn=lambda: None)
+
+    def test_content_key_stable_across_kwarg_order(self):
+        a = PointSpec.make("osu", "s", 1.0, seed=2, depth=64, msg_bytes=8)
+        b = PointSpec.make("osu", "s", 1.0, seed=2, msg_bytes=8, depth=64)
+        assert a.content_key() == b.content_key()
+
+    def test_content_key_ignores_presentation(self):
+        # series/x say where the result lands in the figure, not what is
+        # computed — two panels sharing a config share a cache entry.
+        a = PointSpec.make("osu", "panel a", 1.0, seed=2, depth=64)
+        b = PointSpec.make("osu", "panel c", 9.0, seed=2, depth=64)
+        assert a.content_key() == b.content_key()
+
+    def test_content_key_sensitive_to_computation(self):
+        base = PointSpec.make("osu", "s", 1.0, seed=2, depth=64)
+        assert PointSpec.make("osu", "s", 1.0, seed=3, depth=64).content_key() != base.content_key()
+        assert PointSpec.make("osu", "s", 1.0, seed=2, depth=65).content_key() != base.content_key()
+        assert PointSpec.make("app", "s", 1.0, seed=2, depth=64).content_key() != base.content_key()
+
+
+class TestReduce:
+    def plan(self):
+        plan = ExperimentPlan(title="T", xlabel="depth", ylabel="MiBps")
+        for label in ("baseline", "LLA"):
+            for x in (1.0, 64.0):
+                plan.add_point("osu", label, x, seed=0, depth=int(x))
+        return plan
+
+    def test_series_labels_in_plan_order(self):
+        assert self.plan().series_labels() == ["baseline", "LLA"]
+
+    def test_reduce_folds_in_plan_order(self):
+        plan = self.plan()
+        results = [PointResult(y=float(i), yerr=0.1 * i) for i in range(len(plan))]
+        sweep = plan.reduce(results)
+        assert sweep.labels() == ["baseline", "LLA"]
+        assert sweep.series["baseline"].x == [1.0, 64.0]
+        assert sweep.series["baseline"].y == [0.0, 1.0]
+        assert sweep.series["LLA"].y == [2.0, 3.0]
+        assert sweep.series["LLA"].yerr == [pytest.approx(0.2), pytest.approx(0.3)]
+
+    def test_reduce_merges_mem_stats_per_series(self):
+        plan = self.plan()
+        results = [PointResult(y=1.0, mem_stats=stats(loads=1, lines=4)) for _ in range(4)]
+        sweep = plan.reduce(results)
+        merged = sweep.meta["mem_stats"]
+        assert set(merged) == {"baseline", "LLA"}
+        assert merged["baseline"].loads == 2
+        assert merged["baseline"].lines == 8
+        # The accumulators are copies, not the producers' objects.
+        assert merged["baseline"] is not results[0].mem_stats
+
+    def test_reduce_without_mem_stats_keeps_bare_meta(self):
+        plan = self.plan()
+        sweep = plan.reduce([PointResult(y=1.0) for _ in range(4)])
+        assert sweep.meta == {}
+
+    def test_reduce_rejects_length_mismatch(self):
+        plan = self.plan()
+        with pytest.raises(ConfigurationError):
+            plan.reduce([PointResult(y=1.0)])
+
+    def test_reduce_rejects_missing_result(self):
+        plan = self.plan()
+        results = [PointResult(y=1.0), None, PointResult(y=1.0), PointResult(y=1.0)]
+        with pytest.raises(ConfigurationError):
+            plan.reduce(results)
+
+    def test_elapsed_not_part_of_equality(self):
+        # Cached results lose their original timing; they must still compare
+        # equal to fresh ones so equivalence checks pass.
+        assert PointResult(y=1.0, elapsed_s=0.5) == PointResult(y=1.0, elapsed_s=9.0)

@@ -1,0 +1,147 @@
+"""Tests for the plan runner: parallel == serial, store reuse, dedup.
+
+The equivalence tests run real (reduced) figure grids: Figure 4b's spatial
+line-up and Figure 6a's temporal line-up on Sandy Bridge, small enough to
+finish in seconds but exercising the same producers the CLI uses.
+"""
+
+import pytest
+
+from repro.arch import SANDY_BRIDGE
+from repro.bench.figures import plan_spatial_search_length, plan_temporal_msg_size
+from repro.errors import ConfigurationError
+from repro.exp import ExperimentPlan, PointResult, Runner, ResultStore, register_producer
+
+
+def quick_fig4_plan():
+    return plan_spatial_search_length(
+        SANDY_BRIDGE, msg_bytes=1, depths=(1, 16, 64), iterations=2, seed=0
+    )
+
+
+def quick_fig6_plan():
+    return plan_temporal_msg_size(
+        SANDY_BRIDGE, depth=64, msg_sizes=(8, 1024), iterations=2, seed=0
+    )
+
+
+def snapshot_mem_stats(sweep):
+    return {
+        label: stats.snapshot()
+        for label, stats in sweep.meta.get("mem_stats", {}).items()
+    }
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("make_plan", [quick_fig4_plan, quick_fig6_plan])
+    def test_jobs4_repr_identical_to_serial(self, make_plan):
+        serial = Runner(jobs=1).run_sweep(make_plan())
+        parallel = Runner(jobs=4).run_sweep(make_plan())
+        assert repr(parallel) == repr(serial)
+        for label in serial.labels():
+            assert parallel.series[label].x == serial.series[label].x
+            assert parallel.series[label].y == serial.series[label].y
+            assert parallel.series[label].yerr == serial.series[label].yerr
+        assert snapshot_mem_stats(parallel) == snapshot_mem_stats(serial)
+
+    def test_results_arrive_in_plan_order(self):
+        plan = quick_fig6_plan()
+        runner = Runner(jobs=4)
+        results = runner.run(plan)
+        assert len(results) == len(plan)
+        serial = Runner(jobs=1).run(plan)
+        assert [(r.y, r.yerr, r.extras) for r in results] == [
+            (r.y, r.yerr, r.extras) for r in serial
+        ]
+        assert [r.mem_stats.snapshot() for r in results] == [
+            r.mem_stats.snapshot() for r in serial
+        ]
+        assert runner.last_stats.executed == len(plan)
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            Runner(jobs=0)
+
+
+class TestStoreReuse:
+    def test_warm_store_performs_zero_simulations(self, tmp_path):
+        store = ResultStore(tmp_path)
+        cold = Runner(jobs=1, store=store)
+        cold_sweep = cold.run_sweep(quick_fig4_plan())
+        assert cold.last_stats.executed == len(quick_fig4_plan())
+
+        warm = Runner(jobs=1, store=store)
+        warm_sweep = warm.run_sweep(quick_fig4_plan())
+        assert warm.last_stats.executed == 0
+        assert warm.last_stats.cached == len(quick_fig4_plan())
+        assert repr(warm_sweep) == repr(cold_sweep)
+        assert snapshot_mem_stats(warm_sweep) == snapshot_mem_stats(cold_sweep)
+
+    def test_interrupted_run_resumes(self, tmp_path):
+        # Pre-populate part of the grid, as an interrupted sweep would have.
+        store = ResultStore(tmp_path)
+        plan = quick_fig6_plan()
+        half = plan.points[: len(plan) // 2]
+        partial = ExperimentPlan(title=plan.title, points=list(half))
+        Runner(store=store).run(partial)
+
+        runner = Runner(store=store)
+        runner.run(plan)
+        assert runner.last_stats.cached == len(half)
+        assert runner.last_stats.executed == len(plan) - len(half)
+
+
+class TestDedup:
+    def test_identical_points_execute_once(self):
+        calls = []
+
+        def producer(kwargs, seed):
+            calls.append(kwargs["v"])
+            return PointResult(y=float(kwargs["v"]))
+
+        register_producer("dedup-test", producer)
+        plan = ExperimentPlan(title="D")
+        # Two panels sharing one corner config: same content, different cell.
+        plan.add_point("dedup-test", "panel a", 1.0, seed=0, v=5)
+        plan.add_point("dedup-test", "panel c", 9.0, seed=0, v=5)
+        plan.add_point("dedup-test", "panel a", 2.0, seed=0, v=6)
+
+        runner = Runner()
+        results = runner.run(plan)
+        assert len(calls) == 2
+        assert runner.last_stats.deduped == 1
+        assert results[0].y == results[1].y == 5.0
+        assert results[2].y == 6.0
+
+
+class TestProgress:
+    def test_callback_sees_every_point(self):
+        seen = []
+
+        def progress(done, total, spec, result, cached):
+            seen.append((done, total, spec.series, cached))
+
+        plan = quick_fig6_plan()
+        Runner(progress=progress).run(plan)
+        assert len(seen) == len(plan)
+        assert seen[-1][0] == len(plan)
+        assert all(total == len(plan) for _, total, _, _ in seen)
+        assert not any(cached for _, _, _, cached in seen)
+
+
+class TestErrorPropagation:
+    def test_worker_exception_reaches_caller(self):
+        def producer(kwargs, seed):
+            raise ValueError("boom")
+
+        register_producer("error-test", producer)
+        plan = ExperimentPlan(title="E")
+        plan.add_point("error-test", "s", 0.0)
+        with pytest.raises(ValueError, match="boom"):
+            Runner().run(plan)
+
+    def test_unknown_kind_rejected(self):
+        plan = ExperimentPlan(title="U")
+        plan.add_point("no-such-kind", "s", 0.0)
+        with pytest.raises(ConfigurationError):
+            Runner().run(plan)

@@ -1,0 +1,103 @@
+"""Tests for the content-addressed result store (repro.exp.store)."""
+
+from repro.exp import PointResult, PointSpec, ResultStore, default_salt
+from repro.mem.result import LevelStats
+
+
+def spec(**overrides):
+    params = dict(depth=64, msg_bytes=8)
+    params.update(overrides.pop("params", {}))
+    defaults = dict(kind="osu", series="baseline", x=1.0, seed=2)
+    defaults.update(overrides)
+    return PointSpec.make(
+        defaults["kind"], defaults["series"], defaults["x"], seed=defaults["seed"], **params
+    )
+
+
+def result_with_stats():
+    ms = LevelStats()
+    ms.loads = 3
+    ms.lines = 12
+    ms.l1_hits = 7
+    ms.l3_hits = 2
+    ms.dram_fills = 3
+    ms.cycles = 480.5
+    return PointResult(
+        y=123.25, yerr=4.5, mem_stats=ms, extras={"latency_us": 1.5}, elapsed_s=0.25
+    )
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, tmp_path):
+        store = ResultStore(tmp_path)
+        original = result_with_stats()
+        store.put(spec(), original)
+        restored = store.get(spec())
+        assert (restored.y, restored.yerr) == (original.y, original.yerr)
+        assert restored.mem_stats.snapshot() == original.mem_stats.snapshot()
+        assert restored.extras == {"latency_us": 1.5}
+        assert restored.elapsed_s == original.elapsed_s
+
+    def test_none_mem_stats_roundtrips(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(spec(), PointResult(y=1.0))
+        assert store.get(spec()).mem_stats is None
+
+    def test_presentation_does_not_split_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(spec(series="panel a", x=1.0), PointResult(y=7.0))
+        hit = store.get(spec(series="panel c", x=9.0))
+        assert hit is not None and hit.y == 7.0
+        assert len(store) == 1
+
+
+class TestMisses:
+    def test_absent_entry(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(spec()) is None
+        assert store.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(spec(), PointResult(y=1.0))
+        store.path_for(spec()).write_text("{not json", encoding="utf-8")
+        assert store.get(spec()) is None
+
+    def test_foreign_schema_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(spec(), PointResult(y=1.0))
+        store.path_for(spec()).write_text('{"unrelated": true}', encoding="utf-8")
+        assert store.get(spec()) is None
+
+
+class TestSalting:
+    def test_salt_isolates_entries(self, tmp_path):
+        old = ResultStore(tmp_path, salt="repro-0.1/store-1")
+        new = ResultStore(tmp_path, salt="repro-0.2/store-1")
+        old.put(spec(), PointResult(y=1.0))
+        # Same directory, different code version: stale physics is a miss.
+        assert new.get(spec()) is None
+        assert old.get(spec()) is not None
+
+    def test_default_salt_carries_package_version(self):
+        from repro._version import __version__
+
+        assert __version__ in default_salt()
+
+
+class TestAccounting:
+    def test_counters(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.get(spec())
+        store.put(spec(), PointResult(y=1.0))
+        store.get(spec())
+        assert (store.hits, store.misses, store.puts) == (1, 1, 1)
+
+    def test_len_and_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(spec(seed=1), PointResult(y=1.0))
+        store.put(spec(seed=2), PointResult(y=2.0))
+        assert len(store) == 2
+        assert store.clear() == 2
+        assert len(store) == 0
+        assert store.get(spec(seed=1)) is None
