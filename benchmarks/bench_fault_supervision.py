@@ -1,0 +1,104 @@
+"""Supervised execution — correctness gate plus an overhead smoke test.
+
+Two questions about the fault-tolerance layer (`--retries`, `--timeout`,
+`--on-error`, `--inject-faults`):
+
+1. **Correctness always gates.** A Figure-4-sized grid run at ``--jobs 4``
+   through a worker crash, an injected simulation error, and a bit-rotted
+   cache entry must reduce repr-identical to a fault-free serial run —
+   supervision decides whether and when a point runs, never what it
+   computes.
+2. **The default path stays cheap.** With no timeout, no retries, and no
+   fault plan, the supervised runner is the same blocking ``wait()`` loop
+   as before; a fault-free supervised run (timeout + retries armed, no
+   fault ever firing) must not cost materially more than an unsupervised
+   one. The overhead gate is lenient (<= 1.5x) because both sides are
+   short and scheduler noise dominates on small boxes.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.arch import SANDY_BRIDGE
+from repro.bench.figures import plan_spatial_search_length
+from repro.exp import Runner
+from repro.faults import Fault, FaultPlan
+
+DEPTHS = [1, 8, 64, 512]
+ITERS = 3
+JOBS = 4
+
+
+def make_plan():
+    return plan_spatial_search_length(
+        SANDY_BRIDGE, msg_bytes=1, depths=DEPTHS, iterations=ITERS, seed=0
+    )
+
+
+def timed_sweep(runner):
+    start = time.perf_counter()
+    sweep = runner.run_sweep(make_plan())
+    return sweep, time.perf_counter() - start
+
+
+def test_supervised_faulty_run_is_bit_identical(once, tmp_path):
+    import warnings
+
+    from repro.exp import ResultStore
+
+    serial, _ = timed_sweep(Runner(fault_plan=FaultPlan()))
+    fault_plan = FaultPlan(
+        [
+            Fault(kind="crash", index=1),
+            Fault(kind="raise", index=6, attempts=2),
+            Fault(kind="corrupt", index=9),
+        ]
+    )
+    runner = Runner(
+        jobs=JOBS,
+        store=ResultStore(tmp_path),
+        retries=2,
+        backoff_s=0.0,
+        on_error="collect",
+        fault_plan=fault_plan,
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)  # pool-rebuild notice
+        supervised, elapsed = once(timed_sweep, runner)
+    report = runner.last_report
+    emit(
+        f"faulty --jobs {JOBS} run: {elapsed:.2f}s, {report.retried} retries, "
+        f"{report.crashes} crashed attempts, {report.pool_rebuilds} rebuild(s), "
+        f"{report.corruptions_injected} corruption(s)"
+    )
+    assert report.ok, report.render()
+    assert report.crashes >= 1
+    assert repr(supervised) == repr(serial)
+    serial_ms = {k: v.snapshot() for k, v in serial.meta["mem_stats"].items()}
+    supervised_ms = {k: v.snapshot() for k, v in supervised.meta["mem_stats"].items()}
+    assert supervised_ms == serial_ms
+
+
+def test_armed_supervision_overhead_is_negligible(once):
+    # `once` (pytest-benchmark) is single-shot per test: time the armed run
+    # under it, the unsupervised reference directly.
+    plain, plain_s = timed_sweep(Runner(jobs=JOBS, fault_plan=FaultPlan()))
+    armed_runner = Runner(
+        jobs=JOBS, timeout_s=600.0, retries=2, fault_plan=FaultPlan()
+    )
+    armed, armed_s = once(timed_sweep, armed_runner)
+
+    ratio = armed_s / plain_s if plain_s else float("inf")
+    emit(
+        f"unsupervised {plain_s:.2f}s, armed (timeout+retries) {armed_s:.2f}s "
+        f"({ratio:.2f}x)"
+    )
+    # Correctness always gates; no fault fired, so nothing was retried.
+    assert repr(armed) == repr(plain)
+    assert armed_runner.last_report.retried == 0
+    assert armed_runner.last_report.timeouts == 0
+    assert ratio <= 1.5, (
+        f"armed supervision cost {ratio:.2f}x over the unsupervised pool "
+        "(expected <= 1.5x)"
+    )

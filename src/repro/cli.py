@@ -17,6 +17,15 @@ commands additionally accept ``--jobs N`` (process-parallel execution,
 bit-identical to serial), ``--cache-dir DIR`` (content-addressed result
 store), and ``--resume`` (shorthand for the default cache directory) — see
 :mod:`repro.exp`.
+
+Failure semantics (see EXPERIMENTS.md "Failure semantics"): ``--retries N``
+re-attempts failed points with capped exponential backoff, ``--timeout S``
+bounds each point, ``--on-error collect`` completes the sweep past failed
+points and reports them instead of aborting (``fail-fast``, the default,
+aborts after flushing completed work to the store), ``--report FILE``
+exports the structured RunReport as JSON, and ``--inject-faults SPEC``
+(or ``REPRO_INJECT_FAULTS``) deterministically injects crashes, raises,
+hangs, and store corruption to exercise all of the above.
 """
 
 from __future__ import annotations
@@ -39,13 +48,19 @@ _SWEEP_COMMANDS = (
 
 
 def _progress_to_stderr(done, total, spec, result, cached) -> None:
-    tag = " (cached)" if cached else f" [{result.elapsed_s:.2f}s]"
+    if result is None:
+        tag = " (failed)"
+    elif cached:
+        tag = " (cached)"
+    else:
+        tag = f" [{result.elapsed_s:.2f}s]"
     print(f"[exp] {done}/{total} {spec.series} @ {spec.x:g}{tag}", file=sys.stderr)
 
 
 def _runner_from_args(args: argparse.Namespace):
     """Build the Runner a sweep command asked for (serial, quiet default)."""
     from repro.exp import ResultStore, Runner
+    from repro.faults import FaultPlan
 
     jobs = getattr(args, "jobs", 1) or 1
     cache_dir = getattr(args, "cache_dir", None)
@@ -53,7 +68,44 @@ def _runner_from_args(args: argparse.Namespace):
         cache_dir = DEFAULT_CACHE_DIR
     store = ResultStore(cache_dir) if cache_dir else None
     progress = _progress_to_stderr if (jobs > 1 or store is not None) else None
-    return Runner(jobs=jobs, store=store, progress=progress)
+    inject = getattr(args, "inject_faults", None)
+    return Runner(
+        jobs=jobs,
+        store=store,
+        progress=progress,
+        retries=getattr(args, "retries", 0),
+        timeout_s=getattr(args, "timeout", None),
+        on_error=getattr(args, "on_error", "fail-fast"),
+        fault_plan=FaultPlan.parse(inject) if inject else None,
+    )
+
+
+def _emit_report(runner, args: argparse.Namespace) -> None:
+    """Render the run's failure-policy report (stderr) and export it.
+
+    Quiet when nothing noteworthy happened and no export was requested; a
+    command that runs several plans (the multi-panel figures) emits one
+    report per run and the ``--report`` file keeps the last.
+    """
+    report = runner.last_report
+    noteworthy = (
+        report.failures
+        or report.retried
+        or report.timeouts
+        or report.crashes
+        or report.pool_rebuilds
+        or report.degraded_serial
+        or report.quarantined
+        or report.corruptions_injected
+    )
+    if noteworthy:
+        print(report.render(), file=sys.stderr)
+    report_path = getattr(args, "report", None)
+    if report_path:
+        from pathlib import Path
+
+        Path(report_path).write_text(report.to_json() + "\n", encoding="utf-8")
+        print(f"[report written {report_path}]", file=sys.stderr)
 
 
 def _cmd_table1(args: argparse.Namespace) -> None:
@@ -159,6 +211,7 @@ def _fig_spatial(arch_name: str, args: argparse.Namespace) -> None:
         args,
         "a",
     )
+    _emit_report(runner, args)
     _render_panel(
         fig_spatial_search_length(
             arch, msg_bytes=1, depths=depths, iterations=iters, runner=runner
@@ -166,6 +219,7 @@ def _fig_spatial(arch_name: str, args: argparse.Namespace) -> None:
         args,
         "b",
     )
+    _emit_report(runner, args)
     _render_panel(
         fig_spatial_search_length(
             arch, msg_bytes=4096, depths=depths, iterations=iters, runner=runner
@@ -173,6 +227,7 @@ def _fig_spatial(arch_name: str, args: argparse.Namespace) -> None:
         args,
         "c",
     )
+    _emit_report(runner, args)
 
 
 def _fig_temporal(arch_name: str, args: argparse.Namespace) -> None:
@@ -189,6 +244,7 @@ def _fig_temporal(arch_name: str, args: argparse.Namespace) -> None:
         args,
         "a",
     )
+    _emit_report(runner, args)
     _render_panel(
         fig_temporal_search_length(
             arch, msg_bytes=1, depths=depths, iterations=iters, runner=runner
@@ -196,6 +252,7 @@ def _fig_temporal(arch_name: str, args: argparse.Namespace) -> None:
         args,
         "b",
     )
+    _emit_report(runner, args)
     _render_panel(
         fig_temporal_search_length(
             arch, msg_bytes=4096, depths=depths, iterations=iters, runner=runner
@@ -203,6 +260,7 @@ def _fig_temporal(arch_name: str, args: argparse.Namespace) -> None:
         args,
         "c",
     )
+    _emit_report(runner, args)
 
 
 def _cmd_heater_micro(args: argparse.Namespace) -> None:
@@ -215,10 +273,14 @@ def _cmd_heater_micro(args: argparse.Namespace) -> None:
         samples=512 if args.quick else 2048,
         seed=args.seed,
     )
-    results = _runner_from_args(args).run(plan)
+    runner = _runner_from_args(args)
+    results = runner.run(plan)
     rows = []
     for spec, result in zip(plan.points, results):
         cold_p, hot_p = paper[spec.series]
+        if result is None:  # failed under --on-error collect
+            rows.append((spec.series, "FAILED", "FAILED", cold_p, hot_p))
+            continue
         rows.append(
             (spec.series, round(result.y, 1), round(result.extras["hot_ns"], 1), cold_p, hot_p)
         )
@@ -229,38 +291,51 @@ def _cmd_heater_micro(args: argparse.Namespace) -> None:
             title="Section 4.3: cache heater random-access micro-benchmark",
         )
     )
+    _emit_report(runner, args)
 
 
 def _cmd_fig8(args: argparse.Namespace) -> None:
     from repro.apps import fig8_amg_scaling
 
-    sweep = fig8_amg_scaling(seed=args.seed, runner=_runner_from_args(args))
+    runner = _runner_from_args(args)
+    sweep = fig8_amg_scaling(seed=args.seed, runner=runner)
     print(render_series_table(sweep))
-    base, lla = sweep.series["Baseline"], sweep.series["LLA"]
-    pct = 100.0 * (base.at(1024) - lla.at(1024)) / base.at(1024)
-    print(f"\nLLA runtime improvement at 1024 ranks: {pct:.2f}% (paper: 2.9%)")
+    try:
+        base, lla = sweep.series["Baseline"], sweep.series["LLA"]
+        pct = 100.0 * (base.at(1024) - lla.at(1024)) / base.at(1024)
+        print(f"\nLLA runtime improvement at 1024 ranks: {pct:.2f}% (paper: 2.9%)")
+    except (KeyError, ValueError):  # points lost to --on-error collect
+        print("\nLLA runtime improvement at 1024 ranks: n/a (points missing)")
+    _emit_report(runner, args)
 
 
 def _cmd_fig9(args: argparse.Namespace) -> None:
     from repro.apps import fig9_minife_lengths
 
-    sweep = fig9_minife_lengths(seed=args.seed, runner=_runner_from_args(args))
+    runner = _runner_from_args(args)
+    sweep = fig9_minife_lengths(seed=args.seed, runner=runner)
     print(render_series_table(sweep))
-    base, lla = sweep.series["Baseline"], sweep.series["LLA"]
-    pct = 100.0 * (base.at(2048) - lla.at(2048)) / base.at(2048)
-    print(f"\nLLA runtime improvement at queue length 2048: {pct:.2f}% (paper: 2.3%)")
+    try:
+        base, lla = sweep.series["Baseline"], sweep.series["LLA"]
+        pct = 100.0 * (base.at(2048) - lla.at(2048)) / base.at(2048)
+        print(f"\nLLA runtime improvement at queue length 2048: {pct:.2f}% (paper: 2.3%)")
+    except (KeyError, ValueError):
+        print("\nLLA runtime improvement at queue length 2048: n/a (points missing)")
+    _emit_report(runner, args)
 
 
 def _cmd_fig10(args: argparse.Namespace) -> None:
     from repro.apps import fig10_fds_speedups
 
+    runner = _runner_from_args(args)
     scales = (1024, 4096, 8192) if args.quick else None
     sweep = fig10_fds_speedups(
         scales=scales or (128, 256, 512, 1024, 2048, 4096, 8192),
         seed=args.seed,
-        runner=_runner_from_args(args),
+        runner=runner,
     )
     print(render_series_table(sweep))
+    _emit_report(runner, args)
 
 
 #: The section 4.6 occupancy-mechanism line-up: (label, extra osu params).
@@ -303,11 +378,15 @@ def _ablation_plan(args: argparse.Namespace):
 
 def _cmd_ablation(args: argparse.Namespace) -> None:
     plan = _ablation_plan(args)
-    results = _runner_from_args(args).run(plan)
+    runner = _runner_from_args(args)
+    results = runner.run(plan)
     rows = []
     mem_stats = {}
     for spec, result in zip(plan.points, results):
         arch_name, label = spec.series.split(": ", 1)
+        if result is None:  # failed under --on-error collect
+            rows.append((arch_name, label, "FAILED"))
+            continue
         rows.append((arch_name, label, round(result.y, 4)))
         mem_stats[spec.series] = result.mem_stats
     print(
@@ -322,6 +401,7 @@ def _cmd_ablation(args: argparse.Namespace) -> None:
 
         print()
         print(render_mem_stats_table(mem_stats))
+    _emit_report(runner, args)
 
 
 def _offload_plan(args: argparse.Namespace):
@@ -349,9 +429,10 @@ def _offload_plan(args: argparse.Namespace):
 
 def _cmd_offload(args: argparse.Namespace) -> None:
     plan = _offload_plan(args)
-    results = _runner_from_args(args).run(plan)
+    runner = _runner_from_args(args)
+    results = runner.run(plan)
     rows = [
-        (spec.series, int(spec.x), round(result.y))
+        (spec.series, int(spec.x), "FAILED" if result is None else round(result.y))
         for spec, result in zip(plan.points, results)
     ]
     print(
@@ -361,6 +442,7 @@ def _cmd_offload(args: argparse.Namespace) -> None:
             title=plan.title,
         )
     )
+    _emit_report(runner, args)
 
 
 _COMMANDS = {
@@ -427,6 +509,29 @@ def build_parser() -> argparse.ArgumentParser:
                            "points are reused, fresh ones written back")
             p.add_argument("--resume", action="store_true",
                            help=f"shorthand for --cache-dir {DEFAULT_CACHE_DIR}")
+            p.add_argument("--retries", type=int, default=0, metavar="N",
+                           help="re-attempt each failed point up to N times "
+                           "(capped exponential backoff; point seeds are "
+                           "never changed, so retried output is bit-identical)")
+            p.add_argument("--timeout", type=float, default=None, metavar="S",
+                           help="per-point deadline in seconds; an overdue "
+                           "pool worker is terminated and the point "
+                           "rescheduled (serial: detected post-hoc)")
+            p.add_argument("--on-error", choices=["fail-fast", "collect"],
+                           default="fail-fast",
+                           help="fail-fast: abort on the first exhausted "
+                           "point (completed work is still flushed to the "
+                           "store); collect: finish the sweep, report "
+                           "failed points, and render what survived")
+            p.add_argument("--report", metavar="FILE", default=None,
+                           help="write the structured RunReport (attempts, "
+                           "failures, supervision counters) as JSON")
+            p.add_argument("--inject-faults", metavar="SPEC", default=None,
+                           help="deterministic fault injection, e.g. "
+                           "'crash@1,hang@2:1:0.5,corrupt@3' "
+                           "(kind@index[:attempts[:seconds]]; kinds: crash, "
+                           "raise, hang, corrupt); also via "
+                           "REPRO_INJECT_FAULTS")
     sub.add_parser("list", help="list available commands")
     return parser
 

@@ -27,5 +27,32 @@ class MatchingError(ReproError):
     """An MPI matching invariant was violated (e.g. FIFO ordering)."""
 
 
+class ExecutionError(ReproError):
+    """The sweep execution layer failed (pool breakage, bad policy...)."""
+
+
+class PointExecutionError(ExecutionError):
+    """One plan point exhausted its attempts (or aborted under fail_fast).
+
+    Carries the :class:`~repro.exp.plan.PointSpec`, the number of attempts
+    made, and — via ``raise ... from`` — the causal chain back to the last
+    worker exception, so a multi-hour sweep that dies names the exact point,
+    how hard the runner tried, and why the final attempt failed.
+    """
+
+    def __init__(self, message: str, *, spec=None, attempts: int = 0):
+        super().__init__(message)
+        self.spec = spec
+        self.attempts = attempts
+
+
+class InjectedFaultError(SimulationError):
+    """A deterministic fault raised by :mod:`repro.faults` injection.
+
+    Subclasses :class:`SimulationError` so injected failures exercise the
+    exact handling path a real mid-simulation fault would take.
+    """
+
+
 class MpiUsageError(ReproError):
     """The mini-MPI API was used incorrectly (bad rank, finished request...)."""

@@ -9,7 +9,10 @@ package makes those grids first-class:
 * :mod:`repro.exp.producers` — how each point kind executes, with
   worker-side construction of the real config objects.
 * :mod:`repro.exp.runner` — :class:`Runner` runs a plan serially or on a
-  process pool (``--jobs N``), with progress callbacks and dedup.
+  process pool (``--jobs N``), with progress callbacks, dedup, and
+  supervised execution: per-point timeouts, retries with deterministic
+  backoff, crash recovery, and a ``fail_fast``/``collect`` failure policy
+  reported through :class:`RunReport` (fault injection: :mod:`repro.faults`).
 * :mod:`repro.exp.store` — :class:`ResultStore`, a content-addressed
   on-disk cache (``--cache-dir`` / ``--resume``).
 """
@@ -27,14 +30,23 @@ from repro.exp.producers import (
     register_producer,
     resolve_arch,
 )
-from repro.exp.runner import Runner, RunStats
+from repro.exp.runner import (
+    AttemptRecord,
+    PointFailure,
+    Runner,
+    RunReport,
+    RunStats,
+)
 from repro.exp.store import STORE_SCHEMA, ResultStore, default_salt
 
 __all__ = [
+    "AttemptRecord",
     "ExperimentPlan",
+    "PointFailure",
     "PointResult",
     "PointSpec",
     "ResultStore",
+    "RunReport",
     "RunStats",
     "Runner",
     "STORE_SCHEMA",

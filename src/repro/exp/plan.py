@@ -149,13 +149,19 @@ class ExperimentPlan:
         """Distinct series labels in first-appearance (plan) order."""
         return list(dict.fromkeys(spec.series for spec in self.points))
 
-    def reduce(self, results: Sequence[Optional[PointResult]]) -> Sweep:
+    def reduce(
+        self, results: Sequence[Optional[PointResult]], *, allow_missing: bool = False
+    ) -> Sweep:
         """Fold a result list (plan order) into a sweep.
 
         This is the serial/parallel convergence point: whatever order the
         points *ran* in, they are folded strictly in plan order, so the
         sweep — series insertion order, per-series x order, and the
         ``meta["mem_stats"]`` merge order — is identical either way.
+
+        ``allow_missing`` is the ``on_error="collect"`` contract: a None
+        result (a failed point) is skipped instead of raising, so a sweep
+        with a poisoned point still reduces — minus that point.
         """
         if len(results) != len(self.points):
             raise ConfigurationError(
@@ -165,6 +171,8 @@ class ExperimentPlan:
         sweep.meta.update(self.meta)
         for spec, result in zip(self.points, results):
             if result is None:
+                if allow_missing:
+                    continue
                 raise ConfigurationError(f"point {spec.series!r}@{spec.x} has no result")
             series = sweep.series_for(spec.series)
             series.add(spec.x, result.y, result.yerr)
@@ -181,4 +189,5 @@ class ExperimentPlan:
 
 
 #: Signature of a progress callback: (done, total, spec, result, cached).
-ProgressFn = Callable[[int, int, PointSpec, PointResult, bool], None]
+#: ``result`` is None for a point that failed under ``on_error="collect"``.
+ProgressFn = Callable[[int, int, PointSpec, Optional[PointResult], bool], None]

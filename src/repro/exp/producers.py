@@ -47,8 +47,17 @@ def producer_for(kind: str) -> ProducerFn:
         ) from None
 
 
-def execute_point(spec: PointSpec) -> PointResult:
-    """Run one spec in the current process (the pool-worker entry point)."""
+def execute_point(spec: PointSpec, fault=None, allow_hard_crash: bool = False) -> PointResult:
+    """Run one spec in the current process (the pool-worker entry point).
+
+    ``fault`` is an optional :class:`~repro.faults.FaultAction` the
+    supervisor resolved for this (point, attempt); it is triggered *before*
+    the producer runs, so injection can never perturb a computation it does
+    not abort. ``allow_hard_crash`` tells a ``crash`` fault the process is
+    an expendable pool worker (in-process callers get a raise instead).
+    """
+    if fault is not None:
+        fault.trigger(allow_hard_crash=allow_hard_crash)
     fn = producer_for(spec.kind)
     start = time.perf_counter()
     result = fn(spec.kwargs, spec.seed)

@@ -12,8 +12,14 @@ fully-resolved params + seed) plus a code-version salt. Consequences:
   change) salts every key, so stale physics is never replayed.
 
 Entries are single JSON files sharded two hex characters deep; writes are
-atomic (temp file + ``os.replace``), and unreadable/foreign files are
-treated as misses, never errors — a cache must not be able to break a run.
+atomic (temp file + ``os.replace``). Integrity is end-to-end: every entry
+carries a SHA-256 checksum of its payload, verified on :meth:`ResultStore.get`.
+A damaged entry — truncated JSON, flipped bytes, a checksum mismatch — is
+**quarantined** (renamed to ``*.corrupt``) and reported as a miss, so the
+point silently re-executes while the rot stays visible on disk and in the
+run report, instead of either poisoning a figure or vanishing without a
+trace. A cache must not be able to break a run — an *absent* entry is a
+plain miss and a foreign/unreadable one can cost at most one re-execution.
 """
 
 from __future__ import annotations
@@ -23,19 +29,32 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Optional, Union
+from typing import List, Optional, Union
 
 from repro._version import __version__
 from repro.exp.plan import PointResult, PointSpec
 from repro.mem.result import LevelStats
 
 #: Bump when stored-result semantics change without a version bump.
-STORE_SCHEMA = 1
+#: 2: entries carry a payload checksum (``sha256``) verified on read.
+STORE_SCHEMA = 2
+
+#: Entry fields covered by the integrity checksum. ``series``/``x`` are
+#: presentation, ``elapsed_s`` is timing noise — none can change a figure,
+#: so none can invalidate an entry.
+_CHECKSUM_FIELDS = ("spec", "salt", "y", "yerr", "mem_stats", "extras")
 
 
 def default_salt() -> str:
     """The code-version salt mixed into every content key."""
     return f"repro-{__version__}/store-{STORE_SCHEMA}"
+
+
+def _payload_checksum(doc: dict) -> str:
+    """Canonical SHA-256 over the checksummed subset of an entry doc."""
+    subset = {name: doc.get(name) for name in _CHECKSUM_FIELDS}
+    text = json.dumps(subset, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 class ResultStore:
@@ -45,10 +64,13 @@ class ResultStore:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.salt = default_salt() if salt is None else salt
-        #: Hit/miss/put counters for the lifetime of this instance.
+        #: Hit/miss/put/quarantine counters for the lifetime of this instance.
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        self.quarantined = 0
+        #: Paths of entries quarantined by this instance (report fodder).
+        self.quarantined_paths: List[Path] = []
 
     # -- keys ------------------------------------------------------------------
 
@@ -66,10 +88,27 @@ class ResultStore:
     # -- read/write ------------------------------------------------------------
 
     def get(self, spec: PointSpec) -> Optional[PointResult]:
-        """The stored result, or None on any kind of miss."""
+        """The stored result, or None on any kind of miss.
+
+        A present-but-damaged entry (unparseable, missing or mismatched
+        checksum, malformed fields) is quarantined before returning None.
+        """
         path = self.path_for(spec)
         try:
-            doc = json.loads(path.read_text(encoding="utf-8"))
+            raw = path.read_bytes()
+        except OSError:
+            # Absent entry: the ordinary cold-cache miss.
+            self.misses += 1
+            return None
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+            if not isinstance(doc, dict):
+                raise ValueError("entry is not a JSON object")
+            recorded = doc.get("sha256")
+            if recorded != _payload_checksum(doc):
+                raise ValueError(
+                    f"checksum mismatch (recorded {str(recorded)[:12]}...)"
+                )
             result = PointResult(
                 y=float(doc["y"]),
                 yerr=float(doc.get("yerr", 0.0)),
@@ -81,8 +120,10 @@ class ResultStore:
                 extras={str(k): float(v) for k, v in (doc.get("extras") or {}).items()},
                 elapsed_s=float(doc.get("elapsed_s", 0.0)),
             )
-        except (OSError, ValueError, KeyError, TypeError):
-            # Absent, truncated, or foreign file: a miss, never an error.
+        except (ValueError, KeyError, TypeError):
+            # Bit-rot, truncation, or a foreign file where an entry should
+            # be: still a miss — never an error — but a *loud* one.
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
@@ -103,6 +144,7 @@ class ResultStore:
             "extras": result.extras,
             "elapsed_s": result.elapsed_s,
         }
+        doc["sha256"] = _payload_checksum(doc)
         fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
@@ -117,15 +159,55 @@ class ResultStore:
         self.puts += 1
         return path
 
+    # -- integrity -------------------------------------------------------------
+
+    def _quarantine(self, path: Path) -> None:
+        """Rename a damaged entry to ``*.corrupt`` (best effort)."""
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            return
+        self.quarantined += 1
+        self.quarantined_paths.append(path.with_suffix(".corrupt"))
+
+    def corrupt(self, spec: PointSpec) -> bool:
+        """Flip bytes in the spec's stored entry (deterministic bit-rot).
+
+        The fault-injection hook behind ``--inject-faults corrupt@i`` and
+        the integrity tests; returns False when the entry does not exist.
+        """
+        path = self.path_for(spec)
+        try:
+            data = bytearray(path.read_bytes())
+        except OSError:
+            return False
+        if not data:
+            return False
+        # Flip one byte mid-payload: enough to break the checksum, small
+        # enough that the entry usually still parses as JSON — exercising
+        # the verification path, not just the parser.
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        return True
+
     # -- maintenance -----------------------------------------------------------
 
+    #: Everything a store directory may accumulate: live entries,
+    #: quarantined entries, and temp files orphaned by a killed process.
+    _PATTERNS = ("*/*.json", "*/*.corrupt", "*/*.tmp")
+
+    def _files(self):
+        for pattern in self._PATTERNS:
+            yield from self.root.glob(pattern)
+
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        """All store files: entries + quarantined + stale temp files."""
+        return sum(1 for _ in self._files())
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every store file (see :meth:`__len__`); returns the count."""
         removed = 0
-        for path in self.root.glob("*/*.json"):
+        for path in list(self._files()):
             try:
                 path.unlink()
                 removed += 1

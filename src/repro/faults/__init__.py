@@ -1,0 +1,31 @@
+"""Deterministic fault injection for the sweep subsystem.
+
+Production sweep harnesses treat point execution as unreliable by
+construction: workers crash, simulations raise, points hang, cache entries
+rot on disk. This package makes every one of those failure modes a
+first-class, *reproducible* input so the supervision layer in
+:mod:`repro.exp.runner` can be exercised — in tests, in CI, and from the
+CLI (``--inject-faults SPEC`` / the ``REPRO_INJECT_FAULTS`` env var) —
+without ever touching the simulation's own determinism: faults change
+*when and whether* a point runs, never *what it computes*.
+
+See :mod:`repro.faults.plan` for the model and the spec grammar.
+"""
+
+from repro.faults.plan import (
+    ENV_FAULTS,
+    FAULT_KINDS,
+    Fault,
+    FaultAction,
+    FaultPlan,
+    WORKER_CRASH_EXIT_CODE,
+)
+
+__all__ = [
+    "ENV_FAULTS",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultAction",
+    "FaultPlan",
+    "WORKER_CRASH_EXIT_CODE",
+]

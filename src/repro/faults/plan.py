@@ -1,0 +1,258 @@
+"""The fault model: what goes wrong, where, and on which attempt.
+
+A :class:`FaultPlan` is a deterministic schedule of failures against an
+:class:`~repro.exp.plan.ExperimentPlan`: each :class:`Fault` targets one
+plan-point *index* and fires on that point's first ``attempts`` execution
+attempts (attempt numbers ``0 .. attempts-1``), after which the point runs
+clean — which is exactly the shape a supervised retry must survive.
+
+Four kinds, covering the distinct failure paths of the runner and store:
+
+``crash``
+    The executing worker process dies (``os._exit``), breaking the process
+    pool; executed in-process (serial runner, degraded mode) it raises
+    instead, since killing the caller would take the supervisor with it.
+``raise``
+    The point raises :class:`~repro.errors.InjectedFaultError` (a
+    :class:`~repro.errors.SimulationError`), the "simulation reached an
+    inconsistent state" path.
+``hang``
+    The point sleeps ``seconds`` before computing, tripping the runner's
+    per-point deadline (pool: the worker is terminated and the point
+    rescheduled; serial: the overrun is detected post-hoc).
+``corrupt``
+    After the point's result is written to the
+    :class:`~repro.exp.store.ResultStore`, the entry's bytes are flipped —
+    simulated bit-rot that checksum verification must quarantine on the
+    next read.
+
+Spec grammar (CLI ``--inject-faults`` / ``REPRO_INJECT_FAULTS``)::
+
+    SPEC    := entry ("," entry)*
+    entry   := kind "@" index [":" attempts [":" seconds]]
+
+``crash@0`` crashes point 0's first attempt; ``raise@4:2`` poisons point
+4's first two attempts; ``hang@2:1:0.5`` makes point 2's first attempt
+sleep 0.5 s. ``seconds`` is the hang duration for ``hang`` and a
+pre-failure delay for ``crash``/``raise`` (it lets sibling points finish
+first, which the fail-fast flush tests rely on); it is meaningless for
+``corrupt``. Indices are per-``Runner.run`` call: a CLI command that
+renders several panels applies the spec to each panel's plan.
+
+Faults target *executions*: a point served from the result store or
+deduplicated against an earlier in-plan twin never runs, so its faults
+never fire.
+
+:meth:`FaultPlan.scatter` generates a seeded pseudo-random plan (the
+"chaos" mode) — deterministic for a given (seed, n_points, rate), with no
+dependence on Python's per-process ``hash``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, InjectedFaultError
+
+#: Recognised fault kinds (see module docstring).
+FAULT_KINDS = ("crash", "raise", "hang", "corrupt")
+
+#: Spec string read when no explicit plan is passed to the runner.
+ENV_FAULTS = "REPRO_INJECT_FAULTS"
+
+#: Exit status of a crash-injected pool worker (distinctive in core logs).
+WORKER_CRASH_EXIT_CODE = 86
+
+#: Default injected-hang duration when the spec omits ``seconds``.
+DEFAULT_HANG_S = 30.0
+
+
+def _unit_hash(*parts) -> float:
+    """A deterministic float in [0, 1) from hashable labels (no ``hash()``)."""
+    digest = hashlib.sha256(repr(parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scheduled failure, resolved for a specific (point, attempt).
+
+    Picklable and self-contained: the runner computes it supervisor-side
+    and ships it into :func:`~repro.exp.producers.execute_point`, so pool
+    workers need no shared fault state (works under ``fork`` and ``spawn``
+    alike).
+    """
+
+    kind: str
+    #: Pre-action delay (``crash``/``raise``) or sleep duration (``hang``).
+    seconds: float = 0.0
+    note: str = ""
+
+    def trigger(self, *, allow_hard_crash: bool = False) -> None:
+        """Perform the fault in the executing process.
+
+        ``hang`` returns after sleeping (the point then computes normally —
+        the *supervisor* decides the deadline was blown); ``crash`` and
+        ``raise`` do not return. A hard crash is only taken when the caller
+        says the process is expendable (a pool worker); in-process execution
+        degrades it to a raise so the supervisor survives its own test.
+        """
+        if self.kind == "hang":
+            time.sleep(self.seconds)
+            return
+        if self.seconds > 0.0:
+            time.sleep(self.seconds)
+        if self.kind == "crash" and allow_hard_crash:
+            os._exit(WORKER_CRASH_EXIT_CODE)
+        raise InjectedFaultError(
+            f"injected {self.kind} fault"
+            + (" (soft: in-process execution)" if self.kind == "crash" else "")
+            + (f": {self.note}" if self.note else "")
+        )
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One fault declaration: *kind* against plan point *index*.
+
+    Fires on attempt numbers ``< attempts`` (default: first attempt only),
+    so ``attempts=2`` means a point must be retried twice to succeed.
+    """
+
+    kind: str
+    index: int
+    attempts: int = 1
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; known: {list(FAULT_KINDS)}"
+            )
+        if self.index < 0:
+            raise ConfigurationError(f"fault index must be >= 0, got {self.index}")
+        if self.attempts < 1:
+            raise ConfigurationError(f"fault attempts must be >= 1, got {self.attempts}")
+        if self.seconds < 0.0:
+            raise ConfigurationError(f"fault seconds must be >= 0, got {self.seconds}")
+
+    def describe(self) -> str:
+        """Canonical spec-grammar form (parse/describe round-trips)."""
+        text = f"{self.kind}@{self.index}"
+        if self.attempts != 1 or self.seconds:
+            text += f":{self.attempts}"
+        if self.seconds:
+            text += f":{self.seconds:g}"
+        return text
+
+
+class FaultPlan:
+    """An ordered collection of :class:`Fault` declarations."""
+
+    def __init__(self, faults: Iterable[Fault] = ()) -> None:
+        self.faults: Tuple[Fault, ...] = tuple(faults)
+        for fault in self.faults:
+            if not isinstance(fault, Fault):
+                raise ConfigurationError(
+                    f"FaultPlan takes Fault objects, got {type(fault).__name__}"
+                )
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from the spec grammar (see module docstring)."""
+        faults: List[Fault] = []
+        for raw in spec.split(","):
+            entry = raw.strip()
+            if not entry:
+                continue
+            try:
+                kind, _, target = entry.partition("@")
+                if not target:
+                    raise ValueError("missing '@index'")
+                parts = target.split(":")
+                if len(parts) > 3:
+                    raise ValueError("too many ':' fields")
+                index = int(parts[0])
+                attempts = int(parts[1]) if len(parts) > 1 else 1
+                if len(parts) > 2:
+                    seconds = float(parts[2])
+                else:
+                    seconds = DEFAULT_HANG_S if kind == "hang" else 0.0
+                faults.append(Fault(kind=kind, index=index, attempts=attempts, seconds=seconds))
+            except (ValueError, ConfigurationError) as exc:
+                raise ConfigurationError(
+                    f"bad fault entry {entry!r} (expected kind@index[:attempts[:seconds]], "
+                    f"kind in {list(FAULT_KINDS)}): {exc}"
+                ) from None
+        return cls(faults)
+
+    @classmethod
+    def from_env(cls, environ=None) -> Optional["FaultPlan"]:
+        """The plan named by ``REPRO_INJECT_FAULTS``, or None when unset."""
+        spec = (environ if environ is not None else os.environ).get(ENV_FAULTS, "").strip()
+        return cls.parse(spec) if spec else None
+
+    @classmethod
+    def scatter(
+        cls,
+        n_points: int,
+        *,
+        seed: int,
+        rate: float,
+        kinds: Sequence[str] = ("raise",),
+        attempts: int = 1,
+        seconds: float = 0.0,
+    ) -> "FaultPlan":
+        """A seeded pseudo-random plan: each point faults with ``rate``.
+
+        Deterministic across processes and Python versions (SHA-256, not
+        ``hash()``), so a chaos run is exactly replayable from its seed.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ConfigurationError(f"scatter rate must be in [0, 1], got {rate}")
+        if not kinds:
+            raise ConfigurationError("scatter needs at least one fault kind")
+        faults = []
+        for index in range(n_points):
+            if _unit_hash("scatter", int(seed), index) < rate:
+                kind = kinds[int(_unit_hash("kind", int(seed), index) * len(kinds))]
+                faults.append(Fault(kind=kind, index=index, attempts=attempts, seconds=seconds))
+        return cls(faults)
+
+    # -- queries (the runner's hooks) ------------------------------------------
+
+    def action_for(self, index: int, attempt: int) -> Optional[FaultAction]:
+        """The execution fault to inject for (point, attempt), or None.
+
+        ``corrupt`` faults are store-side and never surface here; the first
+        matching execution fault wins when a point is multiply targeted.
+        """
+        for fault in self.faults:
+            if fault.kind != "corrupt" and fault.index == index and attempt < fault.attempts:
+                return FaultAction(
+                    kind=fault.kind, seconds=fault.seconds, note=fault.describe()
+                )
+        return None
+
+    def corrupts(self, index: int) -> bool:
+        """Whether the stored entry of point *index* should be bit-rotted."""
+        return any(f.kind == "corrupt" and f.index == index for f in self.faults)
+
+    def describe(self) -> List[str]:
+        """Canonical entry list (what the RunReport records as injected)."""
+        return [fault.describe() for fault in self.faults]
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({','.join(self.describe()) or 'empty'})"

@@ -9,7 +9,7 @@ import pytest
 
 from repro.arch import SANDY_BRIDGE
 from repro.bench.figures import plan_spatial_search_length, plan_temporal_msg_size
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, PointExecutionError
 from repro.exp import ExperimentPlan, PointResult, Runner, ResultStore, register_producer
 
 
@@ -137,11 +137,88 @@ class TestErrorPropagation:
         register_producer("error-test", producer)
         plan = ExperimentPlan(title="E")
         plan.add_point("error-test", "s", 0.0)
-        with pytest.raises(ValueError, match="boom"):
+        with pytest.raises(PointExecutionError, match="boom") as excinfo:
             Runner().run(plan)
+        # The causal chain reaches the worker's own exception.
+        assert isinstance(excinfo.value.__cause__, ValueError)
+        assert excinfo.value.spec is plan.points[0]
+        assert excinfo.value.attempts == 1
 
     def test_unknown_kind_rejected(self):
         plan = ExperimentPlan(title="U")
         plan.add_point("no-such-kind", "s", 0.0)
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(PointExecutionError) as excinfo:
             Runner().run(plan)
+        assert isinstance(excinfo.value.__cause__, ConfigurationError)
+
+    def test_configuration_errors_are_not_retried(self):
+        plan = ExperimentPlan(title="U")
+        plan.add_point("no-such-kind", "s", 0.0)
+        runner = Runner(retries=5, backoff_s=0.0)
+        with pytest.raises(PointExecutionError) as excinfo:
+            runner.run(plan)
+        assert excinfo.value.attempts == 1
+        assert runner.last_stats.retried == 0
+
+    def test_fail_fast_finalizes_stats(self):
+        def producer(kwargs, seed):
+            if kwargs["v"] == 2:
+                raise ValueError("poison")
+            return PointResult(y=float(kwargs["v"]))
+
+        register_producer("finalize-test", producer)
+        plan = ExperimentPlan(title="F")
+        for v in range(4):
+            plan.add_point("finalize-test", "s", float(v), v=v)
+        runner = Runner()
+        with pytest.raises(PointExecutionError):
+            runner.run(plan)
+        # Accounting is finalized before the exception propagates.
+        assert runner.last_stats.elapsed_s > 0.0
+        assert runner.last_stats.executed == 2
+        # The report still names the point that killed the run.
+        assert [f.index for f in runner.last_report.failures] == [2]
+        assert runner.last_report.attempts[-1].outcome == "error"
+
+    def test_keyboard_interrupt_finalizes_and_flushes(self, tmp_path):
+        def producer(kwargs, seed):
+            if kwargs["v"] == 1:
+                raise KeyboardInterrupt()
+            return PointResult(y=float(kwargs["v"]))
+
+        register_producer("interrupt-test", producer)
+        plan = ExperimentPlan(title="K")
+        for v in range(3):
+            plan.add_point("interrupt-test", "s", float(v), v=v)
+        store = ResultStore(tmp_path)
+        runner = Runner(store=store)
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(plan)
+        # The completed point was flushed to the store and stats finalized,
+        # so a --resume rerun starts from it instead of discarding it.
+        assert store.puts == 1
+        assert runner.last_stats.elapsed_s > 0.0
+        resumed = Runner(store=store)
+        results = resumed.run(
+            ExperimentPlan(title="K", points=[plan.points[0], plan.points[2]])
+        )
+        assert resumed.last_stats.cached == 1
+        assert [r.y for r in results] == [0.0, 2.0]
+
+
+class TestProgressIsolation:
+    def test_raising_callback_cannot_abort_sweep(self):
+        calls = []
+
+        def bad_progress(done, total, spec, result, cached):
+            calls.append(done)
+            raise RuntimeError("presentation bug")
+
+        plan = quick_fig6_plan()
+        runner = Runner(progress=bad_progress)
+        with pytest.warns(RuntimeWarning, match="progress callback raised"):
+            results = runner.run(plan)
+        # Callback fired once, was disabled, and the sweep still completed.
+        assert calls == [1]
+        assert all(r is not None for r in results)
+        assert runner.last_stats.executed == len(plan)

@@ -70,6 +70,58 @@ class TestMisses:
         assert store.get(spec()) is None
 
 
+class TestIntegrity:
+    def test_flipped_byte_fails_checksum_and_quarantines(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(spec(), result_with_stats())
+        assert store.corrupt(spec())
+        assert store.get(spec()) is None
+        assert store.quarantined == 1
+        (corrupt_path,) = store.quarantined_paths
+        assert corrupt_path.suffix == ".corrupt"
+        assert corrupt_path.exists()
+        # The slot is free again: a rewrite heals the store.
+        store.put(spec(), result_with_stats())
+        assert store.get(spec()) is not None
+
+    def test_truncated_entry_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(spec(), PointResult(y=1.0))
+        path = store.path_for(spec())
+        path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
+        assert store.get(spec()) is None
+        assert store.quarantined == 1
+
+    def test_missing_checksum_field_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(spec(), PointResult(y=1.0))
+        import json
+
+        path = store.path_for(spec())
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        del doc["sha256"]
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        assert store.get(spec()) is None
+        assert store.quarantined == 1
+
+    def test_timing_fields_are_not_checksummed(self, tmp_path):
+        # elapsed_s is noise, not physics: editing it must not invalidate.
+        store = ResultStore(tmp_path)
+        store.put(spec(), PointResult(y=1.0, elapsed_s=0.5))
+        import json
+
+        path = store.path_for(spec())
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        doc["elapsed_s"] = 99.0
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        hit = store.get(spec())
+        assert hit is not None and hit.elapsed_s == 99.0
+        assert store.quarantined == 0
+
+    def test_corrupt_on_absent_entry_is_false(self, tmp_path):
+        assert not ResultStore(tmp_path).corrupt(spec())
+
+
 class TestSalting:
     def test_salt_isolates_entries(self, tmp_path):
         old = ResultStore(tmp_path, salt="repro-0.1/store-1")
@@ -101,3 +153,18 @@ class TestAccounting:
         assert store.clear() == 2
         assert len(store) == 0
         assert store.get(spec(seed=1)) is None
+
+    def test_len_and_clear_cover_quarantine_and_stale_tmp(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(spec(seed=1), PointResult(y=1.0))
+        store.put(spec(seed=2), PointResult(y=2.0))
+        # Quarantine one entry, and fake a temp file orphaned by a killed
+        # writer: both are store state that len/clear must account for.
+        store.corrupt(spec(seed=1))
+        store.get(spec(seed=1))
+        assert store.quarantined == 1
+        shard = store.path_for(spec(seed=2)).parent
+        (shard / "orphan.tmp").write_text("partial write", encoding="utf-8")
+        assert len(store) == 3  # 1 live + 1 quarantined + 1 stale tmp
+        assert store.clear() == 3
+        assert len(store) == 0

@@ -1,0 +1,328 @@
+"""End-to-end tests for deterministic fault injection + supervised execution.
+
+The contract under test, from EXPERIMENTS.md "Failure semantics": faults
+change *whether and when* a point runs, never *what it computes* — every
+surviving point of a crashy/hangy/bit-rotted run must be bit-identical to
+a fault-free serial run, and the RunReport must name exactly what went
+wrong and what the supervisor did about it.
+
+Fast sections use a tiny registered producer; the acceptance test at the
+bottom drives a real (reduced) Figure 4 grid through crashes, hangs, and
+store corruption at ``--jobs 4``.
+"""
+
+import pytest
+
+from repro.arch import SANDY_BRIDGE
+from repro.bench.figures import plan_spatial_search_length
+from repro.errors import ConfigurationError, InjectedFaultError, PointExecutionError
+from repro.exp import ExperimentPlan, PointResult, ResultStore, Runner, register_producer
+from repro.faults import ENV_FAULTS, Fault, FaultAction, FaultPlan
+
+
+def _value_producer(kwargs, seed):
+    return PointResult(y=float(kwargs["v"]) * 10.0 + seed, extras={"v": float(kwargs["v"])})
+
+
+# Registered at import time so fork-started pool workers inherit it.
+register_producer("fault-test", _value_producer)
+
+
+def make_plan(n=6):
+    plan = ExperimentPlan(title="faults", xlabel="v", ylabel="y")
+    for v in range(n):
+        plan.add_point("fault-test", "s", float(v), seed=7, v=v)
+    return plan
+
+
+def baseline(n=6):
+    """Fault-free serial results (the bit-identical reference).
+
+    Built with an explicitly empty FaultPlan so it stays fault-free even
+    inside tests that set REPRO_INJECT_FAULTS.
+    """
+    return [r.y for r in Runner(fault_plan=FaultPlan()).run(make_plan(n))]
+
+
+class TestFaultPlanGrammar:
+    def test_parse_round_trips(self):
+        spec = "crash@1,raise@4:2,hang@2:1:0.5,corrupt@3"
+        plan = FaultPlan.parse(spec)
+        assert plan.describe() == ["crash@1", "raise@4:2", "hang@2:1:0.5", "corrupt@3"]
+        assert FaultPlan.parse(",".join(plan.describe())).describe() == plan.describe()
+
+    def test_hang_gets_default_duration(self):
+        (fault,) = FaultPlan.parse("hang@0").faults
+        assert fault.seconds > 0.0
+
+    @pytest.mark.parametrize(
+        "bad", ["explode@0", "crash", "crash@", "crash@x", "crash@0:1:2:3", "raise@-1"]
+    )
+    def test_bad_entries_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.parse(bad)
+
+    def test_env_hook(self, monkeypatch):
+        monkeypatch.setenv(ENV_FAULTS, "raise@0:2")
+        runner = Runner(retries=2, backoff_s=0.0)
+        assert runner.fault_plan is not None
+        assert runner.fault_plan.describe() == ["raise@0:2"]
+        results = runner.run(make_plan(2))
+        assert [r.y for r in results] == baseline(2)
+        assert runner.last_stats.retried == 2
+
+    def test_env_unset_means_no_plan(self, monkeypatch):
+        monkeypatch.delenv(ENV_FAULTS, raising=False)
+        assert Runner().fault_plan is None
+
+    def test_scatter_is_seed_deterministic(self):
+        a = FaultPlan.scatter(200, seed=11, rate=0.25)
+        b = FaultPlan.scatter(200, seed=11, rate=0.25)
+        c = FaultPlan.scatter(200, seed=12, rate=0.25)
+        assert a.describe() == b.describe()
+        assert a.describe() != c.describe()
+        assert 20 <= len(a) <= 80  # ~50 expected
+
+    def test_attempt_window(self):
+        plan = FaultPlan([Fault(kind="raise", index=3, attempts=2)])
+        assert plan.action_for(3, 0) is not None
+        assert plan.action_for(3, 1) is not None
+        assert plan.action_for(3, 2) is None
+        assert plan.action_for(2, 0) is None
+        assert not plan.corrupts(3)
+        assert FaultPlan.parse("corrupt@3").corrupts(3)
+
+    def test_soft_crash_raises_in_process(self):
+        # In-process execution must never take down the supervisor itself.
+        with pytest.raises(InjectedFaultError, match="soft"):
+            FaultAction(kind="crash").trigger(allow_hard_crash=False)
+
+
+class TestSerialSupervision:
+    def test_raise_then_retry_is_bit_identical(self):
+        runner = Runner(retries=1, backoff_s=0.0, fault_plan=FaultPlan.parse("raise@2"))
+        assert [r.y for r in runner.run(make_plan())] == baseline()
+        assert runner.last_stats.retried == 1
+        outcomes = [(a.index, a.attempt, a.outcome) for a in runner.last_report.attempts]
+        assert (2, 0, "error") in outcomes and (2, 1, "ok") in outcomes
+
+    def test_hang_trips_posthoc_timeout_and_reschedules(self):
+        fault_plan = FaultPlan([Fault(kind="hang", index=1, seconds=0.2)])
+        runner = Runner(retries=1, timeout_s=0.05, backoff_s=0.0, fault_plan=fault_plan)
+        assert [r.y for r in runner.run(make_plan(3))] == baseline(3)
+        assert runner.last_report.timeouts == 1
+        timed_out = [a for a in runner.last_report.attempts if a.outcome == "timeout"]
+        assert [(a.index, a.error_type) for a in timed_out] == [(1, "Timeout")]
+
+    def test_collect_completes_with_poisoned_point(self):
+        # Poisoned on every attempt: the point can never succeed.
+        fault_plan = FaultPlan.parse("raise@1:99")
+        runner = Runner(retries=2, backoff_s=0.0, on_error="collect", fault_plan=fault_plan)
+        plan = make_plan(4)
+        results = runner.run(plan)
+        assert results[1] is None
+        assert [r.y for i, r in enumerate(results) if i != 1] == [
+            y for i, y in enumerate(baseline(4)) if i != 1
+        ]
+        report = runner.last_report
+        assert report.failed == 1 and not report.ok
+        (failure,) = report.failures
+        assert (failure.index, failure.attempts, failure.error_type) == (
+            1, 3, "InjectedFaultError",
+        )
+        # The reduced sweep completes, minus the failed point.
+        sweep = runner.run_sweep(plan)
+        assert sweep.series["s"].x == [0.0, 2.0, 3.0]
+
+    def test_fail_fast_raises_with_cause_chain(self):
+        runner = Runner(retries=1, backoff_s=0.0, fault_plan=FaultPlan.parse("raise@0:99"))
+        with pytest.raises(PointExecutionError) as excinfo:
+            runner.run(make_plan(2))
+        assert excinfo.value.attempts == 2
+        assert isinstance(excinfo.value.__cause__, InjectedFaultError)
+
+    def test_backoff_schedule_is_deterministic_and_capped(self):
+        runner = Runner(backoff_s=0.1, backoff_cap_s=0.3)
+        spec = make_plan(1).points[0]
+        delays = [runner._backoff_delay(spec, attempt) for attempt in range(6)]
+        assert delays == [runner._backoff_delay(spec, attempt) for attempt in range(6)]
+        assert all(0.0 < d <= 0.3 * 1.5 for d in delays)
+        # Jitter is per-attempt (the "reseeded retry schedule").
+        assert len(set(delays)) == len(delays)
+
+
+class TestPoolSupervision:
+    def test_crash_breaks_pool_then_rebuild_recovers(self):
+        runner = Runner(
+            jobs=2, retries=1, backoff_s=0.0, fault_plan=FaultPlan.parse("crash@0")
+        )
+        with pytest.warns(RuntimeWarning, match="rebuilding"):
+            results = runner.run(make_plan())
+        assert [r.y for r in results] == baseline()
+        report = runner.last_report
+        assert report.pool_rebuilds == 1
+        assert report.crashes >= 1
+        assert not report.degraded_serial
+
+    def test_hung_worker_is_terminated_and_point_rescheduled(self):
+        fault_plan = FaultPlan([Fault(kind="hang", index=2, seconds=10.0)])
+        runner = Runner(
+            jobs=2, retries=1, timeout_s=0.4, backoff_s=0.0, fault_plan=fault_plan
+        )
+        results = runner.run(make_plan())
+        assert [r.y for r in results] == baseline()
+        report = runner.last_report
+        assert report.timeouts == 1
+        assert report.pool_rebuilds == 1  # the stuck worker was replaced
+
+    def test_degrades_to_serial_after_rebuild_budget(self):
+        # Two pool breaks (crash fires on attempts 0 and 1) exhaust the
+        # single-rebuild budget; the survivors finish in-process.
+        runner = Runner(
+            jobs=2, retries=2, backoff_s=0.0, fault_plan=FaultPlan.parse("crash@0:2")
+        )
+        with pytest.warns(RuntimeWarning, match="degrading"):
+            results = runner.run(make_plan())
+        assert [r.y for r in results] == baseline()
+        report = runner.last_report
+        assert report.degraded_serial
+        assert report.pool_rebuilds == 1
+
+    def test_fail_fast_flushes_completed_siblings_to_store(self, tmp_path):
+        # The poisoned point raises only after a delay, so every sibling
+        # finishes first; fail-fast must persist them before propagating.
+        store = ResultStore(tmp_path)
+        fault_plan = FaultPlan([Fault(kind="raise", index=0, attempts=99, seconds=0.4)])
+        runner = Runner(jobs=4, store=store, backoff_s=0.0, fault_plan=fault_plan)
+        with pytest.raises(PointExecutionError):
+            runner.run(make_plan())
+        assert store.puts == 5
+        assert runner.last_stats.executed == 5
+        assert runner.last_stats.elapsed_s > 0.0
+        # A resume run only has the poisoned point left to execute.
+        resumed = Runner(store=store)
+        assert [r.y for r in resumed.run(make_plan())] == baseline()
+        assert resumed.last_stats.cached == 5
+        assert resumed.last_stats.executed == 1
+
+    def test_collect_jobs4_reports_poisoned_point(self):
+        runner = Runner(
+            jobs=4,
+            retries=1,
+            backoff_s=0.0,
+            on_error="collect",
+            fault_plan=FaultPlan.parse("raise@3:99"),
+        )
+        results = runner.run(make_plan())
+        assert results[3] is None
+        assert [r.y for i, r in enumerate(results) if i != 3] == [
+            y for i, y in enumerate(baseline()) if i != 3
+        ]
+        assert [f.index for f in runner.last_report.failures] == [3]
+
+
+class TestStoreIntegrityEndToEnd:
+    def test_corrupted_entry_is_quarantined_and_reexecuted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        plan = make_plan(4)
+        Runner(store=store).run(plan)
+        assert store.corrupt(plan.points[2])
+
+        healer = Runner(store=store)
+        results = healer.run(plan)
+        assert [r.y for r in results] == baseline(4)
+        assert healer.last_stats.cached == 3
+        assert healer.last_stats.executed == 1  # the quarantined point reran
+        assert healer.last_report.quarantined == 1
+        corrupt_files = list(tmp_path.glob("*/*.corrupt"))
+        assert len(corrupt_files) == 1
+        # The healed entry is back; a third run is a pure cache read.
+        third = Runner(store=store)
+        third.run(plan)
+        assert third.last_stats.cached == 4
+
+    def test_corrupt_fault_injected_through_runner(self, tmp_path):
+        store = ResultStore(tmp_path)
+        writer = Runner(store=store, fault_plan=FaultPlan.parse("corrupt@1"))
+        writer.run(make_plan(3))
+        assert writer.last_report.corruptions_injected == 1
+        reader = Runner(store=store)
+        assert [r.y for r in reader.run(make_plan(3))] == baseline(3)
+        assert reader.last_report.quarantined == 1
+
+    def test_report_json_schema_round_trips(self, tmp_path):
+        import json
+
+        runner = Runner(
+            retries=1, backoff_s=0.0, on_error="collect",
+            fault_plan=FaultPlan.parse("raise@0"),
+        )
+        runner.run(make_plan(2))
+        doc = json.loads(runner.last_report.to_json())
+        for key in (
+            "total", "executed", "cached", "deduped", "failed", "retried",
+            "timeouts", "crashes", "pool_rebuilds", "degraded_serial",
+            "quarantined", "corruptions_injected", "elapsed_s", "jobs",
+            "on_error", "injected_faults", "attempts", "failures",
+        ):
+            assert key in doc
+        assert doc["injected_faults"] == ["raise@0"]
+        assert doc["attempts"][0]["outcome"] == "error"
+        assert doc["failures"] == []
+
+
+class TestRealGridAcceptance:
+    """A real (reduced) Figure 4 grid survives crashes, hangs, and bit-rot
+    under ``--jobs 4 --retries 2 --on-error collect`` with every surviving
+    point bit-identical to a fault-free serial run."""
+
+    def fig4_plan(self):
+        return plan_spatial_search_length(
+            SANDY_BRIDGE, msg_bytes=1, depths=(1, 16, 64), iterations=2, seed=0
+        )
+
+    def test_faulty_parallel_run_matches_fault_free_serial(self, tmp_path):
+        reference = Runner().run_sweep(self.fig4_plan())
+
+        # The crash (index 1, first submission batch) breaks the pool long
+        # before index 15 is submitted, so the hang's deadline genuinely
+        # trips on the rebuilt pool instead of dying as a crash casualty.
+        store = ResultStore(tmp_path)
+        fault_plan = FaultPlan(
+            [
+                Fault(kind="crash", index=1),
+                Fault(kind="raise", index=4, attempts=2),
+                Fault(kind="corrupt", index=5),
+                Fault(kind="hang", index=15, seconds=8.0),
+            ]
+        )
+        runner = Runner(
+            jobs=4,
+            store=store,
+            retries=2,
+            timeout_s=2.0,
+            backoff_s=0.0,
+            on_error="collect",
+            fault_plan=fault_plan,
+        )
+        with pytest.warns(RuntimeWarning):
+            sweep = runner.run_sweep(self.fig4_plan())
+        report = runner.last_report
+        assert report.ok, report.render()
+        assert report.crashes >= 1
+        assert report.timeouts == 1
+        assert report.corruptions_injected == 1
+        assert repr(sweep) == repr(reference)
+        mem = {k: v.snapshot() for k, v in sweep.meta.get("mem_stats", {}).items()}
+        ref_mem = {
+            k: v.snapshot() for k, v in reference.meta.get("mem_stats", {}).items()
+        }
+        assert mem == ref_mem
+
+        # The bit-rotted entry is quarantined on resume and heals back to
+        # the identical sweep.
+        resumed = Runner(jobs=4, store=store)
+        resumed_sweep = resumed.run_sweep(self.fig4_plan())
+        assert resumed.last_report.quarantined == 1
+        assert resumed.last_stats.executed == 1
+        assert repr(resumed_sweep) == repr(reference)
