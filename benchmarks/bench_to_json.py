@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Emit kernel-backend benchmark results as a machine-readable JSON artifact.
+
+CI runs this after the test suites and uploads ``BENCH_kernel.json`` so the
+SoA-vs-reference speedup trajectory is preserved per commit — a perf
+regression then shows up as a trend break in the artifact history, not just
+as a (retried, noise-tolerant) gate failure in one run.
+
+Standalone — no pytest. Reuses the interleaved best-of timing and the
+bit-identity assertions from :mod:`bench_access_path`, so a backend
+divergence fails the script (exit 1) before any JSON is written.
+
+Usage::
+
+    python benchmarks/bench_to_json.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE))
+sys.path.insert(0, str(HERE.parent / "src"))
+
+from bench_access_path import (  # noqa: E402
+    KERNEL_SCENARIOS,
+    MIN_KERNEL_SPEEDUP,
+    ROUNDS,
+    time_kernel_pair,
+)
+from repro.mem.cache import EvictionPolicy  # noqa: E402
+from repro.mem.kernel import DEFAULT_KERNEL  # noqa: E402
+
+POLICIES = (EvictionPolicy.LRU, EvictionPolicy.PLRU)
+
+
+def collect():
+    scenarios = []
+    for policy in POLICIES:
+        for name, make_stream in KERNEL_SCENARIOS:
+            ref_s, soa_s = time_kernel_pair(policy, make_stream())
+            scenarios.append(
+                {
+                    "policy": policy,
+                    "workload": name,
+                    "reference_ms": round(ref_s * 1e3, 3),
+                    "soa_ms": round(soa_s * 1e3, 3),
+                    "speedup": round(ref_s / soa_s, 3),
+                }
+            )
+    return scenarios
+
+
+def main(argv):
+    out = Path(argv[1]) if len(argv) > 1 else Path("BENCH_kernel.json")
+    scenarios = collect()
+    doc = {
+        "benchmark": "mem-kernel-backends",
+        "default_kernel": DEFAULT_KERNEL,
+        "gate": {
+            "policy": "lru",
+            "workload": KERNEL_SCENARIOS[-1][0],
+            "min_speedup": MIN_KERNEL_SPEEDUP,
+        },
+        "timing": {"rounds": ROUNDS, "statistic": "best-of"},
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        },
+        "scenarios": scenarios,
+    }
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    for row in scenarios:
+        print(
+            "{policy:>5} {workload:>14}: reference {reference_ms:8.2f}ms  "
+            "soa {soa_ms:8.2f}ms  speedup {speedup:.2f}x".format(**row)
+        )
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

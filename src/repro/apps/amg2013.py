@@ -73,9 +73,13 @@ def fig8_plan(
     scales: Sequence[int] = FIG8_SCALES,
     families: Tuple[str, ...] = ("baseline", "lla-2"),
     seed: int = 0,
+    mem_kernel=None,
 ):
     """Figure 8's grid: one ``app`` point per (family, scale)."""
     from repro.exp import ExperimentPlan, encode_arch
+    from repro.mem.kernel import resolve_kernel
+
+    kernel = resolve_kernel(mem_kernel)
 
     plan = ExperimentPlan(
         title="AMG2013 scaling (Broadwell)",
@@ -99,6 +103,7 @@ def fig8_plan(
                 # AMG is a long-running production-configuration code: its
                 # baseline list nodes come from a churned heap arena.
                 fragmented=family == "baseline",
+                mem_kernel=kernel,
             )
     return plan
 

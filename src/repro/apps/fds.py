@@ -118,6 +118,7 @@ def fig10_plan(
     scales: Sequence[int] = FIG10_SCALES,
     variants=FIG10_VARIANTS,
     seed: int = 0,
+    mem_kernel=None,
 ):
     """Figure 10's grid: per-platform baselines first, then the variants.
 
@@ -125,7 +126,9 @@ def fig10_plan(
     reduces them into factor speedups rather than plotting them directly.
     """
     from repro.exp import ExperimentPlan
+    from repro.mem.kernel import resolve_kernel
 
+    kernel = resolve_kernel(mem_kernel)
     plan = ExperimentPlan(
         title="Fire Dynamics Simulator scaling",
         xlabel="Process Count",
@@ -139,6 +142,7 @@ def fig10_plan(
                 f"baseline/{arch_name}",
                 float(nranks),
                 seed=seed,
+                mem_kernel=kernel,
                 **_point_params(arch_name, "baseline", False, nranks),
             )
     for label, arch_name, family, heated in variants:
@@ -148,6 +152,7 @@ def fig10_plan(
                 label,
                 float(nranks),
                 seed=seed,
+                mem_kernel=kernel,
                 **_point_params(arch_name, family, heated, nranks),
             )
     return plan

@@ -72,9 +72,13 @@ def fig9_plan(
     families: Tuple[str, ...] = ("baseline", "lla-2"),
     nranks: int = FIG9_NRANKS,
     seed: int = 0,
+    mem_kernel=None,
 ):
     """Figure 9's grid: one ``app`` point per (family, list length)."""
     from repro.exp import ExperimentPlan, encode_arch
+    from repro.mem.kernel import resolve_kernel
+
+    kernel = resolve_kernel(mem_kernel)
 
     plan = ExperimentPlan(
         title=f"MiniFE at {nranks} processes (Broadwell)",
@@ -96,6 +100,7 @@ def fig9_plan(
                 link=OMNIPATH.name,
                 nranks=int(nranks),
                 queue_family=family,
+                mem_kernel=kernel,
             )
     return plan
 

@@ -97,11 +97,14 @@ class ArchSpec:
         network_cache: Optional[NetworkCacheConfig] = None,
         rng: Optional[np.random.Generator] = None,
         prefetch_enabled: bool = True,
+        kernel: Optional[str] = None,
     ) -> MemoryHierarchy:
         """Instantiate a simulated socket of this architecture.
 
         *n_cores* defaults to 2: one matching core plus one heater core; the
-        figures never need more on a single socket.
+        figures never need more on a single socket. ``kernel`` selects the
+        memory-kernel backend (``soa``/``reference``; None resolves via
+        ``REPRO_MEM_KERNEL`` then the default).
         """
         if n_cores > self.cores_per_socket:
             raise ConfigurationError(
@@ -147,4 +150,5 @@ class ArchSpec:
             rng=rng,
             dram_stream_coverage=self.dram_stream_coverage,
             l3_stream_coverage=self.l3_stream_coverage,
+            kernel=kernel,
         )

@@ -68,6 +68,7 @@ def colocated_point(
     working_set_bytes: int = 4 * 1024 * 1024,
     iterations: int = 2,
     seed: int = 0,
+    mem_kernel: Optional[str] = None,
 ) -> float:
     """Rank 0's mean cold-phase search cycles for one (mechanism, N) cell."""
     if nranks + 1 > arch.cores_per_socket:
@@ -80,6 +81,7 @@ def colocated_point(
         n_cores=nranks + 1,  # + heater core
         partition=partition,
         rng=np.random.default_rng(seed + 1),
+        kernel=mem_kernel,
     )
     engine = MatchEngine(hier)
     q = make_queue(
@@ -126,9 +128,13 @@ def colocated_plan(
     working_set_bytes: int = 4 * 1024 * 1024,
     iterations: int = 2,
     seed: int = 0,
+    mem_kernel: Optional[str] = None,
 ) -> "ExperimentPlan":
     """The study's grid (mechanism-major, as the serial loop ran it)."""
     from repro.exp import ExperimentPlan, encode_arch
+    from repro.mem.kernel import resolve_kernel
+
+    kernel = resolve_kernel(mem_kernel)
 
     max_ranks = max(rank_counts)
     if max_ranks + 1 > arch.cores_per_socket:
@@ -155,6 +161,7 @@ def colocated_plan(
                 depth=depth,
                 working_set_bytes=working_set_bytes,
                 iterations=iterations,
+                mem_kernel=kernel,
             )
     return plan
 

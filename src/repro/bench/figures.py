@@ -22,6 +22,7 @@ from repro.bench.osu import (
     SEARCH_LENGTH_SWEEP,
 )
 from repro.exp import ExperimentPlan, Runner, encode_arch
+from repro.mem.kernel import resolve_kernel
 from repro.net.link import LinkSpec, OMNIPATH, QLOGIC_QDR
 
 #: The spatial-locality line-up (Figures 4 and 5).
@@ -68,6 +69,7 @@ def variant_grid_plan(
     xs: Sequence[int],
     iterations: int,
     seed: int,
+    mem_kernel: Optional[str] = None,
 ) -> ExperimentPlan:
     """One figure panel as a declarative grid: variants x x-values.
 
@@ -75,9 +77,12 @@ def variant_grid_plan(
     because that is the reduction order the historical drivers produced.
     All points share the figure's root seed — each ``osu`` point builds its
     private RNGs from it, and the locked EXPERIMENTS.md numbers depend on
-    that convention.
+    that convention. The memory-kernel backend is resolved here, at plan
+    build time, and baked into every point's params so ResultStore content
+    keys differ per backend.
     """
     link = default_link(arch)
+    kernel = resolve_kernel(mem_kernel)
     plan = ExperimentPlan(title=title, xlabel=xlabel, ylabel=ylabel)
     arch_enc = encode_arch(arch)
     for label, family, heated in variants:
@@ -94,6 +99,7 @@ def variant_grid_plan(
                 msg_bytes=int(x) if x_axis == "msg_bytes" else msg_bytes,
                 search_depth=int(x) if x_axis == "depth" else depth,
                 iterations=iterations,
+                mem_kernel=kernel,
             )
     return plan
 
@@ -105,6 +111,7 @@ def plan_spatial_msg_size(
     msg_sizes: Optional[Sequence[int]] = None,
     iterations: int = 10,
     seed: int = 0,
+    mem_kernel: Optional[str] = None,
 ) -> ExperimentPlan:
     """The grid behind Figures 4a / 5a."""
     return variant_grid_plan(
@@ -118,6 +125,7 @@ def plan_spatial_msg_size(
         xs=msg_sizes if msg_sizes is not None else MSG_SIZE_SWEEP,
         iterations=iterations,
         seed=seed,
+        mem_kernel=mem_kernel,
     )
 
 
@@ -128,6 +136,7 @@ def plan_spatial_search_length(
     depths: Optional[Sequence[int]] = None,
     iterations: int = 10,
     seed: int = 0,
+    mem_kernel: Optional[str] = None,
 ) -> ExperimentPlan:
     """The grid behind Figures 4b/c and 5b/c."""
     return variant_grid_plan(
@@ -141,6 +150,7 @@ def plan_spatial_search_length(
         xs=depths if depths is not None else SEARCH_LENGTH_SWEEP,
         iterations=iterations,
         seed=seed,
+        mem_kernel=mem_kernel,
     )
 
 
@@ -151,6 +161,7 @@ def plan_temporal_msg_size(
     msg_sizes: Optional[Sequence[int]] = None,
     iterations: int = 10,
     seed: int = 0,
+    mem_kernel: Optional[str] = None,
 ) -> ExperimentPlan:
     """The grid behind Figures 6a / 7a."""
     return variant_grid_plan(
@@ -164,6 +175,7 @@ def plan_temporal_msg_size(
         xs=msg_sizes if msg_sizes is not None else MSG_SIZE_SWEEP,
         iterations=iterations,
         seed=seed,
+        mem_kernel=mem_kernel,
     )
 
 
@@ -174,6 +186,7 @@ def plan_temporal_search_length(
     depths: Optional[Sequence[int]] = None,
     iterations: int = 10,
     seed: int = 0,
+    mem_kernel: Optional[str] = None,
 ) -> ExperimentPlan:
     """The grid behind Figures 6b/c / 7b/c."""
     return variant_grid_plan(
@@ -187,6 +200,7 @@ def plan_temporal_search_length(
         xs=depths if depths is not None else SEARCH_LENGTH_SWEEP,
         iterations=iterations,
         seed=seed,
+        mem_kernel=mem_kernel,
     )
 
 

@@ -16,6 +16,7 @@ shared L3.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -48,6 +49,7 @@ def heater_microbenchmark(
     region_bytes: int = 4 * 1024 * 1024,
     samples: int = 2048,
     seed: int = 0,
+    mem_kernel: Optional[str] = None,
 ) -> HeaterMicroResult:
     """Measure mean random-access iteration time, cold vs heated."""
     rng = np.random.default_rng(seed)
@@ -55,7 +57,7 @@ def heater_microbenchmark(
     nlines = region_bytes // LINE_SIZE
 
     def measure(heated: bool) -> float:
-        hier = arch.build_hierarchy()
+        hier = arch.build_hierarchy(kernel=mem_kernel)
         heater = None
         if heated:
             heater = Heater(hier, arch.ghz, HeaterConfig(locked=False))
@@ -88,6 +90,7 @@ def heater_micro_plan(
     region_bytes: int = 4 * 1024 * 1024,
     samples: int = 2048,
     seed: int = 0,
+    mem_kernel: Optional[str] = None,
 ):
     """The micro-benchmark as a declarative plan: one point per arch.
 
@@ -95,7 +98,9 @@ def heater_micro_plan(
     single ``heater-micro`` point (y = cold ns, ``extras["hot_ns"]``).
     """
     from repro.exp import ExperimentPlan, encode_arch
+    from repro.mem.kernel import resolve_kernel
 
+    kernel = resolve_kernel(mem_kernel)
     plan = ExperimentPlan(
         title="Section 4.3 cache-heater random-access micro-benchmark",
         xlabel="arch",
@@ -110,5 +115,6 @@ def heater_micro_plan(
             arch=encode_arch(arch),
             region_bytes=region_bytes,
             samples=samples,
+            mem_kernel=kernel,
         )
     return plan

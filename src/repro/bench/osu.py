@@ -72,6 +72,9 @@ class OsuConfig:
     partition: Optional[WayPartition] = None
     network_cache: Optional[NetworkCacheConfig] = None
     prefetch_enabled: bool = True
+    #: Memory-kernel backend (``soa``/``reference``); None resolves via
+    #: ``REPRO_MEM_KERNEL`` then the package default.
+    mem_kernel: Optional[str] = None
 
     def variant_label(self) -> str:
         """Figure-style label for this configuration (e.g. 'HC+LLA')."""
@@ -111,6 +114,7 @@ class _OsuSession:
             network_cache=cfg.network_cache,
             rng=np.random.default_rng(cfg.seed + 1),
             prefetch_enabled=cfg.prefetch_enabled,
+            kernel=cfg.mem_kernel,
         )
         self.engine = MatchEngine(self.hier)
         prq = make_queue(

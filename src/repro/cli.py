@@ -351,6 +351,7 @@ def _ablation_plan(args: argparse.Namespace):
     from repro.arch import BROADWELL, SANDY_BRIDGE
     from repro.bench.figures import default_link
     from repro.exp import ExperimentPlan, encode_arch
+    from repro.mem.kernel import resolve_kernel
 
     plan = ExperimentPlan(
         title="Semi-permanent cache occupancy proposals (section 4.6)",
@@ -371,6 +372,7 @@ def _ablation_plan(args: argparse.Namespace):
                 msg_bytes=1,
                 search_depth=64 if args.quick else 512,
                 iterations=3 if args.quick else 10,
+                mem_kernel=resolve_kernel(None),
                 **extra,
             )
     return plan
@@ -406,6 +408,7 @@ def _cmd_ablation(args: argparse.Namespace) -> None:
 
 def _offload_plan(args: argparse.Namespace):
     from repro.exp import ExperimentPlan
+    from repro.mem.kernel import resolve_kernel
 
     depths = (64, 1024, 4000, 16384) if not args.quick else (64, 4000)
     plan = ExperimentPlan(
@@ -423,6 +426,7 @@ def _offload_plan(args: argparse.Namespace):
                 arch="sandy-bridge",
                 nic=nic_label,
                 depth=int(depth),
+                mem_kernel=resolve_kernel(None),
             )
     return plan
 
@@ -487,10 +491,16 @@ def build_parser() -> argparse.ArgumentParser:
         "Cache Occupancy' (ICPP'18) on the simulated substrate.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    from repro.mem.kernel import ALL_KERNELS, DEFAULT_KERNEL, MEM_KERNEL_ENV
+
     for name, (help_text, _) in _COMMANDS.items():
         p = sub.add_parser(name, help=help_text)
         p.add_argument("--quick", action="store_true", help="reduced sweeps")
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--mem-kernel", choices=sorted(ALL_KERNELS), default=None,
+                       help="cache-kernel backend (default: "
+                       f"${MEM_KERNEL_ENV} or '{DEFAULT_KERNEL}'); both "
+                       "backends are bit-identical, 'soa' is faster")
         if name == "fig1":
             p.add_argument("--motif", choices=["amr", "sweep3d", "halo3d"], default=None)
         if name in ("fig4", "fig5", "fig6", "fig7"):
@@ -543,6 +553,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         _cmd_list(args)
         return 0
+    if getattr(args, "mem_kernel", None):
+        # Exported rather than threaded: every plan builder resolves the
+        # kernel through resolve_kernel(), which consults this variable.
+        import os
+
+        from repro.mem.kernel import MEM_KERNEL_ENV
+
+        os.environ[MEM_KERNEL_ENV] = args.mem_kernel
     _COMMANDS[args.command][1](args)
     return 0
 

@@ -129,6 +129,7 @@ def _osu_producer(params: Dict[str, object], seed: int) -> PointResult:
             else None
         ),
         prefetch_enabled=bool(params.get("prefetch_enabled", True)),
+        mem_kernel=params.get("mem_kernel"),
     )
     point = osu_bandwidth(cfg)
     return PointResult(
@@ -161,6 +162,7 @@ def _app_producer(params: Dict[str, object], seed: int) -> PointResult:
         heated=bool(params.get("heated", False)),
         fragmented=bool(params.get("fragmented", False)),
         seed=seed,
+        mem_kernel=params.get("mem_kernel"),
     )
     result = app.run(cfg)
     return PointResult(
@@ -187,6 +189,7 @@ def _heater_micro_producer(params: Dict[str, object], seed: int) -> PointResult:
         region_bytes=int(params.get("region_bytes", 4 * 1024 * 1024)),
         samples=int(params.get("samples", 2048)),
         seed=seed,
+        mem_kernel=params.get("mem_kernel"),
     )
     return PointResult(
         y=result.cold_ns,
@@ -206,6 +209,7 @@ def _colocated_producer(params: Dict[str, object], seed: int) -> PointResult:
         working_set_bytes=int(params.get("working_set_bytes", 4 * 1024 * 1024)),
         iterations=int(params.get("iterations", 2)),
         seed=seed,
+        mem_kernel=params.get("mem_kernel"),
     )
     return PointResult(y=cycles)
 
@@ -224,7 +228,7 @@ def _offload_producer(params: Dict[str, object], seed: int) -> PointResult:
     nic = nics[nic_name]
     arch = resolve_arch(params["arch"])
     depth = int(params["depth"])
-    hier = arch.build_hierarchy()
+    hier = arch.build_hierarchy(kernel=params.get("mem_kernel"))
     engine = MatchEngine(hier)
     q = make_queue("baseline", port=engine, rng=np.random.default_rng(seed + 1))
     if nic is not None:

@@ -100,6 +100,38 @@ class WayPartition:
             )
 
 
+def validate_geometry(
+    name: str,
+    size_bytes: int,
+    assoc: int,
+    policy: str,
+    partition: Optional[WayPartition],
+    rng: Optional[np.random.Generator],
+) -> int:
+    """Validate a cache geometry shared by every kernel backend.
+
+    Returns the number of sets. Both :class:`SetAssociativeCache` and the
+    structure-of-arrays backend (:class:`repro.mem.soa.SoACache`) accept the
+    same constructor surface and must reject the same configurations.
+    """
+    if size_bytes % (assoc * LINE_SIZE):
+        raise ConfigurationError(
+            f"{name}: size {size_bytes} not divisible by assoc*line ({assoc}*{LINE_SIZE})"
+        )
+    nsets = size_bytes // (assoc * LINE_SIZE)
+    if nsets & (nsets - 1):
+        raise ConfigurationError(
+            f"{name}: number of sets must be a power of two, got {nsets}"
+        )
+    if policy not in EvictionPolicy.ALL:
+        raise ConfigurationError(f"unknown eviction policy {policy!r}")
+    if policy == EvictionPolicy.RANDOM and rng is None:
+        raise ConfigurationError("random eviction policy requires an rng")
+    if partition is not None:
+        partition.validate(assoc)
+    return nsets
+
+
 class _LineMeta:
     __slots__ = ("cls", "prefetched", "penalty")
 
@@ -161,22 +193,7 @@ class SetAssociativeCache:
         partition: Optional[WayPartition] = None,
         rng: Optional[np.random.Generator] = None,
     ) -> None:
-        if size_bytes % (assoc * LINE_SIZE):
-            raise ConfigurationError(
-                f"{name}: size {size_bytes} not divisible by assoc*line "
-                f"({assoc}*{LINE_SIZE})"
-            )
-        nsets = size_bytes // (assoc * LINE_SIZE)
-        if nsets & (nsets - 1):
-            raise ConfigurationError(
-                f"{name}: number of sets must be a power of two, got {nsets}"
-            )
-        if policy not in EvictionPolicy.ALL:
-            raise ConfigurationError(f"unknown eviction policy {policy!r}")
-        if policy == EvictionPolicy.RANDOM and rng is None:
-            raise ConfigurationError("random eviction policy requires an rng")
-        if partition is not None:
-            partition.validate(assoc)
+        nsets = validate_geometry(name, size_bytes, assoc, policy, partition, rng)
         self.name = name
         self.size_bytes = size_bytes
         self.assoc = assoc
@@ -261,27 +278,32 @@ class SetAssociativeCache:
             self.stats.prefetch_fills += 1
 
     def _evict(self, s: dict, order: list, filling_cls: int) -> None:
-        victim: Optional[int] = None
-        if self.policy == EvictionPolicy.RANDOM:
-            candidates = [order[i] for i in self._rng.permutation(len(order))]
-        else:
-            candidates = order  # oldest first; scanned in place, never copied
+        random = self.policy == EvictionPolicy.RANDOM
         if self.partition is not None and filling_cls == CLS_DEFAULT:
+            # Only the partition scan needs a full candidate ordering; RANDOM
+            # draws one permutation here. The SoA backend consumes the RNG
+            # identically, so seeded victim sequences match across backends.
+            if random:
+                candidates = [order[i] for i in self._rng.permutation(len(order))]
+            else:
+                candidates = order  # oldest first; scanned in place, never copied
+            victim = candidates[0]
             network_lines = sum(1 for m in s.values() if m.cls == CLS_NETWORK)
             if network_lines <= self.partition.network_ways:
-                # Network share is protected: victimize oldest default line.
+                # Network share is protected: victimize the first default
+                # candidate. When the whole set is network data the guarantee
+                # only extends to network_ways, so the scan falls back to the
+                # pre-seeded candidates[0].
                 for cand in candidates:
                     if s[cand].cls != CLS_NETWORK:
                         victim = cand
                         break
-                if victim is None:
-                    # Entire set is protected network data beyond its share
-                    # guarantee only up to network_ways; fall back to oldest.
-                    victim = candidates[0]
-            else:
-                victim = candidates[0]
+        elif random:
+            # No partition scan: one uniform draw replaces the permutation
+            # (same victim distribution, one variate instead of assoc).
+            victim = order[int(self._rng.integers(len(order)))]
         else:
-            victim = candidates[0]
+            victim = order[0]
         del s[victim]
         order.remove(victim)
         self.stats.evictions += 1
@@ -293,6 +315,8 @@ class SetAssociativeCache:
         if line in s:
             del s[line]
             self._order[idx].remove(line)
+            if not s:
+                self._dirty.discard(idx)
             return True
         return False
 
@@ -306,13 +330,45 @@ class SetAssociativeCache:
         self._dirty.clear()
         self.stats.flushes += 1
 
+    def flush_keep_network(self, reserved: int) -> None:
+        """Flush, preserving up to *reserved* network lines per set.
+
+        The way-partition flush: at most the partition's way share of
+        network-class lines survives, keeping the most recently used ones
+        (recency order is preserved among survivors). Counts as one flush.
+        """
+        sets = self._sets
+        orders = self._order
+        still_dirty = set()
+        for idx in self._dirty:
+            s = sets[idx]
+            order = orders[idx]
+            network = [k for k in order if s[k].cls == CLS_NETWORK]
+            keep = network[-reserved:] if reserved > 0 else []
+            kept = {k: s[k] for k in keep}
+            s.clear()
+            order.clear()
+            s.update(kept)
+            order.extend(keep)
+            if s:
+                still_dirty.add(idx)
+        self._dirty.clear()
+        self._dirty.update(still_dirty)
+        self.stats.flushes += 1
+
     # -- introspection -----------------------------------------------------
 
     def occupancy(self, cls: Optional[int] = None) -> int:
-        """Resident line count, optionally restricted to one class."""
+        """Resident line count, optionally restricted to one class.
+
+        Scans only sets known to hold lines (``_dirty``), so introspection
+        on a mostly-empty multi-MiB L3 does not walk thousands of empty
+        dicts; ``invalidate`` prunes a set's entry when it empties.
+        """
+        sets = self._sets
         if cls is None:
-            return sum(len(s) for s in self._sets)
-        return sum(1 for s in self._sets for m in s.values() if m.cls == cls)
+            return sum(len(sets[idx]) for idx in self._dirty)
+        return sum(1 for idx in self._dirty for m in sets[idx].values() if m.cls == cls)
 
     def recency(self, set_index: int) -> list:
         """Resident lines of one set in recency order (oldest first).

@@ -17,7 +17,10 @@ We model the three units that matter:
   4 KiB page and run ahead a bounded distance.
 
 A prefetcher observes demand accesses at its level and returns the line
-indices it wants filled. Prefetched fills carry no latency (the model's
+indices it wants filled, as a (possibly empty) tuple — tuples because the
+common "nothing to do" answer is the shared empty tuple and the fixed-size
+answers are cheap literals, keeping the batched access loops free of
+per-line list allocation. Prefetched fills carry no latency (the model's
 idealization: a prefetch issued early enough hides memory latency entirely;
 the *bounded distance* is what keeps it from being a free lunch).
 """
@@ -36,12 +39,12 @@ class Prefetcher:
 
     name = "null"
 
-    def observe(self, line: int, hit: bool) -> list[int]:
+    def observe(self, line: int, hit: bool) -> tuple:
         """Called for every demand access reaching this level.
 
-        Returns the list of line indices to prefetch-fill at this level.
+        Returns the line indices to prefetch-fill at this level.
         """
-        return []
+        return ()
 
     def reset(self) -> None:
         """Forget any detector state (called on cache flush)."""
@@ -52,11 +55,11 @@ class NextLinePrefetcher(Prefetcher):
 
     name = "next-line"
 
-    def observe(self, line: int, hit: bool) -> list[int]:
+    def observe(self, line: int, hit: bool) -> tuple:
         """Called per demand access at this level; returns lines to prefetch."""
         if hit:
-            return []
-        return [line + 1]
+            return ()
+        return (line + 1,)
 
 
 class AdjacentPairPrefetcher(Prefetcher):
@@ -64,11 +67,11 @@ class AdjacentPairPrefetcher(Prefetcher):
 
     name = "adjacent-pair"
 
-    def observe(self, line: int, hit: bool) -> list[int]:
+    def observe(self, line: int, hit: bool) -> tuple:
         """Called per demand access at this level; returns lines to prefetch."""
         if hit:
-            return []
-        return [line ^ 1]
+            return ()
+        return (line ^ 1,)
 
 
 class _Stream:
@@ -108,7 +111,7 @@ class StreamerPrefetcher(Prefetcher):
         self.max_step = max_step
         self._streams: "OrderedDict[int, _Stream]" = OrderedDict()
 
-    def observe(self, line: int, hit: bool) -> list[int]:
+    def observe(self, line: int, hit: bool) -> tuple:
         """Called per demand access at this level; returns lines to prefetch."""
         page = line >> _LINES_PER_PAGE_SHIFT
         stream = self._streams.get(page)
@@ -116,23 +119,23 @@ class StreamerPrefetcher(Prefetcher):
             if len(self._streams) >= self.table_size:
                 self._streams.popitem(last=False)
             self._streams[page] = _Stream(last_line=line, run=1, distance=0)
-            return []
+            return ()
         self._streams.move_to_end(page)
         step = line - stream.last_line
         if step == 0:
-            return []
+            return ()
         if 0 < step <= self.max_step:
             stream.run += 1
             stream.last_line = line
             if stream.run >= self.trigger_run:
                 stream.distance = min(self.max_distance, stream.distance + 2)
-                return [line + d for d in range(1, stream.distance + 1)]
-            return []
+                return tuple(range(line + 1, line + stream.distance + 1))
+            return ()
         # Direction break: restart detection at this line.
         stream.last_line = line
         stream.run = 1
         stream.distance = 0
-        return []
+        return ()
 
     def reset(self) -> None:
         """Clear accumulated state/counters."""

@@ -95,6 +95,25 @@ class AccessResult:
             "penalty_cycles": self.penalty_cycles,
         }
 
+    def signature(self) -> tuple:
+        """Bit-exact comparable identity of the transaction.
+
+        Floats are ``repr``-encoded so two results compare equal only when
+        every accumulated cycle count is identical to the last bit — the
+        comparison the cross-kernel equivalence suite is built on.
+        """
+        return (
+            self.lines,
+            repr(self.cycles),
+            self.netcache_hits,
+            self.l1_hits,
+            self.l2_hits,
+            self.l3_hits,
+            self.dram_fills,
+            self.prefetch_covered,
+            repr(self.penalty_cycles),
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         served = ", ".join(
             f"{label}={getattr(self, field)}"

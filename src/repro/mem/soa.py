@@ -1,0 +1,455 @@
+"""Structure-of-arrays cache backend (the default memory kernel).
+
+:class:`SoACache` is drop-in compatible with
+:class:`~repro.mem.cache.SetAssociativeCache` (same constructor, same
+``lookup``/``fill``/``invalidate``/``flush``/introspection surface, same
+statistics) but stores its state as flat per-cache slabs indexed by
+``slot = set_index * assoc + way``:
+
+``_tags``
+    resident line index per slot, ``-1`` when the way is empty;
+``_cls`` / ``_pref`` / ``_pen``
+    line class, prefetched flag and residual prefetch penalty;
+``_flag``
+    a combined "needs attention" byte — nonzero iff the slot is prefetched
+    *or* carries a nonzero penalty — so the batched hot loops test one slab
+    entry instead of two on the (overwhelmingly common) clean hit;
+``_stamp``
+    a monotonically increasing recency stamp. LRU order is
+    sort-by-stamp; for RANDOM the stamps are never updated after insertion,
+    so they encode insertion order, exactly like the reference backend's
+    recency list. PLRU's mid-queue promotion is path-dependent and cannot
+    be stamp-encoded, so PLRU (and only PLRU) keeps explicit per-set
+    ``_order`` lists.
+
+One dict ``_index`` maps line → slot for the whole cache; the batched
+access paths in :mod:`repro.mem.hierarchy` prebind ``_index.get`` plus the
+slabs (the :attr:`SoACache.slabs` tuple) and walk whole contiguous line
+runs without any per-line allocation.
+
+Equivalence with the reference backend is a hard contract, enforced by
+``tests/test_mem_kernel_equivalence.py``: counters, charged cycles,
+recency order and RNG consumption (hence seeded RANDOM victim sequences)
+are bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.mem.cache import (
+    CLS_DEFAULT,
+    CLS_NETWORK,
+    CacheStats,
+    EvictionPolicy,
+    WayPartition,
+    validate_geometry,
+)
+
+
+class _SoAMeta:
+    """Metadata view of one occupied slot, API-compatible with ``_LineMeta``.
+
+    Returned by :meth:`SoACache.lookup` for the scalar (non-batched)
+    access paths and tests. The view aliases the slot, not the line: it is
+    valid only until the next operation that evicts or moves the line.
+    Every caller in the repository consumes it immediately.
+    """
+
+    __slots__ = ("_cache", "_slot")
+
+    def __init__(self, cache: "SoACache", slot: int) -> None:
+        self._cache = cache
+        self._slot = slot
+
+    @property
+    def cls(self) -> int:
+        return self._cache._cls[self._slot]
+
+    @cls.setter
+    def cls(self, value: int) -> None:
+        self._cache._cls[self._slot] = value
+
+    @property
+    def prefetched(self) -> bool:
+        return bool(self._cache._pref[self._slot])
+
+    @prefetched.setter
+    def prefetched(self, value: bool) -> None:
+        c, s = self._cache, self._slot
+        c._pref[s] = 1 if value else 0
+        flag = 1 if (value or c._pen[s]) else 0
+        c._nflagged += flag - c._flag[s]
+        c._flag[s] = flag
+
+    @property
+    def penalty(self) -> float:
+        return self._cache._pen[self._slot]
+
+    @penalty.setter
+    def penalty(self, value: float) -> None:
+        c, s = self._cache, self._slot
+        c._pen[s] = value
+        flag = 1 if (c._pref[s] or value) else 0
+        c._nflagged += flag - c._flag[s]
+        c._flag[s] = flag
+
+
+class SoACache:
+    """One cache level, structure-of-arrays layout.
+
+    Interface-compatible with :class:`~repro.mem.cache.SetAssociativeCache`
+    and bit-identical in observable behaviour (see module docstring).
+    """
+
+    __slots__ = (
+        "name",
+        "size_bytes",
+        "assoc",
+        "latency",
+        "nsets",
+        "_set_mask",
+        "policy",
+        "partition",
+        "stats",
+        "_rng",
+        "_index",
+        "_tags",
+        "_cls",
+        "_pref",
+        "_pen",
+        "_flag",
+        "_stamp",
+        "_count",
+        "_order",
+        "_dirty",
+        "_nflagged",
+        "_tick",
+        "_lru",
+        "_plru",
+        "slabs",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        assoc: int,
+        latency: float,
+        *,
+        policy: str = EvictionPolicy.LRU,
+        partition: Optional[WayPartition] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        nsets = validate_geometry(name, size_bytes, assoc, policy, partition, rng)
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.latency = latency
+        self.nsets = nsets
+        self._set_mask = nsets - 1
+        self.policy = policy
+        self.partition = partition
+        self.stats = CacheStats()
+        self._rng = rng
+        nslots = nsets * assoc
+        self._index: dict = {}  # line -> slot, whole cache
+        self._tags = [-1] * nslots
+        self._cls = [0] * nslots
+        self._pref = [0] * nslots
+        self._pen = [0.0] * nslots
+        self._flag = [0] * nslots
+        self._stamp = [0] * nslots
+        self._count = [0] * nsets  # occupied ways per set
+        self._lru = policy == EvictionPolicy.LRU
+        self._plru = policy == EvictionPolicy.PLRU
+        # PLRU promotion (mid-queue insertion) is path-dependent; only that
+        # policy pays for explicit recency lists.
+        self._order: Optional[list] = [[] for _ in range(nsets)] if self._plru else None
+        self._dirty: set = set()  # indices of sets that may hold lines
+        # Count of resident flagged slots (prefetched or penalized). When
+        # zero, the batched hot loops skip the per-line attention-flag test
+        # entirely — the steady state of warm demand streams.
+        self._nflagged = 0
+        self._tick = 0
+        # Prebound hot-loop bindings. The batched paths unpack this once per
+        # transaction; nothing here may ever be rebound (flush and friends
+        # mutate the slabs in place).
+        self.slabs = (
+            self._index.get,
+            self._flag,
+            self._pref,
+            self._pen,
+            self._stamp,
+            self._order,
+            self._set_mask,
+        )
+
+    # -- lookup / fill ----------------------------------------------------
+
+    def lookup(self, line: int) -> Optional[_SoAMeta]:
+        """Demand lookup. Updates recency and hit/miss statistics.
+
+        Same contract as the reference backend: truthy metadata on a hit,
+        ``None`` on a miss; the first demand hit on a prefetched line bumps
+        ``prefetch_hits`` and clears the prefetched flag (the caller reads
+        any residual penalty off the returned meta).
+        """
+        slot = self._index.get(line)
+        if slot is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        if self._pref[slot]:
+            self.stats.prefetch_hits += 1
+            self._pref[slot] = 0
+            if self._pen[slot]:
+                self._flag[slot] = 1
+            else:
+                self._flag[slot] = 0
+                self._nflagged -= 1
+        self._promote_slot(slot, line)
+        return _SoAMeta(self, slot)
+
+    def contains(self, line: int) -> bool:
+        """Presence check without touching recency or statistics."""
+        return line in self._index
+
+    def _promote_slot(self, slot: int, line: int) -> None:
+        if self._lru:
+            self._stamp[slot] = self._tick
+            self._tick += 1
+        elif self._plru:
+            order = self._order[line & self._set_mask]
+            order.remove(line)
+            order.insert(len(order) // 2, line)
+        # RANDOM: recency is irrelevant (stamps keep insertion order).
+
+    def fill(
+        self,
+        line: int,
+        cls: int = CLS_DEFAULT,
+        *,
+        prefetched: bool = False,
+        penalty: float = 0.0,
+    ) -> None:
+        """Insert *line*; evicts a victim if the set is full."""
+        index = self._index
+        slot = index.get(line)
+        if slot is not None:
+            # Refill of a resident line (e.g. prefetch racing demand).
+            self._cls[slot] = cls
+            if not prefetched:
+                self._pref[slot] = 0
+                self._pen[slot] = 0.0
+                if self._flag[slot]:
+                    self._flag[slot] = 0
+                    self._nflagged -= 1
+            self._promote_slot(slot, line)
+            return
+        idx = line & self._set_mask
+        base = idx * self.assoc
+        count = self._count
+        if count[idx] >= self.assoc:
+            slot = self._evict_slot(idx, base, filling_cls=cls)
+        else:
+            slot = self._tags.index(-1, base, base + self.assoc)
+            if not count[idx]:
+                self._dirty.add(idx)
+            count[idx] += 1
+        self._tags[slot] = line
+        index[line] = slot
+        self._cls[slot] = cls
+        if prefetched:
+            self._pref[slot] = 1
+            self._pen[slot] = penalty
+            self._flag[slot] = 1
+            self._nflagged += 1
+            self.stats.prefetch_fills += 1
+        else:
+            self._pref[slot] = 0
+            self._pen[slot] = 0.0
+            self._flag[slot] = 0
+        self._stamp[slot] = self._tick
+        self._tick += 1
+        if self._plru:
+            self._order[idx].append(line)
+
+    def _set_slots_by_stamp(self, idx: int) -> list:
+        """Occupied slots of one set, oldest stamp first."""
+        base = idx * self.assoc
+        tags = self._tags
+        slots = [s for s in range(base, base + self.assoc) if tags[s] != -1]
+        slots.sort(key=self._stamp.__getitem__)
+        return slots
+
+    def _recency_lines(self, idx: int) -> list:
+        """Resident lines of one set, oldest first (LRU/RANDOM policies)."""
+        tags = self._tags
+        return [tags[s] for s in self._set_slots_by_stamp(idx)]
+
+    def _evict_slot(self, idx: int, base: int, filling_cls: int) -> int:
+        """Pick and clear a victim; returns the freed slot for reuse.
+
+        Candidate ordering and RNG consumption mirror the reference
+        backend's ``_evict`` exactly, so seeded victim sequences match.
+        """
+        tags = self._tags
+        index = self._index
+        plru = self._plru
+        random = not self._lru and not plru
+        if self.partition is not None and filling_cls == CLS_DEFAULT:
+            if plru:
+                order = self._order[idx]
+            else:
+                order = self._recency_lines(idx)
+            if random:
+                candidates = [order[i] for i in self._rng.permutation(len(order))]
+            else:
+                candidates = order
+            victim = candidates[0]
+            cls_slab = self._cls
+            network_lines = 0
+            for s in range(base, base + self.assoc):
+                if tags[s] != -1 and cls_slab[s] == CLS_NETWORK:
+                    network_lines += 1
+            if network_lines <= self.partition.network_ways:
+                for cand in candidates:
+                    if cls_slab[index[cand]] != CLS_NETWORK:
+                        victim = cand
+                        break
+            vslot = index[victim]
+        elif random:
+            # k-th line in insertion order == k-th smallest stamp.
+            k = int(self._rng.integers(self._count[idx]))
+            vslot = self._set_slots_by_stamp(idx)[k]
+            victim = tags[vslot]
+        elif plru:
+            victim = self._order[idx][0]
+            vslot = index[victim]
+        else:
+            # LRU: argmin stamp over the occupied ways.
+            stamp = self._stamp
+            vslot = -1
+            best = None
+            for s in range(base, base + self.assoc):
+                if tags[s] != -1 and (best is None or stamp[s] < best):
+                    best = stamp[s]
+                    vslot = s
+            victim = tags[vslot]
+        del index[victim]
+        tags[vslot] = -1
+        if self._flag[vslot]:
+            self._flag[vslot] = 0
+            self._nflagged -= 1
+        if plru:
+            self._order[idx].remove(victim)
+        self.stats.evictions += 1
+        return vslot
+
+    def invalidate(self, line: int) -> bool:
+        """Drop *line* if resident; returns whether it was present."""
+        slot = self._index.pop(line, None)
+        if slot is None:
+            return False
+        idx = line & self._set_mask
+        self._tags[slot] = -1
+        if self._flag[slot]:
+            self._flag[slot] = 0
+            self._nflagged -= 1
+        self._count[idx] -= 1
+        if not self._count[idx]:
+            self._dirty.discard(idx)
+        if self._plru:
+            self._order[idx].remove(line)
+        return True
+
+    def flush(self) -> None:
+        """Drop every line (the benchmarks' inter-iteration cache clear)."""
+        tags = self._tags
+        count = self._count
+        assoc = self.assoc
+        empty = [-1] * assoc
+        for idx in self._dirty:
+            base = idx * assoc
+            tags[base : base + assoc] = empty
+            count[idx] = 0
+            if self._plru:
+                self._order[idx].clear()
+        self._index.clear()
+        self._dirty.clear()
+        self._nflagged = 0
+        self.stats.flushes += 1
+
+    def flush_keep_network(self, reserved: int) -> None:
+        """Flush, preserving up to *reserved* network lines per set.
+
+        Same contract as the reference backend: the most recently used
+        network-class lines survive with their relative recency preserved
+        (stamps are untouched, so sort-by-stamp still orders survivors).
+        """
+        index = self._index
+        tags = self._tags
+        cls_slab = self._cls
+        assoc = self.assoc
+        still_dirty = set()
+        for idx in self._dirty:
+            base = idx * assoc
+            order = self._order[idx] if self._plru else self._recency_lines(idx)
+            network = [k for k in order if cls_slab[index[k]] == CLS_NETWORK]
+            keep = network[len(network) - reserved :] if reserved > 0 else []
+            keep_set = set(keep)
+            for s in range(base, base + assoc):
+                tag = tags[s]
+                if tag != -1 and tag not in keep_set:
+                    del index[tag]
+                    tags[s] = -1
+            if self._plru:
+                order[:] = keep
+            self._count[idx] = len(keep)
+            if keep:
+                still_dirty.add(idx)
+        self._dirty.clear()
+        self._dirty.update(still_dirty)
+        flag = self._flag
+        self._nflagged = sum(1 for s in index.values() if flag[s])
+        self.stats.flushes += 1
+
+    # -- introspection -----------------------------------------------------
+
+    def occupancy(self, cls: Optional[int] = None) -> int:
+        """Resident line count, optionally restricted to one class."""
+        if cls is None:
+            return len(self._index)
+        tags = self._tags
+        cls_slab = self._cls
+        assoc = self.assoc
+        total = 0
+        for idx in self._dirty:
+            base = idx * assoc
+            for s in range(base, base + assoc):
+                if tags[s] != -1 and cls_slab[s] == cls:
+                    total += 1
+        return total
+
+    def recency(self, set_index: int) -> list:
+        """Resident lines of one set in recency order (oldest first).
+
+        For RANDOM the order is insertion order (stamps never refresh).
+        """
+        if self._plru:
+            return list(self._order[set_index])
+        return self._recency_lines(set_index)
+
+    @property
+    def capacity_lines(self) -> int:
+        """Total line capacity (sets x ways)."""
+        return self.nsets * self.assoc
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SoACache({self.name}, {self.size_bytes >> 10}KiB, "
+            f"{self.assoc}-way, {self.policy})"
+        )

@@ -12,9 +12,17 @@ floats), not ``approx``: "close" is exactly the bug this test exists to
 catch.
 """
 
+import pytest
+
 from repro.arch import SANDY_BRIDGE
 from repro.bench.osu import OsuConfig, _OsuSession
+from repro.mem.kernel import ALL_KERNELS
 from repro.net.link import QLOGIC_QDR
+
+#: Every pinned trace must reproduce under every kernel backend: the SoA
+#: slab kernel and the reference dict kernel are required to be
+#: bit-identical, so they share one set of pinned values.
+KERNELS = sorted(ALL_KERNELS)
 
 #: Traces captured at the seed commit: (queue_family, heated, msg_bytes)
 #: -> per-message match cycles, final engine clock, and hierarchy counters
@@ -53,7 +61,7 @@ PINNED = {
 }
 
 
-def run_trace(pin):
+def run_trace(pin, kernel=None):
     cfg = OsuConfig(
         arch=SANDY_BRIDGE,
         link=QLOGIC_QDR,
@@ -63,6 +71,7 @@ def run_trace(pin):
         search_depth=512,
         iterations=3,
         seed=0,
+        mem_kernel=kernel,
     )
     session = _OsuSession(cfg)
     session.prepopulate()
@@ -70,8 +79,8 @@ def run_trace(pin):
     return session, cycles
 
 
-def assert_trace_matches(pin):
-    session, cycles = run_trace(pin)
+def assert_trace_matches(pin, kernel=None):
+    session, cycles = run_trace(pin, kernel)
     assert [repr(c) for c in cycles] == pin["cycles"]
     assert repr(session.engine.clock.now) == pin["clock"]
     assert repr(session.engine.load_cycles) == pin["load_cycles"]
@@ -83,12 +92,14 @@ def assert_trace_matches(pin):
         assert got == expected, f"{level}: {got} != {expected}"
 
 
-def test_fig4_spatial_snb_lla8_trace_pinned():
-    assert_trace_matches(PINNED["fig4_spatial_snb_lla8"])
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_fig4_spatial_snb_lla8_trace_pinned(kernel):
+    assert_trace_matches(PINNED["fig4_spatial_snb_lla8"], kernel)
 
 
-def test_fig6_temporal_snb_hc_trace_pinned():
-    assert_trace_matches(PINNED["fig6_temporal_snb_hc"])
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_fig6_temporal_snb_hc_trace_pinned(kernel):
+    assert_trace_matches(PINNED["fig6_temporal_snb_hc"], kernel)
 
 
 def test_level_stats_consistent_with_hierarchy_counters():

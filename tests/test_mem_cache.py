@@ -12,10 +12,22 @@ from repro.mem.cache import (
     SetAssociativeCache,
     WayPartition,
 )
+from repro.mem.soa import SoACache
+
+#: Both kernel backends; behavioural tests below run against each.
+BACKENDS = (SetAssociativeCache, SoACache)
+BACKEND_IDS = ("reference", "soa")
 
 
 def small_cache(assoc=4, nsets=4, **kw):
     return SetAssociativeCache("t", nsets * assoc * 64, assoc, 10.0, **kw)
+
+
+def backend_cache(cache_cls, assoc=4, nsets=4, *, policy=EvictionPolicy.LRU, **kw):
+    """A small cache of either backend; RANDOM gets a seeded rng implicitly."""
+    if policy == EvictionPolicy.RANDOM and "rng" not in kw:
+        kw["rng"] = np.random.default_rng(42)
+    return cache_cls("t", nsets * assoc * 64, assoc, 10.0, policy=policy, **kw)
 
 
 class TestConstruction:
@@ -267,3 +279,145 @@ class TestPolicies:
             return sorted(line for line in range(20) if c.contains(line))
 
         assert run(7) == run(7)
+
+ALL_POLICIES = (EvictionPolicy.LRU, EvictionPolicy.PLRU, EvictionPolicy.RANDOM)
+
+
+class TestPartitionFallbackAllNetwork:
+    """The way-partition eviction *fallback*: a default-class fill into a set
+    whose every way holds network-class data beyond the reserved share must
+    fall back to the plain policy victim (no non-network candidate exists),
+    identically on both kernel backends under every eviction policy.
+    """
+
+    def _overfilled(self, cache_cls, policy):
+        c = backend_cache(
+            cache_cls, assoc=4, nsets=1, policy=policy,
+            partition=WayPartition(network_ways=2),
+        )
+        for line in range(4):
+            c.fill(line, CLS_NETWORK)  # network over-occupies the whole set
+        return c
+
+    @pytest.mark.parametrize("cache_cls", BACKENDS, ids=BACKEND_IDS)
+    @pytest.mark.parametrize("policy", (EvictionPolicy.LRU, EvictionPolicy.PLRU))
+    def test_fallback_evicts_recency_head(self, cache_cls, policy):
+        c = self._overfilled(cache_cls, policy)
+        c.fill(10, CLS_DEFAULT)
+        assert c.contains(10)
+        assert not c.contains(0)  # head of recency order, not an arbitrary line
+        assert c.recency(0) == [1, 2, 3, 10]
+        assert c.occupancy(CLS_NETWORK) == 3
+        assert c.stats.evictions == 1
+
+    @pytest.mark.parametrize("cache_cls", BACKENDS, ids=BACKEND_IDS)
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_fallback_always_admits_the_fill(self, cache_cls, policy):
+        c = self._overfilled(cache_cls, policy)
+        c.fill(10, CLS_DEFAULT)
+        assert c.contains(10)
+        assert c.occupancy() == 4
+        assert c.occupancy(CLS_NETWORK) == 3
+        assert c.occupancy(CLS_DEFAULT) == 1
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_fallback_victim_identical_across_backends(self, policy):
+        def survivors(cache_cls):
+            c = self._overfilled(cache_cls, policy)
+            c.fill(10, CLS_DEFAULT)
+            return sorted(line for line in range(11) if c.contains(line))
+
+        assert survivors(SetAssociativeCache) == survivors(SoACache)
+
+    @pytest.mark.parametrize("cache_cls", BACKENDS, ids=BACKEND_IDS)
+    def test_fallback_random_is_seed_deterministic(self, cache_cls):
+        def survivors():
+            c = self._overfilled(cache_cls, EvictionPolicy.RANDOM)
+            c.fill(10, CLS_DEFAULT)
+            return sorted(line for line in range(11) if c.contains(line))
+
+        assert survivors() == survivors()
+
+    @pytest.mark.parametrize("cache_cls", BACKENDS, ids=BACKEND_IDS)
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_within_share_network_stays_protected(self, cache_cls, policy):
+        # Contrast case: while the network share is *not* exceeded, the scan
+        # must keep skipping network lines no matter the policy/backend.
+        c = backend_cache(
+            cache_cls, assoc=4, nsets=1, policy=policy,
+            partition=WayPartition(network_ways=2),
+        )
+        c.fill(0, CLS_NETWORK)
+        c.fill(1, CLS_NETWORK)
+        for line in range(2, 8):
+            c.fill(line, CLS_DEFAULT)
+        assert c.contains(0) and c.contains(1)
+        assert c.occupancy(CLS_NETWORK) == 2
+
+    @pytest.mark.parametrize("cache_cls", BACKENDS, ids=BACKEND_IDS)
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_one_excess_network_line_is_fair_game(self, cache_cls, policy):
+        # Exactly one network line beyond the share: the protected scan no
+        # longer applies, so the policy victim may be (and under LRU/PLRU,
+        # is) a network line even though default lines are present.
+        c = backend_cache(
+            cache_cls, assoc=4, nsets=1, policy=policy,
+            partition=WayPartition(network_ways=2),
+        )
+        for line in range(3):
+            c.fill(line, CLS_NETWORK)  # one over the 2-way share
+        c.fill(3, CLS_DEFAULT)
+        evictions_before = c.stats.evictions
+        c.fill(10, CLS_DEFAULT)
+        assert c.contains(10)
+        assert c.stats.evictions == evictions_before + 1
+        assert c.occupancy() == 4
+
+
+class TestOccupancyDirtyTracking:
+    """Satellite: occupancy scans only dirty (non-empty) sets, and the dirty
+    index is pruned when invalidation empties a set — on both backends."""
+
+    @pytest.mark.parametrize("cache_cls", BACKENDS, ids=BACKEND_IDS)
+    def test_invalidate_prunes_emptied_set(self, cache_cls):
+        c = backend_cache(cache_cls, assoc=2, nsets=4)
+        c.fill(0)  # set 0
+        c.fill(1)  # set 1
+        c.fill(5)  # set 1 again
+        assert c._dirty == {0, 1}
+        assert c.invalidate(0) is True
+        assert c._dirty == {1}  # set 0 emptied -> pruned
+        assert c.invalidate(1) is True
+        assert c._dirty == {1}  # set 1 still holds line 5
+        assert c.occupancy() == 1
+
+    @pytest.mark.parametrize("cache_cls", BACKENDS, ids=BACKEND_IDS)
+    def test_occupancy_correct_after_pruning(self, cache_cls):
+        c = backend_cache(cache_cls, assoc=2, nsets=4)
+        for line in range(8):
+            c.fill(line, CLS_NETWORK if line % 2 else CLS_DEFAULT)
+        for line in range(4):
+            c.invalidate(line)
+        assert c.occupancy() == 4
+        assert c.occupancy(CLS_NETWORK) == 2
+        assert c.occupancy(CLS_DEFAULT) == 2
+
+    @pytest.mark.parametrize("cache_cls", BACKENDS, ids=BACKEND_IDS)
+    def test_flush_clears_dirty_index(self, cache_cls):
+        c = backend_cache(cache_cls, assoc=2, nsets=4)
+        for line in range(8):
+            c.fill(line)
+        assert c._dirty
+        c.flush()
+        assert c._dirty == set()
+        assert c.occupancy() == 0
+
+    @pytest.mark.parametrize("cache_cls", BACKENDS, ids=BACKEND_IDS)
+    def test_eviction_keeps_replaced_set_dirty(self, cache_cls):
+        # A fill that evicts replaces rather than empties: the set must stay
+        # dirty and occupancy must still count it.
+        c = backend_cache(cache_cls, assoc=1, nsets=2)
+        c.fill(0)
+        c.fill(2)  # same set, evicts 0
+        assert c._dirty == {0}
+        assert c.occupancy() == 1

@@ -1,0 +1,197 @@
+"""Cross-backend kernel equivalence: SoA vs reference, bit-identical.
+
+The structure-of-arrays kernel (:mod:`repro.mem.soa`) and the reference
+dict kernel (:mod:`repro.mem.cache`) are two implementations of the *same*
+simulated machine. This suite drives a pair of hierarchies — one per
+backend — through an identical seeded stream of mixed operations (demand
+line runs, network-class accesses, write-allocate stores, heater touches,
+full flushes) and demands bit-identical outcomes at every step:
+
+* every :meth:`~repro.mem.result.AccessResult.signature` (``repr``-encoded
+  floats: cycle totals must match to the last bit, not approximately);
+* every per-level counter (hits/misses/evictions/prefetch fills+hits);
+* occupancy, per-class occupancy, and full recency order of every set of
+  every cache — so eviction *choices*, not just eviction *counts*, agree;
+* the shared RNG consumption contract (both backends draw the same
+  variates in the same order, or RANDOM-policy runs diverge immediately).
+
+Scenarios cover the full policy matrix (LRU / tree-PLRU / RANDOM) crossed
+with way-partitioning and the dedicated network cache, on deliberately
+tiny geometries so sets overflow and eviction paths actually run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mem.cache import (
+    CLS_DEFAULT,
+    CLS_NETWORK,
+    EvictionPolicy,
+    SetAssociativeCache,
+    WayPartition,
+)
+from repro.mem.hierarchy import MemoryHierarchy, NetworkCacheConfig
+from repro.mem.kernel import KERNEL_REFERENCE, KERNEL_SOA
+from repro.mem.soa import SoACache
+
+POLICIES = (EvictionPolicy.LRU, EvictionPolicy.PLRU, EvictionPolicy.RANDOM)
+
+#: Tiny geometries: few sets, low associativity, so a short op stream
+#: overflows sets and exercises every eviction/partition/flush path.
+GEOMETRY = dict(
+    n_cores=2,
+    l1_size=4096,
+    l1_assoc=4,
+    l1_latency=4.0,
+    l2_size=16384,
+    l2_assoc=4,
+    l2_latency=12.0,
+    l3_size=65536,
+    l3_assoc=8,
+    l3_latency=30.0,
+    dram_latency=200.0,
+)
+
+N_OPS = 400
+
+
+def build_pair(policy, with_partition, with_netcache, seed=1234):
+    """Two hierarchies, identical config, one per kernel backend.
+
+    Each gets its *own* RNG constructed from the same seed: the equivalence
+    contract includes drawing identical variate streams, so sharing one
+    generator would hide consumption-order bugs.
+    """
+    def make(kernel):
+        return MemoryHierarchy(
+            policy=policy,
+            partition=WayPartition(network_ways=2) if with_partition else None,
+            network_cache=NetworkCacheConfig(size_bytes=2048) if with_netcache else None,
+            rng=np.random.default_rng(seed),
+            kernel=kernel,
+            **GEOMETRY,
+        )
+
+    ref = make(KERNEL_REFERENCE)
+    soa = make(KERNEL_SOA)
+    assert isinstance(ref.l3, SetAssociativeCache)
+    assert isinstance(soa.l3, SoACache)
+    return ref, soa
+
+
+def caches_of(hier):
+    """Every cache in the hierarchy, labelled, in a stable order."""
+    out = [("l3", hier.l3)]
+    for core in hier.cores:
+        out.append((core.l1.name, core.l1))
+        out.append((core.l2.name, core.l2))
+        if core.netcache is not None:
+            out.append((core.netcache.name, core.netcache))
+    return out
+
+
+def assert_states_equal(ref, soa, context):
+    """Full structural equality: stats, occupancy, and recency per set."""
+    for (name, rc), (_, sc) in zip(caches_of(ref), caches_of(soa)):
+        for field in ("hits", "misses", "prefetch_fills", "prefetch_hits",
+                      "evictions", "flushes"):
+            rv, sv = getattr(rc.stats, field), getattr(sc.stats, field)
+            assert rv == sv, f"{context}: {name}.{field}: ref={rv} soa={sv}"
+        assert rc.occupancy() == sc.occupancy(), f"{context}: {name} occupancy"
+        for cls in (CLS_DEFAULT, CLS_NETWORK):
+            assert rc.occupancy(cls) == sc.occupancy(cls), (
+                f"{context}: {name} occupancy(cls={cls})"
+            )
+        for idx in range(rc.nsets):
+            r_order, s_order = rc.recency(idx), sc.recency(idx)
+            assert r_order == s_order, (
+                f"{context}: {name} set {idx} recency: ref={r_order} soa={s_order}"
+            )
+        # The SoA fast path elides flag tests when _nflagged == 0, so the
+        # counter must track the true flagged-slot population exactly.
+        true_flagged = sum(1 for slot in sc._index.values() if sc._flag[slot])
+        assert sc._nflagged == true_flagged, (
+            f"{context}: {name} _nflagged={sc._nflagged} != {true_flagged}"
+        )
+
+
+def drive(ref, soa, *, seed=99, n_ops=N_OPS):
+    """One seeded op stream applied to both hierarchies in lockstep.
+
+    The mix is weighted toward demand line runs (the hot path) but includes
+    every mutating entry point; addresses reuse a small footprint so lines
+    collide, re-fill, and get evicted rather than streaming cold forever.
+    """
+    rng = np.random.default_rng(seed)
+    has_netcache = ref.cores[0].netcache is not None
+    for op_i in range(n_ops):
+        op = rng.integers(10)
+        core = int(rng.integers(ref.n_cores))
+        addr = int(rng.integers(0, 1 << 18)) & ~0x3F
+        nbytes = int(rng.integers(1, 8)) * 64
+        context = f"op {op_i} (kind {op}, core {core}, addr {addr:#x})"
+        if op < 5:  # demand run, default class
+            first, last = addr >> 6, (addr + nbytes - 1) >> 6
+            r = ref.access_lines(core, first, last)
+            s = soa.access_lines(core, first, last)
+            assert r.signature() == s.signature(), context
+        elif op < 7:  # demand run, network class (netcache path when present)
+            first, last = addr >> 6, (addr + nbytes - 1) >> 6
+            r = ref.access_lines(core, first, last, CLS_NETWORK)
+            s = soa.access_lines(core, first, last, CLS_NETWORK)
+            assert r.signature() == s.signature(), context
+        elif op == 7:  # write-allocate store
+            r = ref.write_tx(core, addr, nbytes, CLS_NETWORK if has_netcache else CLS_DEFAULT)
+            s = soa.write_tx(core, addr, nbytes, CLS_NETWORK if has_netcache else CLS_DEFAULT)
+            assert r.signature() == s.signature(), context
+        elif op == 8:  # heater touch (refresh/install split)
+            r = ref.touch_shared_tx(core, addr, nbytes)
+            s = soa.touch_shared_tx(core, addr, nbytes)
+            assert r.signature() == s.signature(), context
+        else:  # occasional flush (protection-respecting variant included)
+            respect = bool(rng.integers(2))
+            ref.flush(respect_protection=respect)
+            soa.flush(respect_protection=respect)
+        if op_i % 50 == 0:
+            assert_states_equal(ref, soa, context)
+    assert_states_equal(ref, soa, "final")
+    assert ref.stats() == soa.stats()
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("with_partition", (False, True), ids=["nopart", "part"])
+@pytest.mark.parametrize("with_netcache", (False, True), ids=["nonetc", "netc"])
+def test_kernels_bit_identical(policy, with_partition, with_netcache):
+    ref, soa = build_pair(policy, with_partition, with_netcache)
+    drive(ref, soa)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_kernels_identical_after_full_flush(policy):
+    """An unprotected flush must leave both backends equivalent mid-stream."""
+    ref, soa = build_pair(policy, True, True)
+    drive(ref, soa, n_ops=100)
+    ref.flush(respect_protection=False)
+    soa.flush(respect_protection=False)
+    assert_states_equal(ref, soa, "post-flush")
+    drive(ref, soa, seed=7, n_ops=100)
+
+
+def test_default_kernel_is_soa(monkeypatch):
+    from repro.mem.kernel import MEM_KERNEL_ENV
+
+    monkeypatch.delenv(MEM_KERNEL_ENV, raising=False)
+    h = MemoryHierarchy(**GEOMETRY)
+    assert h.kernel == KERNEL_SOA
+    assert isinstance(h.l3, SoACache)
+
+
+def test_env_selects_reference(monkeypatch):
+    from repro.mem.kernel import MEM_KERNEL_ENV
+
+    monkeypatch.setenv(MEM_KERNEL_ENV, KERNEL_REFERENCE)
+    h = MemoryHierarchy(**GEOMETRY)
+    assert h.kernel == KERNEL_REFERENCE
+    assert isinstance(h.l3, SetAssociativeCache)

@@ -10,27 +10,27 @@ from repro.mem.prefetch import (
 
 class TestNextLine:
     def test_miss_fetches_next(self):
-        assert NextLinePrefetcher().observe(10, hit=False) == [11]
+        assert NextLinePrefetcher().observe(10, hit=False) == (11,)
 
     def test_hit_fetches_nothing(self):
-        assert NextLinePrefetcher().observe(10, hit=True) == []
+        assert NextLinePrefetcher().observe(10, hit=True) == ()
 
 
 class TestAdjacentPair:
     def test_even_line_fetches_odd_buddy(self):
-        assert AdjacentPairPrefetcher().observe(10, hit=False) == [11]
+        assert AdjacentPairPrefetcher().observe(10, hit=False) == (11,)
 
     def test_odd_line_fetches_even_buddy(self):
-        assert AdjacentPairPrefetcher().observe(11, hit=False) == [10]
+        assert AdjacentPairPrefetcher().observe(11, hit=False) == (10,)
 
     def test_hit_fetches_nothing(self):
-        assert AdjacentPairPrefetcher().observe(10, hit=True) == []
+        assert AdjacentPairPrefetcher().observe(10, hit=True) == ()
 
 
 class TestStreamer:
     def test_needs_trigger_run(self):
         s = StreamerPrefetcher(trigger_run=2)
-        assert s.observe(100, False) == []  # first touch: learn
+        assert s.observe(100, False) == ()  # first touch: learn
         out = s.observe(101, False)  # second ascending: trigger
         assert out  # prefetches ahead
 
@@ -51,29 +51,29 @@ class TestStreamer:
     def test_repeat_access_ignored(self):
         s = StreamerPrefetcher()
         s.observe(100, False)
-        assert s.observe(100, False) == []
+        assert s.observe(100, False) == ()
 
     def test_descending_breaks_stream(self):
         s = StreamerPrefetcher()
         s.observe(100, False)
         s.observe(101, False)
-        assert s.observe(50, False) == []  # same page? different line far back
+        assert s.observe(50, False) == ()  # same page? different line far back
         # After the break the run must rebuild before prefetching resumes.
-        assert s.observe(51, False) != [] or True
+        assert s.observe(51, False) != () or True
 
     def test_max_step_gap_tolerance(self):
         tolerant = StreamerPrefetcher(max_step=4)
         strict = StreamerPrefetcher(max_step=1)
         for s in (tolerant, strict):
             s.observe(100, False)
-        assert tolerant.observe(103, False) != []
-        assert strict.observe(103, False) == []
+        assert tolerant.observe(103, False) != ()
+        assert strict.observe(103, False) == ()
 
     def test_streams_tracked_per_page(self):
         s = StreamerPrefetcher()
         s.observe(100, False)
         s.observe(1000, False)  # other page: does not disturb first stream
-        assert s.observe(101, False) != []
+        assert s.observe(101, False) != ()
 
     def test_table_eviction(self):
         s = StreamerPrefetcher(table_size=2)
@@ -87,7 +87,7 @@ class TestStreamer:
         s.observe(100, False)
         s.observe(101, False)
         s.reset()
-        assert s.observe(102, False) == []  # must relearn
+        assert s.observe(102, False) == ()  # must relearn
 
     def test_observes_hits_too(self):
         # Streams keep ramping on prefetched hits (hit=True).
@@ -101,5 +101,5 @@ class TestStreamer:
 class TestBase:
     def test_null_prefetcher(self):
         p = Prefetcher()
-        assert p.observe(1, False) == []
+        assert p.observe(1, False) == ()
         p.reset()  # no-op
