@@ -1,18 +1,20 @@
 #!/usr/bin/env python
-"""Emit kernel-backend benchmark results as a machine-readable JSON artifact.
+"""Emit benchmark results as machine-readable JSON artifacts.
 
-CI runs this after the test suites and uploads ``BENCH_kernel.json`` so the
-SoA-vs-reference speedup trajectory is preserved per commit — a perf
-regression then shows up as a trend break in the artifact history, not just
-as a (retried, noise-tolerant) gate failure in one run.
+CI runs this after the test suites and uploads ``BENCH_kernel.json`` (the
+SoA-vs-reference kernel speedup) and ``BENCH_scan.json`` (the batched-scan
+vs per-slot queue traversal speedup) so each trajectory is preserved per
+commit — a perf regression then shows up as a trend break in the artifact
+history, not just as a (retried, noise-tolerant) gate failure in one run.
 
 Standalone — no pytest. Reuses the interleaved best-of timing and the
-bit-identity assertions from :mod:`bench_access_path`, so a backend
-divergence fails the script (exit 1) before any JSON is written.
+bit-identity assertions from :mod:`bench_access_path` and
+:mod:`bench_queue_scan`, so a backend or scan-mode divergence fails the
+script (exit 1) before any JSON is written.
 
 Usage::
 
-    python benchmarks/bench_to_json.py [output.json]
+    python benchmarks/bench_to_json.py [kernel.json [scan.json]]
 """
 
 from __future__ import annotations
@@ -27,16 +29,26 @@ HERE = Path(__file__).resolve().parent
 sys.path.insert(0, str(HERE))
 sys.path.insert(0, str(HERE.parent / "src"))
 
+import bench_queue_scan  # noqa: E402
 from bench_access_path import (  # noqa: E402
     KERNEL_SCENARIOS,
     MIN_KERNEL_SPEEDUP,
     ROUNDS,
     time_kernel_pair,
 )
+from repro.matching.port import resolve_scan_batch  # noqa: E402
 from repro.mem.cache import EvictionPolicy  # noqa: E402
 from repro.mem.kernel import DEFAULT_KERNEL  # noqa: E402
 
 POLICIES = (EvictionPolicy.LRU, EvictionPolicy.PLRU)
+
+
+def _environment():
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
 
 
 def collect():
@@ -56,8 +68,24 @@ def collect():
     return scenarios
 
 
-def main(argv):
-    out = Path(argv[1]) if len(argv) > 1 else Path("BENCH_kernel.json")
+def collect_scan():
+    scenarios = []
+    for name, geometry in bench_queue_scan.SCENARIOS:
+        slot_s, run_s, engine = bench_queue_scan.time_scan_pair(geometry)
+        scenarios.append(
+            {
+                "scenario": name,
+                "per_slot_ms": round(slot_s * 1e3, 3),
+                "batched_ms": round(run_s * 1e3, 3),
+                "speedup": round(slot_s / run_s, 3),
+                "fast_runs": engine.fast_runs,
+                "runs": engine.runs,
+            }
+        )
+    return scenarios
+
+
+def write_kernel(out: Path) -> None:
     scenarios = collect()
     doc = {
         "benchmark": "mem-kernel-backends",
@@ -68,11 +96,7 @@ def main(argv):
             "min_speedup": MIN_KERNEL_SPEEDUP,
         },
         "timing": {"rounds": ROUNDS, "statistic": "best-of"},
-        "environment": {
-            "python": platform.python_version(),
-            "machine": platform.machine(),
-            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        },
+        "environment": _environment(),
         "scenarios": scenarios,
     }
     out.write_text(json.dumps(doc, indent=2) + "\n")
@@ -82,6 +106,39 @@ def main(argv):
             "soa {soa_ms:8.2f}ms  speedup {speedup:.2f}x".format(**row)
         )
     print(f"wrote {out}")
+
+
+def write_scan(out: Path) -> None:
+    scenarios = collect_scan()
+    doc = {
+        "benchmark": "queue-scan-transactions",
+        "default_scan_batch": "on" if resolve_scan_batch() else "off",
+        "workload": {
+            "family": "lla",
+            "entries_per_node": bench_queue_scan.K,
+            "search_depth": bench_queue_scan.DEPTH,
+        },
+        "gate": {
+            "scenario": bench_queue_scan.SCENARIOS[0][0],
+            "min_speedup": bench_queue_scan.MIN_SCAN_SPEEDUP,
+        },
+        "timing": {"rounds": bench_queue_scan.ROUNDS, "statistic": "best-of"},
+        "environment": _environment(),
+        "scenarios": scenarios,
+    }
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    for row in scenarios:
+        print(
+            "{scenario:>17}: per-slot {per_slot_ms:8.2f}ms  "
+            "batched {batched_ms:8.2f}ms  speedup {speedup:.2f}x  "
+            "fast {fast_runs}/{runs}".format(**row)
+        )
+    print(f"wrote {out}")
+
+
+def main(argv):
+    write_kernel(Path(argv[1]) if len(argv) > 1 else Path("BENCH_kernel.json"))
+    write_scan(Path(argv[2]) if len(argv) > 2 else Path("BENCH_scan.json"))
     return 0
 
 

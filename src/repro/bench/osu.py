@@ -94,7 +94,7 @@ class BandwidthPoint:
     mibps: float
     mibps_std: float
     latency_us: float
-    match_cycles: TrialStats = field(repr=False, default=None)
+    match_cycles: Optional[TrialStats] = field(repr=False, default=None)
     network_bound: bool = False
     # Per-level hit attribution of the measured (post-warmup) iterations'
     # load transactions; None when the producer predates the telemetry.

@@ -491,6 +491,7 @@ def build_parser() -> argparse.ArgumentParser:
         "Cache Occupancy' (ICPP'18) on the simulated substrate.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    from repro.matching.port import SCAN_BATCH_ENV
     from repro.mem.kernel import ALL_KERNELS, DEFAULT_KERNEL, MEM_KERNEL_ENV
 
     for name, (help_text, _) in _COMMANDS.items():
@@ -501,6 +502,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cache-kernel backend (default: "
                        f"${MEM_KERNEL_ENV} or '{DEFAULT_KERNEL}'); both "
                        "backends are bit-identical, 'soa' is faster")
+        p.add_argument("--scan-batch", choices=["on", "off"], default=None,
+                       help="queue-scan spelling (default: "
+                       f"${SCAN_BATCH_ENV} or 'on'); both are bit-identical, "
+                       "'on' charges one engine call per contiguous run")
         if name == "fig1":
             p.add_argument("--motif", choices=["amr", "sweep3d", "halo3d"], default=None)
         if name in ("fig4", "fig5", "fig6", "fig7"):
@@ -561,6 +566,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.mem.kernel import MEM_KERNEL_ENV
 
         os.environ[MEM_KERNEL_ENV] = args.mem_kernel
+    if getattr(args, "scan_batch", None):
+        # Same mechanism: every MatchEngine resolves the scan spelling
+        # through resolve_scan_batch(), which consults this variable.
+        import os
+
+        from repro.matching.port import SCAN_BATCH_ENV
+
+        os.environ[SCAN_BATCH_ENV] = args.scan_batch
     _COMMANDS[args.command][1](args)
     return 0
 

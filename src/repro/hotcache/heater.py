@@ -125,6 +125,18 @@ class Heater:
         while self.next_pass_start <= now:
             self._run_pass(self.next_pass_start)
 
+    def quiescent_until(self, horizon: float) -> bool:
+        """True when no pass can start at any clock value below *horizon*.
+
+        The engine's batched scan path charges a whole run under one
+        :meth:`catch_up`; that is only equivalent to the per-slot replay
+        (which re-syncs before every probe) when every intermediate clock
+        value the replay would sync at stays below the next pass start.
+        Callers must have already called :meth:`catch_up` for the current
+        time; this is then a pure inspection.
+        """
+        return not self.enabled or self.next_pass_start > horizon
+
     def force_pass(self, now: float) -> None:
         """Run one pass immediately (e.g. right after a cache-clearing
         compute phase, before the communication phase begins)."""

@@ -24,7 +24,7 @@ import numpy as np
 from repro.matching.base import MatchQueue
 from repro.matching.entry import LL_NODE_POINTERS, MatchItem
 from repro.matching.envelope import items_match
-from repro.matching.port import MemoryPort
+from repro.matching.port import MemoryPort, emit_node_runs
 from repro.mem.alloc import Allocation, SequentialHeap
 
 _PTR_BYTES = 8
@@ -85,6 +85,12 @@ class Ch4PerCommunicatorQueue(MatchQueue):
 
     def match_remove(self, probe: MatchItem) -> Optional[MatchItem]:
         """Find, remove and return the earliest item matching *probe*, or None."""
+        if self.port.scan_batch:
+            return self._match_remove_runs(probe)
+        return self._match_remove_slots(probe)
+
+    def _match_remove_slots(self, probe: MatchItem) -> Optional[MatchItem]:
+        """Per-slot scan: one port load per node inspected."""
         self.port.load(self._table_slot(probe.cid), _PTR_BYTES)
         lst = self._lists.get(probe.cid)
         probes = 0
@@ -101,6 +107,34 @@ class Ch4PerCommunicatorQueue(MatchQueue):
                     self.stats.record_search(probes, True)
                     return node.item
         self.stats.record_search(probes, False)
+        return None
+
+    def _match_remove_runs(self, probe: MatchItem) -> Optional[MatchItem]:
+        """Batched scan: communicator list charged as contiguous runs."""
+        port = self.port
+        port.load(self._table_slot(probe.cid), _PTR_BYTES)
+        lst = self._lists.get(probe.cid)
+        if not lst:
+            self.stats.record_search(0, False)
+            return None
+        found = -1
+        for idx, node in enumerate(lst):
+            if items_match(node.item, probe):
+                found = idx
+                break
+        stop = found if found >= 0 else len(lst) - 1
+        emit_node_runs(
+            port, [lst[i].alloc.addr for i in range(stop + 1)], self.node_bytes
+        )
+        if found >= 0:
+            node = lst.pop(found)
+            if found > 0:
+                port.store(lst[found - 1].alloc.addr, _PTR_BYTES)
+            self.heap.free(node.alloc)
+            self._live -= 1
+            self.stats.record_search(found + 1, True)
+            return node.item
+        self.stats.record_search(len(lst), False)
         return None
 
     def __len__(self) -> int:

@@ -14,9 +14,10 @@ it (see :mod:`repro.hotcache.heater`).
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple, TypeVar
+from typing import Callable, Optional, Tuple, TypeVar, Union
 
-from repro.matching.port import MemoryPort
+from repro.errors import ConfigurationError
+from repro.matching.port import MemoryPort, resolve_scan_batch
 from repro.mem.cache import CLS_NETWORK
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.mem.layout import LINE_SHIFT
@@ -30,6 +31,20 @@ DEFAULT_COMPARE_CYCLES = 2.0
 
 #: Cost of a store absorbed by the write buffer, per line touched.
 DEFAULT_STORE_CYCLES = 1.0
+
+#: Run geometry is a pure function of (header, addr, size, probes, spacing),
+#: so it is memoized across scans — a queue re-walking stable node addresses
+#: (every warm deep search) pays the line-extent arithmetic once per node.
+#: The cache is flushed wholesale past this size (address churn in
+#: fragmented/recycling allocators), which keeps it O(live nodes) in steady
+#: state without an eviction policy.
+_GEOMETRY_CACHE_MAX = 65536
+
+#: Integer-valued floats add exactly below 2**53, so per-probe accumulation
+#: order stops mattering and the run's clock/cycle deltas collapse to one
+#: addition each. The margin below 2**53 is pure paranoia — simulated clocks
+#: sit around 1e6-1e9 cycles.
+_EXACT_LIMIT = 2.0**52
 
 
 class MatchEngine(MemoryPort):
@@ -47,6 +62,7 @@ class MatchEngine(MemoryPort):
         software_prefetch: bool = False,
         sw_prefetch_coverage: float = 0.9,
         sw_prefetch_issue_cycles: float = 1.0,
+        scan_batch: Optional[Union[bool, str]] = None,
     ) -> None:
         self.hierarchy = hierarchy
         self.clock = clock if clock is not None else Clock()
@@ -63,10 +79,30 @@ class MatchEngine(MemoryPort):
         self.software_prefetch = software_prefetch
         self.sw_prefetch_coverage = sw_prefetch_coverage
         self.sw_prefetch_issue_cycles = sw_prefetch_issue_cycles
+        # Scan batching (arg beats REPRO_SCAN_BATCH beats on). Interleaved
+        # prefetch hints are part of the per-slot traversal order, so the
+        # batched spelling — which reorders hints ahead of the coalesced
+        # loads — is only offered when hints are inert.
+        self.scan_batch = resolve_scan_batch(scan_batch) and not software_prefetch
+        # Hints are pure middleware-prefetch signals on this port; when the
+        # prefetcher is off they have no simulated effect, and batched scans
+        # may skip emitting them entirely.
+        self.hint_is_noop = not software_prefetch
         self.heater = None  # set via attach_heater
+        self._scan_active = False
+        self._pending: Optional[Tuple[int, int]] = None
+        self._geometry: dict = {}
+        # run_latency is static per (hierarchy, core, class) — netcache
+        # interception, L1 policy and L1 latency are fixed at construction —
+        # so it is resolved lazily once and cached.
+        self._run_lat: Optional[float] = None
+        self._run_lat_valid = False
         self.loads = 0
         self.stores = 0
         self.sw_prefetches = 0
+        self.runs = 0
+        self.run_probes = 0
+        self.fast_runs = 0
         self.load_cycles = 0.0
         self.store_cycles_total = 0.0
         # Per-level hit attribution over every load transaction (where each
@@ -93,7 +129,26 @@ class MatchEngine(MemoryPort):
     # -- MemoryPort -----------------------------------------------------------
 
     def load(self, addr: int, nbytes: int) -> None:
-        """Record/charge a load of *nbytes* at *addr*."""
+        """Record/charge a load of *nbytes* at *addr*.
+
+        Inside a scan bracket (see :meth:`begin_scan`) a non-empty load is
+        held pending so an immediately following contiguous
+        :meth:`load_run` can absorb it as the run's header probe; any other
+        operation flushes it through the normal path first, so the charge
+        order observable on the clock never changes.
+        """
+        if self._scan_active:
+            pending = self._pending
+            if pending is not None:
+                self._pending = None
+                self._load_now(pending[0], pending[1])
+            if nbytes > 0:
+                self._pending = (addr, nbytes)
+                return
+        self._load_now(addr, nbytes)
+
+    def _load_now(self, addr: int, nbytes: int) -> None:
+        """The per-slot load charge (heater sync, one transaction, clock)."""
         interference = self._sync_heater()
         if nbytes <= 0:
             cycles = 0.0
@@ -112,8 +167,223 @@ class MatchEngine(MemoryPort):
         self.loads += 1
         self.load_cycles += cycles
 
+    def _flush_pending(self) -> None:
+        pending = self._pending
+        if pending is not None:
+            self._pending = None
+            self._load_now(pending[0], pending[1])
+
+    # -- scan transactions ---------------------------------------------------
+
+    def begin_scan(self) -> None:
+        """Open a scan bracket: the next load may merge into a run."""
+        self._scan_active = True
+
+    def end_scan(self) -> None:
+        """Close the scan bracket, flushing any still-pending header load."""
+        self._scan_active = False
+        self._flush_pending()
+
+    @staticmethod
+    def _run_geometry(
+        header: Optional[Tuple[int, int]],
+        addr: int,
+        size: int,
+        probes: int,
+        spacing: int,
+    ):
+        """Line-visit geometry of a run: a pure function of its key.
+
+        Probe spans ascend and never overlap (spacing >= size), so each
+        line's visits are contiguous in the global visit sequence — the
+        property both backends' recency replays rely on. Lines nobody
+        visits (inside inter-probe gaps) are dropped here so the apply
+        path never sees them. Returns ``(pv, lines, vis, total, nloads)``:
+        per-probe line counts in probe order, the visited absolute line
+        numbers ascending, their visit counts, the grand total, and the
+        number of per-slot loads the run stands for.
+        """
+        shift = LINE_SHIFT
+        if header is not None:
+            first_g = header[0] >> shift
+            nloads = probes + 1
+        else:
+            first_g = addr >> shift
+            nloads = probes
+        last_g = (addr + spacing * (probes - 1) + size - 1) >> shift
+        counts = [0] * (last_g - first_g + 1)
+        pv = []
+        append = pv.append
+        if header is not None:
+            hl = (header[0] + header[1] - 1) >> shift
+            append(hl - first_g + 1)
+            for line in range(first_g, hl + 1):
+                counts[line - first_g] += 1
+        lo = addr
+        for _ in range(probes):
+            f = lo >> shift
+            last = (lo + size - 1) >> shift
+            append(last - f + 1)
+            counts[f - first_g] += 1
+            for line in range(f + 1, last + 1):
+                counts[line - first_g] += 1
+            lo += spacing
+        lines = []
+        vis = []
+        for j, v in enumerate(counts):
+            if v:
+                lines.append(first_g + j)
+                vis.append(v)
+        return tuple(pv), lines, tuple(vis), sum(pv), nloads
+
+    def load_run(
+        self,
+        addr: int,
+        nbytes: int,
+        probes: int,
+        spacing: Optional[int] = None,
+        header_nbytes: int = 0,
+    ) -> None:
+        """Charge a contiguous scan run of *probes* equal-stride loads.
+
+        Bit-identical to the per-slot spelling (the
+        :class:`~repro.matching.port.MemoryPort` contract): one heater
+        catch-up covers the whole run, then the per-probe charges are
+        replayed — arithmetically when every line of the run is a clean L1
+        hit and no heater pass can fall inside it (see
+        :meth:`~repro.mem.hierarchy.MemoryHierarchy.access_run`), probe by
+        probe through the ordinary load path otherwise. A header probe —
+        *header_nbytes* ending exactly at *addr*, or equivalently a pending
+        bracketed header load that ends there — joins the run as its
+        leading probe; it keeps its own compare+interference charge, so
+        merged and unmerged spellings cost the same.
+        """
+        if self._scan_active:
+            pending = self._pending
+            if pending is not None:
+                self._pending = None
+                if probes > 0 and not header_nbytes and pending[0] + pending[1] == addr:
+                    header_nbytes = pending[1]
+                else:
+                    self._load_now(pending[0], pending[1])
+        if probes <= 0:
+            if header_nbytes:
+                self._load_now(addr - header_nbytes, header_nbytes)
+            return
+        heater = self.heater
+        if heater is None:
+            interference = 0.0
+        else:
+            heater.catch_up(self.clock.now)
+            interference = heater.config.interference_cycles if heater.saturated else 0.0
+        # Raw-argument key: a cache hit also vouches for validation.
+        key = (addr, nbytes, probes, spacing, header_nbytes)
+        geometry = self._geometry
+        geo = geometry.get(key)
+        if geo is None:
+            size, rem = divmod(nbytes, probes)
+            if rem or size <= 0:
+                raise ConfigurationError(
+                    f"load_run of {nbytes} bytes is not {probes} equal strides"
+                )
+            sp = size if spacing is None else spacing
+            if sp < size:
+                raise ConfigurationError(
+                    f"load_run spacing {sp} overlaps {size}-byte probes"
+                )
+            header = (addr - header_nbytes, header_nbytes) if header_nbytes else None
+            if len(geometry) >= _GEOMETRY_CACHE_MAX:
+                geometry.clear()
+            geo = geometry[key] = self._run_geometry(header, addr, size, probes, sp) + (
+                size,
+                sp,
+            )
+        pv, lines, vis, total, nloads, size, sp = geo
+        self.runs += 1
+        self.run_probes += nloads
+        if self._run_lat_valid:
+            lat = self._run_lat
+        else:
+            lat = self._run_lat = self.hierarchy.run_latency(self.core_id, self.mem_class)
+            self._run_lat_valid = True
+        cc = self.compare_cycles + interference
+        fast = lat is not None
+        if fast:
+            mem = total * lat
+            if heater is not None:
+                # The whole run is charged under one catch-up: legal only
+                # when no pass could have started at any clock value the
+                # per-slot replay would have synced at (all are below this
+                # projection; the +1.0 slack dominates float summation
+                # error by orders of magnitude).
+                projected = self.clock.now + mem + nloads * cc + 1.0
+                fast = heater.quiescent_until(projected)
+            if fast:
+                fast = self.hierarchy.access_run(self.core_id, lines, vis, total)
+        if not fast:
+            # Replay probe by probe: trivially bit-identical; re-syncing the
+            # heater per probe is what the projection above could not rule
+            # out.
+            load = self._load_now
+            if header_nbytes:
+                load(addr - header_nbytes, header_nbytes)
+            lo = addr
+            for _ in range(probes):
+                load(lo, size)
+                lo += sp
+            return
+        self.fast_runs += 1
+        ls = self.level_stats
+        now = self.clock.now
+        lc = self.load_cycles
+        lsc = ls.cycles
+        delta = mem + nloads * cc
+        if (
+            cc.is_integer()
+            and now.is_integer()
+            and lc.is_integer()
+            and lsc.is_integer()
+            and now + delta < _EXACT_LIMIT
+            and lc + delta < _EXACT_LIMIT
+            and lsc + mem < _EXACT_LIMIT
+        ):
+            # Every per-probe addend (v*lat, cc) and every partial sum is an
+            # integer-valued float below 2**53: the accumulation is exact,
+            # so any association — including this one-shot fold — is
+            # bit-identical to the per-slot order.
+            now += delta
+            lc += delta
+            lsc += mem
+        else:
+            for v in pv:
+                c = v * lat
+                lsc += c
+                c += cc
+                now += c
+                lc += c
+        self.clock.now = now
+        self.load_cycles = lc
+        ls.cycles = lsc
+        ls.loads += nloads
+        ls.lines += total
+        ls.l1_hits += total
+        self.loads += nloads
+        # Leave the scratch transaction as the last per-slot probe would.
+        tx = self._tx
+        v = pv[-1]
+        tx.lines = v
+        tx.cycles = v * lat
+        tx.netcache_hits = 0
+        tx.l1_hits = v
+        tx.l2_hits = 0
+        tx.l3_hits = 0
+        tx.dram_fills = 0
+        tx.prefetch_covered = 0
+        tx.penalty_cycles = 0.0
+
     def store(self, addr: int, nbytes: int) -> None:
         """Record/charge a store of *nbytes* at *addr*."""
+        self._flush_pending()
         interference = self._sync_heater()
         tx = self.hierarchy.write_tx(self.core_id, addr, nbytes, self.mem_class, out=self._tx)
         cycles = tx.lines * self.store_cycles + interference
@@ -125,6 +395,7 @@ class MatchEngine(MemoryPort):
         """Middleware prefetch hint (no-op unless software_prefetch is on)."""
         if not self.software_prefetch or nbytes <= 0:
             return
+        self._flush_pending()
         hier = self.hierarchy
         core = hier.cores[self.core_id]
         first = addr >> LINE_SHIFT
@@ -164,6 +435,10 @@ class MatchEngine(MemoryPort):
         self.loads = 0
         self.stores = 0
         self.sw_prefetches = 0
+        self.runs = 0
+        self.run_probes = 0
+        self.fast_runs = 0
         self.load_cycles = 0.0
         self.store_cycles_total = 0.0
+        self._run_lat_valid = False
         self.level_stats.reset()

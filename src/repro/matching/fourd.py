@@ -25,7 +25,7 @@ from repro.errors import ConfigurationError
 from repro.matching.base import MatchQueue
 from repro.matching.entry import LL_NODE_POINTERS, MatchItem
 from repro.matching.envelope import items_match
-from repro.matching.port import MemoryPort
+from repro.matching.port import MemoryPort, emit_node_runs
 from repro.mem.alloc import Allocation, SequentialHeap
 
 _PTR_BYTES = 8
@@ -110,7 +110,15 @@ class FourDimensionalQueue(MatchQueue):
     def match_remove(self, probe: MatchItem) -> Optional[MatchItem]:
         """Find, remove and return the earliest item matching *probe*, or None."""
         if probe.wildcard_source:
+            if self.port.scan_batch:
+                return self._match_remove_scan_runs(probe)
             return self._match_remove_scan(probe)
+        if self.port.scan_batch:
+            return self._match_remove_runs(probe)
+        return self._match_remove_slots(probe)
+
+    def _match_remove_slots(self, probe: MatchItem) -> Optional[MatchItem]:
+        """Per-slot scan: one port load per cell inspected."""
         probes = 0
         key = rank_digits(probe.src % self.nranks, self.base)
         for level, digit in enumerate(key):
@@ -140,6 +148,42 @@ class FourDimensionalQueue(MatchQueue):
         self.stats.record_search(probes, True)
         return best.item
 
+    def _match_remove_runs(self, probe: MatchItem) -> Optional[MatchItem]:
+        """Batched scan: level descent stays per-pointer (non-contiguous),
+        leaf and wildcard traversals are charged as contiguous runs."""
+        port = self.port
+        key = rank_digits(probe.src % self.nranks, self.base)
+        for level, digit in enumerate(key):
+            port.load(
+                self._level_array.addr + (level * self.base + digit) * _PTR_BYTES,
+                _PTR_BYTES,
+            )
+        best: Optional[_Cell] = None
+        leaf_addrs = []
+        for cell in self._leaves.get(key, ()):
+            leaf_addrs.append(cell.alloc.addr)
+            if items_match(cell.item, probe):
+                best = cell
+                break
+        emit_node_runs(port, leaf_addrs, self.node_bytes)
+        probes = len(leaf_addrs)
+        wild_addrs = []
+        for cell in self._wild:
+            if best is not None and cell.item.seq >= best.item.seq:
+                break
+            wild_addrs.append(cell.alloc.addr)
+            if items_match(cell.item, probe):
+                best = cell
+                break
+        emit_node_runs(port, wild_addrs, self.node_bytes)
+        probes += len(wild_addrs)
+        if best is None:
+            self.stats.record_search(probes, False)
+            return None
+        self._remove_cell(best)
+        self.stats.record_search(probes, True)
+        return best.item
+
     def _match_remove_scan(self, probe: MatchItem) -> Optional[MatchItem]:
         probes = 0
         for cell in self._all.values():
@@ -151,6 +195,23 @@ class FourDimensionalQueue(MatchQueue):
                 return cell.item
         self.stats.record_search(probes, False)
         return None
+
+    def _match_remove_scan_runs(self, probe: MatchItem) -> Optional[MatchItem]:
+        """Wildcard probe, batched: the global FIFO scan charged as runs."""
+        addrs = []
+        found: Optional[_Cell] = None
+        for cell in self._all.values():
+            addrs.append(cell.alloc.addr)
+            if items_match(cell.item, probe):
+                found = cell
+                break
+        emit_node_runs(self.port, addrs, self.node_bytes)
+        if found is None:
+            self.stats.record_search(len(addrs), False)
+            return None
+        self._remove_cell(found)
+        self.stats.record_search(len(addrs), True)
+        return found.item
 
     def _remove_cell(self, cell: _Cell) -> None:
         if cell.key is None:

@@ -25,7 +25,7 @@ from repro.errors import ConfigurationError
 from repro.matching.base import MatchQueue
 from repro.matching.entry import LL_NODE_POINTERS, MatchItem
 from repro.matching.envelope import items_match
-from repro.matching.port import MemoryPort
+from repro.matching.port import MemoryPort, emit_node_runs
 from repro.mem.alloc import Allocation, SequentialHeap
 
 _PTR_BYTES = 8
@@ -102,7 +102,15 @@ class BinnedHashQueue(MatchQueue):
     def match_remove(self, probe: MatchItem) -> Optional[MatchItem]:
         """Find, remove and return the earliest item matching *probe*, or None."""
         if probe.wildcard_source or probe.wildcard_tag:
+            if self.port.scan_batch:
+                return self._match_remove_slow_runs(probe)
             return self._match_remove_slow(probe)
+        if self.port.scan_batch:
+            return self._match_remove_runs(probe)
+        return self._match_remove_slots(probe)
+
+    def _match_remove_slots(self, probe: MatchItem) -> Optional[MatchItem]:
+        """Per-slot scan: one port load per cell inspected."""
         probes = 0
         b = bin_index(probe.src, probe.tag, probe.cid, self.nbins)
         # The constant queue-selection overhead: hashing + bin head load.
@@ -130,6 +138,39 @@ class BinnedHashQueue(MatchQueue):
         self.stats.record_search(probes, True)
         return best.item
 
+    def _match_remove_runs(self, probe: MatchItem) -> Optional[MatchItem]:
+        """Batched scan: bin traversal then wildcard traversal, as runs."""
+        port = self.port
+        b = bin_index(probe.src, probe.tag, probe.cid, self.nbins)
+        port.load(self._bin_array.addr + b * _PTR_BYTES, _PTR_BYTES)
+        best: Optional[_Cell] = None
+        bin_addrs = []
+        for cell in self._bins.get(b, ()):  # FIFO within the bin
+            bin_addrs.append(cell.alloc.addr)
+            if items_match(cell.item, probe):
+                best = cell
+                break
+        emit_node_runs(port, bin_addrs, self.node_bytes)
+        probes = len(bin_addrs)
+        # The wildcard list may hold an earlier-posted match; the seq guard
+        # sits before the load, exactly as in the per-slot spelling.
+        wild_addrs = []
+        for cell in self._wild:
+            if best is not None and cell.item.seq >= best.item.seq:
+                break
+            wild_addrs.append(cell.alloc.addr)
+            if items_match(cell.item, probe):
+                best = cell
+                break
+        emit_node_runs(port, wild_addrs, self.node_bytes)
+        probes += len(wild_addrs)
+        if best is None:
+            self.stats.record_search(probes, False)
+            return None
+        self._remove_cell(best)
+        self.stats.record_search(probes, True)
+        return best.item
+
     def _match_remove_slow(self, probe: MatchItem) -> Optional[MatchItem]:
         """Wildcard probe: FIFO scan over every live item."""
         probes = 0
@@ -142,6 +183,23 @@ class BinnedHashQueue(MatchQueue):
                 return cell.item
         self.stats.record_search(probes, False)
         return None
+
+    def _match_remove_slow_runs(self, probe: MatchItem) -> Optional[MatchItem]:
+        """Wildcard probe, batched: the global FIFO scan charged as runs."""
+        addrs = []
+        found: Optional[_Cell] = None
+        for cell in self._all.values():
+            addrs.append(cell.alloc.addr)
+            if items_match(cell.item, probe):
+                found = cell
+                break
+        emit_node_runs(self.port, addrs, self.node_bytes)
+        if found is None:
+            self.stats.record_search(len(addrs), False)
+            return None
+        self._remove_cell(found)
+        self.stats.record_search(len(addrs), True)
+        return found.item
 
     def _remove_cell(self, cell: _Cell) -> None:
         if cell.bin < 0:

@@ -23,7 +23,7 @@ import numpy as np
 from repro.matching.base import MatchQueue
 from repro.matching.entry import LL_NODE_POINTERS, MatchItem
 from repro.matching.envelope import items_match
-from repro.matching.port import MemoryPort
+from repro.matching.port import MemoryPort, emit_node_runs
 from repro.mem.alloc import Allocation, SequentialHeap
 
 
@@ -79,6 +79,12 @@ class BaselineLinkedList(MatchQueue):
 
     def match_remove(self, probe: MatchItem) -> Optional[MatchItem]:
         """Find, remove and return the earliest item matching *probe*, or None."""
+        if self.port.scan_batch:
+            return self._match_remove_runs(probe)
+        return self._match_remove_slots(probe)
+
+    def _match_remove_slots(self, probe: MatchItem) -> Optional[MatchItem]:
+        """Per-slot scan: one port load per node inspected."""
         probes = 0
         nodes = self._nodes
         lookahead = self.SW_PREFETCH_LOOKAHEAD
@@ -94,6 +100,40 @@ class BaselineLinkedList(MatchQueue):
                 self.stats.record_search(probes, True)
                 return node.item
         self.stats.record_search(probes, False)
+        return None
+
+    def _match_remove_runs(self, probe: MatchItem) -> Optional[MatchItem]:
+        """Batched scan: coalesce heap-adjacent nodes into scan runs.
+
+        The match index is decided host-side, then the nodes the per-slot
+        scan would have loaded (up to and including the match) are charged
+        with maximal contiguous stretches as single runs. Hint count is the
+        per-slot count; they are emitted ahead of the loads, which is only
+        observable to ports where hints are inert or order-insensitive (the
+        engine disables batching when software prefetch is live).
+        """
+        nodes = self._nodes
+        n = len(nodes)
+        port = self.port
+        found = -1
+        for idx, node in enumerate(nodes):
+            if items_match(node.item, probe):
+                found = idx
+                break
+        stop = found if found >= 0 else n - 1
+        if not port.hint_is_noop:
+            lookahead = self.SW_PREFETCH_LOOKAHEAD
+            for idx in range(max(0, min(stop + 1, n - lookahead))):
+                port.hint(nodes[idx + lookahead].alloc.addr, self.node_bytes)
+        emit_node_runs(
+            port, [nodes[i].alloc.addr for i in range(stop + 1)], self.node_bytes
+        )
+        if found >= 0:
+            node = nodes[found]
+            self._unlink(found)
+            self.stats.record_search(found + 1, True)
+            return node.item
+        self.stats.record_search(n, False)
         return None
 
     def _unlink(self, idx: int) -> None:

@@ -118,6 +118,12 @@ class LinkedListOfArrays(MatchQueue):
 
     def match_remove(self, probe: MatchItem) -> Optional[MatchItem]:
         """Find, remove and return the earliest item matching *probe*, or None."""
+        if self.port.scan_batch:
+            return self._match_remove_runs(probe)
+        return self._match_remove_slots(probe)
+
+    def _match_remove_slots(self, probe: MatchItem) -> Optional[MatchItem]:
+        """Per-slot scan: one port load per slot inspected."""
         probes = 0
         lookahead = self.SW_PREFETCH_LOOKAHEAD
         for node_idx, node in enumerate(self._nodes):
@@ -136,13 +142,81 @@ class LinkedListOfArrays(MatchQueue):
                     continue
                 probes += 1
                 if items_match(item, probe):
-                    self._remove_at(node, idx)
+                    self._remove_at(node, idx, node_idx)
                     self.stats.record_search(probes, True)
                     return item
         self.stats.record_search(probes, False)
         return None
 
-    def _remove_at(self, node: _LlaNode, idx: int) -> None:
+    def _match_remove_runs(self, probe: MatchItem) -> Optional[MatchItem]:
+        """Batched scan: header + inspected slots as one run per node.
+
+        The match is decided host-side first (slot contents are simulator
+        state, not simulated memory), then the exact slots the per-slot scan
+        would have loaded — ``start`` up to and including the match, or the
+        whole window — are charged as a single ``load_run`` bracketed with
+        the node header. Probe/hole accounting is identical by construction.
+        """
+        probes = 0
+        port = self.port
+        eb = self.entry_bytes
+        # Hints are part of the per-slot traversal spelling; a port that
+        # provably ignores them lets the batched scan skip the emission.
+        lookahead = -1 if port.hint_is_noop else self.SW_PREFETCH_LOOKAHEAD
+        # The match rule inlined with the probe's fields hoisted (keep in
+        # sync with repro.matching.envelope.items_match): the host-side scan
+        # is the batched spelling's whole per-slot cost, so it must not pay
+        # a call per slot.
+        p_cid = probe.cid
+        p_src = probe.src
+        p_tag = probe.tag
+        p_sm = probe.src_mask
+        p_tm = probe.tag_mask
+        for node_idx, node in enumerate(self._nodes):
+            if 0 <= lookahead and node_idx + lookahead < len(self._nodes):
+                ahead = self._nodes[node_idx + lookahead]
+                port.hint(ahead.alloc.addr, self.node_bytes)
+            slots = node.slots
+            found = -1
+            for idx in range(node.start, node.end):
+                item = slots[idx]
+                if item is None:
+                    self.hole_probes += 1
+                    continue
+                probes += 1
+                if (
+                    item.cid == p_cid
+                    and not ((item.src ^ p_src) & item.src_mask & p_sm)
+                    and not ((item.tag ^ p_tag) & item.tag_mask & p_tm)
+                ):
+                    found = idx
+                    break
+            stop = found if found >= 0 else node.end - 1
+            start = node.start
+            nprobes = stop - start + 1
+            base = node.alloc.addr
+            if nprobes <= 0:
+                port.load(base, _SLOT_BASE)
+            elif start == 0:
+                # Header + slots in one run: the direct spelling of the
+                # begin_scan/end_scan coalescing (the header's _SLOT_BASE
+                # bytes end exactly at slot 0).
+                port.load_run(base + _SLOT_BASE, nprobes * eb, nprobes, None, _SLOT_BASE)
+            else:
+                # The window no longer starts at the header boundary (front
+                # holes were tightened away): the header is charged alone,
+                # exactly as the per-slot scan orders it.
+                port.load(base, _SLOT_BASE)
+                port.load_run(base + _SLOT_BASE + start * eb, nprobes * eb, nprobes)
+            if found >= 0:
+                item = slots[found]
+                self._remove_at(node, found, node_idx)
+                self.stats.record_search(probes, True)
+                return item
+        self.stats.record_search(probes, False)
+        return None
+
+    def _remove_at(self, node: _LlaNode, idx: int, node_idx: int) -> None:
         item = node.slots[idx]
         node.slots[idx] = None
         node.live -= 1
@@ -155,12 +229,12 @@ class LinkedListOfArrays(MatchQueue):
         while node.end > node.start and node.slots[node.end - 1] is None:
             node.end -= 1
         if node.live == 0:
-            self._unlink(node)
+            self._unlink(node, node_idx)
         else:
             self.port.store(node.alloc.addr, _SLOT_BASE)  # head/tail update
 
-    def _unlink(self, node: _LlaNode) -> None:
-        idx = self._nodes.index(node)
+    def _unlink(self, node: _LlaNode, idx: int) -> None:
+        assert self._nodes[idx] is node
         self._nodes.pop(idx)
         if idx > 0:
             # Patch the predecessor's next pointer.

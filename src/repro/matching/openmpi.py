@@ -25,7 +25,7 @@ import numpy as np
 from repro.matching.base import MatchQueue
 from repro.matching.entry import LL_NODE_POINTERS, MatchItem
 from repro.matching.envelope import items_match
-from repro.matching.port import MemoryPort
+from repro.matching.port import MemoryPort, emit_node_runs
 from repro.mem.alloc import Allocation, SequentialHeap
 
 _PTR_BYTES = 8
@@ -120,8 +120,27 @@ class OpenMpiHierarchicalQueue(MatchQueue):
                 return cell, probes
         return None, probes
 
+    def _scan_list_runs(
+        self, cells: Deque[_Cell], probe: MatchItem, stop_before_seq: Optional[int]
+    ) -> tuple[Optional[_Cell], int]:
+        """Batched :meth:`_scan_list`: the match/early-stop decision is made
+        host-side, then the cells the per-slot scan would have loaded are
+        charged with heap-adjacent stretches coalesced into runs."""
+        addrs = []
+        found: Optional[_Cell] = None
+        for cell in cells:
+            if stop_before_seq is not None and cell.item.seq >= stop_before_seq:
+                break
+            addrs.append(cell.alloc.addr)
+            if items_match(cell.item, probe):
+                found = cell
+                break
+        emit_node_runs(self.port, addrs, self.node_bytes)
+        return found, len(addrs)
+
     def match_remove(self, probe: MatchItem) -> Optional[MatchItem]:
         """Find, remove and return the earliest item matching *probe*, or None."""
+        scan = self._scan_list_runs if self.port.scan_batch else self._scan_list
         state = self._comms.get(probe.cid)
         if state is None:
             self.stats.record_search(0, False)
@@ -138,13 +157,13 @@ class OpenMpiHierarchicalQueue(MatchQueue):
             lst = state.by_src.get(probe.src)
             candidates = [lst] if lst is not None else []
         for cells in candidates:
-            cell, p = self._scan_list(
+            cell, p = scan(
                 cells, probe, best.item.seq if best is not None else None
             )
             probes += p
             if cell is not None and (best is None or cell.item.seq < best.item.seq):
                 best, best_list = cell, cells
-        cell, p = self._scan_list(
+        cell, p = scan(
             state.wild, probe, best.item.seq if best is not None else None
         )
         probes += p

@@ -247,6 +247,8 @@ class MemoryHierarchy:
             # match engine, the heater) transparently get the SoA kernel.
             self.access_lines = self._access_lines_soa
             self.touch_shared_tx = self._touch_shared_tx_soa
+            self.run_latency = self._run_latency_soa
+            self.access_run = self._access_run_soa
 
     # -- the demand path ----------------------------------------------------
 
@@ -847,6 +849,101 @@ class MemoryHierarchy:
         res.prefetch_covered = pf_covered + l1_covered
         res.penalty_cycles = penalty_cycles
         return res
+
+    # -- the scan-run fast path ---------------------------------------------
+
+    def run_latency(self, core_id: int, cls: int = CLS_DEFAULT):
+        """Static eligibility of the scan-run fast path; L1 latency or None.
+
+        A scan run (see :meth:`access_run`) can only be charged
+        arithmetically when every per-visit side effect is reproducible
+        from visit counts alone: the dedicated network cache must not
+        intercept the class, the L1 policy must be LRU or RANDOM (PLRU's
+        mid-queue promotion is path-dependent), and the L1 latency must be
+        integer-valued so ``visits * latency`` is bit-identical to the
+        per-visit float adds. Returns the L1 hit latency when eligible,
+        ``None`` otherwise. Never mutates state.
+        """
+        core = self.cores[core_id]
+        if core.netcache is not None and cls == CLS_NETWORK:
+            return None
+        l1 = core.l1
+        if l1.policy == EvictionPolicy.PLRU or not float(l1.latency).is_integer():
+            return None
+        return l1.latency
+
+    def access_run(self, core_id, lines, vis, total):
+        """Apply an all-L1-hit scan run over the visited *lines*.
+
+        *lines* holds the ascending absolute line numbers a run's probes
+        visit and ``vis[i]`` how many probes visit ``lines[i]`` (each
+        probe's line span is contiguous and probe spans ascend, so
+        per-line visits are contiguous in the global visit sequence;
+        inter-probe gap lines are excluded by the caller — the replay
+        never loads them); ``total`` is ``sum(vis)``. If every line is
+        L1-resident with no pending prefetch flag or penalty, the method
+        applies exactly the state the per-probe replay would have left —
+        recency (one move-to-back per distinct line, ascending; repeat
+        visits are no-ops because ``order[-1]`` is already the line),
+        ``stats.hits`` and ``demand_accesses`` advanced by *total* — and
+        returns True. Otherwise returns False with **nothing mutated**,
+        and the caller must replay the run probe by probe through
+        :meth:`access_lines`. Eligibility by construction (the caller
+        checked :meth:`run_latency`): the L1 policy is not PLRU and the
+        network cache does not intercept the run's class.
+        """
+        core = self.cores[core_id]
+        l1_sets, l1_order, l1_mask, l1_lru, _l1_plru, _l1_lat, l1_stats = core.hot1
+        for line in lines:
+            meta = l1_sets[line & l1_mask].get(line)
+            if meta is None or meta.prefetched or meta.penalty:
+                return False
+        if l1_lru:
+            for line in lines:
+                order = l1_order[line & l1_mask]
+                if order[-1] != line:
+                    order.remove(line)
+                    order.append(line)
+        l1_stats.hits += total
+        self.demand_accesses += total
+        return True
+
+    def _run_latency_soa(self, core_id: int, cls: int = CLS_DEFAULT):
+        """SoA variant of :meth:`run_latency` (same contract)."""
+        core = self.cores[core_id]
+        if core.netcache is not None and cls == CLS_NETWORK:
+            return None
+        hot1 = core.hot1
+        # hot1 = slabs + (lru, plru, lat, lat_int, stats, l1)
+        if hot1[8] or not hot1[10]:  # plru, or non-integer latency
+            return None
+        return hot1[9]
+
+    def _access_run_soa(self, core_id, lines, vis, total):
+        """SoA variant of :meth:`access_run` (same contract).
+
+        The per-visit LRU stamp sequence collapses arithmetically: visits
+        are globally ordered and per-line contiguous, so line ``i``'s final
+        stamp is ``tick0 + cumulative_visits(i) - 1`` and the tick advances
+        by *total* — exactly what per-visit stamping would leave.
+        """
+        core = self.cores[core_id]
+        (l1_get, l1_flag, _l1_pref, _l1_pen, l1_stamp, _l1_orders, _l1_mask,
+         l1_lru, _l1_plru, _l1_lat, _l1_lat_int, l1_stats, l1) = core.hot1
+        slots = list(map(l1_get, lines))
+        if None in slots:
+            return False
+        if l1._nflagged and any(map(l1_flag.__getitem__, slots)):
+            return False
+        if l1_lru:
+            t = l1._tick
+            for slot, v in zip(slots, vis):
+                t += v
+                l1_stamp[slot] = t - 1
+            l1._tick = t
+        l1_stats.hits += total
+        self.demand_accesses += total
+        return True
 
     def access_legacy(self, core_id: int, addr: int, nbytes: int, cls: int = CLS_DEFAULT) -> float:
         """The pre-batching scalar loop, kept as the reference semantics.

@@ -16,6 +16,7 @@ import pytest
 
 from repro.arch import SANDY_BRIDGE
 from repro.bench.osu import OsuConfig, _OsuSession
+from repro.matching.port import SCAN_BATCH_ENV
 from repro.mem.kernel import ALL_KERNELS
 from repro.net.link import QLOGIC_QDR
 
@@ -23,6 +24,10 @@ from repro.net.link import QLOGIC_QDR
 #: slab kernel and the reference dict kernel are required to be
 #: bit-identical, so they share one set of pinned values.
 KERNELS = sorted(ALL_KERNELS)
+
+#: ... and under both queue-scan spellings: batched scan runs must charge
+#: exactly what the per-slot loads charged (same pinned values again).
+SCAN_MODES = ("on", "off")
 
 #: Traces captured at the seed commit: (queue_family, heated, msg_bytes)
 #: -> per-message match cycles, final engine clock, and hierarchy counters
@@ -92,13 +97,17 @@ def assert_trace_matches(pin, kernel=None):
         assert got == expected, f"{level}: {got} != {expected}"
 
 
+@pytest.mark.parametrize("scan_batch", SCAN_MODES)
 @pytest.mark.parametrize("kernel", KERNELS)
-def test_fig4_spatial_snb_lla8_trace_pinned(kernel):
+def test_fig4_spatial_snb_lla8_trace_pinned(kernel, scan_batch, monkeypatch):
+    monkeypatch.setenv(SCAN_BATCH_ENV, scan_batch)
     assert_trace_matches(PINNED["fig4_spatial_snb_lla8"], kernel)
 
 
+@pytest.mark.parametrize("scan_batch", SCAN_MODES)
 @pytest.mark.parametrize("kernel", KERNELS)
-def test_fig6_temporal_snb_hc_trace_pinned(kernel):
+def test_fig6_temporal_snb_hc_trace_pinned(kernel, scan_batch, monkeypatch):
+    monkeypatch.setenv(SCAN_BATCH_ENV, scan_batch)
     assert_trace_matches(PINNED["fig6_temporal_snb_hc"], kernel)
 
 
