@@ -23,7 +23,6 @@ import numpy as np
 from repro.analysis.series import Sweep
 from repro.apps.base import AppConfig, PhaseShape, ProxyApp
 from repro.arch.presets import BROADWELL
-from repro.net.link import OMNIPATH
 
 #: Figure 8's x axis.
 FIG8_SCALES = (128, 256, 512, 1024)
@@ -75,37 +74,25 @@ def fig8_plan(
     seed: int = 0,
     mem_kernel=None,
 ):
-    """Figure 8's grid: one ``app`` point per (family, scale)."""
-    from repro.exp import ExperimentPlan, encode_arch
-    from repro.mem.kernel import resolve_kernel
+    """Figure 8's grid (scenario ``fig8-amg``): one point per (family, scale)."""
+    from repro.scenarios import get_scenario
+    from repro.scenarios.builtins import fig8_variants
 
-    kernel = resolve_kernel(mem_kernel)
-
-    plan = ExperimentPlan(
-        title="AMG2013 scaling (Broadwell)",
-        xlabel="Process Count",
-        ylabel="Execution Time (s)",
+    base = {"arch": arch}
+    if mem_kernel is not None:
+        base["mem_kernel"] = mem_kernel
+    return (
+        get_scenario("fig8-amg")
+        .with_overrides(
+            base=base,
+            matrix={
+                "variant": fig8_variants(families),
+                "nranks": [int(n) for n in scales],
+            },
+            seed=seed,
+        )
+        .expand()
     )
-    arch_enc = encode_arch(arch)
-    for family in families:
-        label = "Baseline" if family == "baseline" else "LLA"
-        for nranks in scales:
-            plan.add_point(
-                "app",
-                label,
-                float(nranks),
-                seed=seed,
-                app=Amg2013.name,
-                arch=arch_enc,
-                link=OMNIPATH.name,
-                nranks=int(nranks),
-                queue_family=family,
-                # AMG is a long-running production-configuration code: its
-                # baseline list nodes come from a churned heap arena.
-                fragmented=family == "baseline",
-                mem_kernel=kernel,
-            )
-    return plan
 
 
 def fig8_amg_scaling(

@@ -96,23 +96,6 @@ def _config(arch_name: str, family: str, heated: bool, nranks: int, seed: int) -
     )
 
 
-def _point_params(arch_name: str, family: str, heated: bool, nranks: int) -> dict:
-    from repro.exp import encode_arch
-
-    arch = NEHALEM if arch_name == "nehalem" else BROADWELL
-    link = MELLANOX_QDR if arch_name == "nehalem" else OMNIPATH
-    return dict(
-        app=FireDynamicsSimulator.name,
-        arch=encode_arch(arch),
-        link=link.name,
-        nranks=int(nranks),
-        queue_family=family,
-        heated=heated,
-        # FDS lists are long-lived: the baseline's heap is churned.
-        fragmented=family == "baseline",
-    )
-
-
 def fig10_plan(
     *,
     scales: Sequence[int] = FIG10_SCALES,
@@ -125,37 +108,27 @@ def fig10_plan(
     The baseline points carry ``baseline/<arch>`` series labels; the driver
     reduces them into factor speedups rather than plotting them directly.
     """
-    from repro.exp import ExperimentPlan
-    from repro.mem.kernel import resolve_kernel
+    from repro.scenarios import get_scenario
+    from repro.scenarios.builtins import fig10_platforms, fig10_variant_values
 
-    kernel = resolve_kernel(mem_kernel)
-    plan = ExperimentPlan(
-        title="Fire Dynamics Simulator scaling",
-        xlabel="Process Count",
-        ylabel="Factor Speedup Over Baseline",
+    base = {}
+    if mem_kernel is not None:
+        base["mem_kernel"] = mem_kernel
+    return (
+        get_scenario("fig10-fds")
+        .with_overrides(
+            base=base or None,
+            matrix={
+                # nranks appears in both grids, so this hits baselines and
+                # variants alike; platform/variant each hit their own grid.
+                "nranks": [int(n) for n in scales],
+                "platform": fig10_platforms(variants),
+                "variant": fig10_variant_values(variants),
+            },
+            seed=seed,
+        )
+        .expand()
     )
-    arch_names = list(dict.fromkeys(v[1] for v in variants))
-    for nranks in scales:
-        for arch_name in arch_names:
-            plan.add_point(
-                "app",
-                f"baseline/{arch_name}",
-                float(nranks),
-                seed=seed,
-                mem_kernel=kernel,
-                **_point_params(arch_name, "baseline", False, nranks),
-            )
-    for label, arch_name, family, heated in variants:
-        for nranks in scales:
-            plan.add_point(
-                "app",
-                label,
-                float(nranks),
-                seed=seed,
-                mem_kernel=kernel,
-                **_point_params(arch_name, family, heated, nranks),
-            )
-    return plan
 
 
 def fig10_fds_speedups(

@@ -22,7 +22,6 @@ import numpy as np
 from repro.analysis.series import Sweep
 from repro.apps.base import AppConfig, PhaseShape, ProxyApp
 from repro.arch.presets import BROADWELL
-from repro.net.link import OMNIPATH
 
 #: Figure 9's x axis.
 FIG9_LENGTHS = (128, 512, 2048)
@@ -74,35 +73,25 @@ def fig9_plan(
     seed: int = 0,
     mem_kernel=None,
 ):
-    """Figure 9's grid: one ``app`` point per (family, list length)."""
-    from repro.exp import ExperimentPlan, encode_arch
-    from repro.mem.kernel import resolve_kernel
+    """Figure 9's grid (scenario ``fig9-minife``): (family, list length)."""
+    from repro.scenarios import get_scenario
+    from repro.scenarios.builtins import fig9_variants
 
-    kernel = resolve_kernel(mem_kernel)
-
-    plan = ExperimentPlan(
-        title=f"MiniFE at {nranks} processes (Broadwell)",
-        xlabel="Match list Length",
-        ylabel="Execution Time (s)",
+    base = {"arch": arch, "nranks": int(nranks)}
+    if mem_kernel is not None:
+        base["mem_kernel"] = mem_kernel
+    return (
+        get_scenario("fig9-minife")
+        .with_overrides(
+            base=base,
+            matrix={
+                "variant": fig9_variants(families),
+                "match_list_length": [int(n) for n in lengths],
+            },
+            seed=seed,
+        )
+        .expand()
     )
-    arch_enc = encode_arch(arch)
-    for family in families:
-        label = "Baseline" if family == "baseline" else "LLA"
-        for length in lengths:
-            plan.add_point(
-                "app",
-                label,
-                float(length),
-                seed=seed,
-                app=MiniFE.name,
-                match_list_length=int(length),
-                arch=arch_enc,
-                link=OMNIPATH.name,
-                nranks=int(nranks),
-                queue_family=family,
-                mem_kernel=kernel,
-            )
-    return plan
 
 
 def fig9_minife_lengths(

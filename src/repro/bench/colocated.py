@@ -130,11 +130,8 @@ def colocated_plan(
     seed: int = 0,
     mem_kernel: Optional[str] = None,
 ) -> "ExperimentPlan":
-    """The study's grid (mechanism-major, as the serial loop ran it)."""
-    from repro.exp import ExperimentPlan, encode_arch
-    from repro.mem.kernel import resolve_kernel
-
-    kernel = resolve_kernel(mem_kernel)
+    """The study's grid (scenario ``colocated``; mechanism-major order)."""
+    from repro.scenarios import get_scenario
 
     max_ranks = max(rank_counts)
     if max_ranks + 1 > arch.cores_per_socket:
@@ -142,28 +139,23 @@ def colocated_plan(
             f"{arch.name} has {arch.cores_per_socket} cores; "
             f"need {max_ranks + 1} (ranks + heater)"
         )
-    plan = ExperimentPlan(
-        title=f"Co-located capacity pressure ({arch.name})",
-        xlabel="co-located ranks",
-        ylabel="cycles/search",
+    base = {
+        "arch": arch,
+        "depth": int(depth),
+        "working_set_bytes": int(working_set_bytes),
+        "iterations": int(iterations),
+    }
+    if mem_kernel is not None:
+        base["mem_kernel"] = mem_kernel
+    return (
+        get_scenario("colocated")
+        .with_overrides(
+            base=base,
+            matrix={"mechanism": list(mechanisms), "ranks": [int(n) for n in rank_counts]},
+            seed=seed,
+        )
+        .expand()
     )
-    arch_enc = encode_arch(arch)
-    for mechanism in mechanisms:
-        for nranks in rank_counts:
-            plan.add_point(
-                "colocated",
-                mechanism,
-                float(nranks),
-                seed=seed,
-                arch=arch_enc,
-                mechanism=mechanism,
-                ranks=int(nranks),
-                depth=depth,
-                working_set_bytes=working_set_bytes,
-                iterations=iterations,
-                mem_kernel=kernel,
-            )
-    return plan
 
 
 def run_colocated_study(

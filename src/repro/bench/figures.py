@@ -1,14 +1,16 @@
 """Figure drivers: panels 4a-c, 5a-c (spatial) and 6a-c, 7a-c (temporal).
 
-Each driver *describes* its grid as an :class:`~repro.exp.plan.ExperimentPlan`
-(one ``osu`` point per variant x x-value) and hands it to a
-:class:`~repro.exp.runner.Runner` — serial by default, process-parallel or
-store-backed when the caller passes one. The reduced
-:class:`~repro.analysis.series.Sweep` is bit-identical to the historical
-serial nested-loop drivers: points carry the same root seed, reduction is
-in plan (variant-major) order, and ``meta["mem_stats"]`` merges per label
-exactly as before. Architectures select the figure: Sandy Bridge gives
-Figures 4/6, Broadwell gives Figures 5/7.
+Each panel's grid is a built-in scenario (:mod:`repro.scenarios.builtins`:
+``spatial-msg-size``, ``spatial-search-length``, ``temporal-msg-size``,
+``temporal-search-length``); the ``plan_*`` builders here are thin
+parameter adapters that apply the caller's arch/grid overrides and expand
+the scenario into an :class:`~repro.exp.plan.ExperimentPlan`. The
+expansions are pinned repr-identical to the historical hand-rolled
+builders by ``tests/test_scenarios.py``, so the reduced
+:class:`~repro.analysis.series.Sweep` objects — point seeds, variant-major
+reduction order, ``meta["mem_stats"]`` merge order — are bit-for-bit what
+the serial nested-loop drivers produced. Architectures select the figure:
+Sandy Bridge gives Figures 4/6, Broadwell gives Figures 5/7.
 """
 
 from __future__ import annotations
@@ -17,12 +19,7 @@ from typing import Optional, Sequence, Tuple
 
 from repro.analysis.series import Sweep
 from repro.arch.spec import ArchSpec
-from repro.bench.osu import (
-    MSG_SIZE_SWEEP,
-    SEARCH_LENGTH_SWEEP,
-)
-from repro.exp import ExperimentPlan, Runner, encode_arch
-from repro.mem.kernel import resolve_kernel
+from repro.exp import ExperimentPlan, Runner
 from repro.net.link import LinkSpec, OMNIPATH, QLOGIC_QDR
 
 #: The spatial-locality line-up (Figures 4 and 5).
@@ -56,52 +53,34 @@ def default_link(arch: ArchSpec) -> LinkSpec:
     return OMNIPATH if arch.name == "broadwell" else QLOGIC_QDR
 
 
-def variant_grid_plan(
+def _expand_panel(
+    scenario: str,
     arch: ArchSpec,
-    variants: Sequence[Tuple[str, str, bool]],
     *,
-    title: str,
-    xlabel: str,
-    ylabel: str = "bandwidth (MiBps)",
+    base: dict,
     x_axis: str,
-    msg_bytes: int,
-    depth: int,
-    xs: Sequence[int],
-    iterations: int,
+    xs: Optional[Sequence[int]],
+    variants: Optional[Sequence[Tuple[str, str, bool]]],
     seed: int,
-    mem_kernel: Optional[str] = None,
+    mem_kernel: Optional[str],
 ) -> ExperimentPlan:
-    """One figure panel as a declarative grid: variants x x-values.
+    """Apply a panel's overrides to its built-in scenario and expand."""
+    from repro.scenarios import get_scenario
+    from repro.scenarios.builtins import figure_variants
 
-    Points are enumerated variant-major (all x of one line, then the next)
-    because that is the reduction order the historical drivers produced.
-    All points share the figure's root seed — each ``osu`` point builds its
-    private RNGs from it, and the locked EXPERIMENTS.md numbers depend on
-    that convention. The memory-kernel backend is resolved here, at plan
-    build time, and baked into every point's params so ResultStore content
-    keys differ per backend.
-    """
-    link = default_link(arch)
-    kernel = resolve_kernel(mem_kernel)
-    plan = ExperimentPlan(title=title, xlabel=xlabel, ylabel=ylabel)
-    arch_enc = encode_arch(arch)
-    for label, family, heated in variants:
-        for x in xs:
-            plan.add_point(
-                "osu",
-                label,
-                float(x),
-                seed=seed,
-                arch=arch_enc,
-                link=link.name,
-                queue_family=family,
-                heated=heated,
-                msg_bytes=int(x) if x_axis == "msg_bytes" else msg_bytes,
-                search_depth=int(x) if x_axis == "depth" else depth,
-                iterations=iterations,
-                mem_kernel=kernel,
-            )
-    return plan
+    base = {"arch": arch, **base}
+    if mem_kernel is not None:
+        base["mem_kernel"] = mem_kernel
+    matrix = {}
+    if xs is not None:
+        matrix[x_axis] = list(xs)
+    if variants is not None:
+        matrix["variant"] = figure_variants(variants)
+    return (
+        get_scenario(scenario)
+        .with_overrides(base=base, matrix=matrix or None, seed=seed)
+        .expand()
+    )
 
 
 def plan_spatial_msg_size(
@@ -112,18 +91,16 @@ def plan_spatial_msg_size(
     iterations: int = 10,
     seed: int = 0,
     mem_kernel: Optional[str] = None,
+    variants: Optional[Sequence[Tuple[str, str, bool]]] = None,
 ) -> ExperimentPlan:
-    """The grid behind Figures 4a / 5a."""
-    return variant_grid_plan(
+    """The grid behind Figures 4a / 5a (scenario ``spatial-msg-size``)."""
+    return _expand_panel(
+        "spatial-msg-size",
         arch,
-        SPATIAL_VARIANTS,
-        title=f"Impact of spatial locality ({arch.name}), queue depth {depth}",
-        xlabel="msg size per process (B)",
+        base={"search_depth": depth, "iterations": iterations},
         x_axis="msg_bytes",
-        msg_bytes=1,
-        depth=depth,
-        xs=msg_sizes if msg_sizes is not None else MSG_SIZE_SWEEP,
-        iterations=iterations,
+        xs=msg_sizes,
+        variants=variants,
         seed=seed,
         mem_kernel=mem_kernel,
     )
@@ -137,18 +114,16 @@ def plan_spatial_search_length(
     iterations: int = 10,
     seed: int = 0,
     mem_kernel: Optional[str] = None,
+    variants: Optional[Sequence[Tuple[str, str, bool]]] = None,
 ) -> ExperimentPlan:
-    """The grid behind Figures 4b/c and 5b/c."""
-    return variant_grid_plan(
+    """The grid behind Figures 4b/c and 5b/c (``spatial-search-length``)."""
+    return _expand_panel(
+        "spatial-search-length",
         arch,
-        SPATIAL_VARIANTS,
-        title=f"Impact of spatial locality ({arch.name}), {msg_bytes} B messages",
-        xlabel="Posted Receive Queue Search Length",
-        x_axis="depth",
-        msg_bytes=msg_bytes,
-        depth=0,
-        xs=depths if depths is not None else SEARCH_LENGTH_SWEEP,
-        iterations=iterations,
+        base={"msg_bytes": msg_bytes, "iterations": iterations},
+        x_axis="search_depth",
+        xs=depths,
+        variants=variants,
         seed=seed,
         mem_kernel=mem_kernel,
     )
@@ -162,18 +137,16 @@ def plan_temporal_msg_size(
     iterations: int = 10,
     seed: int = 0,
     mem_kernel: Optional[str] = None,
+    variants: Optional[Sequence[Tuple[str, str, bool]]] = None,
 ) -> ExperimentPlan:
-    """The grid behind Figures 6a / 7a."""
-    return variant_grid_plan(
+    """The grid behind Figures 6a / 7a (scenario ``temporal-msg-size``)."""
+    return _expand_panel(
+        "temporal-msg-size",
         arch,
-        TEMPORAL_VARIANTS,
-        title=f"Impact of temporal locality ({arch.name}), queue depth {depth}",
-        xlabel="msg size per process (B)",
+        base={"search_depth": depth, "iterations": iterations},
         x_axis="msg_bytes",
-        msg_bytes=1,
-        depth=depth,
-        xs=msg_sizes if msg_sizes is not None else MSG_SIZE_SWEEP,
-        iterations=iterations,
+        xs=msg_sizes,
+        variants=variants,
         seed=seed,
         mem_kernel=mem_kernel,
     )
@@ -187,18 +160,16 @@ def plan_temporal_search_length(
     iterations: int = 10,
     seed: int = 0,
     mem_kernel: Optional[str] = None,
+    variants: Optional[Sequence[Tuple[str, str, bool]]] = None,
 ) -> ExperimentPlan:
-    """The grid behind Figures 6b/c / 7b/c."""
-    return variant_grid_plan(
+    """The grid behind Figures 6b/c / 7b/c (``temporal-search-length``)."""
+    return _expand_panel(
+        "temporal-search-length",
         arch,
-        TEMPORAL_VARIANTS,
-        title=f"Impact of temporal locality ({arch.name}), {msg_bytes} B messages",
-        xlabel="Posted Receive Queue Search Length",
-        x_axis="depth",
-        msg_bytes=msg_bytes,
-        depth=0,
-        xs=depths if depths is not None else SEARCH_LENGTH_SWEEP,
-        iterations=iterations,
+        base={"msg_bytes": msg_bytes, "iterations": iterations},
+        x_axis="search_depth",
+        xs=depths,
+        variants=variants,
         seed=seed,
         mem_kernel=mem_kernel,
     )

@@ -92,29 +92,18 @@ def heater_micro_plan(
     seed: int = 0,
     mem_kernel: Optional[str] = None,
 ):
-    """The micro-benchmark as a declarative plan: one point per arch.
+    """The micro-benchmark as a declarative plan (scenario ``heater-micro``).
 
     Cold and hot measurements share one RNG stream, so each arch is a
     single ``heater-micro`` point (y = cold ns, ``extras["hot_ns"]``).
     """
-    from repro.exp import ExperimentPlan, encode_arch
-    from repro.mem.kernel import resolve_kernel
+    from repro.scenarios import get_scenario
 
-    kernel = resolve_kernel(mem_kernel)
-    plan = ExperimentPlan(
-        title="Section 4.3 cache-heater random-access micro-benchmark",
-        xlabel="arch",
-        ylabel="ns / iteration (cold)",
+    base = {"region_bytes": int(region_bytes), "samples": int(samples)}
+    if mem_kernel is not None:
+        base["mem_kernel"] = mem_kernel
+    return (
+        get_scenario("heater-micro")
+        .with_overrides(base=base, matrix={"arch": list(archs)}, seed=seed)
+        .expand()
     )
-    for i, arch in enumerate(archs):
-        plan.add_point(
-            "heater-micro",
-            arch.name,
-            float(i),
-            seed=seed,
-            arch=encode_arch(arch),
-            region_bytes=region_bytes,
-            samples=samples,
-            mem_kernel=kernel,
-        )
-    return plan

@@ -2,7 +2,7 @@
 
 Usage (installed as ``repro``, or ``python -m repro``)::
 
-    repro list                 # what can be regenerated
+    repro list                 # commands, registered scenarios, axes
     repro table1               # Table 1 rows
     repro fig1 [--motif amr]   # Figure 1 histograms
     repro layout               # Figure 2 cache-line packing arithmetic
@@ -11,6 +11,13 @@ Usage (installed as ``repro``, or ``python -m repro``)::
     repro heater-micro         # section 4.3 random-access numbers
     repro fig8 / fig9 / fig10  # application studies
     repro ablation             # semi-permanent-occupancy proposal study
+    repro run fig4_quick.toml  # any scenario file (or registered name)
+
+The figure subcommands are thin aliases over the scenario registry
+(:mod:`repro.scenarios`): each one expands a named built-in scenario into
+an :class:`~repro.exp.plan.ExperimentPlan` and renders the reduced sweep.
+``repro run`` does the same for an arbitrary TOML/JSON scenario file — a
+new experiment grid is a config file, not a driver.
 
 Every command accepts ``--quick`` to shrink sweeps for a fast look. Sweep
 commands additionally accept ``--jobs N`` (process-parallel execution,
@@ -43,8 +50,17 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 _SWEEP_COMMANDS = (
     "fig4", "fig5", "fig6", "fig7",
     "fig8", "fig9", "fig10",
-    "heater-micro", "ablation", "offload",
+    "heater-micro", "ablation", "offload", "run",
 )
+
+#: Commands that render sweeps as panels (charts/exports apply).
+_PANEL_COMMANDS = ("fig4", "fig5", "fig6", "fig7", "run")
+
+
+def _seed(args: argparse.Namespace) -> int:
+    """The run's seed: ``--seed`` if given, else the historical default 0."""
+    seed = getattr(args, "seed", None)
+    return 0 if seed is None else int(seed)
 
 
 def _progress_to_stderr(done, total, spec, result, cached) -> None:
@@ -108,11 +124,21 @@ def _emit_report(runner, args: argparse.Namespace) -> None:
         print(f"[report written {report_path}]", file=sys.stderr)
 
 
+def _scenario_plan(name: str, args: argparse.Namespace):
+    """Expand a built-in scenario with the command's --quick/--seed applied."""
+    from repro.scenarios import get_scenario
+
+    spec = get_scenario(name)
+    if args.quick:
+        spec = spec.quick()
+    return spec.with_overrides(seed=_seed(args)).expand()
+
+
 def _cmd_table1(args: argparse.Namespace) -> None:
     from repro.decomp.bench import table1
 
     trials = 3 if args.quick else 10
-    rows = [r.as_row() + (round(r.depth_std, 2),) for r in table1(trials=trials, seed=args.seed)]
+    rows = [r.as_row() + (round(r.depth_std, 2),) for r in table1(trials=trials, seed=_seed(args))]
     print(
         render_table(
             ["Decomp.", "Stencil", "tr", "ts", "Length", "Search depth", "std"],
@@ -128,7 +154,7 @@ def _cmd_fig1(args: argparse.Namespace) -> None:
     names = [args.motif] if args.motif else list(MOTIFS)
     for name in names:
         cls = MOTIFS[name]
-        motif = cls(seed=args.seed, sim_ranks=512 if args.quick else None)
+        motif = cls(seed=_seed(args), sim_ranks=512 if args.quick else None)
         result = motif.run()
         rows = [
             (label, posted, unexpected)
@@ -168,9 +194,9 @@ def _cmd_layout(args: argparse.Namespace) -> None:
     )
 
 
-def _render_panel(sweep, args: argparse.Namespace, panel: str) -> None:
-    """Print one figure panel; *panel* names it deterministically ("a".."c"),
-    so export stems are stable across repeated main() calls in one process."""
+def _render_panel(sweep, args: argparse.Namespace, stem: str) -> None:
+    """Print one figure panel; *stem* names its export files deterministically,
+    so stems are stable across repeated main() calls in one process."""
     print(render_series_table(sweep))
     if getattr(args, "mem_stats", False) and sweep.meta.get("mem_stats"):
         from repro.analysis.report import render_mem_stats_table
@@ -189,7 +215,6 @@ def _render_panel(sweep, args: argparse.Namespace, panel: str) -> None:
         from repro.analysis.export import write_sweep
 
         Path(export_dir).mkdir(parents=True, exist_ok=True)
-        stem = f"{args.command}_panel_{panel}"
         for suffix in (".csv", ".json"):
             path = Path(export_dir) / (stem + suffix)
             write_sweep(path, sweep)
@@ -197,82 +222,32 @@ def _render_panel(sweep, args: argparse.Namespace, panel: str) -> None:
     print()
 
 
-def _fig_spatial(arch_name: str, args: argparse.Namespace) -> None:
-    from repro.arch import get_arch
-    from repro.bench.figures import fig_spatial_msg_size, fig_spatial_search_length
+def _locality_fig(flavor: str, arch_name: str, args: argparse.Namespace) -> None:
+    """Three panels of Figures 4-7: (a) message-size sweep at queue depth
+    1024, then the search-length sweep at (b) 1 B and (c) 4 KiB messages."""
+    from repro.scenarios import get_scenario
 
-    arch = get_arch(arch_name)
     runner = _runner_from_args(args)
-    iters = 3 if args.quick else 10
-    sizes = [1, 64, 1024, 65536, 1 << 20] if args.quick else None
-    depths = [1, 8, 64, 512, 1024, 4096] if args.quick else None
-    _render_panel(
-        fig_spatial_msg_size(arch, msg_sizes=sizes, iterations=iters, runner=runner),
-        args,
-        "a",
+    panels = (
+        (f"{flavor}-msg-size", None),
+        (f"{flavor}-search-length", 1),
+        (f"{flavor}-search-length", 4096),
     )
-    _emit_report(runner, args)
-    _render_panel(
-        fig_spatial_search_length(
-            arch, msg_bytes=1, depths=depths, iterations=iters, runner=runner
-        ),
-        args,
-        "b",
-    )
-    _emit_report(runner, args)
-    _render_panel(
-        fig_spatial_search_length(
-            arch, msg_bytes=4096, depths=depths, iterations=iters, runner=runner
-        ),
-        args,
-        "c",
-    )
-    _emit_report(runner, args)
-
-
-def _fig_temporal(arch_name: str, args: argparse.Namespace) -> None:
-    from repro.arch import get_arch
-    from repro.bench.figures import fig_temporal_msg_size, fig_temporal_search_length
-
-    arch = get_arch(arch_name)
-    runner = _runner_from_args(args)
-    iters = 3 if args.quick else 10
-    sizes = [1, 64, 1024, 65536, 1 << 20] if args.quick else None
-    depths = [1, 8, 64, 512, 1024, 4096] if args.quick else None
-    _render_panel(
-        fig_temporal_msg_size(arch, msg_sizes=sizes, iterations=iters, runner=runner),
-        args,
-        "a",
-    )
-    _emit_report(runner, args)
-    _render_panel(
-        fig_temporal_search_length(
-            arch, msg_bytes=1, depths=depths, iterations=iters, runner=runner
-        ),
-        args,
-        "b",
-    )
-    _emit_report(runner, args)
-    _render_panel(
-        fig_temporal_search_length(
-            arch, msg_bytes=4096, depths=depths, iterations=iters, runner=runner
-        ),
-        args,
-        "c",
-    )
-    _emit_report(runner, args)
+    for panel, (scenario, msg_bytes) in zip("abc", panels):
+        spec = get_scenario(scenario)
+        if args.quick:
+            spec = spec.quick()
+        base = {"arch": arch_name}
+        if msg_bytes is not None:
+            base["msg_bytes"] = msg_bytes
+        plan = spec.with_overrides(base=base, seed=_seed(args)).expand()
+        _render_panel(runner.run_sweep(plan), args, f"{args.command}_panel_{panel}")
+        _emit_report(runner, args)
 
 
 def _cmd_heater_micro(args: argparse.Namespace) -> None:
-    from repro.arch import BROADWELL, SANDY_BRIDGE
-    from repro.bench.heater_micro import heater_micro_plan
-
     paper = {"sandy-bridge": (47.5, 22.9), "broadwell": (38.5, 22.8)}
-    plan = heater_micro_plan(
-        (SANDY_BRIDGE, BROADWELL),
-        samples=512 if args.quick else 2048,
-        seed=args.seed,
-    )
+    plan = _scenario_plan("heater-micro", args)
     runner = _runner_from_args(args)
     results = runner.run(plan)
     rows = []
@@ -298,7 +273,7 @@ def _cmd_fig8(args: argparse.Namespace) -> None:
     from repro.apps import fig8_amg_scaling
 
     runner = _runner_from_args(args)
-    sweep = fig8_amg_scaling(seed=args.seed, runner=runner)
+    sweep = fig8_amg_scaling(seed=_seed(args), runner=runner)
     print(render_series_table(sweep))
     try:
         base, lla = sweep.series["Baseline"], sweep.series["LLA"]
@@ -313,7 +288,7 @@ def _cmd_fig9(args: argparse.Namespace) -> None:
     from repro.apps import fig9_minife_lengths
 
     runner = _runner_from_args(args)
-    sweep = fig9_minife_lengths(seed=args.seed, runner=runner)
+    sweep = fig9_minife_lengths(seed=_seed(args), runner=runner)
     print(render_series_table(sweep))
     try:
         base, lla = sweep.series["Baseline"], sweep.series["LLA"]
@@ -331,55 +306,15 @@ def _cmd_fig10(args: argparse.Namespace) -> None:
     scales = (1024, 4096, 8192) if args.quick else None
     sweep = fig10_fds_speedups(
         scales=scales or (128, 256, 512, 1024, 2048, 4096, 8192),
-        seed=args.seed,
+        seed=_seed(args),
         runner=runner,
     )
     print(render_series_table(sweep))
     _emit_report(runner, args)
 
 
-#: The section 4.6 occupancy-mechanism line-up: (label, extra osu params).
-_ABLATION_VARIANTS = (
-    ("baseline", {}),
-    ("hot caching", {"heated": True}),
-    ("CAT partition (4 ways)", {"partition_ways": 4}),
-    ("dedicated net cache 2KiB", {"network_cache_bytes": 2048}),
-)
-
-
-def _ablation_plan(args: argparse.Namespace):
-    from repro.arch import BROADWELL, SANDY_BRIDGE
-    from repro.bench.figures import default_link
-    from repro.exp import ExperimentPlan, encode_arch
-    from repro.mem.kernel import resolve_kernel
-
-    plan = ExperimentPlan(
-        title="Semi-permanent cache occupancy proposals (section 4.6)",
-        xlabel="occupancy mechanism",
-        ylabel="bandwidth (MiBps), 1B msgs",
-    )
-    for arch in (SANDY_BRIDGE, BROADWELL):
-        link = default_link(arch)
-        for label, extra in _ABLATION_VARIANTS:
-            plan.add_point(
-                "osu",
-                f"{arch.name}: {label}",
-                0.0,
-                seed=args.seed,
-                arch=encode_arch(arch),
-                link=link.name,
-                queue_family="baseline",
-                msg_bytes=1,
-                search_depth=64 if args.quick else 512,
-                iterations=3 if args.quick else 10,
-                mem_kernel=resolve_kernel(None),
-                **extra,
-            )
-    return plan
-
-
 def _cmd_ablation(args: argparse.Namespace) -> None:
-    plan = _ablation_plan(args)
+    plan = _scenario_plan("ablation", args)
     runner = _runner_from_args(args)
     results = runner.run(plan)
     rows = []
@@ -406,33 +341,8 @@ def _cmd_ablation(args: argparse.Namespace) -> None:
     _emit_report(runner, args)
 
 
-def _offload_plan(args: argparse.Namespace):
-    from repro.exp import ExperimentPlan
-    from repro.mem.kernel import resolve_kernel
-
-    depths = (64, 1024, 4000, 16384) if not args.quick else (64, 4000)
-    plan = ExperimentPlan(
-        title="Hardware matching offload and its capacity cliff (section 2.2)",
-        xlabel="queue depth",
-        ylabel="cycles/search",
-    )
-    for nic_label in ("software-only", "psm2-like", "bxi-like"):
-        for depth in depths:
-            plan.add_point(
-                "offload",
-                nic_label,
-                float(depth),
-                seed=args.seed,
-                arch="sandy-bridge",
-                nic=nic_label,
-                depth=int(depth),
-                mem_kernel=resolve_kernel(None),
-            )
-    return plan
-
-
 def _cmd_offload(args: argparse.Namespace) -> None:
-    plan = _offload_plan(args)
+    plan = _scenario_plan("offload", args)
     runner = _runner_from_args(args)
     results = runner.run(plan)
     rows = [
@@ -449,22 +359,32 @@ def _cmd_offload(args: argparse.Namespace) -> None:
     _emit_report(runner, args)
 
 
-_COMMANDS = {
-    "table1": ("Table 1: thread-decomposition queue lengths/search depths", _cmd_table1),
-    "fig1": ("Figure 1: motif match-list histograms", _cmd_fig1),
-    "layout": ("Figure 2: cache-line packing arithmetic", _cmd_layout),
-    "fig4": ("Figure 4: spatial locality, Sandy Bridge", lambda a: _fig_spatial("sandy-bridge", a)),
-    "fig5": ("Figure 5: spatial locality, Broadwell", lambda a: _fig_spatial("broadwell", a)),
-    "fig6": ("Figure 6: temporal locality, Sandy Bridge", lambda a: _fig_temporal("sandy-bridge", a)),
-    "fig7": ("Figure 7: temporal locality, Broadwell", lambda a: _fig_temporal("broadwell", a)),
-    "heater-micro": ("Section 4.3 heater micro-benchmark", _cmd_heater_micro),
-    "fig8": ("Figure 8: AMG2013 scaling", _cmd_fig8),
-    "fig9": ("Figure 9: MiniFE queue lengths", _cmd_fig9),
-    "fig10": ("Figure 10: FDS factor speedups", _cmd_fig10),
-    "ablation": ("Section 4.6 occupancy-mechanism ablation", _cmd_ablation),
-    "offload": ("Section 2.2 hardware-offload capacity cliff", _cmd_offload),
-    "validate": ("Run all DESIGN.md section 7 reproduction criteria", None),
-}
+def _cmd_run(args: argparse.Namespace) -> None:
+    """Expand and run one scenario — a registered name or a TOML/JSON file."""
+    from pathlib import Path
+
+    from repro.scenarios import SCENARIO_SUFFIXES, get_scenario, load_scenario
+
+    target = args.scenario
+    path = Path(target)
+    if path.exists() or path.suffix.lower() in SCENARIO_SUFFIXES:
+        spec = load_scenario(path)
+    else:
+        spec = get_scenario(target)
+    if args.quick:
+        spec = spec.quick()
+    if getattr(args, "seed", None) is not None:
+        spec = spec.with_overrides(seed=args.seed)
+    plan = spec.expand()
+    print(
+        f"[scenario {spec.name} ({spec.source}): {len(plan.points)} points]",
+        file=sys.stderr,
+    )
+    runner = _runner_from_args(args)
+    sweep = runner.run_sweep(plan)
+    stem = "run_" + "".join(c if c.isalnum() else "_" for c in spec.name)
+    _render_panel(sweep, args, stem)
+    _emit_report(runner, args)
 
 
 def _cmd_validate(args: argparse.Namespace) -> None:
@@ -476,83 +396,147 @@ def _cmd_validate(args: argparse.Namespace) -> None:
         sys.exit(1)
 
 
-_COMMANDS["validate"] = (_COMMANDS["validate"][0], _cmd_validate)
+_COMMANDS = {
+    "table1": ("Table 1: thread-decomposition queue lengths/search depths", _cmd_table1),
+    "fig1": ("Figure 1: motif match-list histograms", _cmd_fig1),
+    "layout": ("Figure 2: cache-line packing arithmetic", _cmd_layout),
+    "fig4": ("Figure 4: spatial locality, Sandy Bridge", lambda a: _locality_fig("spatial", "sandy-bridge", a)),
+    "fig5": ("Figure 5: spatial locality, Broadwell", lambda a: _locality_fig("spatial", "broadwell", a)),
+    "fig6": ("Figure 6: temporal locality, Sandy Bridge", lambda a: _locality_fig("temporal", "sandy-bridge", a)),
+    "fig7": ("Figure 7: temporal locality, Broadwell", lambda a: _locality_fig("temporal", "broadwell", a)),
+    "heater-micro": ("Section 4.3 heater micro-benchmark", _cmd_heater_micro),
+    "fig8": ("Figure 8: AMG2013 scaling", _cmd_fig8),
+    "fig9": ("Figure 9: MiniFE queue lengths", _cmd_fig9),
+    "fig10": ("Figure 10: FDS factor speedups", _cmd_fig10),
+    "ablation": ("Section 4.6 occupancy-mechanism ablation", _cmd_ablation),
+    "offload": ("Section 2.2 hardware-offload capacity cliff", _cmd_offload),
+    "run": ("Run a scenario: a registered name or a TOML/JSON spec file", _cmd_run),
+    "validate": ("Run all DESIGN.md section 7 reproduction criteria", _cmd_validate),
+}
 
 
 def _cmd_list(args: argparse.Namespace) -> None:
+    from repro.scenarios import iter_axes, iter_scenarios
+
     print(render_table(["command", "regenerates"], [(k, v[0]) for k, v in _COMMANDS.items()]))
+    print()
+    print(
+        render_table(
+            ["scenario", "kind", "points", "description"],
+            [
+                (s.name, s.kind or "per-grid", s.total_points(), s.description or s.title)
+                for s in iter_scenarios()
+            ],
+            title="Registered scenarios (repro run <name> or <file.toml|file.json>)",
+        )
+    )
+    print()
+    print(
+        render_table(
+            ["axis", "legal values", "meaning"],
+            [(a.name, a.values, a.help) for a in iter_axes()],
+            title="Scenario axes (keys of 'base' and 'matrix' sections)",
+        )
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the argparse CLI parser."""
+    """Construct the argparse CLI parser (shared flags live on parents)."""
+    from repro._version import __version__
+    from repro.matching.port import SCAN_BATCH_ENV
+    from repro.mem.kernel import ALL_KERNELS, DEFAULT_KERNEL, MEM_KERNEL_ENV
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate tables/figures of 'The Case for Semi-Permanent "
         "Cache Occupancy' (ICPP'18) on the simulated substrate.",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
-    from repro.matching.port import SCAN_BATCH_ENV
-    from repro.mem.kernel import ALL_KERNELS, DEFAULT_KERNEL, MEM_KERNEL_ENV
+
+    # Execution flags shared by every experiment command.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--quick", action="store_true", help="reduced sweeps")
+    common.add_argument("--seed", type=int, default=None,
+                        help="root RNG seed (default 0; 'repro run' defaults "
+                        "to the scenario file's own seed)")
+    common.add_argument("--mem-kernel", choices=sorted(ALL_KERNELS), default=None,
+                        help="cache-kernel backend (default: "
+                        f"${MEM_KERNEL_ENV} or '{DEFAULT_KERNEL}'); both "
+                        "backends are bit-identical, 'soa' is faster")
+    common.add_argument("--scan-batch", choices=["on", "off"], default=None,
+                        help="queue-scan spelling (default: "
+                        f"${SCAN_BATCH_ENV} or 'on'); both are bit-identical, "
+                        "'on' charges one engine call per contiguous run")
+
+    # Runner/store/failure-policy flags shared by the sweep commands.
+    sweep = argparse.ArgumentParser(add_help=False)
+    sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="run sweep points on N processes "
+                       "(bit-identical to serial)")
+    sweep.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="content-addressed result store; completed "
+                       "points are reused, fresh ones written back")
+    sweep.add_argument("--resume", action="store_true",
+                       help=f"shorthand for --cache-dir {DEFAULT_CACHE_DIR}")
+    sweep.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="re-attempt each failed point up to N times "
+                       "(capped exponential backoff; point seeds are "
+                       "never changed, so retried output is bit-identical)")
+    sweep.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-point deadline in seconds; an overdue "
+                       "pool worker is terminated and the point "
+                       "rescheduled (serial: detected post-hoc)")
+    sweep.add_argument("--on-error", choices=["fail-fast", "collect"],
+                       default="fail-fast",
+                       help="fail-fast: abort on the first exhausted "
+                       "point (completed work is still flushed to the "
+                       "store); collect: finish the sweep, report "
+                       "failed points, and render what survived")
+    sweep.add_argument("--report", metavar="FILE", default=None,
+                       help="write the structured RunReport (attempts, "
+                       "failures, supervision counters) as JSON")
+    sweep.add_argument("--inject-faults", metavar="SPEC", default=None,
+                       help="deterministic fault injection, e.g. "
+                       "'crash@1,hang@2:1:0.5,corrupt@3' "
+                       "(kind@index[:attempts[:seconds]]; kinds: crash, "
+                       "raise, hang, corrupt); also via "
+                       "REPRO_INJECT_FAULTS")
+
+    # Rendering flags for the commands that print sweeps as panels.
+    render = argparse.ArgumentParser(add_help=False)
+    render.add_argument("--chart", action="store_true", help="ASCII charts too")
+    render.add_argument("--export", metavar="DIR", default=None,
+                        help="write each panel as CSV + JSON into DIR")
+    render.add_argument("--mem-stats", action="store_true",
+                        help="per-level hit-attribution table per variant")
 
     for name, (help_text, _) in _COMMANDS.items():
-        p = sub.add_parser(name, help=help_text)
-        p.add_argument("--quick", action="store_true", help="reduced sweeps")
-        p.add_argument("--seed", type=int, default=0)
-        p.add_argument("--mem-kernel", choices=sorted(ALL_KERNELS), default=None,
-                       help="cache-kernel backend (default: "
-                       f"${MEM_KERNEL_ENV} or '{DEFAULT_KERNEL}'); both "
-                       "backends are bit-identical, 'soa' is faster")
-        p.add_argument("--scan-batch", choices=["on", "off"], default=None,
-                       help="queue-scan spelling (default: "
-                       f"${SCAN_BATCH_ENV} or 'on'); both are bit-identical, "
-                       "'on' charges one engine call per contiguous run")
+        parents = [common]
+        if name in _SWEEP_COMMANDS:
+            parents.append(sweep)
+        if name in _PANEL_COMMANDS:
+            parents.append(render)
+        p = sub.add_parser(name, help=help_text, parents=parents)
         if name == "fig1":
             p.add_argument("--motif", choices=["amr", "sweep3d", "halo3d"], default=None)
-        if name in ("fig4", "fig5", "fig6", "fig7"):
-            p.add_argument("--chart", action="store_true", help="ASCII charts too")
-            p.add_argument("--export", metavar="DIR", default=None,
-                           help="write each panel as CSV + JSON into DIR")
-        if name in ("fig4", "fig5", "fig6", "fig7", "ablation"):
+        if name == "ablation":
             p.add_argument("--mem-stats", action="store_true",
                            help="per-level hit-attribution table per variant")
-        if name in _SWEEP_COMMANDS:
-            p.add_argument("--jobs", type=int, default=1, metavar="N",
-                           help="run sweep points on N processes "
-                           "(bit-identical to serial)")
-            p.add_argument("--cache-dir", metavar="DIR", default=None,
-                           help="content-addressed result store; completed "
-                           "points are reused, fresh ones written back")
-            p.add_argument("--resume", action="store_true",
-                           help=f"shorthand for --cache-dir {DEFAULT_CACHE_DIR}")
-            p.add_argument("--retries", type=int, default=0, metavar="N",
-                           help="re-attempt each failed point up to N times "
-                           "(capped exponential backoff; point seeds are "
-                           "never changed, so retried output is bit-identical)")
-            p.add_argument("--timeout", type=float, default=None, metavar="S",
-                           help="per-point deadline in seconds; an overdue "
-                           "pool worker is terminated and the point "
-                           "rescheduled (serial: detected post-hoc)")
-            p.add_argument("--on-error", choices=["fail-fast", "collect"],
-                           default="fail-fast",
-                           help="fail-fast: abort on the first exhausted "
-                           "point (completed work is still flushed to the "
-                           "store); collect: finish the sweep, report "
-                           "failed points, and render what survived")
-            p.add_argument("--report", metavar="FILE", default=None,
-                           help="write the structured RunReport (attempts, "
-                           "failures, supervision counters) as JSON")
-            p.add_argument("--inject-faults", metavar="SPEC", default=None,
-                           help="deterministic fault injection, e.g. "
-                           "'crash@1,hang@2:1:0.5,corrupt@3' "
-                           "(kind@index[:attempts[:seconds]]; kinds: crash, "
-                           "raise, hang, corrupt); also via "
-                           "REPRO_INJECT_FAULTS")
-    sub.add_parser("list", help="list available commands")
+        if name == "run":
+            p.add_argument("scenario", metavar="FILE|NAME",
+                           help="a .toml/.json scenario file, or a registered "
+                           "scenario name (see 'repro list')")
+    sub.add_parser("list", help="list commands, scenarios, and scenario axes")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from repro.errors import ScenarioError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -574,7 +558,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.matching.port import SCAN_BATCH_ENV
 
         os.environ[SCAN_BATCH_ENV] = args.scan_batch
-    _COMMANDS[args.command][1](args)
+    try:
+        _COMMANDS[args.command][1](args)
+    except ScenarioError as exc:
+        # Config mistakes (bad axis, unknown scenario, malformed file) are
+        # user errors, not tracebacks.
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

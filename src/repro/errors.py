@@ -15,6 +15,17 @@ class ConfigurationError(ReproError):
     """A component was constructed or configured with invalid parameters."""
 
 
+class ScenarioError(ConfigurationError):
+    """A declarative scenario spec failed validation or expansion.
+
+    Raised by :mod:`repro.scenarios` for malformed scenario mappings:
+    unknown axes, values outside an axis's legal set, bad matrix shapes,
+    series templates referencing axes that do not exist, or point kinds
+    with no registered producer. Subclasses :class:`ConfigurationError`
+    so existing callers that guard plan construction keep working.
+    """
+
+
 class AllocationError(ReproError):
     """The simulated allocator could not satisfy a request."""
 

@@ -27,6 +27,7 @@ from repro.exp.producers import (
     encode_arch,
     execute_point,
     producer_for,
+    producer_kinds,
     register_producer,
     resolve_arch,
 )
@@ -55,6 +56,7 @@ __all__ = [
     "encode_arch",
     "execute_point",
     "producer_for",
+    "producer_kinds",
     "register_producer",
     "resolve_arch",
 ]

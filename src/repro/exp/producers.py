@@ -37,6 +37,11 @@ def register_producer(kind: str, fn: ProducerFn) -> None:
     _PRODUCERS[kind] = fn
 
 
+def producer_kinds() -> list:
+    """Registered point kinds, sorted (scenario validation, ``repro list``)."""
+    return sorted(_PRODUCERS)
+
+
 def producer_for(kind: str) -> ProducerFn:
     """Look up a producer; raises ConfigurationError for unknown kinds."""
     try:

@@ -40,6 +40,23 @@ def canonical_name(name: str) -> str:
     return name.strip().lower().replace(" ", "").replace("--", "-").replace("lla-large", "lla-large")
 
 
+#: Human-readable legal-values description (``repro list``, error messages).
+QUEUE_FAMILY_DOC = "baseline, lla-<k>, lla-large, openmpi, hashmap, hash-<n>, fourd, ch4, adaptive"
+
+_HASH_RE = re.compile(r"^hash-(\d+)$")
+
+
+def is_queue_family(name: str) -> bool:
+    """Whether *name* (any figure-label spelling) names a buildable queue."""
+    key = canonical_name(str(name))
+    if key in ("baseline", "lla-large", "openmpi", "hashmap", "fourd", "ch4", "adaptive"):
+        return True
+    m = _LLA_RE.match(key)
+    if m:
+        return int(m.group(1)) >= 1
+    return bool(_HASH_RE.match(key))
+
+
 def make_queue(
     name: str,
     *,

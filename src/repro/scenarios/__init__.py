@@ -1,0 +1,70 @@
+"""Declarative scenario registry: config-driven experiment expansion.
+
+The paper's study is a cartesian space — queue layout x architecture x
+heater/netcache strategy x message/search-length grid. This package makes
+that space *data* instead of drivers:
+
+* :mod:`repro.scenarios.axes` — named axis factories (arch preset, queue
+  family, heater policy, netcache/offload mode, workload scalars) that
+  validate raw config values and emit point parameters;
+* :mod:`repro.scenarios.spec` — :class:`ScenarioSpec`, the declarative
+  schema (``base`` scalars + ``matrix`` cartesian axes + series/x
+  templates) that compiles into the frozen
+  :class:`~repro.exp.plan.ExperimentPlan` machinery;
+* :mod:`repro.scenarios.loader` — TOML/JSON scenario files
+  (``repro run scenarios.toml``);
+* :mod:`repro.scenarios.builtins` — every figure/ablation of the paper,
+  registered at import time; the legacy ``plan_*`` builders delegate here
+  and the equivalence suite pins the expansions repr-identical.
+
+A new ablation is a config file, not a driver: declare the matrix, point
+``repro run`` at it, and the plan/runner/store subsystem does the rest.
+"""
+
+from repro.scenarios.axes import (
+    AUTO_LINK,
+    Axis,
+    get_axis,
+    has_axis,
+    iter_axes,
+    platform_link_name,
+    register_axis,
+)
+from repro.scenarios.loader import (
+    SCENARIO_SUFFIXES,
+    load_scenario,
+    load_scenario_mapping,
+    toml_available,
+)
+from repro.scenarios.spec import (
+    X_INDEX,
+    GridSpec,
+    ScenarioSpec,
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+)
+
+# Registering the built-ins is an import side effect by design: anything
+# that can expand scenarios can also enumerate the paper's figures.
+from repro.scenarios import builtins as _builtins  # noqa: F401  (registration)
+
+__all__ = [
+    "AUTO_LINK",
+    "Axis",
+    "GridSpec",
+    "SCENARIO_SUFFIXES",
+    "ScenarioSpec",
+    "X_INDEX",
+    "get_axis",
+    "get_scenario",
+    "has_axis",
+    "iter_axes",
+    "iter_scenarios",
+    "load_scenario",
+    "load_scenario_mapping",
+    "platform_link_name",
+    "register_axis",
+    "register_scenario",
+    "toml_available",
+]

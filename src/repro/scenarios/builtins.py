@@ -1,0 +1,301 @@
+"""Every figure and ablation of the paper as a built-in scenario.
+
+These definitions ARE the experiment grids the bespoke ``plan_*`` builders
+used to hand-roll — the builders in :mod:`repro.bench.figures`,
+:mod:`repro.bench.colocated`, :mod:`repro.bench.heater_micro` and the app
+modules now delegate here, and ``tests/test_scenarios.py`` pins each
+expansion repr-identical to the historical construction. The CLI figure
+subcommands are thin aliases over these names, and ``repro run <name>``
+runs any of them directly.
+
+The helper functions (:func:`figure_variants`, :func:`fig8_variants`, ...)
+convert the legacy positional variant tuples into the labelled-mapping
+values the ``variant`` axis takes; the builders use them to translate
+caller-supplied line-ups, so one code path serves defaults and overrides.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.scenarios.spec import ScenarioSpec, register_scenario
+
+
+def figure_variants(variants: Sequence[Tuple[str, str, bool]]) -> List[Dict[str, object]]:
+    """(label, queue family, heated) tuples -> ``variant`` axis values."""
+    return [
+        {"label": label, "queue_family": family, "heated": heated}
+        for label, family, heated in variants
+    ]
+
+
+def fig8_variants(families: Sequence[str]) -> List[Dict[str, object]]:
+    """Figure 8/9 family line-up with the legacy Baseline/LLA labelling."""
+    return [
+        {
+            "label": "Baseline" if family == "baseline" else "LLA",
+            "queue_family": family,
+            # AMG is a long-running production code: its baseline list
+            # nodes come from a churned heap arena.
+            "fragmented": family == "baseline",
+        }
+        for family in families
+    ]
+
+
+def fig9_variants(families: Sequence[str]) -> List[Dict[str, object]]:
+    """Figure 9's line-up (no heap-churn axis: MiniFE runs are short)."""
+    return [
+        {
+            "label": "Baseline" if family == "baseline" else "LLA",
+            "queue_family": family,
+        }
+        for family in families
+    ]
+
+
+def fig10_platforms(variants: Sequence[Tuple[str, str, str, bool]]) -> List[Dict[str, object]]:
+    """The per-platform baseline bundles of Figure 10, in variant order."""
+    arch_names = list(dict.fromkeys(v[1] for v in variants))
+    return [
+        {
+            "label": arch_name,
+            "arch": arch_name,
+            "link": "mellanox-qdr" if arch_name == "nehalem" else "omnipath",
+            "queue_family": "baseline",
+            "heated": False,
+            "fragmented": True,
+        }
+        for arch_name in arch_names
+    ]
+
+
+def fig10_variant_values(variants: Sequence[Tuple[str, str, str, bool]]) -> List[Dict[str, object]]:
+    """Figure 10's five lines as ``variant`` axis values."""
+    return [
+        {
+            "label": label,
+            "arch": arch_name,
+            "link": "mellanox-qdr" if arch_name == "nehalem" else "omnipath",
+            "queue_family": family,
+            "heated": heated,
+            "fragmented": family == "baseline",
+        }
+        for label, arch_name, family, heated in variants
+    ]
+
+
+def _register(mapping: dict) -> ScenarioSpec:
+    return register_scenario(ScenarioSpec.from_mapping(mapping, source="builtin"))
+
+
+def _locality_scenario(
+    *,
+    name: str,
+    flavor: str,
+    variants: Sequence[Tuple[str, str, bool]],
+    x_axis: str,
+    description: str,
+) -> dict:
+    """One of the four Figure 4-7 panel families (spatial/temporal x axis)."""
+    from repro.bench.osu import MSG_SIZE_SWEEP, SEARCH_LENGTH_SWEEP
+
+    if x_axis == "msg_bytes":
+        title = f"Impact of {flavor} locality ({{arch}}), queue depth {{search_depth}}"
+        xlabel = "msg size per process (B)"
+        base = {"arch": "sandy-bridge", "link": "auto", "search_depth": 1024,
+                "iterations": 10}
+        xs = list(MSG_SIZE_SWEEP)
+        quick = {"base": {"iterations": 3},
+                 "matrix": {"msg_bytes": [1, 64, 1024, 65536, 1 << 20]}}
+    else:
+        title = f"Impact of {flavor} locality ({{arch}}), {{msg_bytes}} B messages"
+        xlabel = "Posted Receive Queue Search Length"
+        base = {"arch": "sandy-bridge", "link": "auto", "msg_bytes": 1,
+                "iterations": 10}
+        xs = list(SEARCH_LENGTH_SWEEP)
+        quick = {"base": {"iterations": 3},
+                 "matrix": {"search_depth": [1, 8, 64, 512, 1024, 4096]}}
+    return {
+        "name": name,
+        "kind": "osu",
+        "title": title,
+        "xlabel": xlabel,
+        "ylabel": "bandwidth (MiBps)",
+        "description": description,
+        "base": base,
+        "series": "{variant}",
+        "x": x_axis,
+        "matrix": {"variant": figure_variants(variants), x_axis: xs},
+        "quick": quick,
+    }
+
+
+def _register_builtins() -> None:
+    from repro.apps.amg2013 import FIG8_SCALES
+    from repro.apps.fds import FIG10_SCALES, FIG10_VARIANTS
+    from repro.apps.minife import FIG9_LENGTHS, FIG9_NRANKS
+    from repro.bench.figures import SPATIAL_VARIANTS, TEMPORAL_VARIANTS
+
+    _register(_locality_scenario(
+        name="spatial-msg-size",
+        flavor="spatial",
+        variants=SPATIAL_VARIANTS,
+        x_axis="msg_bytes",
+        description="Figures 4a/5a: bandwidth vs message size, LLA-k line-up",
+    ))
+    _register(_locality_scenario(
+        name="spatial-search-length",
+        flavor="spatial",
+        variants=SPATIAL_VARIANTS,
+        x_axis="search_depth",
+        description="Figures 4b/c, 5b/c: bandwidth vs PRQ search length",
+    ))
+    _register(_locality_scenario(
+        name="temporal-msg-size",
+        flavor="temporal",
+        variants=TEMPORAL_VARIANTS,
+        x_axis="msg_bytes",
+        description="Figures 6a/7a: baseline vs HC vs LLA vs HC+LLA over size",
+    ))
+    _register(_locality_scenario(
+        name="temporal-search-length",
+        flavor="temporal",
+        variants=TEMPORAL_VARIANTS,
+        x_axis="search_depth",
+        description="Figures 6b/c, 7b/c: temporal line-up over search length",
+    ))
+
+    _register({
+        "name": "fig8-amg",
+        "kind": "app",
+        "title": "AMG2013 scaling (Broadwell)",
+        "xlabel": "Process Count",
+        "ylabel": "Execution Time (s)",
+        "description": "Figure 8: AMG2013 weak scaling, baseline vs LLA",
+        "base": {"app": "amg2013", "arch": "broadwell", "link": "omnipath"},
+        "series": "{variant}",
+        "x": "nranks",
+        "matrix": {
+            "variant": fig8_variants(("baseline", "lla-2")),
+            "nranks": list(FIG8_SCALES),
+        },
+    })
+    _register({
+        "name": "fig9-minife",
+        "kind": "app",
+        "title": "MiniFE at {nranks} processes (Broadwell)",
+        "xlabel": "Match list Length",
+        "ylabel": "Execution Time (s)",
+        "description": "Figure 9: MiniFE vs tunable match-list length",
+        "base": {"app": "minife", "arch": "broadwell", "link": "omnipath",
+                 "nranks": FIG9_NRANKS},
+        "series": "{variant}",
+        "x": "match_list_length",
+        "matrix": {
+            "variant": fig9_variants(("baseline", "lla-2")),
+            "match_list_length": list(FIG9_LENGTHS),
+        },
+    })
+    _register({
+        "name": "fig10-fds",
+        "kind": "app",
+        "title": "Fire Dynamics Simulator scaling",
+        "xlabel": "Process Count",
+        "ylabel": "Factor Speedup Over Baseline",
+        "description": "Figure 10: FDS factor speedups (baselines grid first)",
+        "base": {"app": "fds"},
+        "quick": {"matrix": {"nranks": [1024, 4096, 8192]}},
+        "grids": [
+            {
+                "matrix": {
+                    "nranks": list(FIG10_SCALES),
+                    "platform": fig10_platforms(FIG10_VARIANTS),
+                },
+                "series": "baseline/{platform}",
+                "x": "nranks",
+            },
+            {
+                "matrix": {
+                    "variant": fig10_variant_values(FIG10_VARIANTS),
+                    "nranks": list(FIG10_SCALES),
+                },
+                "series": "{variant}",
+                "x": "nranks",
+            },
+        ],
+    })
+
+    _register({
+        "name": "heater-micro",
+        "kind": "heater-micro",
+        "title": "Section 4.3 cache-heater random-access micro-benchmark",
+        "xlabel": "arch",
+        "ylabel": "ns / iteration (cold)",
+        "description": "Section 4.3: cold vs heated random-access iteration time",
+        "base": {"region_bytes": 4 * 1024 * 1024, "samples": 2048},
+        "series": "{arch}",
+        "x": "@index",
+        "matrix": {"arch": ["sandy-bridge", "broadwell"]},
+        "quick": {"base": {"samples": 512}},
+    })
+    _register({
+        "name": "colocated",
+        "kind": "colocated",
+        "title": "Co-located capacity pressure ({arch})",
+        "xlabel": "co-located ranks",
+        "ylabel": "cycles/search",
+        "description": "Co-located ranks: LLC pressure vs occupancy mechanisms",
+        # Broadwell by default: the full 8-rank grid needs ranks+heater cores,
+        # which Sandy Bridge's 8-core socket cannot seat.
+        "base": {"arch": "broadwell", "depth": 2048,
+                 "working_set_bytes": 4 * 1024 * 1024, "iterations": 2},
+        "series": "{mechanism}",
+        "x": "ranks",
+        "matrix": {
+            "mechanism": ["none", "hot-caching", "cat-partition"],
+            "ranks": [1, 2, 4, 8],
+        },
+        "quick": {"matrix": {"ranks": [1, 4]}},
+    })
+    _register({
+        "name": "ablation",
+        "kind": "osu",
+        "title": "Semi-permanent cache occupancy proposals (section 4.6)",
+        "xlabel": "occupancy mechanism",
+        "ylabel": "bandwidth (MiBps), 1B msgs",
+        "description": "Section 4.6: heater vs CAT partition vs dedicated net cache",
+        "base": {"link": "auto", "queue_family": "baseline", "msg_bytes": 1,
+                 "search_depth": 512, "iterations": 10},
+        "series": "{arch}: {variant}",
+        "x": 0.0,
+        "matrix": {
+            "arch": ["sandy-bridge", "broadwell"],
+            "variant": [
+                {"label": "baseline"},
+                {"label": "hot caching", "heated": True},
+                {"label": "CAT partition (4 ways)", "partition_ways": 4},
+                {"label": "dedicated net cache 2KiB", "network_cache_bytes": 2048},
+            ],
+        },
+        "quick": {"base": {"search_depth": 64, "iterations": 3}},
+    })
+    _register({
+        "name": "offload",
+        "kind": "offload",
+        "title": "Hardware matching offload and its capacity cliff (section 2.2)",
+        "xlabel": "queue depth",
+        "ylabel": "cycles/search",
+        "description": "Section 2.2: NIC offload engines vs software matching",
+        "base": {"arch": "sandy-bridge"},
+        "series": "{nic}",
+        "x": "depth",
+        "matrix": {
+            "nic": ["software-only", "psm2-like", "bxi-like"],
+            "depth": [64, 1024, 4000, 16384],
+        },
+        "quick": {"matrix": {"depth": [64, 4000]}},
+    })
+
+
+_register_builtins()

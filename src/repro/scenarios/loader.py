@@ -1,0 +1,79 @@
+"""Load scenario specs from TOML or JSON files.
+
+TOML parses via stdlib :mod:`tomllib` (Python 3.11+) with ``tomli`` as a
+drop-in fallback for older interpreters (an optional extra — the package
+itself never requires it: JSON specs work everywhere, and the CI matrix
+runs the JSON path on the oldest supported Python). The two formats carry
+the identical mapping shape; :class:`~repro.scenarios.spec.ScenarioSpec`
+neither knows nor cares which one a spec came from.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import ScenarioError
+from repro.scenarios.spec import ScenarioSpec
+
+try:  # Python >= 3.11
+    import tomllib as _toml
+except ImportError:  # pragma: no cover - exercised on 3.9/3.10 only
+    try:
+        import tomli as _toml  # type: ignore[no-redef]
+    except ImportError:
+        _toml = None
+
+#: File suffixes the loader understands.
+SCENARIO_SUFFIXES = (".toml", ".json")
+
+
+def toml_available() -> bool:
+    """Whether a TOML parser (stdlib or the ``tomli`` extra) is importable."""
+    return _toml is not None
+
+
+def load_scenario_mapping(path: Union[str, Path]) -> dict:
+    """Parse a scenario file into its raw mapping (no validation yet)."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"{path}: invalid JSON: {exc}") from None
+    elif suffix == ".toml":
+        if _toml is None:
+            raise ScenarioError(
+                f"{path}: TOML scenarios need Python >= 3.11 (stdlib tomllib) "
+                "or the 'tomli' package (pip install repro[toml]); "
+                "JSON scenario files work on every supported Python"
+            )
+        try:
+            data = _toml.loads(path.read_text(encoding="utf-8"))
+        except _toml.TOMLDecodeError as exc:
+            raise ScenarioError(f"{path}: invalid TOML: {exc}") from None
+    else:
+        raise ScenarioError(
+            f"{path}: unknown scenario suffix {suffix!r}; "
+            f"expected one of {', '.join(SCENARIO_SUFFIXES)}"
+        )
+    if not isinstance(data, dict):
+        raise ScenarioError(f"{path}: scenario file must contain a mapping")
+    # Allow (but do not require) a [scenario] wrapper table.
+    if set(data) == {"scenario"} and isinstance(data["scenario"], dict):
+        data = data["scenario"]
+    return data
+
+
+def load_scenario(path: Union[str, Path], *, name: Optional[str] = None) -> ScenarioSpec:
+    """Load and validate one scenario from *path*.
+
+    A file with no ``name`` key is named after its stem, so quick
+    hand-written specs stay minimal.
+    """
+    path = Path(path)
+    data = load_scenario_mapping(path)
+    data.setdefault("name", name or path.stem)
+    return ScenarioSpec.from_mapping(data, source=str(path))
