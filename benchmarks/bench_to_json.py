@@ -2,19 +2,21 @@
 """Emit benchmark results as machine-readable JSON artifacts.
 
 CI runs this after the test suites and uploads ``BENCH_kernel.json`` (the
-SoA-vs-reference kernel speedup) and ``BENCH_scan.json`` (the batched-scan
-vs per-slot queue traversal speedup) so each trajectory is preserved per
+SoA-vs-reference kernel speedup), ``BENCH_scan.json`` (the batched-scan
+vs per-slot queue traversal speedup), and ``BENCH_traffic.json`` (the
+open-loop traffic driver's events/sec) so each trajectory is preserved per
 commit — a perf regression then shows up as a trend break in the artifact
 history, not just as a (retried, noise-tolerant) gate failure in one run.
 
 Standalone — no pytest. Reuses the interleaved best-of timing and the
-bit-identity assertions from :mod:`bench_access_path` and
-:mod:`bench_queue_scan`, so a backend or scan-mode divergence fails the
-script (exit 1) before any JSON is written.
+bit-identity assertions from :mod:`bench_access_path`,
+:mod:`bench_queue_scan`, and :mod:`bench_traffic`, so a backend, scan-mode,
+or traffic-replay divergence fails the script (exit 1) before any JSON is
+written.
 
 Usage::
 
-    python benchmarks/bench_to_json.py [kernel.json [scan.json]]
+    python benchmarks/bench_to_json.py [kernel.json [scan.json [traffic.json]]]
 """
 
 from __future__ import annotations
@@ -28,8 +30,12 @@ from pathlib import Path
 HERE = Path(__file__).resolve().parent
 sys.path.insert(0, str(HERE))
 sys.path.insert(0, str(HERE.parent / "src"))
+# Standalone-script imports of sibling bench modules must not litter
+# benchmarks/__pycache__/ into the working tree.
+sys.dont_write_bytecode = True
 
 import bench_queue_scan  # noqa: E402
+import bench_traffic  # noqa: E402
 from bench_access_path import (  # noqa: E402
     KERNEL_SCENARIOS,
     MIN_KERNEL_SPEEDUP,
@@ -136,9 +142,32 @@ def write_scan(out: Path) -> None:
     print(f"wrote {out}")
 
 
+def write_traffic(out: Path) -> None:
+    scenarios = bench_traffic.collect_traffic()
+    doc = {
+        "benchmark": "open-loop-traffic-driver",
+        "config": {
+            "arrival_rate": bench_traffic.overload_config().arrival_rate,
+            "events": bench_traffic.N_WARMUP + bench_traffic.N_MEASURED,
+        },
+        "gate": {"min_events_per_sec": bench_traffic.MIN_EVENTS_PER_SEC},
+        "timing": {"rounds": bench_traffic.ROUNDS, "statistic": "best-of"},
+        "environment": _environment(),
+        "scenarios": scenarios,
+    }
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    for row in scenarios:
+        print(
+            "{scenario:>19}: {events_per_sec:8.1f} events/s  "
+            "rej {rejection_pct:5.1f}%  p99 {p99_sojourn_us:8.2f}us".format(**row)
+        )
+    print(f"wrote {out}")
+
+
 def main(argv):
     write_kernel(Path(argv[1]) if len(argv) > 1 else Path("BENCH_kernel.json"))
     write_scan(Path(argv[2]) if len(argv) > 2 else Path("BENCH_scan.json"))
+    write_traffic(Path(argv[3]) if len(argv) > 3 else Path("BENCH_traffic.json"))
     return 0
 
 

@@ -15,7 +15,15 @@ repetitions, coarser axes) so the whole suite finishes in minutes; the CLI
 
 from __future__ import annotations
 
+import sys
+
 import pytest
+
+# The benchmark scripts live outside the src/ package tree, so importing
+# them (pytest, bench_to_json.py, ad-hoc `python benchmarks/...` runs)
+# would otherwise litter benchmarks/__pycache__/ into the working tree.
+# Bytecode caching buys nothing for scripts this size — turn it off.
+sys.dont_write_bytecode = True
 
 
 def emit(text: str) -> None:

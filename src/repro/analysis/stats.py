@@ -1,9 +1,9 @@
-"""Small statistics helpers (trial means, speedup factors)."""
+"""Small statistics helpers (trial means, speedup factors, streaming quantiles)."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -52,3 +52,93 @@ def percent_improvement(baseline: float, improved: float) -> float:
     if baseline <= 0:
         raise ValueError(f"baseline time must be positive, got {baseline}")
     return 100.0 * (baseline - improved) / baseline
+
+
+class QuantileReservoir:
+    """Streaming quantile estimator over an unbounded value stream.
+
+    Vitter's Algorithm R reservoir sampling: the first ``capacity`` values
+    are kept verbatim (quantiles are then *exact*); afterwards the i-th value
+    replaces a uniformly random reservoir slot with probability
+    ``capacity / i``, so the reservoir stays a uniform sample of everything
+    seen while memory stays O(capacity). Replacement decisions come from the
+    injected generator (or *seed*), so estimates are deterministic for a
+    fixed seed regardless of stream length.
+
+    This is what the open-loop traffic subsystem uses for sojourn-time
+    p50/p95/p99 over million-event schedules without materializing the
+    per-event latencies.
+    """
+
+    __slots__ = ("capacity", "count", "_rng", "_sample")
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        *,
+        rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"reservoir capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.count = 0
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
+        self._sample: list = []
+
+    def add(self, value: float) -> None:
+        """Offer one value to the reservoir."""
+        self.count += 1
+        if len(self._sample) < self.capacity:
+            self._sample.append(float(value))
+            return
+        j = int(self._rng.integers(0, self.count))
+        if j < self.capacity:
+            self._sample[j] = float(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Offer every value of *values* in order."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def sample_size(self) -> int:
+        """Values currently held (== count while the stream fits)."""
+        return len(self._sample)
+
+    @property
+    def exact(self) -> bool:
+        """Whether quantiles are exact (no value has been evicted yet)."""
+        return self.count <= self.capacity
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (0 <= q <= 1) of the sampled stream."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._sample:
+            raise ValueError("quantile of an empty reservoir")
+        return float(np.quantile(np.asarray(self._sample, dtype=np.float64), q))
+
+    def quantiles(self, qs: Sequence[float]) -> Tuple[float, ...]:
+        """Several quantiles in one pass over the sample."""
+        return tuple(self.quantile(q) for q in qs)
+
+    def mean(self) -> float:
+        """Mean of the *sample* (exact stream mean while ``exact``)."""
+        if not self._sample:
+            raise ValueError("mean of an empty reservoir")
+        return float(np.mean(self._sample))
+
+    def reset(self) -> None:
+        """Drop all sampled values (the RNG stream continues)."""
+        self.count = 0
+        self._sample.clear()
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"QuantileReservoir(capacity={self.capacity}, count={self.count}, "
+            f"exact={self.exact})"
+        )

@@ -188,7 +188,26 @@ def _per_message_processing_cycles(cfg: OsuConfig, match_cycles: float) -> float
 
 
 def osu_bandwidth(cfg: OsuConfig) -> BandwidthPoint:
-    """The modified osu_bw: bandwidth at one (msg size, search depth)."""
+    """The modified osu_bw: bandwidth at one (msg size, search depth).
+
+    The fixed-grid iteration loop lives in
+    :meth:`~repro.traffic.driver.TrafficDriver.run_closed` — the shared
+    closed-loop substrate of the traffic subsystem. ``osu_bandwidth_legacy``
+    retains the historical bespoke loop and the equivalence suite pins the
+    two repr-identical.
+    """
+    from repro.traffic.driver import TrafficDriver
+
+    session = _OsuSession(cfg)
+    session.prepopulate()
+    match_samples = TrafficDriver(session).run_closed(
+        nbytes=cfg.msg_bytes, warmup=cfg.warmup, iterations=cfg.iterations
+    )
+    return _bandwidth_point(cfg, match_samples, session)
+
+
+def osu_bandwidth_legacy(cfg: OsuConfig) -> BandwidthPoint:
+    """The pre-traffic-subsystem bespoke loop (equivalence reference)."""
     session = _OsuSession(cfg)
     session.prepopulate()
     match_samples: List[float] = []
@@ -199,6 +218,13 @@ def osu_bandwidth(cfg: OsuConfig) -> BandwidthPoint:
         cycles = session.one_message(cfg.msg_bytes)
         if i >= cfg.warmup:
             match_samples.append(cycles)
+    return _bandwidth_point(cfg, match_samples, session)
+
+
+def _bandwidth_point(
+    cfg: OsuConfig, match_samples: List[float], session: _OsuSession
+) -> BandwidthPoint:
+    """Reduce measured match-cycle samples to one BandwidthPoint."""
     stats = TrialStats.from_values(match_samples)
     proc_cycles = _per_message_processing_cycles(cfg, stats.mean)
     proc_us = cfg.arch.ns(proc_cycles) / 1000.0
@@ -227,14 +253,21 @@ def osu_bandwidth(cfg: OsuConfig) -> BandwidthPoint:
 
 def osu_latency(cfg: OsuConfig) -> float:
     """The modified osu_latency: one-way half round trip in microseconds."""
+    from repro.traffic.driver import TrafficDriver
+
     session = _OsuSession(cfg)
     session.prepopulate()
-    samples = []
-    for i in range(cfg.warmup + cfg.iterations):
-        cycles = session.one_message(cfg.msg_bytes)
-        if i >= cfg.warmup:
-            proc_us = cfg.arch.ns(_per_message_processing_cycles(cfg, cycles)) / 1000.0
-            samples.append(cfg.link.transfer_us(cfg.msg_bytes) + proc_us)
+    match_samples = TrafficDriver(session).run_closed(
+        nbytes=cfg.msg_bytes,
+        warmup=cfg.warmup,
+        iterations=cfg.iterations,
+        reset_stats=False,
+    )
+    samples = [
+        cfg.link.transfer_us(cfg.msg_bytes)
+        + cfg.arch.ns(_per_message_processing_cycles(cfg, cycles)) / 1000.0
+        for cycles in match_samples
+    ]
     return TrialStats.from_values(samples).mean
 
 

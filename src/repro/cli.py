@@ -50,11 +50,11 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 _SWEEP_COMMANDS = (
     "fig4", "fig5", "fig6", "fig7",
     "fig8", "fig9", "fig10",
-    "heater-micro", "ablation", "offload", "run",
+    "heater-micro", "ablation", "offload", "traffic", "run",
 )
 
 #: Commands that render sweeps as panels (charts/exports apply).
-_PANEL_COMMANDS = ("fig4", "fig5", "fig6", "fig7", "run")
+_PANEL_COMMANDS = ("fig4", "fig5", "fig6", "fig7", "traffic", "run")
 
 
 def _seed(args: argparse.Namespace) -> int:
@@ -359,6 +359,15 @@ def _cmd_offload(args: argparse.Namespace) -> None:
     _emit_report(runner, args)
 
 
+def _cmd_traffic(args: argparse.Namespace) -> None:
+    """The open-loop overload study (the 'traffic-overload' scenario)."""
+    plan = _scenario_plan("traffic-overload", args)
+    runner = _runner_from_args(args)
+    sweep = runner.run_sweep(plan)
+    _render_panel(sweep, args, "traffic_overload")
+    _emit_report(runner, args)
+
+
 def _cmd_run(args: argparse.Namespace) -> None:
     """Expand and run one scenario — a registered name or a TOML/JSON file."""
     from pathlib import Path
@@ -410,6 +419,7 @@ _COMMANDS = {
     "fig10": ("Figure 10: FDS factor speedups", _cmd_fig10),
     "ablation": ("Section 4.6 occupancy-mechanism ablation", _cmd_ablation),
     "offload": ("Section 2.2 hardware-offload capacity cliff", _cmd_offload),
+    "traffic": ("Open-loop overload study: tail latency/rejection vs load", _cmd_traffic),
     "run": ("Run a scenario: a registered name or a TOML/JSON spec file", _cmd_run),
     "validate": ("Run all DESIGN.md section 7 reproduction criteria", _cmd_validate),
 }

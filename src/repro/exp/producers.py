@@ -219,6 +219,49 @@ def _colocated_producer(params: Dict[str, object], seed: int) -> PointResult:
     return PointResult(y=cycles)
 
 
+def _traffic_producer(params: Dict[str, object], seed: int) -> PointResult:
+    """One open-loop traffic run (overload figures; see repro.traffic).
+
+    The point's y value is the measured phase's ``metric`` (p99 sojourn by
+    default); every other measured-phase statistic rides along in extras,
+    so exported sweeps carry the full loss-system picture per point. A
+    ``queue_capacity`` of 0 (TOML has no null) means unbounded.
+    """
+    from repro.traffic import TrafficConfig, run_traffic
+
+    capacity = int(params.get("queue_capacity", 0))
+    cfg = TrafficConfig(
+        arch=resolve_arch(params["arch"]),
+        queue_family=params.get("queue_family", "baseline"),
+        heated=bool(params.get("heated", False)),
+        mem_kernel=params.get("mem_kernel"),
+        fragmented=bool(params.get("fragmented", False)),
+        seed=seed,
+        arrival_rate=float(params.get("arrival_rate", 0.2)),
+        zipf_alpha=float(params.get("zipf_alpha", 1.0)),
+        n_tags=int(params.get("n_tags", 64)),
+        nranks=int(params.get("nranks", 1024)),
+        msg_bytes=int(params.get("msg_bytes", 1024)),
+        n_warmup=int(params.get("n_warmup", 200)),
+        n_measured=int(params.get("n_measured", 1000)),
+        queue_capacity=capacity if capacity > 0 else None,
+        admission=str(params.get("admission", "drop-tail")),
+        recv_window=int(params.get("recv_window", 64)),
+        search_depth=int(params.get("search_depth", 0)),
+        flush_every=int(params.get("flush_every", 0)),
+    )
+    result = run_traffic(cfg)
+    measured = result.measured
+    metric = str(params.get("metric", "p99_sojourn_us"))
+    extras = measured.as_dict()
+    extras["heater_passes"] = float(result.heater_passes)
+    return PointResult(
+        y=measured.metric(metric),
+        mem_stats=result.mem_stats,
+        extras=extras,
+    )
+
+
 def _offload_producer(params: Dict[str, object], seed: int) -> PointResult:
     """One (matching engine, queue depth) cell of the offload-cliff study."""
     import numpy as np
@@ -252,3 +295,4 @@ register_producer("app", _app_producer)
 register_producer("heater-micro", _heater_micro_producer)
 register_producer("colocated", _colocated_producer)
 register_producer("offload", _offload_producer)
+register_producer("traffic", _traffic_producer)

@@ -41,6 +41,7 @@ from repro.matching.entry import (
     lla_node_bytes,
 )
 from repro.matching.base import MatchQueue, QueueStats
+from repro.matching.bounded import ADMISSION_POLICIES, AdmissionStats, BoundedQueue
 from repro.matching.port import MemoryPort, NullPort
 from repro.matching.engine import MatchEngine
 from repro.matching.linkedlist import BaselineLinkedList
@@ -53,11 +54,14 @@ from repro.matching.adaptive import AdaptiveHybridQueue
 from repro.matching.factory import QUEUE_FAMILIES, make_queue
 
 __all__ = [
+    "ADMISSION_POLICIES",
     "ANY_SOURCE",
     "ANY_TAG",
     "AdaptiveHybridQueue",
+    "AdmissionStats",
     "BaselineLinkedList",
     "BinnedHashQueue",
+    "BoundedQueue",
     "Ch4PerCommunicatorQueue",
     "Envelope",
     "FourDimensionalQueue",

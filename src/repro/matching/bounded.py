@@ -1,0 +1,171 @@
+"""Finite-capacity admission control for match queues.
+
+Real transports bound the unexpected message queue: an eager message that
+arrives when the receiver has no buffer left is dropped (and NACKed /
+retransmitted at a cost), it does not grow the queue without limit. The
+icarus packet-level workloads the traffic subsystem models report exactly
+this as ``PERCENTAGE_OF_REJECTION`` per node. :class:`BoundedQueue` wraps
+any :class:`~repro.matching.base.MatchQueue` (or duck-typed equivalent such
+as :class:`~repro.hotcache.wrapper.HeatedQueue`) with a capacity and an
+admission policy:
+
+* ``drop-tail`` — a post that finds the queue full is *rejected*: the item
+  is discarded, the queue is untouched, and ``reject_cycles`` (the NACK /
+  cleanup cost) is charged to the engine.
+* ``drop-head`` — the FIFO-oldest live item is *evicted* to make room; the
+  newcomer is always admitted. Eviction goes through the wrapped queue's
+  own ``match_remove`` with an exact probe, so its search charge (one probe
+  — the head is first in FIFO order) flows through the same
+  :class:`~repro.matching.port.MemoryPort` accounting as every other
+  operation.
+
+The wrapper is strictly additive: ``make_queue(..., capacity=None)`` never
+constructs one, so every existing unbounded path is bit-identical by
+construction (no admission code runs at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.errors import ConfigurationError, MatchingError
+from repro.matching.base import _exact_probe
+from repro.matching.entry import MatchItem
+
+#: Legal admission policies, in documentation order.
+ADMISSION_POLICIES = ("drop-tail", "drop-head")
+
+
+@dataclass
+class AdmissionStats:
+    """Counters for one bounded queue's admission decisions."""
+
+    offered: int = 0  # posts attempted
+    accepted: int = 0  # posts that entered the queue
+    rejected: int = 0  # drop-tail: newcomers discarded at a full queue
+    evicted: int = 0  # drop-head: FIFO heads discarded to admit newcomers
+
+    @property
+    def rejection_pct(self) -> float:
+        """Percentage of offered posts that were rejected outright."""
+        return 100.0 * self.rejected / self.offered if self.offered else 0.0
+
+    def reset(self) -> None:
+        """Clear all counters."""
+        self.offered = 0
+        self.accepted = 0
+        self.rejected = 0
+        self.evicted = 0
+
+
+class BoundedQueue:
+    """A match queue with finite capacity and an admission policy.
+
+    Duck-typed as a :class:`~repro.matching.base.MatchQueue`; everything
+    except ``post`` forwards to the wrapped queue unchanged. ``try_post``
+    exposes the admission verdict; the protocol-compatible ``post`` applies
+    the policy silently (callers that need the verdict — the traffic driver
+    — read :attr:`admission` deltas or call ``try_post`` directly).
+    """
+
+    def __init__(
+        self,
+        inner,
+        capacity: int,
+        *,
+        policy: str = "drop-tail",
+        reject_cycles: float = 0.0,
+        port=None,
+        on_evict: Optional[Callable[[MatchItem], None]] = None,
+    ) -> None:
+        if capacity < 0:
+            raise ConfigurationError(f"queue capacity must be >= 0, got {capacity}")
+        if policy not in ADMISSION_POLICIES:
+            raise ConfigurationError(
+                f"unknown admission policy {policy!r}; known: "
+                + ", ".join(ADMISSION_POLICIES)
+            )
+        self.inner = inner
+        self.capacity = int(capacity)
+        self.policy = policy
+        self.reject_cycles = float(reject_cycles)
+        self.port = port if port is not None else getattr(inner, "port", None)
+        self.on_evict = on_evict
+        self.admission = AdmissionStats()
+
+    # -- admission -------------------------------------------------------------
+
+    def _charge_reject(self) -> None:
+        if self.reject_cycles and self.port is not None:
+            charge = getattr(self.port, "charge", None)
+            if charge is not None:
+                charge(self.reject_cycles)
+
+    def try_post(self, item: MatchItem) -> bool:
+        """Post *item* subject to the admission policy; True if admitted."""
+        self.admission.offered += 1
+        if len(self.inner) >= self.capacity:
+            if self.policy == "drop-tail" or self.capacity == 0:
+                self.admission.rejected += 1
+                self._charge_reject()
+                return False
+            head = next(iter(self.inner.iter_items()), None)
+            if head is None:  # pragma: no cover - len>0 implies a head
+                raise MatchingError("bounded queue full but has no FIFO head")
+            removed = self.inner.match_remove(_exact_probe(head))
+            if removed is None:  # pragma: no cover - defensive
+                raise MatchingError(f"drop-head eviction failed to remove {head}")
+            self.admission.evicted += 1
+            if self.on_evict is not None:
+                self.on_evict(removed)
+        self.inner.post(item)
+        self.admission.accepted += 1
+        return True
+
+    # -- MatchQueue protocol ---------------------------------------------------
+
+    @property
+    def family(self) -> str:
+        """The wrapped queue's family label."""
+        return self.inner.family
+
+    @property
+    def stats(self):
+        """The wrapped queue's search statistics."""
+        return self.inner.stats
+
+    @property
+    def entry_bytes(self) -> int:
+        return self.inner.entry_bytes
+
+    def post(self, item: MatchItem) -> None:
+        """MatchQueue-compatible post: applies the admission policy silently."""
+        self.try_post(item)
+
+    def match_remove(self, probe: MatchItem) -> Optional[MatchItem]:
+        return self.inner.match_remove(probe)
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def iter_items(self) -> Iterator[MatchItem]:
+        return self.inner.iter_items()
+
+    def regions(self):
+        return self.inner.regions()
+
+    def footprint_bytes(self) -> int:
+        return self.inner.footprint_bytes()
+
+    def peek_match(self, probe: MatchItem) -> Optional[MatchItem]:
+        return self.inner.peek_match(probe)
+
+    def drain(self):
+        return self.inner.drain()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BoundedQueue({self.inner!r}, capacity={self.capacity}, "
+            f"policy={self.policy!r})"
+        )

@@ -66,7 +66,9 @@ def make_queue(
     arena_base: int = 0x4000_0000,
     fragmented: bool = False,
     nranks: int = 1024,
-) -> MatchQueue:
+    capacity: Optional[int] = None,
+    admission: str = "drop-tail",
+):
     """Build the queue organization called *name*.
 
     Parameters
@@ -78,7 +80,38 @@ def make_queue(
     arena_base:
         Base address for this queue's allocations; give different queues in
         one hierarchy disjoint bases.
+    capacity:
+        ``None`` (the default) builds the historical unbounded structure.
+        An integer wraps it in a :class:`~repro.matching.bounded.BoundedQueue`
+        applying *admission* (``drop-tail`` rejects newcomers at a full
+        queue, ``drop-head`` evicts the FIFO-oldest item to admit them).
     """
+    queue = _build_queue(
+        name,
+        entry_bytes=entry_bytes,
+        port=port,
+        rng=rng,
+        arena_base=arena_base,
+        fragmented=fragmented,
+        nranks=nranks,
+    )
+    if capacity is None:
+        return queue
+    from repro.matching.bounded import BoundedQueue
+
+    return BoundedQueue(queue, capacity, policy=admission, port=port)
+
+
+def _build_queue(
+    name: str,
+    *,
+    entry_bytes: int,
+    port: Optional[MemoryPort],
+    rng: Optional[np.random.Generator],
+    arena_base: int,
+    fragmented: bool,
+    nranks: int,
+) -> MatchQueue:
     key = canonical_name(name)
     rng = rng if rng is not None else np.random.default_rng(0)
     capacity = 1 << 30

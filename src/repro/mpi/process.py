@@ -71,6 +71,7 @@ class MpiProcess:
         *,
         sample_depths: bool = False,
         clock=None,
+        record_traces: bool = True,
     ) -> None:
         self.rank = rank
         self.prq = prq
@@ -79,6 +80,11 @@ class MpiProcess:
         self.sample_depths = sample_depths
         self.samples: List[QueueDepthSample] = []
         self.clock = clock
+        # Open-loop drivers run million-event schedules; they disable the
+        # per-search trace lists below so process state stays O(1) in the
+        # event count (the traffic subsystem keeps its own bounded
+        # reservoir-sampled statistics instead).
+        self.record_traces = record_traces
         # Search-depth traces (entries inspected per search that *found* a
         # match), separated by which queue was searched.
         self.prq_search_depths: List[int] = []
@@ -109,8 +115,11 @@ class MpiProcess:
         found = self.umq.match_remove(probe)
         req.search_depth = self.umq.stats.last_probes
         if found is not None:
-            self.umq_search_depths.append(req.search_depth)
-            self.umq_queue_times.append(self._now() - found.meta.get("enqueued_at", 0.0))
+            if self.record_traces:
+                self.umq_search_depths.append(req.search_depth)
+                self.umq_queue_times.append(
+                    self._now() - found.meta.get("enqueued_at", 0.0)
+                )
             req.matched_unexpected = True
             req.complete(found.req)
         else:
@@ -131,7 +140,8 @@ class MpiProcess:
         )
         found = self.prq.match_remove(probe)
         if found is not None:
-            self.prq_search_depths.append(self.prq.stats.last_probes)
+            if self.record_traces:
+                self.prq_search_depths.append(self.prq.stats.last_probes)
             req: RecvRequest = found.req
             req.search_depth = self.prq.stats.last_probes
             req.complete(message)

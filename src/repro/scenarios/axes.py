@@ -196,6 +196,47 @@ def _int_axis(name: str, help_text: str, *, minimum: int = 0) -> Axis:
     return Axis(name=name, help=help_text, values=f"integer >= {minimum}", expand=expand)
 
 
+def _float_axis(
+    name: str,
+    help_text: str,
+    *,
+    minimum: float = 0.0,
+    exclusive: bool = False,
+    expected: Optional[str] = None,
+) -> Axis:
+    """A finite-number axis with a lower bound (strict when *exclusive*).
+
+    *expected* overrides the error-message description — spell out the unit
+    and the fix, so a bad value in a scenario file is actionable on sight.
+    """
+    bound = f"> {minimum:g}" if exclusive else f">= {minimum:g}"
+    legal = expected if expected is not None else f"a finite number {bound}"
+
+    def expand(value, _name=name) -> Dict[str, object]:
+        import math
+
+        ok = (
+            not isinstance(value, bool)
+            and isinstance(value, (int, float))
+            and math.isfinite(value)
+            and (value > minimum if exclusive else value >= minimum)
+        )
+        if not ok:
+            raise _bad(_name, value, legal)
+        return {_name: float(value)}
+
+    return Axis(name=name, help=help_text, values=f"number {bound}", expand=expand)
+
+
+def _choice_axis(name: str, help_text: str, choices: Tuple[str, ...]) -> Axis:
+    def expand(value, _name=name) -> Dict[str, object]:
+        if value in choices:
+            return {_name: value}
+        raise _bad(_name, value, f"one of {', '.join(choices)}")
+
+    return Axis(name=name, help=help_text, values=" | ".join(choices), expand=expand)
+
+
 def _variant_axis(name: str, help_text: str) -> Axis:
     return Axis(
         name=name,
@@ -272,7 +313,51 @@ _VARIANT_AXES: Tuple[Axis, ...] = (
     _variant_axis("platform", "labelled arch+link bundle (a hardware platform)"),
 )
 
-for _axis in _CHOICE_AXES + _FLAG_AXES + _INT_AXES + _VARIANT_AXES:
+
+def _traffic_metric_axis() -> Axis:
+    from repro.traffic.stats import TRAFFIC_METRICS
+
+    return _choice_axis(
+        "metric",
+        "which measured-phase statistic is the point's y value (kind = 'traffic')",
+        TRAFFIC_METRICS,
+    )
+
+
+#: Open-loop traffic axes (kind = 'traffic' points; see repro.traffic).
+_TRAFFIC_AXES: Tuple[Axis, ...] = (
+    _float_axis(
+        "arrival_rate",
+        "open-loop offered load (Poisson arrivals)",
+        minimum=0.0,
+        exclusive=True,
+        expected="a finite number > 0: mean arrivals per simulated "
+        "microsecond (e.g. 0.4)",
+    ),
+    _float_axis(
+        "zipf_alpha",
+        "tag-popularity skew (Zipf exponent; 0 = uniform)",
+        minimum=0.0,
+        expected="a finite number >= 0: Zipf popularity exponent "
+        "(0 = uniform, ~1 = web-like skew)",
+    ),
+    _int_axis("n_warmup", "warmup events before the measured phase"),
+    _int_axis("n_measured", "measured-phase events", minimum=1),
+    _int_axis("queue_capacity", "UMQ admission capacity (0 = unbounded)"),
+    _int_axis("n_tags", "distinct message tags (popularity universe)", minimum=1),
+    _int_axis("recv_window", "max outstanding pre-posted receives", minimum=1),
+    _int_axis("flush_every", "cache flush period in arrivals (0 = never)"),
+    _choice_axis(
+        "admission",
+        "full-queue policy: reject newcomers or evict the FIFO head",
+        ("drop-tail", "drop-head"),
+    ),
+)
+
+for _axis in (
+    _CHOICE_AXES + _FLAG_AXES + _INT_AXES + _VARIANT_AXES + _TRAFFIC_AXES
+    + (_traffic_metric_axis(),)
+):
     register_axis(_axis)
 
 

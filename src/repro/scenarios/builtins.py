@@ -281,6 +281,37 @@ def _register_builtins() -> None:
         "quick": {"base": {"search_depth": 64, "iterations": 3}},
     })
     _register({
+        "name": "traffic-overload",
+        "kind": "traffic",
+        "title": "Open-loop overload ({arch}): {metric} vs offered load",
+        "xlabel": "offered load (events/us)",
+        "ylabel": "p99 sojourn (us)",
+        "description": "Open-loop Zipf/Poisson traffic: tail latency and "
+        "rejection vs arrival rate, queue families x heater",
+        # flush_every models bulk-synchronous compute phases between bursts
+        # of arrivals — that is what gives the heater cache state to defend;
+        # queue_capacity bounds the UMQ so overload rejects instead of
+        # growing without limit.
+        "base": {"arch": "sandy-bridge", "zipf_alpha": 1.0, "n_tags": 64,
+                 "msg_bytes": 1024, "search_depth": 128, "flush_every": 32,
+                 "queue_capacity": 256, "recv_window": 64,
+                 "n_warmup": 200, "n_measured": 1000,
+                 "metric": "p99_sojourn_us"},
+        "series": "{variant}",
+        "x": "arrival_rate",
+        "matrix": {
+            "variant": [
+                {"label": "baseline", "queue_family": "baseline", "heated": False},
+                {"label": "HC", "queue_family": "baseline", "heated": True},
+                {"label": "LLA - 8", "queue_family": "lla-8", "heated": False},
+                {"label": "HC+LLA - 8", "queue_family": "lla-8", "heated": True},
+            ],
+            "arrival_rate": [0.1, 0.2, 0.4, 0.6, 0.9, 1.2],
+        },
+        "quick": {"base": {"n_warmup": 50, "n_measured": 250},
+                  "matrix": {"arrival_rate": [0.2, 0.6, 1.2]}},
+    })
+    _register({
         "name": "offload",
         "kind": "offload",
         "title": "Hardware matching offload and its capacity cliff (section 2.2)",

@@ -1,0 +1,36 @@
+"""Open-loop traffic: Zipf/Poisson workloads, admission control, tail latency.
+
+The common way experiments generate work (ROADMAP item 1, the "millions of
+users" axis). :mod:`repro.traffic.workload` produces lazy seeded event
+schedules, :mod:`repro.traffic.driver` advances the simulated clock from
+them over the full matching/memory/heater stack, and
+:mod:`repro.traffic.stats` reduces each warmup/measured phase to queue
+depths, rejection percentages, and sojourn-time percentiles.
+"""
+
+from repro.traffic.driver import (
+    TrafficConfig,
+    TrafficDriver,
+    TrafficResult,
+    run_traffic,
+)
+from repro.traffic.stats import TRAFFIC_METRICS, TrafficStats
+from repro.traffic.workload import (
+    PoissonArrivals,
+    TrafficEvent,
+    ZipfTagPopularity,
+    open_loop_events,
+)
+
+__all__ = [
+    "PoissonArrivals",
+    "TRAFFIC_METRICS",
+    "TrafficConfig",
+    "TrafficDriver",
+    "TrafficEvent",
+    "TrafficResult",
+    "TrafficStats",
+    "ZipfTagPopularity",
+    "open_loop_events",
+    "run_traffic",
+]

@@ -1,0 +1,169 @@
+"""Per-phase statistics for open-loop traffic runs.
+
+The open-loop driver reports what loss-system studies report (icarus:
+``AVERAGE_QUEUE_SIZE``, ``PERCENTAGE_OF_REJECTION``) plus the tail-latency
+view modern service studies lead with: sojourn time percentiles. A *sojourn*
+is the span from a message's scheduled arrival to its delivery to a posted
+receive — it includes engine backlog (the arrival was handled late because
+the matching core was busy), unexpected-queue residence, and the delivery
+overhead itself. Sojourns are accumulated in a seeded
+:class:`~repro.analysis.stats.QuantileReservoir`, so a million-event phase
+needs O(reservoir) memory and its percentiles are deterministic for a fixed
+seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.stats import QuantileReservoir
+
+#: Metrics a scenario point may select as its y value (``metric`` axis).
+TRAFFIC_METRICS = (
+    "p99_sojourn_us",
+    "p95_sojourn_us",
+    "p50_sojourn_us",
+    "mean_sojourn_us",
+    "rejection_pct",
+    "mean_queue_depth",
+    "max_queue_depth",
+    "throughput_per_us",
+)
+
+
+@dataclass(frozen=True)
+class TrafficStats:
+    """One phase (warmup or measured) of an open-loop run, reduced."""
+
+    phase: str
+    events: int  # arrivals handled
+    posted_recvs: int  # receives the application posted
+    fast_matches: int  # arrivals that matched a pre-posted receive
+    drained: int  # unexpected messages drained by a later receive
+    unexpected: int  # arrivals admitted to the UMQ
+    rejected: int  # arrivals dropped at a full UMQ (drop-tail)
+    evicted: int  # UMQ heads dropped to admit newcomers (drop-head)
+    leftover: int  # messages still unexpected when the run ended
+    rejection_pct: float  # 100 * (rejected + evicted) / events
+    mean_queue_depth: float
+    max_queue_depth: int
+    mean_sojourn_us: float
+    p50_sojourn_us: float
+    p95_sojourn_us: float
+    p99_sojourn_us: float
+    span_us: float  # simulated time the phase covered
+    throughput_per_us: float  # deliveries per simulated microsecond
+
+    @property
+    def delivered(self) -> int:
+        """Messages that reached a receive (either matching direction)."""
+        return self.fast_matches + self.drained
+
+    def metric(self, name: str) -> float:
+        """Look up one of :data:`TRAFFIC_METRICS` by name."""
+        if name not in TRAFFIC_METRICS:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"unknown traffic metric {name!r}; known: {', '.join(TRAFFIC_METRICS)}"
+            )
+        return float(getattr(self, name))
+
+    def as_dict(self) -> Dict[str, float]:
+        """All scalar fields as floats (result-store extras, JSON export)."""
+        out: Dict[str, float] = {}
+        for field in (
+            "events", "posted_recvs", "fast_matches", "drained", "unexpected",
+            "rejected", "evicted", "leftover", "rejection_pct",
+            "mean_queue_depth", "max_queue_depth", "mean_sojourn_us",
+            "p50_sojourn_us", "p95_sojourn_us", "p99_sojourn_us", "span_us",
+            "throughput_per_us",
+        ):
+            out[field] = float(getattr(self, field))
+        return out
+
+
+class PhaseAccumulator:
+    """Streaming accumulator the driver feeds while a phase is running."""
+
+    def __init__(self, phase: str, ghz: float, reservoir: QuantileReservoir) -> None:
+        self.phase = phase
+        self.ghz = ghz
+        self.reservoir = reservoir
+        self.events = 0
+        self.posted_recvs = 0
+        self.fast_matches = 0
+        self.drained = 0
+        self.unexpected = 0
+        self.rejected = 0
+        self.evicted = 0
+        self.leftover = 0
+        self.depth_sum = 0
+        self.depth_obs = 0
+        self.depth_max = 0
+        self.sojourn_sum = 0.0
+        self.start_cycles = 0.0
+        self.end_cycles = 0.0
+
+    def begin(self, now: float) -> None:
+        """Mark the phase's simulated start time."""
+        self.start_cycles = now
+
+    def finish(self, now: float) -> None:
+        """Mark the phase's simulated end time."""
+        self.end_cycles = now
+
+    def record_sojourn(self, cycles: float) -> None:
+        """One delivered message waited *cycles* from arrival to delivery."""
+        self.sojourn_sum += cycles
+        self.reservoir.add(cycles)
+
+    def observe_depth(self, depth: int) -> None:
+        """Sample the unexpected queue's depth (once per handled arrival)."""
+        self.depth_sum += depth
+        self.depth_obs += 1
+        if depth > self.depth_max:
+            self.depth_max = depth
+
+    def stats(self) -> TrafficStats:
+        """Reduce to the frozen per-phase summary."""
+        us = 1000.0  # cycles per us = ghz * 1000
+        to_us = 1.0 / (self.ghz * us)
+        n_sojourns = self.reservoir.count
+        if n_sojourns:
+            p50, p95, p99 = self.reservoir.quantiles((0.50, 0.95, 0.99))
+        else:
+            p50 = p95 = p99 = 0.0
+        span_cycles = max(0.0, self.end_cycles - self.start_cycles)
+        delivered = self.fast_matches + self.drained
+        return TrafficStats(
+            phase=self.phase,
+            events=self.events,
+            posted_recvs=self.posted_recvs,
+            fast_matches=self.fast_matches,
+            drained=self.drained,
+            unexpected=self.unexpected,
+            rejected=self.rejected,
+            evicted=self.evicted,
+            leftover=self.leftover,
+            rejection_pct=(
+                100.0 * (self.rejected + self.evicted) / self.events
+                if self.events
+                else 0.0
+            ),
+            mean_queue_depth=(
+                self.depth_sum / self.depth_obs if self.depth_obs else 0.0
+            ),
+            max_queue_depth=self.depth_max,
+            mean_sojourn_us=(
+                self.sojourn_sum / n_sojourns * to_us * 1.0 if n_sojourns else 0.0
+            ),
+            p50_sojourn_us=p50 * to_us,
+            p95_sojourn_us=p95 * to_us,
+            p99_sojourn_us=p99 * to_us,
+            span_us=span_cycles * to_us,
+            throughput_per_us=(
+                delivered / (span_cycles * to_us) if span_cycles > 0 else 0.0
+            ),
+        )

@@ -1,5 +1,6 @@
 """Tests for series containers, statistics, and text renderers."""
 
+import numpy as np
 import pytest
 
 from repro.analysis import (
@@ -11,7 +12,7 @@ from repro.analysis import (
     render_series_table,
     render_table,
 )
-from repro.analysis.stats import percent_improvement
+from repro.analysis.stats import QuantileReservoir, percent_improvement
 
 
 class TestSeries:
@@ -126,6 +127,68 @@ class TestStats:
         assert percent_improvement(100.0, 97.1) == pytest.approx(2.9)
         with pytest.raises(ValueError):
             percent_improvement(0.0, 1.0)
+
+
+class TestQuantileReservoir:
+    def test_exact_below_capacity(self):
+        values = [float(v) for v in range(100, 0, -1)]
+        r = QuantileReservoir(capacity=128, seed=0)
+        r.extend(values)
+        assert r.exact and r.sample_size == 100 and len(r) == 100
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert r.quantile(q) == pytest.approx(float(np.quantile(values, q)))
+
+    def test_quantiles_tuple_matches_scalar(self):
+        r = QuantileReservoir(capacity=64, seed=1)
+        r.extend(float(v) for v in range(50))
+        p50, p99 = r.quantiles((0.5, 0.99))
+        assert p50 == r.quantile(0.5) and p99 == r.quantile(0.99)
+
+    def test_bounded_sample_past_capacity(self):
+        r = QuantileReservoir(capacity=32, seed=2)
+        r.extend(float(v) for v in range(10_000))
+        assert not r.exact
+        assert r.sample_size == 32 and r.count == 10_000
+
+    def test_seeded_determinism_past_capacity(self):
+        def fill(seed):
+            r = QuantileReservoir(capacity=32, seed=seed)
+            r.extend(float(v) for v in range(5_000))
+            return r.quantiles((0.5, 0.95, 0.99))
+
+        assert fill(7) == fill(7)
+        assert fill(7) != fill(8)
+
+    def test_large_stream_quantiles_approximate_truth(self):
+        rng = np.random.default_rng(0)
+        values = rng.exponential(100.0, size=50_000)
+        r = QuantileReservoir(capacity=4096, seed=3)
+        r.extend(float(v) for v in values)
+        truth = float(np.quantile(values, 0.95))
+        assert r.quantile(0.95) == pytest.approx(truth, rel=0.1)
+
+    def test_mean_exact_while_sample_fits(self):
+        r = QuantileReservoir(capacity=8, seed=0)
+        r.extend([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        assert r.exact and r.mean() == pytest.approx(3.5)
+
+    def test_reset_clears_sample(self):
+        r = QuantileReservoir(capacity=8, seed=0)
+        r.extend([1.0, 2.0])
+        r.reset()
+        assert r.count == 0 and r.sample_size == 0
+        with pytest.raises(ValueError):
+            r.quantile(0.5)
+
+    def test_error_cases(self):
+        with pytest.raises(ValueError):
+            QuantileReservoir(capacity=0)
+        r = QuantileReservoir(capacity=4, seed=0)
+        with pytest.raises(ValueError):
+            r.quantile(0.5)  # empty
+        r.add(1.0)
+        with pytest.raises(ValueError):
+            r.quantile(1.5)  # out of [0, 1]
 
 
 class TestRenderers:

@@ -156,3 +156,30 @@ class TestScenarioCli:
         run_cli(capsys, "run", "offload", "--quick", "--report", str(report))
         data = json.loads(report.read_text(encoding="utf-8"))
         assert data["total"] == 6
+
+
+class TestTrafficCli:
+    def test_parser_registered_with_shared_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["traffic", "--quick", "--jobs", "2",
+                                  "--report", "t.json"])
+        assert args.command == "traffic"
+        assert args.jobs == 2 and args.report == "t.json"
+
+    def test_list_shows_traffic_scenario_and_axes(self, capsys):
+        out = run_cli(capsys, "list")
+        assert "traffic-overload" in out and "traffic" in out
+        for axis in ("arrival_rate", "zipf_alpha", "queue_capacity", "admission"):
+            assert axis in out, f"axis {axis} missing from repro list"
+
+    def test_traffic_quick_renders_overload_table(self, capsys):
+        out = run_cli(capsys, "traffic", "--quick")
+        assert "Open-loop overload" in out
+        assert "offered load" in out
+        for series in ("baseline", "HC", "LLA - 8", "HC+LLA - 8"):
+            assert series in out
+
+    def test_run_traffic_by_name_matches_subcommand(self, capsys):
+        by_name = run_cli(capsys, "run", "traffic-overload", "--quick")
+        direct = run_cli(capsys, "traffic", "--quick")
+        assert by_name.splitlines()[:5] == direct.splitlines()[:5]

@@ -609,6 +609,7 @@ class TestRegistry:
             "temporal-msg-size", "temporal-search-length",
             "fig8-amg", "fig9-minife", "fig10-fds",
             "heater-micro", "colocated", "ablation", "offload",
+            "traffic-overload",
         } <= names
 
     def test_total_points_matches_expansion(self):
@@ -625,6 +626,90 @@ class TestRegistry:
         before = repr(spec.expand())
         spec.with_overrides(matrix={"depth": [64]}, seed=9).expand()
         assert repr(get_scenario("offload").expand()) == before
+
+
+# ---------------------------------------------------------------------------
+# The open-loop traffic scenario: axes, validation, end-to-end run.
+# ---------------------------------------------------------------------------
+
+_TRAFFIC_MINIMAL = {
+    "name": "tt",
+    "kind": "traffic",
+    "x": "arrival_rate",
+    "base": {
+        "arch": "sandy-bridge",
+        "n_warmup": 5,
+        "n_measured": 20,
+        "n_tags": 8,
+        "queue_capacity": 16,
+    },
+    "matrix": {"arrival_rate": [0.2]},
+}
+
+
+def _traffic_spec(**overrides):
+    return ScenarioSpec.from_mapping({**_TRAFFIC_MINIMAL, **overrides})
+
+
+class TestTrafficScenario:
+    def test_builtin_registered_and_expands(self):
+        spec = get_scenario("traffic-overload")
+        plan = spec.quick().expand()
+        assert len(plan.points) == 12  # 4 variants x 3 rates
+        assert {p.series for p in plan.points} == {
+            "baseline", "HC", "LLA - 8", "HC+LLA - 8",
+        }
+        assert all(p.kind == "traffic" for p in plan.points)
+
+    def test_bad_arrival_rate_is_actionable(self):
+        spec = _traffic_spec(matrix={"arrival_rate": [0.0]})
+        with pytest.raises(
+            ScenarioError, match="arrivals per simulated microsecond"
+        ):
+            spec.expand()
+        spec = _traffic_spec(matrix={"arrival_rate": [-1.5]})
+        with pytest.raises(ScenarioError, match="axis 'arrival_rate'"):
+            spec.expand()
+
+    def test_bad_zipf_alpha_is_actionable(self):
+        spec = _traffic_spec(base={**_TRAFFIC_MINIMAL["base"], "zipf_alpha": -0.5})
+        with pytest.raises(ScenarioError, match="Zipf popularity exponent"):
+            spec.expand()
+
+    def test_non_numeric_rate_rejected(self):
+        spec = _traffic_spec(matrix={"arrival_rate": ["fast"]})
+        with pytest.raises(ScenarioError, match="axis 'arrival_rate'"):
+            spec.expand()
+
+    def test_unknown_metric_lists_choices(self):
+        spec = _traffic_spec(base={**_TRAFFIC_MINIMAL["base"], "metric": "latency"})
+        with pytest.raises(ScenarioError, match="p99_sojourn_us"):
+            spec.expand()
+
+    def test_unknown_admission_policy_rejected(self):
+        spec = _traffic_spec(base={**_TRAFFIC_MINIMAL["base"], "admission": "random"})
+        with pytest.raises(ScenarioError, match="drop-tail"):
+            spec.expand()
+
+    def test_runs_end_to_end_and_capacity_zero_is_unbounded(self):
+        from repro.exp import Runner
+
+        plan = _traffic_spec(
+            base={**_TRAFFIC_MINIMAL["base"], "queue_capacity": 0},
+            matrix={"arrival_rate": [0.2, 1.2]},
+            series="cap0",
+        ).expand()
+        sweep = Runner().run_sweep(plan)
+        (series,) = sweep.series.values()
+        assert series.x == [0.2, 1.2]
+        assert all(y >= 0 for y in series.y)
+        # capacity 0 in a spec means unbounded (TOML has no null): nothing
+        # may be rejected even at the overloaded rate.
+        from repro.exp.producers import producer_for
+
+        for point in plan.points:
+            result = producer_for("traffic")(dict(point.params), seed=0)
+            assert result.extras["rejected"] == 0.0
 
 
 # ---------------------------------------------------------------------------
@@ -710,6 +795,20 @@ class TestExamples:
         plan = spec.expand()
         assert len(plan.points) == 12
         assert {p.series for p in plan.points} == {"baseline", "HC", "LLA", "HC+LLA"}
+
+    def test_traffic_overload_example_matches_builtin(self):
+        # The shipped TOML spec is the builtin scenario, loadable from file
+        # on Pythons that have a TOML parser (3.9 CI uses the builtin).
+        if not toml_available():
+            pytest.skip("no TOML parser on this Python")
+        spec = load_scenario(f"{EXAMPLES}/traffic_overload.toml")
+        builtin = get_scenario("traffic-overload")
+        assert len(spec.expand().points) == len(builtin.expand().points) == 24
+        strip = lambda plan: {  # noqa: E731 - local one-liner
+            repr(p).replace(spec.name, builtin.name) for p in plan.points
+        }
+        assert strip(spec.expand()) == strip(builtin.expand())
+        assert len(spec.quick().expand().points) == 12
 
     def test_queue_arch_matrix_runs_end_to_end(self):
         # The acceptance scenario: a queue-family x arch grid no bespoke

@@ -26,6 +26,13 @@ class TestStreamSeed:
     def test_stable_under_hypothesis(self, seed, name):
         assert stream_seed(seed, name) == stream_seed(seed, name)
 
+    def test_golden_values_pinned(self):
+        # Cross-run / cross-machine stability: stored experiment results key
+        # on these derivations, so a silent change to the hash would corrupt
+        # every cache. Update only with a deliberate format bump.
+        assert stream_seed(0, "traffic:arrivals") == 8455840670720828437
+        assert stream_seed(7, "traffic:tags") == 6495074506536572804
+
 
 class TestRngRegistry:
     def test_same_name_same_generator(self):
@@ -60,3 +67,19 @@ class TestRngRegistry:
         a = RngRegistry(7).spawn("sub").stream("x").integers(0, 1 << 30, size=5)
         b = RngRegistry(7).spawn("sub").stream("x").integers(0, 1 << 30, size=5)
         assert np.array_equal(a, b)
+
+    def test_traffic_streams_statistically_independent(self):
+        # The open-loop workload draws arrivals, tags, and source ranks from
+        # sibling named streams of one registry; a correlated pair would bias
+        # e.g. popular tags toward short inter-arrival gaps. Check pairwise
+        # sample correlations stay near zero over a decent draw.
+        reg = RngRegistry(0)
+        names = (
+            "traffic:arrivals", "traffic:tags", "traffic:ranks",
+            "traffic:recv-tags", "traffic:reservoir",
+        )
+        draws = {name: reg.stream(name).random(4096) for name in names}
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                corr = np.corrcoef(draws[a], draws[b])[0, 1]
+                assert abs(corr) < 0.08, f"{a} vs {b}: corr={corr:.3f}"

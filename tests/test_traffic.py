@@ -1,0 +1,329 @@
+"""Tests for the open-loop traffic subsystem.
+
+Covers the workload generators (Poisson gaps, Zipf popularity, lazy
+schedules), finite-queue admission (drop-tail and drop-head), config
+validation, and the open-loop driver's end-to-end behavior: determinism,
+overload producing nonzero rejection with bounded tail latency, and
+capacity actually bounding queue depth.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.arch import SANDY_BRIDGE
+from repro.errors import ConfigurationError
+from repro.matching import BoundedQueue, make_pattern, make_queue
+from repro.traffic import (
+    PoissonArrivals,
+    TrafficConfig,
+    ZipfTagPopularity,
+    open_loop_events,
+    run_traffic,
+)
+
+
+def traffic_config(**overrides):
+    """A small, fast open-loop config; overrides per test."""
+    kwargs = dict(
+        arch=SANDY_BRIDGE,
+        arrival_rate=0.4,
+        zipf_alpha=1.0,
+        n_tags=16,
+        msg_bytes=512,
+        n_warmup=50,
+        n_measured=200,
+        seed=3,
+    )
+    kwargs.update(overrides)
+    return TrafficConfig(**kwargs)
+
+
+class TestPoissonArrivals:
+    def test_mean_gap_converges(self):
+        gaps = PoissonArrivals(1000.0, np.random.default_rng(0))
+        sample = list(itertools.islice(iter(gaps), 20_000))
+        assert np.mean(sample) == pytest.approx(1000.0, rel=0.05)
+
+    def test_deterministic_for_fixed_rng(self):
+        a = itertools.islice(iter(PoissonArrivals(10.0, np.random.default_rng(7))), 100)
+        b = itertools.islice(iter(PoissonArrivals(10.0, np.random.default_rng(7))), 100)
+        assert list(a) == list(b)
+
+    def test_nonpositive_mean_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(0.0, np.random.default_rng(0))
+
+
+class TestZipfTagPopularity:
+    def test_skew_orders_popularity(self):
+        pop = ZipfTagPopularity(8, 1.2, np.random.default_rng(0))
+        draws = list(itertools.islice(iter(pop), 20_000))
+        counts = np.bincount(draws, minlength=8)
+        assert counts[0] > counts[3] > counts[7]
+
+    def test_alpha_zero_is_uniform(self):
+        pop = ZipfTagPopularity(4, 0.0, np.random.default_rng(0))
+        assert pop.pmf() == pytest.approx([0.25] * 4)
+        draws = list(itertools.islice(iter(pop), 20_000))
+        counts = np.bincount(draws, minlength=4)
+        assert counts.min() > 0.9 * counts.max()
+
+    def test_pmf_matches_power_law(self):
+        pop = ZipfTagPopularity(3, 1.0, np.random.default_rng(0))
+        h = 1.0 + 0.5 + 1.0 / 3.0
+        assert pop.pmf() == pytest.approx([1.0 / h, 0.5 / h, (1.0 / 3.0) / h])
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ZipfTagPopularity(0, 1.0, np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            ZipfTagPopularity(4, -0.5, np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            ZipfTagPopularity(4, float("nan"), np.random.default_rng(0))
+
+
+class TestOpenLoopEvents:
+    def kwargs(self, **overrides):
+        kw = dict(
+            rate_per_us=0.5,
+            ghz=2.6,
+            zipf_alpha=1.0,
+            n_tags=8,
+            nranks=64,
+            msg_bytes=256,
+            n_warmup=10,
+            n_measured=30,
+            seed=5,
+        )
+        kw.update(overrides)
+        return kw
+
+    def test_schedule_shape(self):
+        events = list(open_loop_events(**self.kwargs()))
+        assert len(events) == 40
+        assert [e.index for e in events] == list(range(40))
+        assert all(not e.measured for e in events[:10])
+        assert all(e.measured for e in events[10:])
+        times = [e.t_arrive for e in events]
+        assert times == sorted(times) and times[0] > 0
+
+    def test_deterministic_for_seed(self):
+        a = list(open_loop_events(**self.kwargs()))
+        b = list(open_loop_events(**self.kwargs()))
+        assert a == b
+        c = list(open_loop_events(**self.kwargs(seed=6)))
+        assert a != c
+
+    def test_million_event_schedule_is_lazy(self):
+        # The generator must hand out events without materializing the
+        # schedule: taking the first handful of a 1M-event stream is O(chunk).
+        stream = open_loop_events(**self.kwargs(n_warmup=0, n_measured=1_000_000))
+        head = list(itertools.islice(stream, 5))
+        assert len(head) == 5 and head[-1].index == 4
+
+    def test_bounds_validated(self):
+        with pytest.raises(ConfigurationError):
+            next(open_loop_events(**self.kwargs(rate_per_us=0.0)))
+        with pytest.raises(ConfigurationError):
+            next(open_loop_events(**self.kwargs(n_measured=0)))
+
+
+def bounded(capacity, policy="drop-tail", **kw):
+    inner = make_queue("baseline", rng=np.random.default_rng(0))
+    return BoundedQueue(inner, capacity, policy=policy, **kw)
+
+
+class TestBoundedQueue:
+    def test_drop_tail_rejects_at_capacity(self):
+        q = bounded(2)
+        assert q.try_post(make_pattern(1, 0, 0, seq=0))
+        assert q.try_post(make_pattern(1, 1, 0, seq=1))
+        assert not q.try_post(make_pattern(1, 2, 0, seq=2))
+        assert len(q) == 2
+        assert [it.tag for it in q.iter_items()] == [0, 1]
+        st = q.admission
+        assert (st.offered, st.accepted, st.rejected, st.evicted) == (3, 2, 1, 0)
+        assert st.rejection_pct == pytest.approx(100.0 / 3.0)
+
+    def test_drop_head_evicts_oldest(self):
+        evicted = []
+        q = bounded(2, policy="drop-head", on_evict=evicted.append)
+        for seq in range(3):
+            assert q.try_post(make_pattern(1, seq, 0, seq=seq))
+        assert [it.tag for it in q.iter_items()] == [1, 2]
+        assert [it.tag for it in evicted] == [0]
+        st = q.admission
+        assert (st.offered, st.accepted, st.rejected, st.evicted) == (3, 3, 0, 1)
+
+    def test_capacity_zero_rejects_everything(self):
+        for policy in ("drop-tail", "drop-head"):
+            q = bounded(0, policy=policy)
+            assert not q.try_post(make_pattern(1, 0, 0, seq=0))
+            assert len(q) == 0 and q.admission.rejected == 1
+
+    def test_huge_capacity_is_transparent(self):
+        q = bounded(1 << 30)
+        plain = make_queue("baseline", rng=np.random.default_rng(0))
+        for seq in range(20):
+            q.post(make_pattern(seq % 3, seq, 0, seq=seq))
+            plain.post(make_pattern(seq % 3, seq, 0, seq=seq))
+        assert [it.seq for it in q.iter_items()] == [
+            it.seq for it in plain.iter_items()
+        ]
+        assert q.admission.rejected == 0 and q.admission.evicted == 0
+
+    def test_match_remove_forwards(self):
+        q = bounded(4)
+        q.post(make_pattern(1, 2, 0, seq=0))
+        from repro.matching import Envelope, MatchItem
+
+        found = q.match_remove(MatchItem.from_envelope(Envelope(1, 2, 0), seq=9))
+        assert found is not None and found.seq == 0 and len(q) == 0
+
+    def test_reject_charges_port(self):
+        class Port:
+            cycles = 0.0
+
+            def charge(self, c):
+                self.cycles += c
+
+        port = Port()
+        q = bounded(0, reject_cycles=50.0, port=port)
+        q.post(make_pattern(1, 0, 0, seq=0))
+        assert port.cycles == 50.0
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bounded(-1)
+        with pytest.raises(ConfigurationError):
+            bounded(4, policy="drop-random")
+
+    def test_factory_capacity_none_returns_unwrapped(self):
+        q = make_queue("baseline", rng=np.random.default_rng(0), capacity=None)
+        assert not isinstance(q, BoundedQueue)
+        wrapped = make_queue("baseline", rng=np.random.default_rng(0), capacity=8)
+        assert isinstance(wrapped, BoundedQueue) and wrapped.capacity == 8
+
+
+class TestTrafficConfigValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"arrival_rate": 0.0},
+            {"arrival_rate": -1.0},
+            {"zipf_alpha": -0.1},
+            {"n_tags": 0},
+            {"n_measured": 0},
+            {"n_warmup": -1},
+            {"queue_capacity": -1},
+            {"admission": "random"},
+            {"recv_window": 0},
+            {"search_depth": -1},
+            {"flush_every": -1},
+        ],
+    )
+    def test_out_of_range_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            traffic_config(**overrides).validate()
+
+    def test_variant_labels(self):
+        assert traffic_config().variant_label() == "baseline"
+        assert traffic_config(heated=True).variant_label() == "HC"
+        assert traffic_config(queue_family="lla-8").variant_label() == "lla-8"
+        assert (
+            traffic_config(queue_family="lla-8", heated=True).variant_label()
+            == "HC+lla-8"
+        )
+
+
+class TestOpenLoopDriver:
+    def test_deterministic_for_fixed_seed(self):
+        cfg = traffic_config(queue_capacity=64, search_depth=16)
+        assert repr(run_traffic(cfg)) == repr(run_traffic(cfg))
+
+    def test_seed_changes_result(self):
+        a = run_traffic(traffic_config(seed=1))
+        b = run_traffic(traffic_config(seed=2))
+        assert repr(a) != repr(b)
+
+    def test_underload_rejects_nothing(self):
+        res = run_traffic(traffic_config(arrival_rate=0.05, queue_capacity=64))
+        assert res.measured.rejection_pct == 0.0
+        assert res.measured.rejected == 0 and res.measured.evicted == 0
+        assert res.measured.p99_sojourn_us > 0  # deliveries did happen
+        assert res.measured.delivered > 0
+
+    def test_overload_rejects_with_bounded_tail(self):
+        # Moderate overload: the engine falls behind, the finite queue fills,
+        # drop-tail sheds load — rejection is nonzero while p99 stays finite
+        # and positive (the loss system bounds latency by shedding).
+        res = run_traffic(
+            traffic_config(arrival_rate=1.6, queue_capacity=64, search_depth=32)
+        )
+        assert res.measured.rejection_pct > 0
+        assert res.measured.rejected > 0
+        assert res.measured.p99_sojourn_us > 0
+        assert res.measured.p99_sojourn_us >= res.measured.p50_sojourn_us
+
+    def test_capacity_bounds_depth(self):
+        res = run_traffic(
+            traffic_config(arrival_rate=1.6, queue_capacity=32, search_depth=32)
+        )
+        assert res.measured.max_queue_depth <= 32
+        assert res.warmup.max_queue_depth <= 32
+
+    def test_unbounded_overload_grows_instead(self):
+        res = run_traffic(
+            traffic_config(arrival_rate=1.6, queue_capacity=None, search_depth=32)
+        )
+        assert res.measured.rejected == 0 and res.measured.evicted == 0
+        assert res.measured.max_queue_depth > 32
+        assert res.measured.leftover > 0  # backlog never drained
+
+    def test_drop_head_evicts_under_overload(self):
+        res = run_traffic(
+            traffic_config(
+                arrival_rate=1.6,
+                queue_capacity=64,
+                search_depth=32,
+                admission="drop-head",
+            )
+        )
+        assert res.measured.evicted > 0
+        assert res.measured.rejected == 0  # drop-head always admits
+        assert res.measured.rejection_pct > 0  # evictions count as loss
+
+    def test_heated_variant_runs_heater(self):
+        res = run_traffic(
+            traffic_config(heated=True, flush_every=25, search_depth=32)
+        )
+        assert res.heater_passes > 0
+        assert res.config_label == "HC"
+
+    def test_event_conservation(self):
+        # Every measured arrival ends exactly one way: fast-matched,
+        # drained later, rejected, evicted, or left in the queue.
+        res = run_traffic(
+            traffic_config(arrival_rate=1.2, queue_capacity=64, search_depth=16)
+        )
+        for phase in (res.warmup, res.measured):
+            assert (
+                phase.fast_matches
+                + phase.drained
+                + phase.rejected
+                + phase.evicted
+                + phase.leftover
+                == phase.events
+            )
+
+    def test_stats_dict_round_trip(self):
+        res = run_traffic(traffic_config())
+        d = res.measured.as_dict()
+        assert d["events"] == float(res.measured.events)
+        assert d["p99_sojourn_us"] == res.measured.p99_sojourn_us
+        assert all(isinstance(v, float) for v in d.values())
+        assert res.measured.metric("p99_sojourn_us") == res.measured.p99_sojourn_us
+        with pytest.raises(ConfigurationError):
+            res.measured.metric("not_a_metric")
