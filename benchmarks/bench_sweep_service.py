@@ -1,0 +1,155 @@
+"""Sweep service — correctness gate plus a supervision overhead gate.
+
+Two questions about the service layer (`repro serve`, :mod:`repro.service`):
+
+1. **Correctness always gates.** Three concurrent submissions of
+   overlapping Figure-4/Figure-6 grids — under injected service chaos
+   (a stalled worker quarantined by the heartbeat watchdog plus a store
+   entry rotted mid-run) — must each reduce repr-identical to fault-free
+   serial runs, with every shared point simulated exactly once.
+2. **Armed supervision stays cheap.** On a warm store, a submission
+   through the full service (supervisor thread, admission, heartbeat
+   armed, journaling on) must not cost materially more than a bare
+   parallel ``Runner`` run against the same store. The gate is lenient
+   (<= 1.5x) because both sides are short and scheduler noise dominates
+   on small boxes.
+"""
+
+import time
+import warnings
+
+from conftest import emit
+
+from repro.arch import SANDY_BRIDGE
+from repro.bench.figures import plan_spatial_search_length, plan_temporal_msg_size
+from repro.exp import ResultStore, Runner
+from repro.faults import ServiceFaultPlan
+from repro.service import SweepService
+
+JOBS = 4
+DEPTHS = [1, 8, 64, 512]
+ITERS = 3
+
+
+def spatial_plan():
+    return plan_spatial_search_length(
+        SANDY_BRIDGE, msg_bytes=1, depths=DEPTHS, iterations=ITERS, seed=0
+    )
+
+
+def temporal_plan():
+    return plan_temporal_msg_size(
+        SANDY_BRIDGE, depth=64, msg_sizes=(8, 256, 4096), iterations=ITERS, seed=0
+    )
+
+
+def collect_service(tmp_dir):
+    """Standalone timings for bench_to_json: warm-store service overhead
+    vs a bare parallel Runner (the correctness assertions included)."""
+    from pathlib import Path
+
+    tmp = Path(tmp_dir)
+    store_dir = tmp / "store"
+    plan = spatial_plan()
+    Runner(jobs=JOBS, store=ResultStore(store_dir)).run(plan)
+
+    start = time.perf_counter()
+    bare_results = Runner(jobs=JOBS, store=ResultStore(store_dir)).run(spatial_plan())
+    bare_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    with SweepService(
+        jobs=JOBS, store=ResultStore(store_dir), journal_dir=tmp / "journals",
+        heartbeat_s=30.0, retries=2,
+    ) as service:
+        sub = service.submit(spatial_plan(), name="warm")
+        service_results = sub.wait(timeout=600)
+    service_s = time.perf_counter() - start
+
+    assert repr(plan.reduce(service_results)) == repr(plan.reduce(bare_results))
+    assert sub.report.cached == len(plan) and sub.report.executed == 0
+    return {
+        "scenario": "warm-store-figure4-grid",
+        "points": len(plan),
+        "bare_runner_ms": round(bare_s * 1e3, 3),
+        "armed_service_ms": round(service_s * 1e3, 3),
+        "overhead_x": round(service_s / bare_s, 3) if bare_s else float("inf"),
+    }
+
+
+def test_concurrent_chaos_submissions_are_bit_identical(once, tmp_path):
+    serial_spatial = repr(Runner(jobs=1).run_sweep(spatial_plan()))
+    serial_temporal = repr(Runner(jobs=1).run_sweep(temporal_plan()))
+
+    def service_run():
+        store = ResultStore(tmp_path / "store")
+        chaos = ServiceFaultPlan.parse("worker-stall@2:30,store-rot@1")
+        start = time.perf_counter()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)  # rebuild notice
+            with SweepService(
+                jobs=JOBS, store=store, journal_dir=tmp_path / "journals",
+                heartbeat_s=0.5, retries=2, backoff_s=0.01, fault_plan=chaos,
+            ) as service:
+                subs = [
+                    service.submit(spatial_plan(), name="user-a"),
+                    service.submit(spatial_plan(), name="user-b"),
+                    service.submit(temporal_plan(), name="user-c"),
+                ]
+                results = [s.wait(timeout=600) for s in subs]
+        return service, subs, results, time.perf_counter() - start
+
+    service, subs, results, elapsed = once(service_run)
+    stats = service.stats
+    emit(
+        f"3 concurrent submissions under chaos: {elapsed:.2f}s — "
+        f"{stats.executed} executed, {stats.shared} shared, "
+        f"{stats.stalled} stalled, {stats.pool_rebuilds} rebuild(s), "
+        f"{stats.rot_injected} rotted"
+    )
+    assert repr(spatial_plan().reduce(results[0])) == serial_spatial
+    assert repr(spatial_plan().reduce(results[1])) == serial_spatial
+    assert repr(temporal_plan().reduce(results[2])) == serial_temporal
+    # Dedup: the overlapping spatial grid was simulated exactly once.
+    assert stats.executed == len(spatial_plan()) + len(temporal_plan())
+    assert stats.shared == len(spatial_plan())
+    assert stats.stalled >= 1 and stats.rot_injected == 1
+    for sub in subs:
+        assert sub.report.failed == 0
+
+
+def test_armed_service_overhead_on_warm_store(once, tmp_path):
+    store_dir = tmp_path / "store"
+    Runner(jobs=JOBS, store=ResultStore(store_dir)).run(spatial_plan())
+
+    def bare_run():
+        runner = Runner(jobs=JOBS, store=ResultStore(store_dir))
+        start = time.perf_counter()
+        results = runner.run(spatial_plan())
+        return results, time.perf_counter() - start
+
+    def service_run():
+        start = time.perf_counter()
+        with SweepService(
+            jobs=JOBS, store=ResultStore(store_dir),
+            journal_dir=tmp_path / "journals", heartbeat_s=30.0, retries=2,
+        ) as service:
+            sub = service.submit(spatial_plan(), name="warm")
+            results = sub.wait(timeout=600)
+        return sub, results, time.perf_counter() - start
+
+    bare_results, bare_s = bare_run()
+    sub, service_results, service_s = once(service_run)
+
+    ratio = service_s / bare_s if bare_s else float("inf")
+    emit(
+        f"warm store: bare Runner {bare_s:.3f}s, armed service {service_s:.3f}s "
+        f"({ratio:.2f}x)"
+    )
+    plan = spatial_plan()
+    assert repr(plan.reduce(service_results)) == repr(plan.reduce(bare_results))
+    assert sub.report.cached == len(plan) and sub.report.executed == 0
+    assert ratio <= 1.5, (
+        f"armed service supervision cost {ratio:.2f}x over a bare parallel "
+        "Runner on a warm store (expected <= 1.5x)"
+    )

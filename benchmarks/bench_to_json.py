@@ -3,9 +3,10 @@
 
 CI runs this after the test suites and uploads ``BENCH_kernel.json`` (the
 SoA-vs-reference kernel speedup), ``BENCH_scan.json`` (the batched-scan
-vs per-slot queue traversal speedup), and ``BENCH_traffic.json`` (the
-open-loop traffic driver's events/sec) so each trajectory is preserved per
-commit — a perf regression then shows up as a trend break in the artifact
+vs per-slot queue traversal speedup), ``BENCH_traffic.json`` (the
+open-loop traffic driver's events/sec), and ``BENCH_service.json`` (the
+sweep service's warm-store supervision overhead) so each trajectory is
+preserved per commit — a perf regression then shows up as a trend break in the artifact
 history, not just as a (retried, noise-tolerant) gate failure in one run.
 
 Standalone — no pytest. Reuses the interleaved best-of timing and the
@@ -16,7 +17,7 @@ written.
 
 Usage::
 
-    python benchmarks/bench_to_json.py [kernel.json [scan.json [traffic.json]]]
+    python benchmarks/bench_to_json.py [kernel.json [scan.json [traffic.json [service.json]]]]
 """
 
 from __future__ import annotations
@@ -164,10 +165,34 @@ def write_traffic(out: Path) -> None:
     print(f"wrote {out}")
 
 
+def write_service(out: Path) -> None:
+    import tempfile
+
+    import bench_sweep_service
+
+    with tempfile.TemporaryDirectory() as tmp:
+        row = bench_sweep_service.collect_service(tmp)
+    doc = {
+        "benchmark": "sweep-service-supervision",
+        "config": {"jobs": bench_sweep_service.JOBS},
+        "gate": {"max_overhead_x": 1.5},
+        "timing": {"rounds": 1, "statistic": "single-shot"},
+        "environment": _environment(),
+        "scenarios": [row],
+    }
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(
+        "{scenario:>23}: bare {bare_runner_ms:8.2f}ms  "
+        "service {armed_service_ms:8.2f}ms  overhead {overhead_x:.2f}x".format(**row)
+    )
+    print(f"wrote {out}")
+
+
 def main(argv):
     write_kernel(Path(argv[1]) if len(argv) > 1 else Path("BENCH_kernel.json"))
     write_scan(Path(argv[2]) if len(argv) > 2 else Path("BENCH_scan.json"))
     write_traffic(Path(argv[3]) if len(argv) > 3 else Path("BENCH_traffic.json"))
+    write_service(Path(argv[4]) if len(argv) > 4 else Path("BENCH_service.json"))
     return 0
 
 

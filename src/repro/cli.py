@@ -12,6 +12,9 @@ Usage (installed as ``repro``, or ``python -m repro``)::
     repro fig8 / fig9 / fig10  # application studies
     repro ablation             # semi-permanent-occupancy proposal study
     repro run fig4_quick.toml  # any scenario file (or registered name)
+    repro serve                # sweep service over a job directory
+    repro submit fig4_quick.toml --job-dir d   # queue work for the server
+    repro status --job-dir d   # server heartbeat + per-job progress
 
 The figure subcommands are thin aliases over the scenario registry
 (:mod:`repro.scenarios`): each one expands a named built-in scenario into
@@ -33,6 +36,15 @@ aborts after flushing completed work to the store), ``--report FILE``
 exports the structured RunReport as JSON, and ``--inject-faults SPEC``
 (or ``REPRO_INJECT_FAULTS``) deterministically injects crashes, raises,
 hangs, and store corruption to exercise all of the above.
+
+``repro serve`` runs the supervised sweep service (:mod:`repro.service`)
+over a file-based job directory: concurrent submissions share one worker
+pool and one store with cross-submission dedup, bounded drop-tail
+admission, per-submission checkpoint journals (kill -9 + restart resumes
+with zero recomputation), a heartbeat watchdog, and LRU store eviction.
+``repro submit`` queues a scenario; ``repro status`` reads progress —
+both work with no server running. Service-level chaos goes through
+``repro serve --inject-faults`` / ``REPRO_INJECT_SERVICE_FAULTS``.
 """
 
 from __future__ import annotations
@@ -45,6 +57,9 @@ from repro.analysis.report import render_series_table, render_table
 
 #: Default --resume store location (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Default job directory for the service commands (serve/submit/status).
+DEFAULT_JOB_DIR = ".repro-jobs"
 
 #: Commands whose grids run through the repro.exp plan/runner subsystem.
 _SWEEP_COMMANDS = (
@@ -197,6 +212,13 @@ def _cmd_layout(args: argparse.Namespace) -> None:
 def _render_panel(sweep, args: argparse.Namespace, stem: str) -> None:
     """Print one figure panel; *stem* names its export files deterministically,
     so stems are stable across repeated main() calls in one process."""
+    if not sweep.series:
+        # A zero-point plan (or one whose every point failed under
+        # --on-error collect) has nothing to tabulate; say so instead of
+        # printing a degenerate empty table.
+        print(f"{sweep.title}: no points to render (empty plan or all points failed)")
+        print()
+        return
     print(render_series_table(sweep))
     if getattr(args, "mem_stats", False) and sweep.meta.get("mem_stats"):
         from repro.analysis.report import render_mem_stats_table
@@ -405,6 +427,134 @@ def _cmd_validate(args: argparse.Namespace) -> None:
         sys.exit(1)
 
 
+def _service_from_args(args: argparse.Namespace):
+    """Build the SweepService that ``repro serve`` asked for."""
+    from repro.exp import ResultStore
+    from repro.faults import ServiceFaultPlan
+    from repro.service import SweepService
+
+    cache_dir = args.cache_dir
+    if cache_dir is None and args.resume:
+        cache_dir = DEFAULT_CACHE_DIR
+    inject = args.inject_faults
+    return SweepService(
+        jobs=args.jobs,
+        store=ResultStore(cache_dir) if cache_dir else None,
+        queue_capacity=args.queue_capacity,
+        heartbeat_s=args.heartbeat,
+        retries=args.retries,
+        max_store_bytes=args.max_store_bytes,
+        fault_plan=ServiceFaultPlan.parse(inject) if inject else None,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> None:
+    """Run the sweep service over a job directory until idle/interrupted."""
+    from repro.service import serve
+
+    service = _service_from_args(args)
+    print(
+        f"[serve] job dir {args.job_dir} (jobs={args.jobs}, "
+        f"capacity={args.queue_capacity})",
+        file=sys.stderr,
+    )
+    try:
+        finished = serve(
+            args.job_dir,
+            service,
+            poll_s=args.poll,
+            max_idle_s=args.max_idle,
+            max_jobs=args.max_jobs,
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        print("[serve] interrupted; drained and stopped", file=sys.stderr)
+        return
+    stats = service.stats
+    print(
+        f"[serve] stopped: {finished} job(s) finished, "
+        f"{stats.executed} executed / {stats.cached} cached / "
+        f"{stats.shared} shared / {stats.replayed} replayed point(s)",
+        file=sys.stderr,
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> None:
+    """Queue one scenario into a job directory (served by 'repro serve')."""
+    from repro.service import JobDirectory
+
+    jobdir = JobDirectory(args.job_dir)
+    job_id = jobdir.submit(args.scenario, quick=args.quick, seed=args.seed)
+    print(job_id)
+
+
+def _cmd_status(args: argparse.Namespace) -> None:
+    """Report a job directory: server heartbeat, jobs, store health."""
+    import json
+
+    doc = _job_status_doc(args.job_dir)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return
+    service = doc.get("service")
+    if service:
+        svc = service.get("service", {})
+        adm = service.get("admission", {})
+        when = "stopped" if "stopped_at" in service else "running"
+        print(
+            f"service: {when} (pid {service.get('pid', '?')}) — "
+            f"admission {adm.get('accepted', 0)}/{adm.get('offered', 0)} accepted, "
+            f"{adm.get('rejected', 0)} rejected; "
+            f"{svc.get('executed', 0)} executed, {svc.get('cached', 0)} cached, "
+            f"{svc.get('shared', 0)} shared, {svc.get('replayed', 0)} replayed, "
+            f"{svc.get('stalled', 0)} stalled, {svc.get('crashes', 0)} crashed"
+        )
+        store = service.get("store")
+        if store:
+            print(
+                f"store: {store.get('entries', 0)} entries "
+                f"({store.get('entry_bytes', 0)} B), "
+                f"{store.get('corrupt', 0)} quarantined, "
+                f"{store.get('swept_corrupt', 0)} swept at startup, "
+                f"{store.get('evicted', 0)} evicted"
+            )
+    else:
+        print("service: no server has written a heartbeat yet")
+    rows = []
+    for job in doc.get("jobs", []):
+        report = job.get("report") or {}
+        rows.append(
+            (
+                job.get("job", "?"),
+                job.get("scenario") or "?",
+                job.get("state", "?"),
+                report.get("total", ""),
+                report.get("executed", ""),
+                report.get("cached", ""),
+                report.get("shared", ""),
+                report.get("replayed", ""),
+                report.get("failed", ""),
+            )
+        )
+    if rows:
+        print()
+        print(
+            render_table(
+                ["job", "scenario", "state", "points", "executed", "cached",
+                 "shared", "replayed", "failed"],
+                rows,
+                title=f"Jobs in {doc['root']}",
+            )
+        )
+    else:
+        print(f"no jobs in {doc['root']}")
+
+
+def _job_status_doc(job_dir: str) -> dict:
+    from repro.service import JobDirectory
+
+    return JobDirectory(job_dir).status()
+
+
 _COMMANDS = {
     "table1": ("Table 1: thread-decomposition queue lengths/search depths", _cmd_table1),
     "fig1": ("Figure 1: motif match-list histograms", _cmd_fig1),
@@ -422,7 +572,13 @@ _COMMANDS = {
     "traffic": ("Open-loop overload study: tail latency/rejection vs load", _cmd_traffic),
     "run": ("Run a scenario: a registered name or a TOML/JSON spec file", _cmd_run),
     "validate": ("Run all DESIGN.md section 7 reproduction criteria", _cmd_validate),
+    "serve": ("Run the sweep service over a job directory", _cmd_serve),
+    "submit": ("Queue a scenario into a job directory", _cmd_submit),
+    "status": ("Show a job directory's server/job/store state", _cmd_status),
 }
+
+#: Commands that speak the file-based job-directory protocol, not sweeps.
+_SERVICE_COMMANDS = ("serve", "submit", "status")
 
 
 def _cmd_list(args: argparse.Namespace) -> None:
@@ -430,6 +586,21 @@ def _cmd_list(args: argparse.Namespace) -> None:
 
     print(render_table(["command", "regenerates"], [(k, v[0]) for k, v in _COMMANDS.items()]))
     print()
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is None and getattr(args, "resume", False):
+        cache_dir = DEFAULT_CACHE_DIR
+    if cache_dir:
+        from repro.exp import ResultStore
+
+        stats = ResultStore(cache_dir).stats()
+        print(
+            render_table(
+                ["entries", "bytes", "corrupt", "tmp"],
+                [(stats.entries, stats.entry_bytes, stats.corrupt, stats.tmp)],
+                title=f"Result store at {cache_dir}",
+            )
+        )
+        print()
     print(
         render_table(
             ["scenario", "kind", "points", "description"],
@@ -523,12 +694,21 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("--mem-stats", action="store_true",
                         help="per-level hit-attribution table per variant")
 
+    # Job-directory flag shared by the service commands.
+    jobdir = argparse.ArgumentParser(add_help=False)
+    jobdir.add_argument("--job-dir", metavar="DIR", default=DEFAULT_JOB_DIR,
+                        help=f"file-based job directory (default {DEFAULT_JOB_DIR})")
+
     for name, (help_text, _) in _COMMANDS.items():
-        parents = [common]
+        parents = []
+        if name not in _SERVICE_COMMANDS or name == "submit":
+            parents.append(common)
         if name in _SWEEP_COMMANDS:
             parents.append(sweep)
         if name in _PANEL_COMMANDS:
             parents.append(render)
+        if name in _SERVICE_COMMANDS:
+            parents.append(jobdir)
         p = sub.add_parser(name, help=help_text, parents=parents)
         if name == "fig1":
             p.add_argument("--motif", choices=["amr", "sweep3d", "halo3d"], default=None)
@@ -539,7 +719,49 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("scenario", metavar="FILE|NAME",
                            help="a .toml/.json scenario file, or a registered "
                            "scenario name (see 'repro list')")
-    sub.add_parser("list", help="list commands, scenarios, and scenario axes")
+        if name == "serve":
+            p.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="worker pool width shared by all submissions")
+            p.add_argument("--cache-dir", metavar="DIR", default=None,
+                           help="content-addressed result store shared by "
+                           "all submissions (integrity-swept at startup)")
+            p.add_argument("--resume", action="store_true",
+                           help=f"shorthand for --cache-dir {DEFAULT_CACHE_DIR}")
+            p.add_argument("--queue-capacity", type=int, default=8, metavar="N",
+                           help="bounded submission queue (drop-tail beyond)")
+            p.add_argument("--heartbeat", type=float, default=None, metavar="S",
+                           help="quarantine workers silent for S seconds "
+                           "(pool rebuilt, points rescheduled)")
+            p.add_argument("--retries", type=int, default=0, metavar="N",
+                           help="re-attempt failed/stalled points up to N "
+                           "times (deterministic capped backoff)")
+            p.add_argument("--max-store-bytes", type=int, default=None,
+                           metavar="B", help="LRU-evict the store above B "
+                           "bytes of entries")
+            p.add_argument("--max-idle", type=float, default=None, metavar="S",
+                           help="exit after S seconds with nothing queued or "
+                           "running (default: serve until interrupted)")
+            p.add_argument("--max-jobs", type=int, default=None, metavar="N",
+                           help="exit after N jobs reach a terminal state")
+            p.add_argument("--poll", type=float, default=0.1, metavar="S",
+                           help="queue poll interval")
+            p.add_argument("--inject-faults", metavar="SPEC", default=None,
+                           help="service-level chaos, e.g. 'submit-crash@1,"
+                           "worker-stall@3:0.5,store-rot@0' "
+                           "(kind@n[:seconds]); also via "
+                           "REPRO_INJECT_SERVICE_FAULTS")
+        if name == "submit":
+            p.add_argument("scenario", metavar="FILE|NAME",
+                           help="a .toml/.json scenario file, or a registered "
+                           "scenario name (see 'repro list')")
+        if name == "status":
+            p.add_argument("--json", action="store_true",
+                           help="machine-readable status document")
+    list_p = sub.add_parser("list", help="list commands, scenarios, and scenario axes")
+    list_p.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="also report this result store's inventory")
+    list_p.add_argument("--resume", action="store_true",
+                        help=f"shorthand for --cache-dir {DEFAULT_CACHE_DIR}")
     return parser
 
 
@@ -568,11 +790,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.matching.port import SCAN_BATCH_ENV
 
         os.environ[SCAN_BATCH_ENV] = args.scan_batch
+    from repro.errors import ConfigurationError
+
     try:
         _COMMANDS[args.command][1](args)
-    except ScenarioError as exc:
-        # Config mistakes (bad axis, unknown scenario, malformed file) are
-        # user errors, not tracebacks.
+    except (ConfigurationError, ScenarioError) as exc:
+        # Config mistakes (bad axis, unknown scenario, malformed file or
+        # fault spec) are user errors, not tracebacks.
         print(f"repro: {exc}", file=sys.stderr)
         return 2
     return 0

@@ -57,6 +57,21 @@ class PointExecutionError(ExecutionError):
         self.attempts = attempts
 
 
+class ServiceError(ExecutionError):
+    """The long-running sweep service failed (bad job, dead server...)."""
+
+
+class AdmissionError(ServiceError):
+    """A submission was rejected by the service's drop-tail admission.
+
+    Raised by :meth:`~repro.service.SweepService.submit` when the bounded
+    submission queue is full — the service-layer analogue of a
+    :class:`~repro.matching.bounded.BoundedQueue` rejecting a post at a
+    full match queue. Callers that prefer a verdict to an exception use
+    ``try_submit``.
+    """
+
+
 class InjectedFaultError(SimulationError):
     """A deterministic fault raised by :mod:`repro.faults` injection.
 

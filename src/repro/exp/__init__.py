@@ -32,13 +32,15 @@ from repro.exp.producers import (
     resolve_arch,
 )
 from repro.exp.runner import (
+    REPORT_SCHEMA,
     AttemptRecord,
     PointFailure,
     Runner,
     RunReport,
     RunStats,
+    backoff_delay,
 )
-from repro.exp.store import STORE_SCHEMA, ResultStore, default_salt
+from repro.exp.store import STORE_SCHEMA, ResultStore, StoreStats, default_salt
 
 __all__ = [
     "AttemptRecord",
@@ -46,11 +48,14 @@ __all__ = [
     "PointFailure",
     "PointResult",
     "PointSpec",
+    "REPORT_SCHEMA",
     "ResultStore",
     "RunReport",
     "RunStats",
     "Runner",
     "STORE_SCHEMA",
+    "StoreStats",
+    "backoff_delay",
     "default_salt",
     "derive_seed",
     "encode_arch",

@@ -145,6 +145,20 @@ class ExperimentPlan:
     def __len__(self) -> int:
         return len(self.points)
 
+    def fingerprint(self) -> str:
+        """Stable SHA-256 over the full point list (content *and* order).
+
+        Unlike per-point content keys this covers presentation and
+        ordering too — it identifies *this exact plan*, which is what a
+        checkpoint journal must match before its completed-point records
+        can be replayed into a restarted submission.
+        """
+        doc = [
+            [spec.series, spec.x, spec.content()] for spec in self.points
+        ]
+        text = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
     def series_labels(self) -> List[str]:
         """Distinct series labels in first-appearance (plan) order."""
         return list(dict.fromkeys(spec.series for spec in self.points))

@@ -62,6 +62,7 @@ import warnings
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass, field
+from dataclasses import fields as dataclass_fields
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis.series import Sweep
@@ -73,6 +74,36 @@ from repro.faults.plan import FaultPlan
 
 #: Accepted ``on_error`` policies (CLI spelling ``fail-fast`` is normalized).
 ON_ERROR_POLICIES = ("fail_fast", "collect")
+
+#: Version of the RunReport dict/JSON schema (``--report`` files, service
+#: status endpoints). Bump when fields change meaning or disappear; adding
+#: fields is backward-compatible and does not bump.
+REPORT_SCHEMA = 1
+
+
+def backoff_delay(content_key: str, attempt: int, base_s: float, cap_s: float) -> float:
+    """Capped exponential backoff with deterministic per-attempt jitter.
+
+    Shared by the :class:`Runner` and the sweep service so both layers
+    retry on the same schedule. Three properties the tests pin:
+
+    * **Deterministic** — the jitter is a SHA-256 over (key, attempt), so
+      a replayed run waits exactly as long as the original.
+    * **Non-decreasing in attempt** — the jitter factor lives in
+      ``[1.0, 1.5)`` over an uncapped doubling base, so attempt ``a+1``'s
+      floor (``2^(a+1) * base``) clears attempt ``a``'s ceiling
+      (``1.5 * 2^a * base``), and the final ``min`` against the cap is
+      monotone.
+    * **Capped** — never exceeds ``cap_s``.
+
+    Only the *retry schedule* is derived per attempt — point seeds are
+    never touched, so a retried point recomputes the fault-free result.
+    """
+    if base_s <= 0.0:
+        return 0.0
+    digest = hashlib.sha256(f"{content_key}/retry/{attempt}".encode("utf-8")).digest()
+    jitter = int.from_bytes(digest[:8], "little") / float(1 << 64)
+    return min(cap_s, base_s * (2.0 ** attempt) * (1.0 + 0.5 * jitter))
 
 
 class _PointTimeout(Exception):
@@ -167,19 +198,60 @@ class RunReport:
         return self.failed == 0
 
     def to_dict(self) -> Dict[str, object]:
-        """A plain JSON-serializable dict (the ``--report`` schema)."""
-        return asdict(self)
+        """A plain JSON-serializable dict (the ``--report`` schema).
+
+        Carries ``schema`` (:data:`REPORT_SCHEMA`) so service status
+        endpoints and archived ``--report`` artifacts stay
+        forward-compatible: a consumer checks the version instead of
+        sniffing fields.
+        """
+        doc = asdict(self)
+        doc["schema"] = REPORT_SCHEMA
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "RunReport":
+        """Rebuild a report from :meth:`to_dict` output (e.g. a parsed
+        ``--report`` file). Unknown keys are ignored — a newer producer's
+        additive fields must not break an older consumer — but a schema
+        *ahead* of this code is refused loudly rather than misread."""
+        schema = doc.get("schema", REPORT_SCHEMA)
+        if int(schema) > REPORT_SCHEMA:
+            raise ConfigurationError(
+                f"report schema {schema} is newer than supported ({REPORT_SCHEMA})"
+            )
+        known = {f.name for f in dataclass_fields(cls)}
+        kwargs = {k: v for k, v in doc.items() if k in known}
+        kwargs["attempts"] = [AttemptRecord(**a) for a in kwargs.get("attempts", [])]
+        kwargs["failures"] = [PointFailure(**f) for f in kwargs.get("failures", [])]
+        return cls(**kwargs)
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def render(self) -> str:
         """A compact human-readable summary (the CLI's stderr epilogue)."""
-        lines = [
-            f"run report: {self.total} points — {self.executed} executed, "
-            f"{self.cached} cached, {self.deduped} deduped, {self.failed} failed "
-            f"(jobs={self.jobs}, on_error={self.on_error}, {self.elapsed_s:.2f}s)"
-        ]
+        if self.total == 0:
+            # An empty plan ran nothing: say so, instead of a misleading
+            # "0 points — 0 executed, ... 0 failed" accounting line.
+            lines = [
+                f"run report: empty plan — nothing to run "
+                f"(jobs={self.jobs}, on_error={self.on_error}, {self.elapsed_s:.2f}s)"
+            ]
+        elif self.executed == 0 and self.failed == 0 and self.cached:
+            # Every point came from the store/dedup: the interesting fact
+            # is that zero simulations ran, not a parade of zero counters.
+            lines = [
+                f"run report: {self.total} points — all served from cache "
+                f"({self.cached} cached, {self.deduped} deduped; "
+                f"jobs={self.jobs}, {self.elapsed_s:.2f}s)"
+            ]
+        else:
+            lines = [
+                f"run report: {self.total} points — {self.executed} executed, "
+                f"{self.cached} cached, {self.deduped} deduped, {self.failed} failed "
+                f"(jobs={self.jobs}, on_error={self.on_error}, {self.elapsed_s:.2f}s)"
+            ]
         if (
             self.retried or self.timeouts or self.crashes or self.pool_rebuilds
             or self.degraded_serial or self.quarantined or self.corruptions_injected
@@ -432,20 +504,10 @@ class Runner:
         )
 
     def _backoff_delay(self, spec: PointSpec, attempt: int) -> float:
-        """Capped exponential backoff with deterministic per-attempt jitter.
-
-        Only the *retry schedule* is reseeded per attempt (from the point's
-        content key) — point seeds are never touched, so a retried point
-        recomputes exactly the fault-free result.
-        """
-        if self.backoff_s <= 0.0:
-            return 0.0
-        base = min(self.backoff_cap_s, self.backoff_s * (2.0 ** attempt))
-        digest = hashlib.sha256(
-            f"{spec.content_key()}/retry/{attempt}".encode("utf-8")
-        ).digest()
-        jitter = int.from_bytes(digest[:8], "little") / float(1 << 64)
-        return base * (0.5 + jitter)
+        """This runner's retry delay for (point, attempt); see
+        :func:`backoff_delay` for the deterministic/monotone/capped
+        contract."""
+        return backoff_delay(spec.content_key(), attempt, self.backoff_s, self.backoff_cap_s)
 
     def _point_failed(
         self, ctx: _RunCtx, i: int, attempts: int, outcome: str, exc: Optional[BaseException]

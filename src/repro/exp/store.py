@@ -28,8 +28,9 @@ import hashlib
 import json
 import os
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from repro._version import __version__
 from repro.exp.plan import PointResult, PointSpec
@@ -57,6 +58,45 @@ def _payload_checksum(doc: dict) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
+@dataclass
+class StoreStats:
+    """A point-in-time inventory of one store directory plus the owning
+    instance's lifetime counters (``repro list --cache-dir`` fodder)."""
+
+    #: Live entries on disk right now (``*.json``).
+    entries: int = 0
+    #: Quarantined entries on disk (``*.corrupt``).
+    corrupt: int = 0
+    #: Temp files on disk (in-progress writers or orphans of killed ones).
+    tmp: int = 0
+    #: Total bytes of the live entries.
+    entry_bytes: int = 0
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    quarantined: int = 0
+    evicted: int = 0
+
+    @property
+    def hit_rate_pct(self) -> float:
+        looked = self.hits + self.misses
+        return 100.0 * self.hits / looked if looked else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "entries": self.entries,
+            "corrupt": self.corrupt,
+            "tmp": self.tmp,
+            "entry_bytes": self.entry_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "quarantined": self.quarantined,
+            "evicted": self.evicted,
+            "hit_rate_pct": self.hit_rate_pct,
+        }
+
+
 class ResultStore:
     """A directory of content-addressed :class:`PointResult` entries."""
 
@@ -69,6 +109,8 @@ class ResultStore:
         self.misses = 0
         self.puts = 0
         self.quarantined = 0
+        #: Entries deleted by :meth:`evict_lru` over this instance's lifetime.
+        self.evicted = 0
         #: Paths of entries quarantined by this instance (report fodder).
         self.quarantined_paths: List[Path] = []
 
@@ -145,7 +187,15 @@ class ResultStore:
             "elapsed_s": result.elapsed_s,
         }
         doc["sha256"] = _payload_checksum(doc)
-        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        # The temp name embeds the writer's pid on top of mkstemp's own
+        # uniqueness: concurrent writers (service workers, parallel CLI
+        # runs) can never collide, and an orphan left by a killed process
+        # names its culprit. The final os.replace is atomic either way —
+        # two racing writers of the same key both land a complete entry,
+        # last one wins, and both wrote identical content by construction.
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=f"put-{os.getpid()}-", suffix=".tmp"
+        )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(doc, fh, sort_keys=True)
@@ -196,9 +246,23 @@ class ResultStore:
     #: quarantined entries, and temp files orphaned by a killed process.
     _PATTERNS = ("*/*.json", "*/*.corrupt", "*/*.tmp")
 
-    def _files(self):
-        for pattern in self._PATTERNS:
-            yield from self.root.glob(pattern)
+    def _files(self, patterns=None):
+        """Store files matching *patterns* (default: everything).
+
+        Tolerates concurrent writers: a shard directory (or the root)
+        deleted between listing and descent is skipped, never an error —
+        another process clearing or evicting must not break this one's
+        inventory scan.
+        """
+        for pattern in patterns if patterns is not None else self._PATTERNS:
+            walker = self.root.glob(pattern)
+            while True:
+                try:
+                    yield next(walker)
+                except StopIteration:
+                    break
+                except OSError:
+                    break
 
     def __len__(self) -> int:
         """All store files: entries + quarantined + stale temp files."""
@@ -214,3 +278,85 @@ class ResultStore:
             except OSError:
                 pass
         return removed
+
+    def stats(self) -> StoreStats:
+        """Current on-disk inventory plus this instance's counters."""
+        stats = StoreStats(
+            hits=self.hits,
+            misses=self.misses,
+            puts=self.puts,
+            quarantined=self.quarantined,
+            evicted=self.evicted,
+        )
+        for path in self._files():
+            name = path.name
+            if name.endswith(".json"):
+                stats.entries += 1
+                try:
+                    stats.entry_bytes += path.stat().st_size
+                except OSError:
+                    pass  # entry evicted/cleared under us: still a race-free count
+            elif name.endswith(".corrupt"):
+                stats.corrupt += 1
+            else:
+                stats.tmp += 1
+        return stats
+
+    # -- lifecycle (the service's shared-cache duties) -------------------------
+
+    def integrity_sweep(self) -> int:
+        """Verify every live entry's checksum; quarantine failures.
+
+        The service's startup duty: bit-rot that crept in while nothing was
+        reading must not wait for an unlucky ``get`` mid-sweep — it is
+        surfaced (and the slot freed for re-execution) before any
+        submission is admitted. Returns the number quarantined.
+        """
+        before = self.quarantined
+        for path in list(self._files(patterns=("*/*.json",))):
+            try:
+                doc = json.loads(path.read_bytes().decode("utf-8"))
+                if not isinstance(doc, dict):
+                    raise ValueError("entry is not a JSON object")
+                if doc.get("sha256") != _payload_checksum(doc):
+                    raise ValueError("checksum mismatch")
+            except OSError:
+                continue  # deleted or unreadable mid-scan: nothing to verify
+            except (ValueError, KeyError, TypeError):
+                self._quarantine(path)
+        return self.quarantined - before
+
+    def evict_lru(self, max_bytes: int) -> int:
+        """Shrink live entries to ``max_bytes``, oldest mtime first.
+
+        The semi-permanent-occupancy question one layer up: the store is a
+        shared cache, and without a capacity it grows monotonically.
+        Eviction is by modification time (a rewrite refreshes recency), so
+        entries the active scenarios keep re-reading survive — ``get``
+        does not touch mtime, making this LRU over *writes*, FIFO over
+        readers, which is cheap and deletion-safe under concurrency (a
+        vanished file is simply skipped). Returns the number evicted.
+        """
+        if max_bytes < 0:
+            return 0
+        entries = []
+        total = 0
+        for path in self._files(patterns=("*/*.json",)):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        evicted = 0
+        for _mtime, size, path in sorted(entries, key=lambda e: (e[0], e[2].name)):
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue  # another evictor/clearer got there first
+            total -= size
+            evicted += 1
+        self.evicted += evicted
+        return evicted

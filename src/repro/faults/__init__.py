@@ -20,12 +20,22 @@ from repro.faults.plan import (
     FaultPlan,
     WORKER_CRASH_EXIT_CODE,
 )
+from repro.faults.service import (
+    ENV_SERVICE_FAULTS,
+    SERVICE_FAULT_KINDS,
+    ServiceFault,
+    ServiceFaultPlan,
+)
 
 __all__ = [
     "ENV_FAULTS",
+    "ENV_SERVICE_FAULTS",
     "FAULT_KINDS",
     "Fault",
     "FaultAction",
     "FaultPlan",
+    "SERVICE_FAULT_KINDS",
+    "ServiceFault",
+    "ServiceFaultPlan",
     "WORKER_CRASH_EXIT_CODE",
 ]

@@ -1,0 +1,173 @@
+"""Service-level chaos: faults against the *sweep service*, not one point.
+
+:mod:`repro.faults.plan` targets plan-point executions; a long-running
+:class:`~repro.service.SweepService` has failure surfaces a single run
+never sees — a client dying mid-submission, a pool worker silently
+stalling under the heartbeat watchdog, store entries rotting *while*
+concurrent submissions read them. This module schedules those
+deterministically, so the service's robustness ladder (admission →
+journal → watchdog → rebuild → degrade) is testable end-to-end.
+
+Three kinds, addressed by **occurrence number** (0-based) rather than
+plan index, because service events interleave across submissions:
+
+``submit-crash``
+    The Nth ``submit()`` call raises
+    :class:`~repro.errors.InjectedFaultError` *after* admission
+    accounting but before the submission is scheduled — the moment a real
+    client would die holding a ticket. The service must stay alive,
+    release the queue slot, and keep serving later submissions.
+``worker-stall``
+    The Nth point dispatched to the worker pool sleeps ``seconds``
+    before computing (a heartbeat stall, not a crash): the watchdog must
+    quarantine the worker, rebuild the pool, and reschedule — extending
+    the PR 3 degradation ladder to silent stalls under a shared pool.
+``store-rot``
+    The Nth result persisted to the store has its entry bit-flipped
+    immediately after the write — rot injected during concurrent access,
+    which the next reader (or the startup integrity sweep) must
+    quarantine without losing or duplicating any point.
+
+Spec grammar (CLI ``repro serve --inject-faults`` /
+``REPRO_INJECT_SERVICE_FAULTS``)::
+
+    SPEC  := entry ("," entry)*
+    entry := kind "@" n [":" seconds]
+
+``submit-crash@1`` kills the second submission at submit time;
+``worker-stall@3:0.5`` stalls the fourth dispatched point for 0.5 s;
+``store-rot@0`` rots the first entry written. ``seconds`` only means
+something for ``worker-stall``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import FaultAction
+
+#: Recognised service-level fault kinds (see module docstring).
+SERVICE_FAULT_KINDS = ("submit-crash", "worker-stall", "store-rot")
+
+#: Spec string read when no explicit plan is passed to the service.
+ENV_SERVICE_FAULTS = "REPRO_INJECT_SERVICE_FAULTS"
+
+#: Default injected-stall duration when the spec omits ``seconds``.
+DEFAULT_STALL_S = 30.0
+
+
+@dataclass(frozen=True)
+class ServiceFault:
+    """One service-level fault: *kind* against occurrence number *index*."""
+
+    kind: str
+    index: int
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SERVICE_FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown service fault kind {self.kind!r}; known: "
+                f"{list(SERVICE_FAULT_KINDS)}"
+            )
+        if self.index < 0:
+            raise ConfigurationError(f"fault index must be >= 0, got {self.index}")
+        if self.seconds < 0.0:
+            raise ConfigurationError(f"fault seconds must be >= 0, got {self.seconds}")
+
+    def describe(self) -> str:
+        """Canonical spec-grammar form (parse/describe round-trips)."""
+        text = f"{self.kind}@{self.index}"
+        if self.seconds:
+            text += f":{self.seconds:g}"
+        return text
+
+
+class ServiceFaultPlan:
+    """An ordered collection of :class:`ServiceFault` declarations."""
+
+    def __init__(self, faults: Iterable[ServiceFault] = ()) -> None:
+        self.faults: Tuple[ServiceFault, ...] = tuple(faults)
+        for fault in self.faults:
+            if not isinstance(fault, ServiceFault):
+                raise ConfigurationError(
+                    f"ServiceFaultPlan takes ServiceFault objects, got "
+                    f"{type(fault).__name__}"
+                )
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "ServiceFaultPlan":
+        """Build a plan from the spec grammar (see module docstring)."""
+        faults: List[ServiceFault] = []
+        for raw in spec.split(","):
+            entry = raw.strip()
+            if not entry:
+                continue
+            try:
+                kind, _, target = entry.partition("@")
+                if not target:
+                    raise ValueError("missing '@n'")
+                parts = target.split(":")
+                if len(parts) > 2:
+                    raise ValueError("too many ':' fields")
+                index = int(parts[0])
+                if len(parts) > 1:
+                    seconds = float(parts[1])
+                else:
+                    seconds = DEFAULT_STALL_S if kind == "worker-stall" else 0.0
+                faults.append(ServiceFault(kind=kind, index=index, seconds=seconds))
+            except (ValueError, ConfigurationError) as exc:
+                raise ConfigurationError(
+                    f"bad service fault entry {entry!r} (expected "
+                    f"kind@n[:seconds], kind in {list(SERVICE_FAULT_KINDS)}): {exc}"
+                ) from None
+        return cls(faults)
+
+    @classmethod
+    def from_env(cls, environ=None) -> Optional["ServiceFaultPlan"]:
+        """The plan named by ``REPRO_INJECT_SERVICE_FAULTS``, or None."""
+        spec = (environ if environ is not None else os.environ).get(
+            ENV_SERVICE_FAULTS, ""
+        ).strip()
+        return cls.parse(spec) if spec else None
+
+    # -- queries (the service's hooks) -----------------------------------------
+
+    def submit_crashes(self, nth_submit: int) -> bool:
+        """Whether the *nth* submission dies at submit time."""
+        return any(
+            f.kind == "submit-crash" and f.index == nth_submit for f in self.faults
+        )
+
+    def stall_for(self, nth_dispatch: int) -> Optional[FaultAction]:
+        """A hang :class:`FaultAction` for the *nth* dispatched point, or
+        None. Rides the point-fault machinery: the worker sleeps, the
+        supervisor's heartbeat deadline decides it stalled."""
+        for fault in self.faults:
+            if fault.kind == "worker-stall" and fault.index == nth_dispatch:
+                return FaultAction(
+                    kind="hang", seconds=fault.seconds, note=fault.describe()
+                )
+        return None
+
+    def rots_put(self, nth_put: int) -> bool:
+        """Whether the *nth* store write should be bit-rotted after landing."""
+        return any(f.kind == "store-rot" and f.index == nth_put for f in self.faults)
+
+    def describe(self) -> List[str]:
+        """Canonical entry list (what the service status records)."""
+        return [fault.describe() for fault in self.faults]
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ServiceFaultPlan({','.join(self.describe()) or 'empty'})"

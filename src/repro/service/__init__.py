@@ -1,0 +1,35 @@
+"""The supervised sweep service: concurrent submissions over one pool.
+
+Public surface:
+
+* :class:`SweepService` / :class:`Submission` — the in-process service:
+  bounded drop-tail admission, cross-submission dedup via the store and
+  an in-flight registry, heartbeat watchdog, pool-rebuild → serial
+  degradation ladder, graceful drain, store lifecycle management.
+* :class:`CheckpointJournal` — per-submission append-only crash-recovery
+  log (``kill -9`` + resubmit replays every completed point).
+* :class:`JobDirectory` / :func:`serve` / :func:`build_plan` — the
+  file-based protocol behind ``repro serve`` / ``submit`` / ``status``.
+"""
+
+from repro.service.jobs import JOB_STATES, JobDirectory, build_plan, serve
+from repro.service.journal import JOURNAL_SCHEMA, CheckpointJournal
+from repro.service.service import (
+    ServiceStats,
+    Submission,
+    SubmissionReport,
+    SweepService,
+)
+
+__all__ = [
+    "CheckpointJournal",
+    "JOB_STATES",
+    "JOURNAL_SCHEMA",
+    "JobDirectory",
+    "ServiceStats",
+    "Submission",
+    "SubmissionReport",
+    "SweepService",
+    "build_plan",
+    "serve",
+]

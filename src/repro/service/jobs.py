@@ -1,0 +1,374 @@
+"""File-based job directory: the ``repro serve``/``submit``/``status`` wire.
+
+The service itself (:mod:`repro.service.service`) is an in-process object;
+the CLI needs a way for *separate processes* to hand it work and read
+progress. The cheapest durable RPC is a directory of JSON files with
+atomic renames — the same tmp-then-``os.replace`` discipline the result
+store uses — so that is the whole protocol:
+
+::
+
+    <job-dir>/
+      queue/<job>.json        # submitted requests awaiting pickup
+      jobs/<job>/request.json # the request, once the server claimed it
+      jobs/<job>/state.json   # lifecycle snapshot (queued/running/done/...)
+      jobs/<job>/result.json  # reduced sweep rows, on completion
+      journals/<job>.jsonl    # the submission's checkpoint journal
+      service.json            # server heartbeat: pid + live status()
+
+* ``repro submit`` drops a request into ``queue/`` (atomic rename — a
+  half-written request is never visible).
+* ``repro serve`` runs :func:`serve`: claim requests (``os.replace`` into
+  ``jobs/<job>/``, so two servers never double-claim), compile the named
+  scenario into a plan, and hand it to a :class:`SweepService`. Admission
+  overflow leaves the request in the queue for a later poll — the
+  *service* queue is drop-tail; the *directory* is the client's retry
+  buffer. Finished submissions write their state and reduced rows.
+* ``repro status`` reads ``service.json`` + the per-job state files; it
+  needs no running server (crash forensics read the same files).
+
+Crash recovery falls out of the layout: on start, :func:`serve` re-submits
+every claimed job whose state is not terminal. Because journals live in
+``journals/<job>.jsonl`` and requests compile to the *same* plan, the
+replay hands back every completed point — a SIGKILL'd server restarted on
+the same directory recomputes nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.errors import ConfigurationError, InjectedFaultError, ServiceError
+from repro.exp.plan import ExperimentPlan
+from repro.scenarios import SCENARIO_SUFFIXES, get_scenario, load_scenario
+from repro.service.service import Submission, SweepService
+
+#: Job states written to ``state.json``. Terminal: done, failed, crashed.
+JOB_STATES = ("queued", "claimed", "running", "done", "failed", "crashed")
+
+_TERMINAL_STATES = frozenset({"done", "failed", "crashed"})
+
+
+def _write_json(path: Path, doc: Dict[str, object]) -> None:
+    """Atomic JSON write (tmp in the same directory, then rename)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f"job-{os.getpid()}-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _read_json(path: Path) -> Optional[Dict[str, object]]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    return doc if isinstance(doc, dict) else None
+
+
+def build_plan(request: Dict[str, object]) -> ExperimentPlan:
+    """Compile a request document into the plan it names.
+
+    Deliberately a pure function of the request: the server that claims a
+    job and the restarted server that recovers it build bit-identical
+    plans, which is what lets the checkpoint journal's fingerprint match.
+    """
+    scenario = request.get("scenario")
+    if not isinstance(scenario, str) or not scenario:
+        raise ConfigurationError(f"job request has no scenario name: {request!r}")
+    if scenario.endswith(SCENARIO_SUFFIXES):
+        spec = load_scenario(scenario)
+    else:
+        spec = get_scenario(scenario)
+    if request.get("quick", True):
+        spec = spec.quick()
+    seed = request.get("seed")
+    if seed is not None:
+        spec = spec.with_overrides(seed=int(seed))
+    return spec.expand()
+
+
+class JobDirectory:
+    """Paths + read/write helpers for one job directory."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.queue_dir = self.root / "queue"
+        self.jobs_dir = self.root / "jobs"
+        self.journals_dir = self.root / "journals"
+        self.service_file = self.root / "service.json"
+
+    # -- client side -----------------------------------------------------------
+
+    def submit(
+        self,
+        scenario: str,
+        *,
+        quick: bool = True,
+        seed: Optional[int] = None,
+        job_id: Optional[str] = None,
+    ) -> str:
+        """Drop one request into the queue; returns the job id."""
+        if job_id is None:
+            stem = Path(scenario).stem if scenario.endswith(SCENARIO_SUFFIXES) else scenario
+            slug = "".join(c if c.isalnum() or c in "-_" else "_" for c in stem)
+            job_id = f"{slug}-{os.getpid()}-{self._next_serial()}"
+        if (self.jobs_dir / job_id).exists() or (
+            self.queue_dir / f"{job_id}.json"
+        ).exists():
+            raise ServiceError(f"job id {job_id!r} already exists in {self.root}")
+        request: Dict[str, object] = {
+            "job": job_id,
+            "scenario": scenario,
+            "quick": bool(quick),
+            "submitted_at": time.time(),
+        }
+        if seed is not None:
+            request["seed"] = int(seed)
+        _write_json(self.queue_dir / f"{job_id}.json", request)
+        return job_id
+
+    def _next_serial(self) -> int:
+        taken = 0
+        for d in (self.queue_dir, self.jobs_dir):
+            try:
+                taken += sum(1 for _ in d.iterdir())
+            except OSError:
+                pass
+        return taken
+
+    # -- server side -----------------------------------------------------------
+
+    def pending(self) -> List[Path]:
+        """Queued request files, oldest first (stable tie-break by name)."""
+        try:
+            files = [p for p in self.queue_dir.iterdir() if p.suffix == ".json"]
+        except OSError:
+            return []
+        entries = []
+        for p in files:
+            try:
+                entries.append((p.stat().st_mtime, p.name, p))
+            except OSError:
+                continue
+        return [p for _m, _n, p in sorted(entries)]
+
+    def claim(self, queued: Path) -> Optional[Dict[str, object]]:
+        """Move one queued request under ``jobs/``; None if someone beat us."""
+        request = _read_json(queued)
+        if request is None:
+            return None
+        job_id = str(request.get("job") or queued.stem)
+        job_dir = self.jobs_dir / job_id
+        job_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            os.replace(queued, job_dir / "request.json")
+        except OSError:
+            return None
+        request["job"] = job_id
+        return request
+
+    def requeue(self, request: Dict[str, object]) -> None:
+        """Push a claimed request back into the queue (admission overflow)."""
+        job_id = str(request["job"])
+        _write_json(self.queue_dir / f"{job_id}.json", request)
+        try:
+            os.unlink(self.jobs_dir / job_id / "request.json")
+        except OSError:
+            pass
+
+    def orphans(self) -> List[Dict[str, object]]:
+        """Claimed jobs with no terminal state — work a dead server left."""
+        found = []
+        try:
+            job_dirs = sorted(self.jobs_dir.iterdir())
+        except OSError:
+            return []
+        for job_dir in job_dirs:
+            request = _read_json(job_dir / "request.json")
+            if request is None:
+                continue
+            state = _read_json(job_dir / "state.json") or {}
+            if state.get("state") not in _TERMINAL_STATES:
+                found.append(request)
+        return found
+
+    def write_state(self, job_id: str, doc: Dict[str, object]) -> None:
+        _write_json(self.jobs_dir / job_id / "state.json", doc)
+
+    def write_result(self, job_id: str, rows: List[Dict[str, object]]) -> None:
+        _write_json(self.jobs_dir / job_id / "result.json", {"rows": rows})
+
+    def write_service(self, doc: Dict[str, object]) -> None:
+        _write_json(self.service_file, doc)
+
+    # -- status side -----------------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        """Everything ``repro status`` shows, from files alone."""
+        service = _read_json(self.service_file)
+        jobs: List[Dict[str, object]] = []
+        try:
+            job_dirs = sorted(self.jobs_dir.iterdir())
+        except OSError:
+            job_dirs = []
+        for job_dir in job_dirs:
+            state = _read_json(job_dir / "state.json")
+            if state is None:
+                request = _read_json(job_dir / "request.json")
+                state = {"job": job_dir.name, "state": "claimed"}
+                if request is not None:
+                    state["scenario"] = request.get("scenario")
+            jobs.append(state)
+        for queued in self.pending():
+            request = _read_json(queued) or {}
+            jobs.append(
+                {
+                    "job": request.get("job", queued.stem),
+                    "scenario": request.get("scenario"),
+                    "state": "queued",
+                }
+            )
+        return {"root": str(self.root), "service": service, "jobs": jobs}
+
+
+def _job_state_doc(
+    job_id: str, request: Dict[str, object], sub: Optional[Submission], state: str
+) -> Dict[str, object]:
+    doc: Dict[str, object] = {
+        "job": job_id,
+        "scenario": request.get("scenario"),
+        "state": state,
+        "updated_at": time.time(),
+    }
+    if sub is not None:
+        doc["report"] = sub.report.to_dict()
+    return doc
+
+
+def serve(
+    directory: Union[str, Path, JobDirectory],
+    service: SweepService,
+    *,
+    poll_s: float = 0.1,
+    max_idle_s: Optional[float] = None,
+    max_jobs: Optional[int] = None,
+) -> int:
+    """Run the pickup loop: the body of ``repro serve``.
+
+    The *service* must not be started yet; this function owns its
+    lifecycle (start, drain-on-exit). Returns the number of jobs brought
+    to a terminal state. Exits when ``max_idle_s`` passes with nothing
+    queued or running, or after ``max_jobs`` terminal jobs; with neither
+    bound it serves until interrupted (KeyboardInterrupt drains cleanly).
+    """
+    jobdir = directory if isinstance(directory, JobDirectory) else JobDirectory(directory)
+    if service.journal_dir is None:
+        service.journal_dir = jobdir.journals_dir
+    service.start()
+    active: Dict[str, Dict[str, object]] = {}  # job_id -> request
+    handles: Dict[str, Submission] = {}
+    finished = 0
+    last_progress = time.monotonic()
+    try:
+        # A dead server's claimed-but-unfinished jobs go back first: their
+        # journals replay, so recovery costs no recomputation.
+        for request in jobdir.orphans():
+            jobdir.requeue(request)
+        while True:
+            progressed = False
+            for queued in jobdir.pending():
+                request = jobdir.claim(queued)
+                if request is None:
+                    continue
+                job_id = str(request["job"])
+                try:
+                    plan = build_plan(request)
+                except ConfigurationError as exc:
+                    jobdir.write_state(
+                        job_id,
+                        {"job": job_id, "state": "failed", "error": str(exc)},
+                    )
+                    finished += 1
+                    progressed = True
+                    continue
+                try:
+                    sub = service.submit(plan, name=job_id)
+                except InjectedFaultError as exc:
+                    # Chaos: the "client" died mid-submission. The service
+                    # carries on; the job is marked crashed for forensics.
+                    jobdir.write_state(
+                        job_id, {"job": job_id, "state": "crashed", "error": str(exc)}
+                    )
+                    finished += 1
+                    progressed = True
+                    continue
+                except ServiceError:
+                    # Admission drop-tail: the directory is the client's
+                    # retry buffer — back into the queue for a later poll.
+                    jobdir.requeue(request)
+                    break
+                active[job_id] = request
+                handles[job_id] = sub
+                jobdir.write_state(job_id, _job_state_doc(job_id, request, sub, "running"))
+                progressed = True
+
+            for job_id in list(handles):
+                sub = handles[job_id]
+                if not sub.done:
+                    continue
+                request = active.pop(job_id)
+                del handles[job_id]
+                state = "done" if sub.state == "done" and sub.report.failed == 0 else "failed"
+                jobdir.write_state(job_id, _job_state_doc(job_id, request, sub, state))
+                sweep = sub.sweep(timeout=1.0)
+                rows = [
+                    {"series": label, "x": x, "y": y, "yerr": yerr}
+                    for label in sweep.labels()
+                    for x, y, yerr in zip(
+                        sweep.series[label].x,
+                        sweep.series[label].y,
+                        sweep.series[label].yerr,
+                    )
+                ]
+                jobdir.write_result(job_id, rows)
+                finished += 1
+                progressed = True
+
+            doc = service.status()
+            doc["pid"] = os.getpid()
+            doc["updated_at"] = time.time()
+            jobdir.write_service(doc)
+
+            if progressed:
+                last_progress = time.monotonic()
+            if max_jobs is not None and finished >= max_jobs:
+                break
+            idle = not handles and not jobdir.pending()
+            if idle and max_idle_s is not None:
+                if time.monotonic() - last_progress >= max_idle_s:
+                    break
+            time.sleep(poll_s)
+    finally:
+        service.shutdown(drain=True)
+        doc = service.status()
+        doc["pid"] = os.getpid()
+        doc["stopped_at"] = time.time()
+        jobdir.write_service(doc)
+    return finished

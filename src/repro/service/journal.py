@@ -1,0 +1,164 @@
+"""Per-submission append-only checkpoint journals (crash recovery).
+
+The content-addressed store already makes a *cached* sweep resumable, but
+a service must survive harder failures: the store may be disabled, size-
+capped away, or rotting, and a ``kill -9`` can land between a point
+finishing and anything else happening. The journal closes that gap with
+the cheapest durable structure there is — an append-only JSONL file per
+submission:
+
+* line 0 is a **header** binding the journal to one exact plan (name,
+  :meth:`~repro.exp.plan.ExperimentPlan.fingerprint`, point count);
+* every completed point appends one **record** line carrying its plan
+  index, content key, and full serialized result.
+
+Appends are flushed to the OS per record, so a SIGKILL'd service loses at
+most the point that was mid-write. On restart, :meth:`CheckpointJournal.
+replay` streams the file back: a torn final line (the kill landed inside
+a ``write``) is skipped silently, a header that does not match the
+resubmitted plan refuses to replay (the journal is rotated aside, never
+trusted), and every intact record hands its result straight back — zero
+recomputation of completed points, independent of the store.
+
+The journal is deliberately *per submission*: two submissions sharing
+points each journal their own copy, so either can be restarted alone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, TextIO, Union
+
+from repro.exp.plan import ExperimentPlan, PointResult
+from repro.mem.result import LevelStats
+
+#: Bump when the journal line format changes incompatibly.
+JOURNAL_SCHEMA = 1
+
+
+def _encode_result(result: PointResult) -> dict:
+    return {
+        "y": result.y,
+        "yerr": result.yerr,
+        "mem_stats": result.mem_stats.snapshot() if result.mem_stats is not None else None,
+        "extras": result.extras,
+        "elapsed_s": result.elapsed_s,
+    }
+
+
+def _decode_result(doc: dict) -> PointResult:
+    return PointResult(
+        y=float(doc["y"]),
+        yerr=float(doc.get("yerr", 0.0)),
+        mem_stats=(
+            LevelStats.from_snapshot(doc["mem_stats"])
+            if doc.get("mem_stats") is not None
+            else None
+        ),
+        extras={str(k): float(v) for k, v in (doc.get("extras") or {}).items()},
+        elapsed_s=float(doc.get("elapsed_s", 0.0)),
+    )
+
+
+class CheckpointJournal:
+    """One submission's append-only completion log."""
+
+    def __init__(self, path: Union[str, Path], plan: ExperimentPlan, *, name: str) -> None:
+        self.path = Path(path)
+        self.name = name
+        self.fingerprint = plan.fingerprint()
+        self.total = len(plan)
+        self._fh: Optional[TextIO] = None
+
+    # -- recovery (read side) --------------------------------------------------
+
+    def replay(self) -> Dict[int, PointResult]:
+        """Completed points recorded by a previous life of this submission.
+
+        Returns ``{plan_index: result}`` for every intact record whose
+        header matches this plan. A missing file means a fresh submission;
+        a mismatched or unreadable header means a *stale* journal — it is
+        rotated to ``*.stale`` (never silently overwritten: the bytes may
+        be someone's forensics) and an empty map returned. Torn or
+        corrupt record lines are skipped: the point simply recomputes.
+        """
+        try:
+            fh = open(self.path, "r", encoding="utf-8")
+        except OSError:
+            return {}
+        completed: Dict[int, PointResult] = {}
+        with fh:
+            header_ok = False
+            for lineno, line in enumerate(fh):
+                try:
+                    doc = json.loads(line)
+                except ValueError:
+                    if lineno == 0:
+                        break  # unreadable header: stale journal
+                    continue  # torn mid-write record: recompute that point
+                if lineno == 0:
+                    header_ok = (
+                        isinstance(doc, dict)
+                        and doc.get("journal") == JOURNAL_SCHEMA
+                        and doc.get("fingerprint") == self.fingerprint
+                        and doc.get("total") == self.total
+                    )
+                    if not header_ok:
+                        break
+                    continue
+                try:
+                    index = int(doc["i"])
+                    if not 0 <= index < self.total:
+                        continue
+                    completed[index] = _decode_result(doc["r"])
+                except (KeyError, TypeError, ValueError):
+                    continue
+        if not header_ok and self.path.exists():
+            try:
+                os.replace(self.path, self.path.with_suffix(self.path.suffix + ".stale"))
+            except OSError:
+                pass
+            return {}
+        return completed
+
+    # -- checkpointing (write side) --------------------------------------------
+
+    def open(self, *, resuming: bool) -> None:
+        """Open for appending; a fresh journal writes its header first.
+
+        ``resuming`` says :meth:`replay` validated an existing header — we
+        append below it. Otherwise any previous file was already rotated
+        or absent, and a new header line starts the log.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if resuming and self.path.exists():
+            self._fh = open(self.path, "a", encoding="utf-8")
+            return
+        self._fh = open(self.path, "w", encoding="utf-8")
+        header = {
+            "journal": JOURNAL_SCHEMA,
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+            "total": self.total,
+        }
+        self._fh.write(json.dumps(header, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def record(self, index: int, key: str, result: PointResult) -> None:
+        """Append one completed point (flushed so a SIGKILL keeps it)."""
+        if self._fh is None:
+            return
+        line = json.dumps(
+            {"i": index, "k": key, "r": _encode_result(result)}, sort_keys=True
+        )
+        self._fh.write(line + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            finally:
+                self._fh = None

@@ -1,0 +1,71 @@
+"""Shared pytest configuration: the per-test hang watchdog.
+
+The service tests exercise supervisor threads, process pools, and
+injected stalls; a bug in any of those hangs rather than fails. CI must
+get a stack trace and a red build, not a 6-hour timeout — and this repo
+vendors no plugins (``pytest-timeout`` is not installed), so the watchdog
+is a plain autouse fixture: a daemon timer that, if a test outlives its
+budget, dumps every thread's traceback with :mod:`faulthandler` and hard-
+exits the process (``os._exit`` — a hung supervisor thread may well not
+honor anything politer).
+
+Budget: ``REPRO_TEST_TIMEOUT_S`` (default 180 s — generous; the full
+suite's slowest test is well under a minute), or per-test via
+``@pytest.mark.timeout(seconds)`` for tests that intentionally wait.
+Set the env var to 0 to disable (e.g. while stepping through a debugger).
+"""
+
+import faulthandler
+import os
+import sys
+import threading
+
+import pytest
+
+#: Environment override for the per-test hang budget (seconds; 0 disables).
+ENV_TEST_TIMEOUT = "REPRO_TEST_TIMEOUT_S"
+
+#: Default per-test budget. High on purpose: it exists to catch *hangs*,
+#: not slow tests — a wrongly killed CI run costs more than a late one.
+DEFAULT_TEST_TIMEOUT_S = 180.0
+
+#: Exit code on watchdog abort (EX_SOFTWARE; distinct from pytest's 1/2).
+WATCHDOG_EXIT_CODE = 70
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): override the per-test hang watchdog budget "
+        f"(default ${ENV_TEST_TIMEOUT} or {DEFAULT_TEST_TIMEOUT_S:g}s)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _hang_watchdog(request):
+    """Abort the whole test process if one test exceeds its budget."""
+    budget = float(os.environ.get(ENV_TEST_TIMEOUT, DEFAULT_TEST_TIMEOUT_S))
+    marker = request.node.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        budget = float(marker.args[0])
+    if budget <= 0:
+        yield
+        return
+
+    def _abort() -> None:
+        sys.stderr.write(
+            f"\n[watchdog] test exceeded {budget:g}s: {request.node.nodeid}\n"
+            "[watchdog] dumping all thread stacks, then aborting the run\n"
+        )
+        sys.stderr.flush()
+        faulthandler.dump_traceback(file=sys.stderr)
+        sys.stderr.flush()
+        os._exit(WATCHDOG_EXIT_CODE)
+
+    timer = threading.Timer(budget, _abort)
+    timer.daemon = True
+    timer.start()
+    try:
+        yield
+    finally:
+        timer.cancel()

@@ -183,3 +183,96 @@ class TestTrafficCli:
         by_name = run_cli(capsys, "run", "traffic-overload", "--quick")
         direct = run_cli(capsys, "traffic", "--quick")
         assert by_name.splitlines()[:5] == direct.splitlines()[:5]
+
+
+class TestServiceCli:
+    def _tiny_scenario(self, tmp_path):
+        import json
+
+        doc = {
+            "name": "tiny",
+            "kind": "osu",
+            "x": "msg_bytes",
+            "base": {"arch": "sandy-bridge", "link": "auto", "depth": 16,
+                     "iterations": 2},
+            "matrix": {"msg_bytes": [1, 8]},
+            "seed": 3,
+        }
+        path = tmp_path / "tiny.json"
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        return path
+
+    def test_parser_registers_service_commands(self):
+        parser = build_parser()
+        assert parser.parse_args(["serve", "--job-dir", "d", "--max-idle", "1"])
+        assert parser.parse_args(["submit", "x.toml", "--job-dir", "d"])
+        assert parser.parse_args(["status", "--job-dir", "d", "--json"])
+
+    def test_submit_serve_status_roundtrip(self, capsys, tmp_path):
+        import json
+
+        scenario = self._tiny_scenario(tmp_path)
+        jd = str(tmp_path / "jd")
+        job_id = run_cli(capsys, "submit", str(scenario), "--job-dir", jd).strip()
+        assert job_id.startswith("tiny-")
+        out = run_cli(capsys, "status", "--job-dir", jd)
+        assert "queued" in out
+        run_cli(
+            capsys, "serve", "--job-dir", jd, "--jobs", "2",
+            "--cache-dir", str(tmp_path / "cache"), "--max-idle", "0.2",
+            "--poll", "0.02",
+        )
+        doc = json.loads(run_cli(capsys, "status", "--job-dir", jd, "--json"))
+        (job,) = doc["jobs"]
+        assert job["job"] == job_id and job["state"] == "done"
+        assert doc["service"]["service"]["executed"] == 2
+        human = run_cli(capsys, "status", "--job-dir", jd)
+        assert "done" in human and "store:" in human
+
+    def test_serve_chaos_flags_parse_and_inject(self, capsys, tmp_path):
+        scenario = self._tiny_scenario(tmp_path)
+        jd = str(tmp_path / "jd")
+        run_cli(capsys, "submit", str(scenario), "--job-dir", jd)
+        import json
+
+        run_cli(
+            capsys, "serve", "--job-dir", jd, "--cache-dir",
+            str(tmp_path / "cache"), "--max-idle", "0.2", "--poll", "0.02",
+            "--inject-faults", "store-rot@0",
+        )
+        doc = json.loads(run_cli(capsys, "status", "--job-dir", jd, "--json"))
+        assert doc["service"]["service"]["rot_injected"] == 1
+        assert doc["service"]["injected_faults"] == ["store-rot@0"]
+
+    def test_serve_bad_fault_spec_exits_2(self, capsys, tmp_path):
+        assert main(["serve", "--job-dir", str(tmp_path / "jd"),
+                     "--inject-faults", "nap@1", "--max-idle", "0.1"]) == 2
+        assert "bad service fault" in capsys.readouterr().err
+
+    def test_list_cache_dir_reports_store(self, capsys, tmp_path):
+        from repro.exp import PointResult, PointSpec, ResultStore
+
+        store = ResultStore(tmp_path / "cache")
+        store.put(
+            PointSpec.make("osu", "s", 1.0, seed=0, depth=1, msg_bytes=1),
+            PointResult(y=1.0),
+        )
+        out = run_cli(capsys, "list", "--cache-dir", str(tmp_path / "cache"))
+        assert "Result store" in out and "entries" in out
+
+
+class TestEmptyPanelRendering:
+    def test_render_panel_empty_sweep_prints_notice(self, capsys):
+        import argparse
+
+        from repro.analysis.series import Sweep
+        from repro.cli import _render_panel
+
+        _render_panel(
+            Sweep(title="Figure X", xlabel="x", ylabel="y"),
+            argparse.Namespace(),
+            "empty",
+        )
+        out = capsys.readouterr().out
+        assert "no points to render" in out
+        assert "-" not in out  # no degenerate ruled table

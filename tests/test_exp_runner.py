@@ -222,3 +222,156 @@ class TestProgressIsolation:
         assert calls == [1]
         assert all(r is not None for r in results)
         assert runner.last_stats.executed == len(plan)
+
+
+class TestBackoffDelay:
+    """Property tests for the shared deterministic backoff schedule."""
+
+    def _keys(self):
+        return [s.content_key() for s in quick_fig4_plan().points]
+
+    def test_deterministic_per_key_and_attempt(self):
+        from repro.exp import backoff_delay
+
+        for key in self._keys():
+            for attempt in range(5):
+                a = backoff_delay(key, attempt, 0.05, 2.0)
+                b = backoff_delay(key, attempt, 0.05, 2.0)
+                assert a == b
+
+    def test_non_decreasing_in_attempt(self):
+        from repro.exp import backoff_delay
+
+        for key in self._keys():
+            delays = [backoff_delay(key, a, 0.05, 2.0) for a in range(8)]
+            assert delays == sorted(delays)
+
+    def test_capped_and_positive(self):
+        from repro.exp import backoff_delay
+
+        for key in self._keys():
+            for attempt in range(10):
+                d = backoff_delay(key, attempt, 0.05, 0.3)
+                assert 0.0 < d <= 0.3
+
+    def test_zero_base_disables_backoff(self):
+        from repro.exp import backoff_delay
+
+        assert backoff_delay("anything", 3, 0.0, 2.0) == 0.0
+
+    def test_jitter_varies_across_keys(self):
+        from repro.exp import backoff_delay
+
+        first = {backoff_delay(k, 0, 0.05, 2.0) for k in self._keys()}
+        assert len(first) > 1  # same attempt, different keys: jittered apart
+
+    def test_runner_delegates_to_shared_schedule(self):
+        from repro.exp import backoff_delay
+
+        runner = Runner(retries=2, backoff_s=0.05, backoff_cap_s=0.4)
+        spec = quick_fig6_plan().points[0]
+        assert runner._backoff_delay(spec, 1) == backoff_delay(
+            spec.content_key(), 1, 0.05, 0.4
+        )
+
+    def test_retry_leaves_surviving_points_bit_identical(self):
+        """Regression: retrying a point must not perturb anyone's RNG —
+        the retried run is bit-identical to an undisturbed serial run."""
+        from repro.faults import FaultPlan
+
+        plan = quick_fig6_plan()
+        want = repr(Runner(jobs=1).run_sweep(quick_fig6_plan()))
+        runner = Runner(
+            retries=1,
+            backoff_s=0.001,
+            fault_plan=FaultPlan.parse("raise@2:1"),
+        )
+        sweep = runner.run_sweep(plan)
+        assert runner.last_report.retried == 1
+        assert repr(sweep) == want
+
+
+class TestReportSchema:
+    def test_to_dict_carries_schema(self):
+        runner = Runner()
+        runner.run(quick_fig6_plan())
+        doc = runner.last_report.to_dict()
+        from repro.exp import REPORT_SCHEMA
+
+        assert doc["schema"] == REPORT_SCHEMA
+
+    def test_json_roundtrip_preserves_render(self):
+        """to_json -> parse -> from_dict -> render is the --report file
+        contract: an archived report re-renders exactly."""
+        import json as jsonlib
+
+        from repro.exp.runner import RunReport
+
+        plan = quick_fig4_plan()
+        runner = Runner(jobs=2)
+        runner.run(plan)
+        original = runner.last_report
+        restored = RunReport.from_dict(jsonlib.loads(original.to_json()))
+        assert restored.render() == original.render()
+        assert restored.to_dict() == original.to_dict()
+
+    def test_roundtrip_with_failures_and_attempts(self):
+        import json as jsonlib
+
+        from repro.exp.runner import RunReport
+        from repro.faults import FaultPlan
+
+        plan = quick_fig6_plan()
+        runner = Runner(
+            retries=1, backoff_s=0.001, on_error="collect",
+            fault_plan=FaultPlan.parse("raise@1:2"),
+        )
+        runner.run(plan)
+        original = runner.last_report
+        assert original.failures  # the injected point exhausted retries
+        restored = RunReport.from_dict(jsonlib.loads(original.to_json()))
+        assert restored.render() == original.render()
+        assert [f.message for f in restored.failures] == [
+            f.message for f in original.failures
+        ]
+        assert [a.outcome for a in restored.attempts] == [
+            a.outcome for a in original.attempts
+        ]
+
+    def test_newer_schema_is_refused(self):
+        from repro.exp import REPORT_SCHEMA
+        from repro.exp.runner import RunReport
+
+        with pytest.raises(ConfigurationError, match="newer than supported"):
+            RunReport.from_dict({"schema": REPORT_SCHEMA + 1})
+
+    def test_unknown_fields_are_ignored(self):
+        from repro.exp.runner import RunReport
+
+        report = RunReport.from_dict({"total": 3, "some_future_field": True})
+        assert report.total == 3
+
+
+class TestReportRenderEdgeCases:
+    def test_zero_point_plan_renders_empty_notice(self):
+        runner = Runner()
+        runner.run(ExperimentPlan(title="E"))
+        text = runner.last_report.render()
+        assert "empty plan" in text
+        assert "0 failed" not in text
+
+    def test_all_cached_run_renders_cache_notice(self, tmp_path):
+        plan = quick_fig6_plan()
+        store = ResultStore(tmp_path)
+        Runner(store=store).run(plan)
+        warm = Runner(store=store)
+        warm.run(quick_fig6_plan())
+        text = warm.last_report.render()
+        assert "all served from cache" in text
+        assert f"{len(plan)} cached" in text
+        assert "0 failed" not in text
+
+    def test_normal_run_keeps_accounting_line(self):
+        runner = Runner()
+        runner.run(quick_fig6_plan())
+        assert "executed" in runner.last_report.render()

@@ -168,3 +168,143 @@ class TestAccounting:
         assert len(store) == 3  # 1 live + 1 quarantined + 1 stale tmp
         assert store.clear() == 3
         assert len(store) == 0
+
+
+class TestStats:
+    def test_inventory_and_counters(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.get(spec(seed=1))  # miss
+        store.put(spec(seed=1), PointResult(y=1.0))
+        store.put(spec(seed=2), PointResult(y=2.0))
+        store.get(spec(seed=1))  # hit
+        store.corrupt(spec(seed=2))
+        store.get(spec(seed=2))  # quarantines
+        (store.path_for(spec(seed=1)).parent / "orphan.tmp").write_text("x")
+        stats = store.stats()
+        assert stats.entries == 1 and stats.corrupt == 1 and stats.tmp == 1
+        assert stats.entry_bytes > 0
+        assert (stats.hits, stats.misses, stats.puts) == (1, 2, 2)
+        assert stats.quarantined == 1 and stats.evicted == 0
+        assert 0.0 < stats.hit_rate_pct < 100.0
+        doc = stats.to_dict()
+        assert doc["entries"] == 1 and "hit_rate_pct" in doc
+
+    def test_empty_store(self, tmp_path):
+        stats = ResultStore(tmp_path).stats()
+        assert stats.entries == 0 and stats.hit_rate_pct == 0.0
+
+
+class TestIntegritySweep:
+    def test_quarantines_only_damaged_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(spec(seed=1), PointResult(y=1.0))
+        store.put(spec(seed=2), PointResult(y=2.0))
+        store.put(spec(seed=3), PointResult(y=3.0))
+        store.corrupt(spec(seed=2))
+        assert store.integrity_sweep() == 1
+        assert store.get(spec(seed=1)) is not None
+        assert store.get(spec(seed=3)) is not None
+        stats = store.stats()
+        assert stats.entries == 2 and stats.corrupt == 1
+
+    def test_clean_store_sweeps_to_zero(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(spec(seed=1), PointResult(y=1.0))
+        assert store.integrity_sweep() == 0
+
+    def test_unparseable_entry_is_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.path_for(spec())
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{truncated", encoding="utf-8")
+        assert store.integrity_sweep() == 1
+
+
+class TestEvictLru:
+    def test_shrinks_oldest_first(self, tmp_path):
+        import os
+
+        store = ResultStore(tmp_path)
+        for seed in (1, 2, 3):
+            path = store.put(spec(seed=seed), PointResult(y=float(seed)))
+            # Deterministic, strictly increasing mtimes.
+            os.utime(path, (1000.0 * seed, 1000.0 * seed))
+        sizes = {
+            seed: store.path_for(spec(seed=seed)).stat().st_size for seed in (1, 2, 3)
+        }
+        keep = sizes[2] + sizes[3]
+        assert store.evict_lru(keep) == 1
+        assert store.get(spec(seed=1)) is None  # oldest write went first
+        assert store.get(spec(seed=2)) is not None
+        assert store.get(spec(seed=3)) is not None
+        assert store.evicted == 1
+
+    def test_under_budget_is_a_no_op(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(spec(seed=1), PointResult(y=1.0))
+        assert store.evict_lru(1 << 30) == 0
+        assert store.evict_lru(-1) == 0
+        assert store.get(spec(seed=1)) is not None
+
+    def test_zero_budget_clears_live_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(spec(seed=1), PointResult(y=1.0))
+        store.put(spec(seed=2), PointResult(y=2.0))
+        assert store.evict_lru(0) == 2
+        assert store.stats().entries == 0
+
+
+class TestConcurrentWriterHardening:
+    def test_tmp_names_are_per_process_unique(self, tmp_path):
+        """The temp-file prefix embeds the pid, so concurrent writers from
+        different processes can never collide on a temp name."""
+        import os
+
+        store = ResultStore(tmp_path)
+        seen = []
+        original = os.replace
+
+        def spy(src, dst):
+            seen.append(str(src))
+            return original(src, dst)
+
+        os.replace = spy
+        try:
+            store.put(spec(), PointResult(y=1.0))
+        finally:
+            os.replace = original
+        (tmp_name,) = seen
+        assert f"put-{os.getpid()}-" in tmp_name
+
+    def test_scan_tolerates_directories_vanishing(self, tmp_path):
+        """A shard directory deleted mid-scan (another process clearing)
+        is skipped, never an error."""
+        import shutil
+
+        store = ResultStore(tmp_path)
+        store.put(spec(seed=1), PointResult(y=1.0))
+        store.put(spec(seed=2), PointResult(y=2.0))
+        walker = store._files()
+        next(walker)  # scan has started
+        for child in list(store.root.iterdir()):
+            shutil.rmtree(child)
+        remaining = list(walker)  # must finish without raising
+        assert len(store) == len(list(store._files()))
+        assert store.clear() >= 0
+        assert isinstance(remaining, list)
+
+    def test_stats_tolerates_entry_vanishing_between_list_and_stat(self, tmp_path, monkeypatch):
+        from pathlib import Path
+
+        store = ResultStore(tmp_path)
+        store.put(spec(seed=1), PointResult(y=1.0))
+        original = Path.stat
+
+        def flaky_stat(self, **kwargs):
+            if self.suffix == ".json":
+                raise FileNotFoundError(str(self))
+            return original(self, **kwargs)
+
+        monkeypatch.setattr(Path, "stat", flaky_stat)
+        stats = store.stats()
+        assert stats.entries == 1 and stats.entry_bytes == 0

@@ -1,0 +1,395 @@
+"""Tests for the supervised sweep service (repro.service).
+
+The load-bearing property is double equivalence: every submission's
+results must be repr-identical to a fault-free serial Runner.run of the
+same plan, *and* overlapping concurrent submissions must simulate each
+shared point exactly once. Everything else — admission, journals, the
+job-directory protocol — is verified around that invariant. The chaos
+paths (stalls, crashes, rot, SIGKILL) live in test_service_chaos.py.
+"""
+
+import json
+
+import pytest
+
+from repro.arch import SANDY_BRIDGE
+from repro.bench.figures import plan_spatial_search_length, plan_temporal_msg_size
+from repro.errors import AdmissionError, ConfigurationError, ServiceError
+from repro.exp import ExperimentPlan, ResultStore, Runner
+from repro.service import (
+    CheckpointJournal,
+    JobDirectory,
+    Submission,
+    SweepService,
+    build_plan,
+    serve,
+)
+
+
+def fig4_plan():
+    return plan_spatial_search_length(
+        SANDY_BRIDGE, msg_bytes=1, depths=(1, 16, 64), iterations=2, seed=0
+    )
+
+
+def fig6_plan():
+    return plan_temporal_msg_size(
+        SANDY_BRIDGE, depth=64, msg_sizes=(8, 1024), iterations=2, seed=0
+    )
+
+
+def serial_sweep(plan):
+    return plan.reduce(Runner(jobs=1).run(plan))
+
+
+def empty_plan():
+    return ExperimentPlan(title="empty", xlabel="x", ylabel="y")
+
+
+class TestEquivalenceAndDedup:
+    def test_three_concurrent_overlapping_submissions(self, tmp_path):
+        """The acceptance property: N=3 concurrent submissions of
+        overlapping grids are repr-identical to fault-free serial runs,
+        and every shared point is simulated exactly once."""
+        plan_a, plan_b, plan_c = fig4_plan(), fig4_plan(), fig6_plan()
+        want_46 = repr(serial_sweep(fig4_plan()))
+        want_6 = repr(serial_sweep(fig6_plan()))
+        store = ResultStore(tmp_path / "store")
+        with SweepService(jobs=2, store=store) as service:
+            subs = [
+                service.submit(plan_a, name="a"),
+                service.submit(plan_b, name="b"),
+                service.submit(plan_c, name="c"),
+            ]
+            results = [s.wait(timeout=120) for s in subs]
+        assert repr(plan_a.reduce(results[0])) == want_46
+        assert repr(plan_b.reduce(results[1])) == want_46
+        assert repr(plan_c.reduce(results[2])) == want_6
+        # fig4 submitted twice + disjoint fig6: distinct work only.
+        assert service.stats.executed == len(plan_a) + len(plan_c)
+        assert service.stats.shared == len(plan_b)
+        # Per-submission accounting: every point in exactly one bucket.
+        for sub in subs:
+            r = sub.report
+            assert r.executed + r.cached + r.shared + r.replayed == r.total
+            assert r.failed == 0 and r.state == "done"
+        # The store holds exactly the distinct points (no duplicates).
+        assert store.stats().entries == len(plan_a) + len(plan_c)
+
+    def test_warm_store_serves_everything_from_cache(self, tmp_path):
+        plan = fig6_plan()
+        store = ResultStore(tmp_path / "store")
+        with SweepService(jobs=2, store=store) as first:
+            first.submit(plan, name="cold").wait(timeout=120)
+        with SweepService(jobs=2, store=store) as second:
+            sub = second.submit(fig6_plan(), name="warm")
+            results = sub.wait(timeout=120)
+        assert sub.report.cached == len(plan) and sub.report.executed == 0
+        assert second.stats.executed == 0
+        assert repr(plan.reduce(results)) == repr(serial_sweep(fig6_plan()))
+
+    def test_sequential_submissions_without_store_recompute(self):
+        """The in-flight registry dedups *concurrent* overlap only; with
+        no store, a later identical submission recomputes (documented)."""
+        with SweepService(jobs=1) as service:
+            service.submit(fig6_plan(), name="one").wait(timeout=120)
+            sub = service.submit(fig6_plan(), name="two")
+            sub.wait(timeout=120)
+        assert sub.report.executed == len(fig6_plan())
+
+    def test_zero_point_plan_completes_immediately(self):
+        with SweepService(jobs=1) as service:
+            sub = service.submit(empty_plan(), name="nothing")
+            assert sub.wait(timeout=10) == []
+        assert sub.state == "done" and sub.report.total == 0
+
+    def test_submission_sweep_matches_plan_reduce(self):
+        plan = fig6_plan()
+        with SweepService(jobs=2) as service:
+            sub = service.submit(plan, name="s")
+            sweep = sub.sweep(timeout=120)
+        assert repr(sweep) == repr(serial_sweep(fig6_plan()))
+
+
+class TestAdmission:
+    def test_drop_tail_rejects_beyond_capacity(self):
+        """With the supervisor not yet draining, the queue bound is exact:
+        submissions beyond capacity are rejected, never queued."""
+        service = SweepService(jobs=1, queue_capacity=1)
+        first = service.submit(fig6_plan(), name="first")
+        with pytest.raises(AdmissionError, match="queue full"):
+            service.submit(fig6_plan(), name="second")
+        assert service.try_submit(fig6_plan(), name="third") is None
+        adm = service.admission
+        assert (adm.offered, adm.accepted, adm.rejected) == (3, 1, 2)
+        # The admitted submission is fully served once the service starts.
+        service.start()
+        results = first.wait(timeout=120)
+        service.shutdown()
+        assert all(r is not None for r in results)
+
+    def test_capacity_frees_as_submissions_finish(self):
+        with SweepService(jobs=1, queue_capacity=1) as service:
+            a = service.submit(empty_plan(), name="a")
+            a.wait(timeout=10)
+            # Slot released: the next submission is admitted.
+            b = service.submit(empty_plan(), name="b")
+            b.wait(timeout=10)
+        assert service.admission.rejected == 0
+        assert service.stats.completed == 2
+
+    def test_submit_after_shutdown_refused(self):
+        service = SweepService(jobs=1).start()
+        service.shutdown()
+        with pytest.raises(ServiceError, match="shutting down"):
+            service.submit(fig6_plan())
+
+    def test_constructor_validation(self):
+        for kwargs in (
+            {"jobs": 0},
+            {"queue_capacity": 0},
+            {"retries": -1},
+            {"heartbeat_s": 0.0},
+            {"backoff_s": -1.0},
+            {"max_pool_rebuilds": -1},
+        ):
+            with pytest.raises(ConfigurationError):
+                SweepService(**kwargs)
+
+
+class TestShutdown:
+    def test_drain_finishes_admitted_work(self):
+        service = SweepService(jobs=2).start()
+        sub = service.submit(fig6_plan(), name="draining")
+        service.shutdown(drain=True)
+        assert sub.done and sub.report.state == "done"
+        assert all(r is not None for r in sub.results)
+
+    def test_abort_completes_handles_without_hanging(self):
+        service = SweepService(jobs=2).start()
+        sub = service.submit(fig4_plan(), name="aborted")
+        service.shutdown(drain=False)
+        # Whatever finished was kept; the handle is released either way.
+        assert sub.done
+        assert sub.report.state in ("done", "aborted")
+
+    def test_context_manager_drains(self):
+        with SweepService(jobs=1) as service:
+            sub = service.submit(fig6_plan(), name="ctx")
+        assert sub.done and all(r is not None for r in sub.results)
+        assert service.stats.completed == 1
+
+
+class TestJournalRecovery:
+    def test_restart_replays_completed_points(self, tmp_path):
+        """A finished submission resubmitted after a service restart is
+        served entirely from its journal — no store, no recompute."""
+        plan = fig6_plan()
+        jdir = tmp_path / "journals"
+        with SweepService(jobs=2, journal_dir=jdir) as first:
+            first.submit(plan, name="resume-me").wait(timeout=120)
+        with SweepService(jobs=2, journal_dir=jdir) as second:
+            sub = second.submit(fig6_plan(), name="resume-me")
+            results = sub.wait(timeout=120)
+        assert sub.report.replayed == len(plan)
+        assert sub.report.executed == 0 and second.stats.executed == 0
+        assert repr(plan.reduce(results)) == repr(serial_sweep(fig6_plan()))
+
+    def test_mismatched_plan_rotates_journal_aside(self, tmp_path):
+        jdir = tmp_path / "journals"
+        with SweepService(jobs=1, journal_dir=jdir) as first:
+            first.submit(fig6_plan(), name="shape").wait(timeout=120)
+        # Same submission name, different plan: the journal must refuse.
+        with SweepService(jobs=1, journal_dir=jdir) as second:
+            sub = second.submit(fig4_plan(), name="shape")
+            sub.wait(timeout=120)
+        assert sub.report.replayed == 0
+        assert sub.report.executed == len(fig4_plan())
+        assert (jdir / "shape.jsonl.stale").exists()
+
+    def test_torn_tail_recovers_intact_prefix(self, tmp_path):
+        plan = fig6_plan()
+        jdir = tmp_path / "journals"
+        with SweepService(jobs=1, journal_dir=jdir) as first:
+            first.submit(plan, name="torn").wait(timeout=120)
+        path = jdir / "torn.jsonl"
+        lines = path.read_text(encoding="utf-8").splitlines(keepends=True)
+        # Keep header + 3 records, then a half-written record (the kill
+        # landed mid-write): exactly what a SIGKILL can leave behind.
+        path.write_text("".join(lines[:4]) + lines[4][: len(lines[4]) // 2])
+        journal = CheckpointJournal(path, fig6_plan(), name="torn")
+        replayed = journal.replay()
+        assert len(replayed) == 3
+        with SweepService(jobs=1, journal_dir=jdir) as second:
+            sub = second.submit(fig6_plan(), name="torn")
+            results = sub.wait(timeout=120)
+        assert sub.report.replayed == 3
+        assert sub.report.executed == len(plan) - 3
+        assert repr(plan.reduce(results)) == repr(serial_sweep(fig6_plan()))
+
+    def test_journal_records_cached_points_too(self, tmp_path):
+        """Store hits are journaled as well, so recovery never depends on
+        the store still being intact at restart time."""
+        plan = fig6_plan()
+        store = ResultStore(tmp_path / "store")
+        with SweepService(jobs=1, store=store) as warmup:
+            warmup.submit(plan, name="warmup").wait(timeout=120)
+        jdir = tmp_path / "journals"
+        with SweepService(jobs=1, store=store, journal_dir=jdir) as svc:
+            sub = svc.submit(fig6_plan(), name="cached-run")
+            sub.wait(timeout=120)
+        assert sub.report.cached == len(plan)
+        journal = CheckpointJournal(jdir / "cached-run.jsonl", fig6_plan(), name="cached-run")
+        assert len(journal.replay()) == len(plan)
+
+
+class TestStoreLifecycle:
+    def test_startup_integrity_sweep_quarantines_rot(self, tmp_path):
+        plan = fig6_plan()
+        store = ResultStore(tmp_path / "store")
+        with SweepService(jobs=1, store=store) as warmup:
+            warmup.submit(plan, name="w").wait(timeout=120)
+        store.corrupt(plan.points[0])
+        fresh = ResultStore(tmp_path / "store")
+        with SweepService(jobs=1, store=fresh) as svc:
+            sub = svc.submit(fig6_plan(), name="after-rot")
+            results = sub.wait(timeout=120)
+        assert svc.swept_corrupt == 1
+        assert fresh.stats().corrupt == 1
+        # Only the rotted point recomputed; the figure is unchanged.
+        assert sub.report.executed == 1 and sub.report.cached == len(plan) - 1
+        assert repr(plan.reduce(results)) == repr(serial_sweep(fig6_plan()))
+
+    def test_max_store_bytes_evicts_at_startup(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        with SweepService(jobs=1, store=store) as warmup:
+            warmup.submit(fig6_plan(), name="w").wait(timeout=120)
+        before = store.stats().entry_bytes
+        assert before > 0
+        with SweepService(jobs=1, store=ResultStore(tmp_path / "store"),
+                          max_store_bytes=before // 2) as svc:
+            assert svc.store.stats().entry_bytes <= before // 2
+        assert svc.store.evicted > 0
+
+    def test_status_document_shape(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        with SweepService(jobs=1, store=store) as svc:
+            svc.submit(fig6_plan(), name="doc").wait(timeout=120)
+            doc = svc.status()
+        assert doc["admission"]["accepted"] == 1
+        assert doc["service"]["executed"] == len(fig6_plan())
+        assert doc["store"]["entries"] == len(fig6_plan())
+        (sub_doc,) = doc["submissions"]
+        assert sub_doc["name"] == "doc" and sub_doc["state"] == "done"
+        json.dumps(doc)  # must be JSON-serializable as-is
+
+
+def tiny_scenario(tmp_path, n_points=2, name="tiny"):
+    doc = {
+        "name": name,
+        "kind": "osu",
+        "x": "msg_bytes",
+        "base": {"arch": "sandy-bridge", "link": "auto", "depth": 16, "iterations": 2},
+        "matrix": {"msg_bytes": [1 << i for i in range(n_points)]},
+        "seed": 3,
+    }
+    path = tmp_path / f"{name}.json"
+    path.write_text(json.dumps(doc), encoding="utf-8")
+    return path
+
+
+class TestJobDirectory:
+    def test_submit_claim_roundtrip(self, tmp_path):
+        jobdir = JobDirectory(tmp_path / "jd")
+        scenario = tiny_scenario(tmp_path)
+        job_id = jobdir.submit(str(scenario), quick=False, seed=7)
+        (queued,) = jobdir.pending()
+        request = jobdir.claim(queued)
+        assert request["job"] == job_id and request["seed"] == 7
+        assert jobdir.pending() == []
+        assert (jobdir.jobs_dir / job_id / "request.json").exists()
+
+    def test_build_plan_is_deterministic(self, tmp_path):
+        scenario = tiny_scenario(tmp_path)
+        request = {"scenario": str(scenario), "quick": False, "seed": 5}
+        first, second = build_plan(request), build_plan(dict(request))
+        assert first.fingerprint() == second.fingerprint()
+        assert len(first) == 2
+
+    def test_build_plan_rejects_missing_scenario(self):
+        with pytest.raises(ConfigurationError, match="no scenario"):
+            build_plan({"quick": True})
+
+    def test_orphans_are_unfinished_claims(self, tmp_path):
+        jobdir = JobDirectory(tmp_path / "jd")
+        scenario = tiny_scenario(tmp_path)
+        done_id = jobdir.submit(str(scenario), job_id="done-job")
+        orphan_id = jobdir.submit(str(scenario), job_id="orphan-job")
+        for queued in jobdir.pending():
+            jobdir.claim(queued)
+        jobdir.write_state(done_id, {"job": done_id, "state": "done"})
+        (orphan,) = jobdir.orphans()
+        assert orphan["job"] == orphan_id
+
+    def test_duplicate_job_id_refused(self, tmp_path):
+        jobdir = JobDirectory(tmp_path / "jd")
+        scenario = tiny_scenario(tmp_path)
+        jobdir.submit(str(scenario), job_id="twin")
+        with pytest.raises(ServiceError, match="already exists"):
+            jobdir.submit(str(scenario), job_id="twin")
+
+    def test_serve_runs_queued_jobs_to_done(self, tmp_path):
+        jobdir = JobDirectory(tmp_path / "jd")
+        scenario = tiny_scenario(tmp_path)
+        a = jobdir.submit(str(scenario), job_id="job-a")
+        b = jobdir.submit(str(scenario), job_id="job-b")
+        service = SweepService(jobs=2, store=ResultStore(tmp_path / "store"))
+        finished = serve(jobdir, service, poll_s=0.02, max_idle_s=0.2)
+        assert finished == 2
+        status = jobdir.status()
+        states = {j["job"]: j["state"] for j in status["jobs"]}
+        assert states == {a: "done", b: "done"}
+        # Identical jobs: the second one shared every point of the first.
+        assert service.stats.executed == 2
+        assert service.stats.shared + service.stats.cached == 2
+        rows = json.loads(
+            (jobdir.jobs_dir / a / "result.json").read_text(encoding="utf-8")
+        )["rows"]
+        assert len(rows) == 2 and all("y" in r for r in rows)
+        assert status["service"]["pid"]
+
+    def test_serve_marks_bad_scenario_failed(self, tmp_path):
+        jobdir = JobDirectory(tmp_path / "jd")
+        bad = tmp_path / "nope.json"
+        bad.write_text(json.dumps({"name": "nope"}), encoding="utf-8")
+        jobdir.submit(str(bad), job_id="bad-job")
+        finished = serve(jobdir, SweepService(jobs=1), poll_s=0.02, max_idle_s=0.2)
+        assert finished == 1
+        (job,) = jobdir.status()["jobs"]
+        assert job["state"] == "failed" and "error" in job
+
+    def test_serve_recovers_orphaned_jobs_from_journals(self, tmp_path):
+        """A claimed-but-unfinished job (dead server) is requeued on the
+        next serve and resumes from its journal with zero recompute."""
+        jobdir = JobDirectory(tmp_path / "jd")
+        scenario = tiny_scenario(tmp_path)
+        job_id = jobdir.submit(str(scenario), job_id="orphan")
+        service = SweepService(jobs=1)
+        finished = serve(jobdir, service, poll_s=0.02, max_idle_s=0.2)
+        assert finished == 1
+        # Forge the dead-server situation: job claimed, journal complete,
+        # but no terminal state written.
+        jobdir.write_state(job_id, {"job": job_id, "state": "running"})
+        second = SweepService(jobs=1)
+        finished = serve(jobdir, second, poll_s=0.02, max_idle_s=0.2)
+        assert finished == 1
+        assert second.stats.replayed == 2 and second.stats.executed == 0
+        (job,) = jobdir.status()["jobs"]
+        assert job["state"] == "done"
+
+
+class TestSubmissionHandle:
+    def test_wait_timeout_raises(self):
+        sub = Submission("stuck", fig6_plan())
+        with pytest.raises(ServiceError, match="did not finish"):
+            sub.wait(timeout=0.05)
