@@ -2,7 +2,7 @@
 """Emit benchmark results as machine-readable JSON artifacts.
 
 CI runs this after the test suites and uploads ``BENCH_kernel.json`` (the
-SoA-vs-reference kernel speedup), ``BENCH_scan.json`` (the batched-scan
+reference/soa/vec kernel speedup ladder), ``BENCH_scan.json`` (the batched-scan
 vs per-slot queue traversal speedup), ``BENCH_traffic.json`` (the
 open-loop traffic driver's events/sec), and ``BENCH_service.json`` (the
 sweep service's warm-store supervision overhead) so each trajectory is
@@ -38,14 +38,20 @@ sys.dont_write_bytecode = True
 import bench_queue_scan  # noqa: E402
 import bench_traffic  # noqa: E402
 from bench_access_path import (  # noqa: E402
+    KERNEL_GATES,
     KERNEL_SCENARIOS,
     MIN_KERNEL_SPEEDUP,
     ROUNDS,
-    time_kernel_pair,
+    time_kernels,
 )
 from repro.matching.port import resolve_scan_batch  # noqa: E402
 from repro.mem.cache import EvictionPolicy  # noqa: E402
-from repro.mem.kernel import DEFAULT_KERNEL  # noqa: E402
+from repro.mem.kernel import (  # noqa: E402
+    DEFAULT_KERNEL,
+    KERNEL_REFERENCE,
+    KERNEL_SOA,
+    KERNEL_VEC,
+)
 
 POLICIES = (EvictionPolicy.LRU, EvictionPolicy.PLRU)
 
@@ -62,14 +68,18 @@ def collect():
     scenarios = []
     for policy in POLICIES:
         for name, make_stream in KERNEL_SCENARIOS:
-            ref_s, soa_s = time_kernel_pair(policy, make_stream())
+            timing = time_kernels(policy, make_stream())
             scenarios.append(
                 {
                     "policy": policy,
                     "workload": name,
-                    "reference_ms": round(ref_s * 1e3, 3),
-                    "soa_ms": round(soa_s * 1e3, 3),
-                    "speedup": round(ref_s / soa_s, 3),
+                    "reference_ms": round(timing[KERNEL_REFERENCE] * 1e3, 3),
+                    "soa_ms": round(timing[KERNEL_SOA] * 1e3, 3),
+                    "vec_ms": round(timing[KERNEL_VEC] * 1e3, 3),
+                    "soa_speedup": round(
+                        timing[KERNEL_REFERENCE] / timing[KERNEL_SOA], 3),
+                    "vec_speedup": round(
+                        timing[KERNEL_SOA] / timing[KERNEL_VEC], 3),
                 }
             )
     return scenarios
@@ -97,11 +107,16 @@ def write_kernel(out: Path) -> None:
     doc = {
         "benchmark": "mem-kernel-backends",
         "default_kernel": DEFAULT_KERNEL,
-        "gate": {
-            "policy": "lru",
-            "workload": KERNEL_SCENARIOS[-1][0],
-            "min_speedup": MIN_KERNEL_SPEEDUP,
-        },
+        "gates": [
+            {
+                "policy": "lru",
+                "fast": fast,
+                "baseline": base,
+                "workload": workload,
+                "min_speedup": MIN_KERNEL_SPEEDUP,
+            }
+            for fast, base, workload, _make in KERNEL_GATES
+        ],
         "timing": {"rounds": ROUNDS, "statistic": "best-of"},
         "environment": _environment(),
         "scenarios": scenarios,
@@ -110,7 +125,8 @@ def write_kernel(out: Path) -> None:
     for row in scenarios:
         print(
             "{policy:>5} {workload:>14}: reference {reference_ms:8.2f}ms  "
-            "soa {soa_ms:8.2f}ms  speedup {speedup:.2f}x".format(**row)
+            "soa {soa_ms:8.2f}ms  vec {vec_ms:8.2f}ms  "
+            "soa/ref {soa_speedup:.2f}x  vec/soa {vec_speedup:.2f}x".format(**row)
         )
     print(f"wrote {out}")
 

@@ -46,7 +46,7 @@ class AppConfig:
     #: Messages actually pushed through the simulated engine per phase; the
     #: measured mean cost is scaled to the app's full per-phase volume.
     sample_messages: int = 12
-    #: Memory-kernel backend (``soa``/``reference``); None resolves via
+    #: Memory-kernel backend (``soa``/``vec``/``reference``); None resolves via
     #: ``REPRO_MEM_KERNEL`` then the package default.
     mem_kernel: Optional[str] = None
 

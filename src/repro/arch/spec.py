@@ -11,10 +11,14 @@ from repro.errors import ConfigurationError
 from repro.mem.cache import EvictionPolicy, WayPartition
 from repro.mem.hierarchy import MemoryHierarchy, NetworkCacheConfig
 from repro.mem.prefetch import (
+    PREFETCHER_MODES,
     AdjacentPairPrefetcher,
     NextLinePrefetcher,
+    PointerChasePrefetcher,
     StreamerPrefetcher,
 )
+
+_MODE_NAMES = tuple(name for name, _ in PREFETCHER_MODES)
 
 
 @dataclass(frozen=True)
@@ -97,37 +101,55 @@ class ArchSpec:
         network_cache: Optional[NetworkCacheConfig] = None,
         rng: Optional[np.random.Generator] = None,
         prefetch_enabled: bool = True,
+        prefetcher: Optional[str] = None,
         kernel: Optional[str] = None,
     ) -> MemoryHierarchy:
         """Instantiate a simulated socket of this architecture.
 
         *n_cores* defaults to 2: one matching core plus one heater core; the
         figures never need more on a single socket. ``kernel`` selects the
-        memory-kernel backend (``soa``/``reference``; None resolves via
-        ``REPRO_MEM_KERNEL`` then the default).
+        memory-kernel backend (``soa``/``vec``/``reference``; None resolves
+        via ``REPRO_MEM_KERNEL`` then the default). ``prefetcher`` selects
+        a prefetch-unit configuration from
+        :data:`~repro.mem.prefetch.PREFETCHER_MODES` (``default``/``none``/
+        ``chase``/``chase-only``); None falls back to the boolean
+        *prefetch_enabled* knob, which predates the modes and maps to
+        ``default``/``none``.
         """
         if n_cores > self.cores_per_socket:
             raise ConfigurationError(
                 f"{self.name} has {self.cores_per_socket} cores per socket, "
                 f"requested {n_cores}"
             )
+        if prefetcher is None:
+            mode = "default" if prefetch_enabled else "none"
+        elif prefetcher in _MODE_NAMES:
+            mode = prefetcher
+        else:
+            raise ConfigurationError(
+                f"unknown prefetcher mode {prefetcher!r}; "
+                f"expected one of {', '.join(_MODE_NAMES)}"
+            )
+        with_defaults = mode in ("default", "chase")
+        with_chase = mode in ("chase", "chase-only")
 
         def l1_pf() -> list:
-            return [NextLinePrefetcher()] if prefetch_enabled else []
+            return [NextLinePrefetcher()] if with_defaults else []
 
         def l2_pf() -> list:
-            if not prefetch_enabled:
-                return []
             units: list = []
-            if self.has_adjacent_pair:
-                units.append(AdjacentPairPrefetcher())
-            if self.streamer_max_distance > 0:
-                units.append(
-                    StreamerPrefetcher(
-                        max_distance=self.streamer_max_distance,
-                        max_step=self.streamer_max_step,
+            if with_defaults:
+                if self.has_adjacent_pair:
+                    units.append(AdjacentPairPrefetcher())
+                if self.streamer_max_distance > 0:
+                    units.append(
+                        StreamerPrefetcher(
+                            max_distance=self.streamer_max_distance,
+                            max_step=self.streamer_max_step,
+                        )
                     )
-                )
+            if with_chase:
+                units.append(PointerChasePrefetcher())
             return units
 
         return MemoryHierarchy(

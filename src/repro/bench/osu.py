@@ -72,8 +72,11 @@ class OsuConfig:
     partition: Optional[WayPartition] = None
     network_cache: Optional[NetworkCacheConfig] = None
     prefetch_enabled: bool = True
-    #: Memory-kernel backend (``soa``/``reference``); None resolves via
-    #: ``REPRO_MEM_KERNEL`` then the package default.
+    #: Prefetch-unit configuration (``default``/``none``/``chase``/
+    #: ``chase-only``); None falls back to the *prefetch_enabled* boolean.
+    prefetcher: Optional[str] = None
+    #: Memory-kernel backend (``soa``/``vec``/``reference``); None resolves
+    #: via ``REPRO_MEM_KERNEL`` then the package default.
     mem_kernel: Optional[str] = None
 
     def variant_label(self) -> str:
@@ -114,6 +117,7 @@ class _OsuSession:
             network_cache=cfg.network_cache,
             rng=np.random.default_rng(cfg.seed + 1),
             prefetch_enabled=cfg.prefetch_enabled,
+            prefetcher=cfg.prefetcher,
             kernel=cfg.mem_kernel,
         )
         self.engine = MatchEngine(self.hier)

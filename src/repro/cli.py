@@ -619,6 +619,24 @@ def _cmd_list(args: argparse.Namespace) -> None:
             title="Scenario axes (keys of 'base' and 'matrix' sections)",
         )
     )
+    print()
+    from repro.mem.prefetch import PREFETCHER_CATALOGUE, PREFETCHER_MODES
+
+    print(
+        render_table(
+            ["unit", "model"],
+            list(PREFETCHER_CATALOGUE),
+            title="Prefetch units (the 'prefetcher' axis composes them)",
+        )
+    )
+    print()
+    print(
+        render_table(
+            ["prefetcher mode", "configuration"],
+            list(PREFETCHER_MODES),
+            title="Prefetcher modes (values of the 'prefetcher' axis)",
+        )
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -645,8 +663,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "to the scenario file's own seed)")
     common.add_argument("--mem-kernel", choices=sorted(ALL_KERNELS), default=None,
                         help="cache-kernel backend (default: "
-                        f"${MEM_KERNEL_ENV} or '{DEFAULT_KERNEL}'); both "
-                        "backends are bit-identical, 'soa' is faster")
+                        f"${MEM_KERNEL_ENV} or '{DEFAULT_KERNEL}'); all "
+                        "backends are bit-identical, 'vec' is fastest on "
+                        "wide spans")
     common.add_argument("--scan-batch", choices=["on", "off"], default=None,
                         help="queue-scan spelling (default: "
                         f"${SCAN_BATCH_ENV} or 'on'); both are bit-identical, "

@@ -134,6 +134,7 @@ def _osu_producer(params: Dict[str, object], seed: int) -> PointResult:
             else None
         ),
         prefetch_enabled=bool(params.get("prefetch_enabled", True)),
+        prefetcher=params.get("prefetcher"),
         mem_kernel=params.get("mem_kernel"),
     )
     point = osu_bandwidth(cfg)

@@ -15,11 +15,15 @@ This package stands in for the real x86 memory hierarchies the paper measures
 * :mod:`~repro.mem.soa` -- the structure-of-arrays cache backend (flat
   tag/flag/penalty/recency slabs, batched run processing): the default
   kernel, bit-identical to the reference backend.
+* :mod:`~repro.mem.vec` -- the numpy-vectorized cache backend (contiguous
+  tag/stamp slabs, whole-span range-scan probes): fastest on warm wide
+  spans, bit-identical to the other two kernels.
 * :mod:`~repro.mem.kernel` -- backend selection (``--mem-kernel`` /
   ``REPRO_MEM_KERNEL`` / :data:`~repro.mem.kernel.DEFAULT_KERNEL`).
 * :mod:`~repro.mem.prefetch` -- the prefetchers the paper's analysis leans
   on: L1 next-line (DCU), L2 adjacent-line pair ("spatial"), and the L2
-  streamer.
+  streamer — plus the hypothetical pointer-chase unit the ``prefetch-chase``
+  ablation evaluates against LLA spatial packing.
 * :mod:`~repro.mem.hierarchy` -- a multi-core socket: private L1/L2 per
   core, a shared L3, DRAM, plus the dedicated network cache the paper
   proposes in section 3.2/4.6.
@@ -46,6 +50,7 @@ from repro.mem.kernel import (
     DEFAULT_KERNEL,
     KERNEL_REFERENCE,
     KERNEL_SOA,
+    KERNEL_VEC,
     MEM_KERNEL_ENV,
     cache_class,
     resolve_kernel,
@@ -55,10 +60,12 @@ from repro.mem.result import AccessResult, LevelStats
 from repro.mem.prefetch import (
     AdjacentPairPrefetcher,
     NextLinePrefetcher,
+    PointerChasePrefetcher,
     Prefetcher,
     StreamerPrefetcher,
 )
 from repro.mem.soa import SoACache
+from repro.mem.vec import VecCache
 
 __all__ = [
     "ALL_KERNELS",
@@ -66,8 +73,10 @@ __all__ = [
     "DEFAULT_KERNEL",
     "KERNEL_REFERENCE",
     "KERNEL_SOA",
+    "KERNEL_VEC",
     "MEM_KERNEL_ENV",
     "SoACache",
+    "VecCache",
     "cache_class",
     "resolve_kernel",
     "Allocation",
@@ -84,6 +93,7 @@ __all__ = [
     "MemoryHierarchy",
     "NetworkCacheConfig",
     "NextLinePrefetcher",
+    "PointerChasePrefetcher",
     "Prefetcher",
     "SequentialHeap",
     "SetAssociativeCache",

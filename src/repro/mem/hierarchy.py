@@ -40,7 +40,12 @@ from repro.mem.cache import (
     SetAssociativeCache,
     WayPartition,
 )
-from repro.mem.kernel import KERNEL_SOA, cache_class, resolve_kernel
+from repro.mem.kernel import (
+    KERNEL_REFERENCE,
+    KERNEL_VEC,
+    cache_class,
+    resolve_kernel,
+)
 from repro.mem.layout import LINE_SHIFT
 from repro.mem.prefetch import (
     AdjacentPairPrefetcher,
@@ -49,6 +54,13 @@ from repro.mem.prefetch import (
     StreamerPrefetcher,
 )
 from repro.mem.result import AccessResult
+
+#: Narrowest span/run the vec kernel probes as an array primitive; shorter
+#: transactions (the match engine's 1-2 line node loads, short payloads)
+#: delegate straight to the SoA scalar paths, which beat numpy's fixed
+#: per-op costs below roughly two cache-lines-per-set worth of lines.
+_VEC_MIN_SPAN = 128
+_VEC_MIN_RUN = 128
 
 
 @dataclass(frozen=True)
@@ -232,7 +244,7 @@ class MemoryHierarchy:
         # bound ``_prefetch_penalty`` in particular is costly to rebuild per
         # call).
         self._hot = (self.l3, self.l3.stats, self.dram_latency, self._prefetch_penalty)
-        if self.kernel == KERNEL_SOA:
+        if self.kernel != KERNEL_REFERENCE:
             self._hot_soa = (
                 self.l3,
                 self.l3.stats,
@@ -249,6 +261,13 @@ class MemoryHierarchy:
             self.touch_shared_tx = self._touch_shared_tx_soa
             self.run_latency = self._run_latency_soa
             self.access_run = self._access_run_soa
+            if self.kernel == KERNEL_VEC:
+                # The vec kernel rides the SoA slab paths (VecCache slabs
+                # are op-compatible) and puts a whole-span vector probe in
+                # front of them: all-hit flag-free spans are served as
+                # array primitives, everything else delegates untouched.
+                self.access_lines = self._access_lines_vec
+                self.access_run = self._access_run_vec
 
     # -- the demand path ----------------------------------------------------
 
@@ -945,6 +964,137 @@ class MemoryHierarchy:
         self.demand_accesses += total
         return True
 
+    # -- the vectorized span paths (vec kernel) ------------------------------
+
+    def _access_lines_vec(
+        self,
+        core_id: int,
+        first: int,
+        last: int,
+        cls: int = CLS_DEFAULT,
+        out: Optional[AccessResult] = None,
+    ) -> AccessResult:
+        """Whole-span demand probe on the numpy-backed ``vec`` kernel.
+
+        Shadows :meth:`access_lines` when the vec kernel is selected. The
+        probe is a single range scan of the L1 tag slab: tags are unique,
+        so ``count(first <= tags <= last) == n`` iff every line of the
+        contiguous span is resident — one boolean reduction answers
+        "all L1 hit?" in O(L1 slots) regardless of span width. All-hit
+        flag-free spans are then served entirely with array primitives
+        (one vectorized ``any`` over the span's attention flags, one
+        scatter for the recency stamps, one multiply for the cycles —
+        exact, since the path requires an integer-valued L1 latency).
+        Anything else — a miss anywhere, a pending prefetch flag or
+        penalty, PLRU recency, netcache interception, or a span too
+        narrow to amortize the numpy fixed costs — delegates the whole
+        untouched span to :meth:`_access_lines_soa`, whose scalar op
+        order is the bit-identity reference.
+        """
+        n = last - first + 1
+        if n < _VEC_MIN_SPAN:
+            return self._access_lines_soa(core_id, first, last, cls, out)
+        core = self.cores[core_id]
+        if core.netcache is not None and cls == CLS_NETWORK:
+            return self._access_lines_soa(core_id, first, last, cls, out)
+        (_l1_get, l1_flag, _l1_pref, _l1_pen, l1_stamp, _l1_orders, _l1_mask,
+         l1_lru, l1_plru, l1_lat, l1_lat_int, l1_stats, l1) = core.hot1
+        if l1_plru or not l1_lat_int:
+            return self._access_lines_soa(core_id, first, last, cls, out)
+        tags = l1._tags
+        intag = (tags >= first) & (tags <= last)
+        if int(np.count_nonzero(intag)) != n:
+            return self._access_lines_soa(core_id, first, last, cls, out)
+        slots = np.nonzero(intag)[0]
+        if l1._nflagged and l1_flag[slots].any():
+            # A prefetched/penalized line inside the span: the scalar path
+            # owns the flag protocol (nothing was mutated yet).
+            return self._access_lines_soa(core_id, first, last, cls, out)
+        if l1_lru:
+            # Line ``first + i`` takes stamp ``tick + i``; recovering the
+            # offset from the tag makes the scatter order-free.
+            t = l1._tick
+            l1_stamp[slots] = (tags[slots] - first) + t
+            l1._tick = t + n
+        # RANDOM keeps insertion-order stamps: hits touch no recency state.
+        l1_stats.hits += n
+        self.demand_accesses += n
+        res = out if out is not None else AccessResult()
+        res.lines = n
+        res.cycles = n * l1_lat
+        res.netcache_hits = 0
+        res.l1_hits = n
+        res.l2_hits = 0
+        res.l3_hits = 0
+        res.dram_fills = 0
+        res.prefetch_covered = 0
+        res.penalty_cycles = 0.0
+        return res
+
+    def _access_run_vec(self, core_id, lines, vis, total):
+        """Vectorized all-L1-hit scan run (same contract as
+        :meth:`access_run`; eligibility was checked via ``run_latency``).
+
+        Residency of the (ascending, distinct, possibly gapped) visited
+        lines is decided from the same single range scan of the tag slab
+        as :meth:`_access_lines_vec`: every in-range resident tag is
+        collected once, so ``len(in-range slots) < len(lines)`` is an
+        immediate miss, a gap-free run is confirmed by count alone, and a
+        gapped run is confirmed by a sorted-tag ``searchsorted``
+        membership test. The per-visit LRU stamp sequence collapses to
+        one scatter of ``tick - 1 + cumsum(vis)`` exactly as in
+        :meth:`_access_run_soa`. Returns False with nothing mutated
+        unless every line is resident and flag-free.
+        """
+        n = len(lines)
+        if n < _VEC_MIN_RUN:
+            return self._access_run_soa(core_id, lines, vis, total)
+        core = self.cores[core_id]
+        (_l1_get, l1_flag, _l1_pref, _l1_pen, l1_stamp, _l1_orders, _l1_mask,
+         l1_lru, _l1_plru, _l1_lat, _l1_lat_int, l1_stats, l1) = core.hot1
+        tags = l1._tags
+        first = lines[0]
+        last = lines[-1]
+        intag = (tags >= first) & (tags <= last)
+        slots_in = np.nonzero(intag)[0]
+        if len(slots_in) < n:
+            return False
+        tin = tags[slots_in]
+        if n == last - first + 1:
+            # Gap-free run covering [first, last]: in-range residents are a
+            # subset of the run's lines, so count == n means all resident.
+            if len(slots_in) != n:
+                return False
+            slots = slots_in
+            if l1._nflagged and l1_flag[slots].any():
+                return False
+            if l1_lru:
+                t = l1._tick
+                cum = np.cumsum(vis)
+                l1_stamp[slots] = (t - 1) + cum[tin - first]
+                l1._tick = t + total
+        else:
+            # Gapped run: resident gap lines may sit inside the range, so
+            # membership needs the sorted in-range tags.
+            arr = np.asarray(lines, dtype=np.int64)
+            order = np.argsort(tin)
+            tsort = tin[order]
+            pos = np.searchsorted(tsort, arr)
+            if int(pos[-1]) >= len(tsort) or not np.array_equal(
+                tsort[pos], arr
+            ):
+                return False
+            slots = slots_in[order][pos]
+            if l1._nflagged and l1_flag[slots].any():
+                return False
+            if l1_lru:
+                t = l1._tick
+                l1_stamp[slots] = (t - 1) + np.cumsum(vis)
+                l1._tick = t + total
+        l1_stats.hits += total
+        self.demand_accesses += total
+        return True
+
     def access_legacy(self, core_id: int, addr: int, nbytes: int, cls: int = CLS_DEFAULT) -> float:
         """The pre-batching scalar loop, kept as the reference semantics.
 
@@ -1186,9 +1336,11 @@ class MemoryHierarchy:
             core.l1.flush()
             core.l2.flush()
             for pf in core.l1_prefetchers:
-                pf.reset()
+                if not pf.survives_flush:
+                    pf.reset()
             for pf in core.l2_prefetchers:
-                pf.reset()
+                if not pf.survives_flush:
+                    pf.reset()
             if core.netcache is not None and not respect_protection:
                 core.netcache.flush()
         if self.partition is not None and respect_protection:

@@ -1,14 +1,19 @@
 """Selection of the memory-kernel backend.
 
-The simulator ships two implementations of the cache level:
+The simulator ships three implementations of the cache level:
 
 * ``soa`` — :class:`~repro.mem.soa.SoACache`, a structure-of-arrays kernel
   (flat tag/class/flag/penalty/recency slabs indexed by ``set*assoc+way``)
   with batched run processing in the hierarchy hot path. The default.
+* ``vec`` — :class:`~repro.mem.vec.VecCache`, the SoA layout with ndarray
+  tag/stamp/flag slabs: whole line spans are probed, stamped and evicted
+  as numpy array primitives, with the SoA scalar paths as fallback for
+  the rare cases (flags, partitions, PLRU, RANDOM RNG draws).
 * ``reference`` — :class:`~repro.mem.cache.SetAssociativeCache`, the
   original dict-per-set + recency-list implementation. Slower, but simple
-  enough to audit by eye; the SoA kernel is required to be bit-identical
-  to it (counters, charged cycles, recency order, RNG consumption).
+  enough to audit by eye; both other kernels are required to be
+  bit-identical to it (counters, charged cycles, recency order, RNG
+  consumption).
 
 Selection precedence, highest first:
 
@@ -32,10 +37,12 @@ from repro.errors import ConfigurationError
 
 #: Structure-of-arrays kernel (the default).
 KERNEL_SOA = "soa"
+#: Numpy-vectorized kernel: SoA layout with ndarray slabs + span primitives.
+KERNEL_VEC = "vec"
 #: Original dict-per-set implementation, kept as the equivalence oracle.
 KERNEL_REFERENCE = "reference"
 #: Every selectable backend name.
-ALL_KERNELS = (KERNEL_SOA, KERNEL_REFERENCE)
+ALL_KERNELS = (KERNEL_SOA, KERNEL_VEC, KERNEL_REFERENCE)
 #: Backend used when neither an argument nor the environment chooses one.
 DEFAULT_KERNEL = KERNEL_SOA
 #: Environment variable consulted when no explicit kernel is given.
@@ -56,10 +63,15 @@ def resolve_kernel(name: Optional[str] = None) -> str:
 def cache_class(kernel: Optional[str] = None):
     """The cache class implementing ``kernel`` (resolved per precedence)."""
     # Imported lazily: cache/soa import this module for the env constant.
-    if resolve_kernel(kernel) == KERNEL_SOA:
+    resolved = resolve_kernel(kernel)
+    if resolved == KERNEL_SOA:
         from repro.mem.soa import SoACache
 
         return SoACache
+    if resolved == KERNEL_VEC:
+        from repro.mem.vec import VecCache
+
+        return VecCache
     from repro.mem.cache import SetAssociativeCache
 
     return SetAssociativeCache

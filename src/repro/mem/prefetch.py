@@ -8,13 +8,18 @@ prefetching; which at 2 entries per cache line equates to 8 items fetched per
 load"* — explaining why the spatial-locality gain plateaus at 8 entries per
 array.
 
-We model the three units that matter:
+We model the three units that matter, plus one hypothetical:
 
 * :class:`NextLinePrefetcher` (L1 DCU): on a miss, fetch line+1.
 * :class:`AdjacentPairPrefetcher` (L2 "spatial"): complete the 128-byte
   aligned line pair of any miss.
 * :class:`StreamerPrefetcher` (L2): detect ascending line streams within a
   4 KiB page and run ahead a bounded distance.
+* :class:`PointerChasePrefetcher` (L2, *hypothetical hardware*): record the
+  successor line of non-contiguous jumps — the next-pointer load pattern of
+  a linked traversal — and run ahead a bounded depth along the recorded
+  chain. This is the ablation unit for the question "does LLA spatial
+  packing still win when the hardware can chase pointers?"
 
 A prefetcher observes demand accesses at its level and returns the line
 indices it wants filled, as a (possibly empty) tuple — tuples because the
@@ -23,6 +28,12 @@ answers are cheap literals, keeping the batched access loops free of
 per-line list allocation. Prefetched fills carry no latency (the model's
 idealization: a prefetch issued early enough hides memory latency entirely;
 the *bounded distance* is what keeps it from being a free lunch).
+
+Every stateful detector is **capacity-bounded** (LRU-evicting tables, like
+the silicon they model): the open-loop traffic subsystem pushes
+million-event schedules through these objects, so tracking state must not
+grow with the footprint of the workload. ``tests/test_mem_prefetch.py``
+scans a million distinct pages through each detector to enforce this.
 """
 
 from __future__ import annotations
@@ -33,11 +44,37 @@ from repro.mem.layout import LINE_SHIFT, PAGE_SHIFT
 
 _LINES_PER_PAGE_SHIFT = PAGE_SHIFT - LINE_SHIFT  # 64 lines per 4KiB page
 
+#: Streams tracked concurrently by the L2 streamer (real streamers track
+#: 16-32); the oldest stream is recycled when a new page starts one.
+STREAM_TABLE_SIZE = 16
+
+#: Successor edges remembered by the pointer-chase unit. 256 edges cover a
+#: 256-node chain — far beyond the depth any timely run-ahead can use, and
+#: a few KiB of modelled SRAM, matching the scale of a plausible unit.
+CHASE_TABLE_SIZE = 256
+
+#: How many recorded successors the chase unit follows per trigger. Depth 2
+#: mirrors the run-ahead the paper observes for the spatial units (4 line
+#: loads per demand load, section 4.2).
+CHASE_DEPTH = 2
+
+#: Smallest line jump treated as a pointer dereference rather than spatial
+#: locality; +-1 steps are the spatial units' territory.
+CHASE_MIN_JUMP = 2
+
 
 class Prefetcher:
     """Base class: observe a demand access, propose prefetch lines."""
 
     name = "null"
+    summary = "inert placeholder: never prefetches"
+    #: Whether detector state survives a cache flush. Predictor SRAM is not
+    #: coherent with the caches, so in real silicon *all* of it survives;
+    #: the spatial units re-detect within one or two accesses, so modelling
+    #: them as reset keeps the historical (pre-chase) figures bit-identical.
+    #: The chase unit's whole value is its memory of the previous traversal,
+    #: so it opts out of the reset.
+    survives_flush = False
 
     def observe(self, line: int, hit: bool) -> tuple:
         """Called for every demand access reaching this level.
@@ -54,6 +91,7 @@ class NextLinePrefetcher(Prefetcher):
     """L1 DCU next-line unit: a miss pulls in the following line."""
 
     name = "next-line"
+    summary = "L1 DCU unit: a miss pulls in the following line"
 
     def observe(self, line: int, hit: bool) -> tuple:
         """Called per demand access at this level; returns lines to prefetch."""
@@ -66,6 +104,7 @@ class AdjacentPairPrefetcher(Prefetcher):
     """L2 spatial unit: complete the aligned 128-byte pair on a miss."""
 
     name = "adjacent-pair"
+    summary = "L2 spatial unit: completes the aligned 128B line pair on a miss"
 
     def observe(self, line: int, hit: bool) -> tuple:
         """Called per demand access at this level; returns lines to prefetch."""
@@ -88,18 +127,21 @@ class StreamerPrefetcher(Prefetcher):
 
     After ``trigger_run`` ascending accesses within one 4 KiB page, the
     streamer prefetches ahead of the demand line, ramping its distance from
-    1 up to ``max_distance`` lines. Streams are tracked per page with a small
-    LRU table (real streamers track 16-32 streams).
+    1 up to ``max_distance`` lines. Streams are tracked per page with a
+    capacity-bounded LRU table of :data:`STREAM_TABLE_SIZE` entries (real
+    streamers track 16-32 streams): a scan over arbitrarily many pages
+    recycles table entries instead of growing state.
     """
 
     name = "streamer"
+    summary = "L2 streamer: ascending per-page streams, ramped bounded run-ahead"
 
     def __init__(
         self,
         *,
         max_distance: int = 4,
         trigger_run: int = 2,
-        table_size: int = 16,
+        table_size: int = STREAM_TABLE_SIZE,
         max_step: int = 2,
     ) -> None:
         self.max_distance = max_distance
@@ -140,3 +182,115 @@ class StreamerPrefetcher(Prefetcher):
     def reset(self) -> None:
         """Clear accumulated state/counters."""
         self._streams.clear()
+
+
+class PointerChasePrefetcher(Prefetcher):
+    """Hypothetical L2 unit that chases recorded pointer jumps.
+
+    Linked traversal produces a signature access pattern the spatial units
+    cannot help with: each node's next-pointer load jumps to a line far
+    from the current one (Srivastava & Navalakha's pointer-chase
+    prefetching, arXiv:1801.08088, is the hardware proposal aimed at
+    exactly this). The model is a bounded successor table:
+
+    * **learn** — when consecutive observed lines jump by at least
+      ``min_jump`` lines (in either direction: long-lived arenas hand out
+      nodes at descending addresses too), record ``previous -> current``
+      as a successor edge. Short steps are spatial locality, the
+      adjacent-pair/streamer units' territory, and are ignored.
+    * **chase** — on every observed line, follow the recorded successor
+      chain up to ``depth`` edges, proposing each line on the chain. On a
+      re-traversal of a stable list this runs ahead of the demand stream
+      by ``depth`` nodes.
+
+    The table holds at most ``table_size`` edges, LRU-evicted
+    (re-recording an edge refreshes it), so state is bounded no matter
+    how many distinct traversals an open-loop schedule pushes through.
+    The unit is deliberately idealized — no confidence counters, no TLB
+    constraints — because the ablation question is whether *even an
+    optimistic* pointer-chase unit closes the gap to LLA spatial packing
+    (it cannot shorten the serial latency of the first traversal, and it
+    fetches one line per node where k-packing turns one line into k
+    entries).
+    """
+
+    name = "pointer-chase"
+    summary = (
+        "L2 chase unit: records pointer-jump successors, runs ahead a "
+        "bounded depth along the chain"
+    )
+    # The successor table is predictor SRAM: a cache flush (the modelled
+    # compute phase) evicts the *data*, but the recorded chain is exactly
+    # what lets the unit run ahead on the next traversal of the same list.
+    survives_flush = True
+
+    def __init__(
+        self,
+        *,
+        depth: int = CHASE_DEPTH,
+        table_size: int = CHASE_TABLE_SIZE,
+        min_jump: int = CHASE_MIN_JUMP,
+    ) -> None:
+        self.depth = depth
+        self.table_size = table_size
+        self.min_jump = min_jump
+        self._succ: "OrderedDict[int, int]" = OrderedDict()  # line -> next line
+        self._last: int | None = None
+
+    def observe(self, line: int, hit: bool) -> tuple:
+        """Called per demand access at this level; returns lines to prefetch."""
+        succ = self._succ
+        prev = self._last
+        self._last = line
+        if prev is not None:
+            step = line - prev
+            if step >= self.min_jump or step <= -self.min_jump:
+                if prev in succ:
+                    succ.move_to_end(prev)
+                elif len(succ) >= self.table_size:
+                    succ.popitem(last=False)
+                succ[prev] = line
+        nxt = succ.get(line)
+        if nxt is None:
+            return ()
+        if self.depth == 1:
+            return (nxt,)
+        chain = [nxt]
+        for _ in range(self.depth - 1):
+            nxt = succ.get(nxt)
+            if nxt is None:
+                break
+            chain.append(nxt)
+        return tuple(chain)
+
+    def reset(self) -> None:
+        """Forget the successor table.
+
+        Unlike the spatial units this is *not* called on cache flush
+        (``survives_flush``); it exists for explicit teardown in tests.
+        """
+        self._succ.clear()
+        self._last = None
+
+
+#: Selectable prefetcher configurations (the ``prefetcher`` scenario axis):
+#: (mode, one-line summary). ``default`` is what every figure uses unless a
+#: scenario says otherwise; the chase modes are the ablation arms.
+PREFETCHER_MODES = (
+    ("default", "the architecture's own units (L1 next-line + L2 spatial/streamer)"),
+    ("none", "all prefetch units disabled"),
+    ("chase", "architecture defaults plus the pointer-chase unit at L2"),
+    ("chase-only", "only the pointer-chase unit at L2 (isolates the chase model)"),
+)
+
+#: Every prefetch unit the simulator models, for ``repro list`` and docs:
+#: (name, one-line model summary) in catalogue order.
+PREFETCHER_CATALOGUE = tuple(
+    (cls.name, cls.summary)
+    for cls in (
+        NextLinePrefetcher,
+        AdjacentPairPrefetcher,
+        StreamerPrefetcher,
+        PointerChasePrefetcher,
+    )
+)

@@ -255,7 +255,7 @@ class SoACache:
         if count[idx] >= self.assoc:
             slot = self._evict_slot(idx, base, filling_cls=cls)
         else:
-            slot = self._tags.index(-1, base, base + self.assoc)
+            slot = self._free_slot(base)
             if not count[idx]:
                 self._dirty.add(idx)
             count[idx] += 1
@@ -276,6 +276,15 @@ class SoACache:
         self._tick += 1
         if self._plru:
             self._order[idx].append(line)
+
+    def _free_slot(self, base: int) -> int:
+        """First empty way of the set starting at *base* (one exists).
+
+        Split out of :meth:`fill` because ``list.index`` is the one slab
+        operation with no ndarray equivalent — the ``vec`` subclass
+        overrides exactly this.
+        """
+        return self._tags.index(-1, base, base + self.assoc)
 
     def _set_slots_by_stamp(self, idx: int) -> list:
         """Occupied slots of one set, oldest stamp first."""

@@ -1,0 +1,178 @@
+"""Numpy-vectorized cache backend (the ``vec`` memory kernel).
+
+:class:`VecCache` is the third selectable kernel, layered on top of
+:class:`~repro.mem.soa.SoACache`: same constructor, same slot layout
+(``slot = set_index * assoc + way``), same ``_index`` dict and the same
+``slabs`` tuple contract — but the slabs the batched hot paths *scan*
+(``_tags``, ``_stamp``, ``_flag``) are flat ndarrays, so the hierarchy can
+service whole line spans as array primitives instead of per-line Python
+work (see ``MemoryHierarchy._access_lines_vec`` / ``_access_run_vec``).
+
+The probe primitive is deliberately *inverted*: rather than gathering each
+line's set and broadcasting a tag compare per line (O(span x assoc) with
+large constant factors), a whole-span probe scans the tag slab once for
+tags inside ``[first, last]``. Tags are unique, so for a contiguous span
+``count(first <= tags <= last) == span length`` if and only if every line
+is resident — one boolean reduction over the (small, L1-sized) slab
+answers "all hit?" for any span width, and the matching slots come back
+from the same mask. Recency stamps then scatter in one store: line
+``first + i`` takes stamp ``tick + i``, i.e. ``stamp[slots] = tick +
+(tags[slots] - first)``, no per-line ordering required.
+
+Slab dtypes are chosen per consumer:
+
+* ``_tags``  (int64)  — scanned by the vector probes;
+* ``_stamp`` (int64)  — scatter-target of the vectorized recency update,
+  and source of the per-set argmin eviction;
+* ``_flag``  (uint8)  — one vectorized ``any()`` decides whether a span
+  needs the scalar attention-flag path;
+* ``_cls`` / ``_pref`` / ``_pen`` stay Python lists: they are only touched
+  by the scalar rare paths, and keeping them as lists means every value
+  read out of them is a builtin ``int``/``float`` — numpy scalar types
+  (whose ``repr`` differs) can never leak into charged cycles or results.
+
+Everything not vectorized is inherited from :class:`SoACache` unchanged,
+so the scalar fallbacks (RANDOM eviction RNG draw order, partition
+candidate ordering, netcache flag interaction, PLRU promotion) are the
+*same code* the ``soa`` kernel runs — bit-identity with ``reference`` and
+``soa`` (state, counters, charged cycles, recency order, RNG consumption)
+is enforced by ``tests/test_mem_kernel_equivalence.py``.
+
+LRU eviction is the one scalar path reimplemented here: the victim is the
+argmin of the stamp slice over the set's occupied ways. Stamps are unique
+(every insertion and every LRU promotion consumes a fresh tick), so the
+masked argmin picks exactly the slot the reference backend's recency list
+would have evicted; ``np.argmin`` returning the *first* minimum also
+matches the reference scan order when the mask leaves a single oldest way.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.mem.cache import (
+    CLS_DEFAULT,
+    EvictionPolicy,
+    WayPartition,
+)
+from repro.mem.soa import SoACache
+
+#: Sentinel larger than any live recency stamp: masked (empty) ways take
+#: this value in the eviction argmin so they are never picked.
+_STAMP_INF = np.iinfo(np.int64).max
+
+
+class VecCache(SoACache):
+    """One cache level with ndarray tag/stamp/flag slabs.
+
+    Interface- and bit-compatible with :class:`SoACache` (and therefore
+    with the reference backend); see the module docstring for the layout.
+    """
+
+    __slots__ = ("_tags2d", "_stamp2d")
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        assoc: int,
+        latency: float,
+        *,
+        policy: str = EvictionPolicy.LRU,
+        partition: Optional[WayPartition] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(
+            name, size_bytes, assoc, latency,
+            policy=policy, partition=partition, rng=rng,
+        )
+        nslots = self.nsets * assoc
+        self._tags = np.full(nslots, -1, dtype=np.int64)
+        self._stamp = np.zeros(nslots, dtype=np.int64)
+        self._flag = np.zeros(nslots, dtype=np.uint8)
+        # Per-set views share the flat slabs' memory; scalar ops write
+        # through the flat arrays, vector ops may use either shape.
+        self._tags2d = self._tags.reshape(self.nsets, assoc)
+        self._stamp2d = self._stamp.reshape(self.nsets, assoc)
+        # Rebind the prebound hot-loop tuple over the ndarray slabs (the
+        # parent bound the list versions). Same shape contract as SoACache.
+        self.slabs = (
+            self._index.get,
+            self._flag,
+            self._pref,
+            self._pen,
+            self._stamp,
+            self._order,
+            self._set_mask,
+        )
+
+    # -- scalar-path overrides (ndarray-incompatible list APIs) -------------
+
+    def _free_slot(self, base: int) -> int:
+        """First empty way of the set starting at *base* (caller checked
+        one exists). ``list.index`` has no ndarray equivalent; associativity
+        is tiny, so a scalar scan beats a temporary-allocating argmax."""
+        tags = self._tags
+        slot = base
+        while tags[slot] != -1:
+            slot += 1
+        return slot
+
+    def _recency_lines(self, idx: int) -> list:
+        """Resident lines of one set, oldest first, as builtin ints.
+
+        The cast matters: these lines flow into partition-eviction
+        candidate lists, ``recency()`` introspection and
+        ``flush_keep_network`` bookkeeping, where a leaked ``np.int64``
+        would survive as a dict key or in rendered output.
+        """
+        tags = self._tags
+        return [int(tags[s]) for s in self._set_slots_by_stamp(idx)]
+
+    def _evict_slot(self, idx: int, base: int, filling_cls: int) -> int:
+        """Victim selection; the plain-LRU leaf is a masked stamp argmin.
+
+        Stamps of occupied ways are unique and monotone in recency, so
+        ``argmin`` over the set's stamp slice — with empty ways masked to
+        ``_STAMP_INF`` — is exactly the reference backend's oldest-first
+        choice. Partition, RANDOM and PLRU evictions delegate to the
+        inherited scalar path, which consumes the RNG in the reference
+        draw order (the equivalence suite's RANDOM victim sequences).
+        """
+        if not self._lru or (
+            self.partition is not None and filling_cls == CLS_DEFAULT
+        ):
+            return super()._evict_slot(idx, base, filling_cls)
+        end = base + self.assoc
+        tag_slice = self._tags[base:end]
+        masked = np.where(tag_slice != -1, self._stamp[base:end], _STAMP_INF)
+        vslot = base + int(np.argmin(masked))
+        victim = int(self._tags[vslot])
+        del self._index[victim]
+        self._tags[vslot] = -1
+        if self._flag[vslot]:
+            self._flag[vslot] = 0
+            self._nflagged -= 1
+        self.stats.evictions += 1
+        return vslot
+
+    def flush(self) -> None:
+        """Drop every line: one vector store instead of per-dirty-set
+        slicing. Stamps survive (as in the parent), ticks keep rising."""
+        self._tags[:] = -1
+        self._count[:] = [0] * self.nsets
+        if self._plru:
+            for idx in self._dirty:
+                self._order[idx].clear()
+        self._index.clear()
+        self._dirty.clear()
+        self._nflagged = 0
+        self.stats.flushes += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"VecCache({self.name}, {self.size_bytes >> 10}KiB, "
+            f"{self.assoc}-way, {self.policy})"
+        )

@@ -178,6 +178,15 @@ def _expand_mem_kernel(value) -> Dict[str, object]:
     raise _bad("mem_kernel", value, f"one of {', '.join(ALL_KERNELS)}")
 
 
+def _expand_prefetcher(value) -> Dict[str, object]:
+    from repro.mem.prefetch import PREFETCHER_MODES
+
+    modes = tuple(name for name, _ in PREFETCHER_MODES)
+    if value in modes:
+        return {"prefetcher": value}
+    raise _bad("prefetcher", value, f"one of {', '.join(modes)}")
+
+
 def _bool_axis(name: str, help_text: str) -> Axis:
     def expand(value, _name=name) -> Dict[str, object]:
         if isinstance(value, bool):
@@ -283,7 +292,9 @@ _CHOICE_AXES: Tuple[Axis, ...] = (
     Axis("mechanism", "co-located occupancy mechanism (kind = 'colocated')",
          "none | hot-caching | cat-partition", _expand_mechanism),
     Axis("mem_kernel", "cache-kernel backend (default: env/soa)",
-         "soa | reference", _expand_mem_kernel),
+         "soa | vec | reference", _expand_mem_kernel),
+    Axis("prefetcher", "prefetch-unit configuration (default: arch units)",
+         "default | none | chase | chase-only", _expand_prefetcher),
 )
 
 _FLAG_AXES: Tuple[Axis, ...] = (

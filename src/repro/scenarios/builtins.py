@@ -312,6 +312,48 @@ def _register_builtins() -> None:
                   "matrix": {"arrival_rate": [0.2, 0.6, 1.2]}},
     })
     _register({
+        "name": "prefetch-chase",
+        "kind": "osu",
+        "title": "Pointer-chase prefetching vs LLA spatial packing ({arch})",
+        "xlabel": "Posted Receive Queue Search Length",
+        "ylabel": "bandwidth (MiBps)",
+        "description": "Ablation: does hypothetical pointer-chase hardware "
+        "close the gap to LLA k-packing? (fig 4/6-style grid)",
+        # The chase unit can run ahead along a recorded traversal chain, but
+        # it fetches one line per node and its successor table is finite:
+        # past CHASE_TABLE_SIZE list nodes the loop LRU-thrashes the table
+        # and the benefit cliffs, while LLA-k packing keeps paying. The
+        # churned heap (fragmented) is what makes baseline traversal a true
+        # pointer chase; LLA arrays are insensitive to it.
+        "base": {"arch": "sandy-bridge", "link": "auto", "msg_bytes": 1,
+                 "fragmented": True, "iterations": 10},
+        "series": "{variant}",
+        "x": "search_depth",
+        "matrix": {
+            "variant": [
+                {"label": "baseline", "queue_family": "baseline",
+                 "prefetcher": "default"},
+                {"label": "baseline+chase", "queue_family": "baseline",
+                 "prefetcher": "chase"},
+                {"label": "LLA - 2", "queue_family": "lla-2",
+                 "prefetcher": "default"},
+                {"label": "LLA - 2 +chase", "queue_family": "lla-2",
+                 "prefetcher": "chase"},
+                {"label": "LLA - 4", "queue_family": "lla-4",
+                 "prefetcher": "default"},
+                {"label": "LLA - 4 +chase", "queue_family": "lla-4",
+                 "prefetcher": "chase"},
+                {"label": "LLA - 8", "queue_family": "lla-8",
+                 "prefetcher": "default"},
+                {"label": "LLA - 8 +chase", "queue_family": "lla-8",
+                 "prefetcher": "chase"},
+            ],
+            "search_depth": [1, 8, 64, 512, 1024, 4096, 8192],
+        },
+        "quick": {"base": {"iterations": 3},
+                  "matrix": {"search_depth": [8, 512, 4096]}},
+    })
+    _register({
         "name": "offload",
         "kind": "offload",
         "title": "Hardware matching offload and its capacity cliff (section 2.2)",

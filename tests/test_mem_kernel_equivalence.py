@@ -1,23 +1,27 @@
-"""Cross-backend kernel equivalence: SoA vs reference, bit-identical.
+"""Cross-backend kernel equivalence: soa x vec x reference, bit-identical.
 
-The structure-of-arrays kernel (:mod:`repro.mem.soa`) and the reference
-dict kernel (:mod:`repro.mem.cache`) are two implementations of the *same*
-simulated machine. This suite drives a pair of hierarchies — one per
-backend — through an identical seeded stream of mixed operations (demand
-line runs, network-class accesses, write-allocate stores, heater touches,
-full flushes) and demands bit-identical outcomes at every step:
+The structure-of-arrays kernel (:mod:`repro.mem.soa`), the numpy-vectorized
+kernel (:mod:`repro.mem.vec`) and the reference dict kernel
+(:mod:`repro.mem.cache`) are three implementations of the *same* simulated
+machine. This suite drives one hierarchy per backend through an identical
+seeded stream of mixed operations (demand line runs, network-class
+accesses, write-allocate stores, heater touches, full flushes) in lockstep
+and demands bit-identical outcomes at every step:
 
 * every :meth:`~repro.mem.result.AccessResult.signature` (``repr``-encoded
   floats: cycle totals must match to the last bit, not approximately);
 * every per-level counter (hits/misses/evictions/prefetch fills+hits);
 * occupancy, per-class occupancy, and full recency order of every set of
   every cache — so eviction *choices*, not just eviction *counts*, agree;
-* the shared RNG consumption contract (both backends draw the same
+* the shared RNG consumption contract (all backends draw the same
   variates in the same order, or RANDOM-policy runs diverge immediately).
 
 Scenarios cover the full policy matrix (LRU / tree-PLRU / RANDOM) crossed
 with way-partitioning and the dedicated network cache, on deliberately
-tiny geometries so sets overflow and eviction paths actually run.
+tiny geometries so sets overflow and eviction paths actually run. The vec
+kernel's span thresholds are pinned to 1 for the drive, so its vectorized
+probe/stamp/argmin primitives — not just its scalar fallbacks — face the
+lockstep comparison on every op.
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+import repro.mem.hierarchy as hierarchy_mod
 from repro.mem.cache import (
     CLS_DEFAULT,
     CLS_NETWORK,
@@ -33,8 +38,9 @@ from repro.mem.cache import (
     WayPartition,
 )
 from repro.mem.hierarchy import MemoryHierarchy, NetworkCacheConfig
-from repro.mem.kernel import KERNEL_REFERENCE, KERNEL_SOA
+from repro.mem.kernel import KERNEL_REFERENCE, KERNEL_SOA, KERNEL_VEC
 from repro.mem.soa import SoACache
+from repro.mem.vec import VecCache
 
 POLICIES = (EvictionPolicy.LRU, EvictionPolicy.PLRU, EvictionPolicy.RANDOM)
 
@@ -56,9 +62,26 @@ GEOMETRY = dict(
 
 N_OPS = 400
 
+#: Captured at import, before the threshold-pinning fixture runs.
+_PRODUCTION_MIN_SPAN = hierarchy_mod._VEC_MIN_SPAN
+_PRODUCTION_MIN_RUN = hierarchy_mod._VEC_MIN_RUN
 
-def build_pair(policy, with_partition, with_netcache, seed=1234):
-    """Two hierarchies, identical config, one per kernel backend.
+
+@pytest.fixture(autouse=True)
+def _vectorize_everything(monkeypatch):
+    """Probe every span through the vec kernel's array primitives.
+
+    The production thresholds route short transactions to the scalar SoA
+    paths (numpy fixed costs dominate there); the tiny lockstep geometry
+    would never reach them. Equivalence must hold at any threshold, so the
+    suite pins both to 1.
+    """
+    monkeypatch.setattr(hierarchy_mod, "_VEC_MIN_SPAN", 1)
+    monkeypatch.setattr(hierarchy_mod, "_VEC_MIN_RUN", 1)
+
+
+def build_trio(policy, with_partition, with_netcache, seed=1234):
+    """Three hierarchies, identical config, one per kernel backend.
 
     Each gets its *own* RNG constructed from the same seed: the equivalence
     contract includes drawing identical variate streams, so sharing one
@@ -76,9 +99,11 @@ def build_pair(policy, with_partition, with_netcache, seed=1234):
 
     ref = make(KERNEL_REFERENCE)
     soa = make(KERNEL_SOA)
+    vec = make(KERNEL_VEC)
     assert isinstance(ref.l3, SetAssociativeCache)
-    assert isinstance(soa.l3, SoACache)
-    return ref, soa
+    assert isinstance(soa.l3, SoACache) and not isinstance(soa.l3, VecCache)
+    assert isinstance(vec.l3, VecCache)
+    return ref, (("soa", soa), ("vec", vec))
 
 
 def caches_of(hier):
@@ -92,13 +117,13 @@ def caches_of(hier):
     return out
 
 
-def assert_states_equal(ref, soa, context):
+def assert_states_equal(ref, other, label, context):
     """Full structural equality: stats, occupancy, and recency per set."""
-    for (name, rc), (_, sc) in zip(caches_of(ref), caches_of(soa)):
+    for (name, rc), (_, sc) in zip(caches_of(ref), caches_of(other)):
         for field in ("hits", "misses", "prefetch_fills", "prefetch_hits",
                       "evictions", "flushes"):
             rv, sv = getattr(rc.stats, field), getattr(sc.stats, field)
-            assert rv == sv, f"{context}: {name}.{field}: ref={rv} soa={sv}"
+            assert rv == sv, f"{context}: {name}.{field}: ref={rv} {label}={sv}"
         assert rc.occupancy() == sc.occupancy(), f"{context}: {name} occupancy"
         for cls in (CLS_DEFAULT, CLS_NETWORK):
             assert rc.occupancy(cls) == sc.occupancy(cls), (
@@ -107,9 +132,10 @@ def assert_states_equal(ref, soa, context):
         for idx in range(rc.nsets):
             r_order, s_order = rc.recency(idx), sc.recency(idx)
             assert r_order == s_order, (
-                f"{context}: {name} set {idx} recency: ref={r_order} soa={s_order}"
+                f"{context}: {name} set {idx} recency: "
+                f"ref={r_order} {label}={s_order}"
             )
-        # The SoA fast path elides flag tests when _nflagged == 0, so the
+        # The slab fast paths elide flag tests when _nflagged == 0, so the
         # counter must track the true flagged-slot population exactly.
         true_flagged = sum(1 for slot in sc._index.values() if sc._flag[slot])
         assert sc._nflagged == true_flagged, (
@@ -117,8 +143,13 @@ def assert_states_equal(ref, soa, context):
         )
 
 
-def drive(ref, soa, *, seed=99, n_ops=N_OPS):
-    """One seeded op stream applied to both hierarchies in lockstep.
+def assert_all_equal(ref, others, context):
+    for label, other in others:
+        assert_states_equal(ref, other, label, context)
+
+
+def drive(ref, others, *, seed=99, n_ops=N_OPS):
+    """One seeded op stream applied to all hierarchies in lockstep.
 
     The mix is weighted toward demand line runs (the hot path) but includes
     every mutating entry point; addresses reuse a small footprint so lines
@@ -134,49 +165,149 @@ def drive(ref, soa, *, seed=99, n_ops=N_OPS):
         context = f"op {op_i} (kind {op}, core {core}, addr {addr:#x})"
         if op < 5:  # demand run, default class
             first, last = addr >> 6, (addr + nbytes - 1) >> 6
-            r = ref.access_lines(core, first, last)
-            s = soa.access_lines(core, first, last)
-            assert r.signature() == s.signature(), context
+            r = ref.access_lines(core, first, last).signature()
+            for label, h in others:
+                s = h.access_lines(core, first, last).signature()
+                assert r == s, f"{context} [{label}]"
         elif op < 7:  # demand run, network class (netcache path when present)
             first, last = addr >> 6, (addr + nbytes - 1) >> 6
-            r = ref.access_lines(core, first, last, CLS_NETWORK)
-            s = soa.access_lines(core, first, last, CLS_NETWORK)
-            assert r.signature() == s.signature(), context
+            r = ref.access_lines(core, first, last, CLS_NETWORK).signature()
+            for label, h in others:
+                s = h.access_lines(core, first, last, CLS_NETWORK).signature()
+                assert r == s, f"{context} [{label}]"
         elif op == 7:  # write-allocate store
-            r = ref.write_tx(core, addr, nbytes, CLS_NETWORK if has_netcache else CLS_DEFAULT)
-            s = soa.write_tx(core, addr, nbytes, CLS_NETWORK if has_netcache else CLS_DEFAULT)
-            assert r.signature() == s.signature(), context
+            cls = CLS_NETWORK if has_netcache else CLS_DEFAULT
+            r = ref.write_tx(core, addr, nbytes, cls).signature()
+            for label, h in others:
+                s = h.write_tx(core, addr, nbytes, cls).signature()
+                assert r == s, f"{context} [{label}]"
         elif op == 8:  # heater touch (refresh/install split)
-            r = ref.touch_shared_tx(core, addr, nbytes)
-            s = soa.touch_shared_tx(core, addr, nbytes)
-            assert r.signature() == s.signature(), context
+            r = ref.touch_shared_tx(core, addr, nbytes).signature()
+            for label, h in others:
+                s = h.touch_shared_tx(core, addr, nbytes).signature()
+                assert r == s, f"{context} [{label}]"
         else:  # occasional flush (protection-respecting variant included)
             respect = bool(rng.integers(2))
             ref.flush(respect_protection=respect)
-            soa.flush(respect_protection=respect)
+            for _, h in others:
+                h.flush(respect_protection=respect)
         if op_i % 50 == 0:
-            assert_states_equal(ref, soa, context)
-    assert_states_equal(ref, soa, "final")
-    assert ref.stats() == soa.stats()
+            assert_all_equal(ref, others, context)
+    assert_all_equal(ref, others, "final")
+    for label, h in others:
+        assert ref.stats() == h.stats(), label
 
 
 @pytest.mark.parametrize("policy", POLICIES)
 @pytest.mark.parametrize("with_partition", (False, True), ids=["nopart", "part"])
 @pytest.mark.parametrize("with_netcache", (False, True), ids=["nonetc", "netc"])
 def test_kernels_bit_identical(policy, with_partition, with_netcache):
-    ref, soa = build_pair(policy, with_partition, with_netcache)
-    drive(ref, soa)
+    ref, others = build_trio(policy, with_partition, with_netcache)
+    drive(ref, others)
 
 
 @pytest.mark.parametrize("policy", POLICIES)
 def test_kernels_identical_after_full_flush(policy):
-    """An unprotected flush must leave both backends equivalent mid-stream."""
-    ref, soa = build_pair(policy, True, True)
-    drive(ref, soa, n_ops=100)
+    """An unprotected flush must leave all backends equivalent mid-stream."""
+    ref, others = build_trio(policy, True, True)
+    drive(ref, others, n_ops=100)
     ref.flush(respect_protection=False)
-    soa.flush(respect_protection=False)
-    assert_states_equal(ref, soa, "post-flush")
-    drive(ref, soa, seed=7, n_ops=100)
+    for _, h in others:
+        h.flush(respect_protection=False)
+    assert_all_equal(ref, others, "post-flush")
+    drive(ref, others, seed=7, n_ops=100)
+
+
+# -- the scan-run entry point (access_run) --------------------------------
+
+
+def _lines_of(spec):
+    """A (lines, vis) pair from a compact (line, visits) spec."""
+    lines = [ln for ln, _ in spec]
+    vis = [v for _, v in spec]
+    return lines, vis, sum(vis)
+
+
+@pytest.mark.parametrize("policy", (EvictionPolicy.LRU, EvictionPolicy.RANDOM))
+@pytest.mark.parametrize(
+    "gapped", (False, True), ids=["contiguous", "gapped"]
+)
+def test_access_run_lockstep(policy, gapped):
+    """access_run: same accept/reject decision and identical state after.
+
+    Covers both vec membership paths (the count-only contiguous probe and
+    the searchsorted gapped probe), plus the all-or-nothing contract: a
+    rejected run must leave every backend's state untouched and a
+    subsequent scalar replay must still agree.
+    """
+    ref, others = build_trio(policy, False, False)
+    all_h = [("reference", ref)] + list(others)
+    step = 2 if gapped else 1
+    resident = [(8 + i * step, 1 + (i % 3)) for i in range(24)]
+    lines, vis, total = _lines_of(resident)
+    # Warm every line, then run over them: all backends must accept.
+    for _, h in all_h:
+        for ln in lines:
+            h.access_lines(0, ln, ln)
+    accepted = {label: h.access_run(0, lines, vis, total) for label, h in all_h}
+    assert all(accepted.values()), accepted
+    assert_all_equal(ref, others, f"run accepted ({policy}, gapped={gapped})")
+    # A run touching a non-resident line must be rejected by everyone,
+    # mutating nothing.
+    cold = lines + [lines[-1] + 64]
+    cold_vis = vis + [2]
+    rejected = {
+        label: h.access_run(0, cold, cold_vis, total + 2) for label, h in all_h
+    }
+    assert not any(rejected.values()), rejected
+    assert_all_equal(ref, others, "run rejected")
+    for label, h in all_h:
+        assert ref.stats() == h.stats(), label
+
+
+def test_access_run_rejects_flagged_lines():
+    """A pending prefetch flag anywhere in the run forces the scalar replay."""
+    ref, others = build_trio(EvictionPolicy.LRU, False, False)
+    all_h = [("reference", ref)] + list(others)
+    lines = list(range(32, 56))
+    vis = [1] * len(lines)
+    for _, h in all_h:
+        for ln in lines:
+            h.access_lines(0, ln, ln)
+        # Plant a prefetched fill inside the run's span (a refill of a
+        # resident line keeps its clean state, so drop it first).
+        h.cores[0].l1.invalidate(lines[7])
+        h.cores[0].l1.fill(lines[7], CLS_DEFAULT, prefetched=True, penalty=3.0)
+    rejected = {
+        label: h.access_run(0, lines, vis, len(lines)) for label, h in all_h
+    }
+    assert not any(rejected.values()), rejected
+    assert_all_equal(ref, others, "flagged run rejected")
+
+
+def test_wide_warm_spans_hit_the_vector_path(monkeypatch):
+    """Production thresholds, default L1: a warm 256-line span qualifies
+    for the vec fast path and still matches the other backends bit-for-bit."""
+    monkeypatch.setattr(hierarchy_mod, "_VEC_MIN_SPAN", _PRODUCTION_MIN_SPAN)
+    monkeypatch.setattr(hierarchy_mod, "_VEC_MIN_RUN", _PRODUCTION_MIN_RUN)
+    assert 256 >= _PRODUCTION_MIN_SPAN
+    wide = dict(GEOMETRY, l1_size=32 * 1024, l1_assoc=8)
+
+    def make(kernel):
+        return MemoryHierarchy(policy=EvictionPolicy.LRU, kernel=kernel, **wide)
+
+    trio = [(k, make(k)) for k in (KERNEL_REFERENCE, KERNEL_SOA, KERNEL_VEC)]
+    first, last = 0, 255  # 16 KiB span, fits the 512-line L1
+    for _ in range(4):
+        sigs = {
+            label: h.access_lines(0, first, last).signature()
+            for label, h in trio
+        }
+        assert len(set(sigs.values())) == 1, sigs
+    ref = trio[0][1]
+    assert_all_equal(ref, [trio[1], trio[2]], "wide warm spans")
+    for label, h in trio[1:]:
+        assert ref.stats() == h.stats(), label
 
 
 def test_default_kernel_is_soa(monkeypatch):
@@ -188,10 +319,14 @@ def test_default_kernel_is_soa(monkeypatch):
     assert isinstance(h.l3, SoACache)
 
 
-def test_env_selects_reference(monkeypatch):
+@pytest.mark.parametrize(
+    "kernel, cls_",
+    ((KERNEL_REFERENCE, SetAssociativeCache), (KERNEL_VEC, VecCache)),
+)
+def test_env_selects_kernel(monkeypatch, kernel, cls_):
     from repro.mem.kernel import MEM_KERNEL_ENV
 
-    monkeypatch.setenv(MEM_KERNEL_ENV, KERNEL_REFERENCE)
+    monkeypatch.setenv(MEM_KERNEL_ENV, kernel)
     h = MemoryHierarchy(**GEOMETRY)
-    assert h.kernel == KERNEL_REFERENCE
-    assert isinstance(h.l3, SetAssociativeCache)
+    assert h.kernel == kernel
+    assert isinstance(h.l3, cls_)

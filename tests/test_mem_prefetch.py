@@ -1,8 +1,13 @@
 """Tests for the prefetcher models."""
 
 from repro.mem.prefetch import (
+    CHASE_TABLE_SIZE,
+    PREFETCHER_CATALOGUE,
+    PREFETCHER_MODES,
+    STREAM_TABLE_SIZE,
     AdjacentPairPrefetcher,
     NextLinePrefetcher,
+    PointerChasePrefetcher,
     Prefetcher,
     StreamerPrefetcher,
 )
@@ -96,6 +101,118 @@ class TestStreamer:
         s.observe(101, True)
         out = s.observe(102, True)
         assert out
+
+
+class TestPointerChase:
+    def _traverse(self, pf, lines):
+        out = []
+        for line in lines:
+            out.append(pf.observe(line, False))
+        return out
+
+    def test_learns_jump_edges_not_spatial_steps(self):
+        pf = PointerChasePrefetcher(min_jump=2)
+        self._traverse(pf, [100, 101, 102])  # +1 steps: spatial territory
+        assert len(pf._succ) == 0
+        self._traverse(pf, [200, 300, 250])  # jumps: pointer territory
+        assert dict(pf._succ) == {102: 200, 200: 300, 300: 250}
+
+    def test_learns_descending_jumps(self):
+        # Long-lived arenas hand out nodes at descending addresses too.
+        pf = PointerChasePrefetcher(min_jump=2)
+        self._traverse(pf, [500, 400, 300])
+        assert dict(pf._succ) == {500: 400, 400: 300}
+
+    def test_first_traversal_proposes_nothing(self):
+        pf = PointerChasePrefetcher()
+        chain = [10, 90, 30, 170, 50]
+        assert all(out == () for out in self._traverse(pf, chain))
+
+    def test_second_traversal_chases_ahead(self):
+        pf = PointerChasePrefetcher(depth=2)
+        chain = [10, 90, 30, 170, 50]
+        self._traverse(pf, chain)
+        second = self._traverse(pf, chain)
+        # Re-visiting node i proposes nodes i+1 and i+2 of the chain.
+        assert second[0] == (90, 30)
+        assert second[1] == (30, 170)
+        assert second[2] == (170, 50)
+        # The jump back to the chain head was itself recorded as an edge
+        # (50 -> 10), so the tail proposals wrap around the loop.
+        assert second[3] == (50, 10)
+
+    def test_depth_bounds_run_ahead(self):
+        chain = [10, 90, 30, 170, 50, 230]
+        shallow = PointerChasePrefetcher(depth=1)
+        deep = PointerChasePrefetcher(depth=4)
+        for pf in (shallow, deep):
+            self._traverse(pf, chain)
+        assert shallow.observe(10, False) == (90,)
+        assert deep.observe(10, False) == (90, 30, 170, 50)
+
+    def test_table_lru_eviction(self):
+        pf = PointerChasePrefetcher(table_size=2)
+        self._traverse(pf, [10, 90, 30, 170])  # three edges into a 2-table
+        assert len(pf._succ) == 2
+        assert 10 not in pf._succ  # oldest edge recycled
+
+    def test_rerecording_refreshes_lru_position(self):
+        pf = PointerChasePrefetcher(table_size=2)
+        self._traverse(pf, [10, 90, 170])  # edges 10->90, 90->170 (table full)
+        self._traverse(pf, [10, 90])       # 170->10 evicts 10->90; 10->90 re-
+        #                                  # recorded evicts 90->170
+        assert dict(pf._succ) == {170: 10, 10: 90}
+        pf.observe(250, False)             # 90->250: evicts the LRU (170->10)
+        assert dict(pf._succ) == {10: 90, 90: 250}
+
+    def test_reset_forgets_everything(self):
+        pf = PointerChasePrefetcher()
+        self._traverse(pf, [10, 90, 30])
+        pf.reset()
+        assert len(pf._succ) == 0
+        assert pf.observe(10, False) == ()
+
+    def test_survives_flush_flag(self):
+        # The chase table is predictor SRAM: hierarchy.flush() must not
+        # clear it, unlike the spatial units.
+        assert PointerChasePrefetcher.survives_flush is True
+        for cls in (Prefetcher, NextLinePrefetcher, AdjacentPairPrefetcher,
+                    StreamerPrefetcher):
+            assert cls.survives_flush is False
+
+
+class TestBoundedState:
+    """A million-page scan must not grow detector state without bound.
+
+    The open-loop traffic subsystem pushes million-event schedules through
+    these objects; tracking tables are capacity-bounded LRU like the silicon
+    they model.
+    """
+
+    N = 1_000_000
+
+    def test_streamer_state_bounded_under_page_scan(self):
+        s = StreamerPrefetcher()
+        for page in range(self.N):
+            s.observe(page * 64, False)  # a new 4KiB page every access
+        assert len(s._streams) <= STREAM_TABLE_SIZE
+
+    def test_chase_state_bounded_under_page_scan(self):
+        pf = PointerChasePrefetcher()
+        for page in range(self.N):
+            pf.observe(page * 64, False)  # every step is a +64 line jump
+        assert len(pf._succ) <= CHASE_TABLE_SIZE
+
+
+class TestCatalogue:
+    def test_catalogue_names_and_summaries(self):
+        names = [name for name, _ in PREFETCHER_CATALOGUE]
+        assert names == ["next-line", "adjacent-pair", "streamer", "pointer-chase"]
+        assert all(summary for _, summary in PREFETCHER_CATALOGUE)
+
+    def test_mode_names(self):
+        assert [name for name, _ in PREFETCHER_MODES] == [
+            "default", "none", "chase", "chase-only"]
 
 
 class TestBase:

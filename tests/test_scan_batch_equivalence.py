@@ -7,7 +7,7 @@ retained per-slot spelling: same ``clock.now`` to the last float bit, same
 ``LevelStats``, same per-cache recency state, same RNG consumption. This
 suite drives twin engine+queue stacks — one per scan mode — through an
 identical seeded post/match workload across every queue family ×
-{heated, unheated} × {soa, reference} kernels and compares everything.
+{heated, unheated} × {soa, vec, reference} kernels and compares everything.
 
 Also covered here: the ``REPRO_SCAN_BATCH`` resolution chain, NullPort's
 O(1) run counters, the default per-slot fallback loop, LLA hole accounting

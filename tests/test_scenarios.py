@@ -609,7 +609,7 @@ class TestRegistry:
             "temporal-msg-size", "temporal-search-length",
             "fig8-amg", "fig9-minife", "fig10-fds",
             "heater-micro", "colocated", "ablation", "offload",
-            "traffic-overload",
+            "traffic-overload", "prefetch-chase",
         } <= names
 
     def test_total_points_matches_expansion(self):
@@ -626,6 +626,54 @@ class TestRegistry:
         before = repr(spec.expand())
         spec.with_overrides(matrix={"depth": [64]}, seed=9).expand()
         assert repr(get_scenario("offload").expand()) == before
+
+
+# ---------------------------------------------------------------------------
+# The pointer-chase prefetcher ablation scenario.
+# ---------------------------------------------------------------------------
+
+
+class TestPrefetchChaseScenario:
+    def test_builtin_registered_and_expands(self):
+        spec = get_scenario("prefetch-chase")
+        plan = spec.quick().expand()
+        assert len(plan.points) == 24  # 8 variants x 3 depths
+        labels = {p.series for p in plan.points}
+        assert "baseline" in labels and "baseline+chase" in labels
+        assert "LLA - 8" in labels and "LLA - 8 +chase" in labels
+        # Every point carries the prefetcher mode and the churned heap.
+        assert {p.kwargs["prefetcher"] for p in plan.points} == {"default", "chase"}
+        assert all(p.kwargs["fragmented"] for p in plan.points)
+
+    def test_bad_prefetcher_value_lists_modes(self):
+        spec = get_scenario("prefetch-chase").with_overrides(
+            base={"prefetcher": "psychic"})
+        with pytest.raises(ScenarioError, match="chase-only"):
+            spec.expand()
+
+    def test_runs_end_to_end_and_chase_beats_default_at_small_depth(self):
+        from repro.exp import Runner
+
+        spec = get_scenario("prefetch-chase").with_overrides(
+            base={"iterations": 3},
+            matrix={
+                "variant": [
+                    {"label": "baseline", "queue_family": "baseline",
+                     "prefetcher": "default"},
+                    {"label": "baseline+chase", "queue_family": "baseline",
+                     "prefetcher": "chase"},
+                ],
+                "search_depth": [64],
+            },
+        )
+        plan = spec.expand()
+        for p in plan.points:
+            assert dict(p.params)["search_depth"] == 64
+        sweep = Runner().run_sweep(plan)
+        y = {name: series.y[0] for name, series in sweep.series.items()}
+        # At a depth well inside the successor table, the chase unit's
+        # run-ahead must beat the spatial units on a churned-heap list.
+        assert y["baseline+chase"] > y["baseline"]
 
 
 # ---------------------------------------------------------------------------

@@ -17,7 +17,7 @@ from repro.bench.osu import OsuConfig, osu_bandwidth, osu_bandwidth_legacy
 from repro.exp import Runner
 from repro.net import QLOGIC_QDR
 
-KERNELS = ("soa", "reference")
+KERNELS = ("soa", "vec", "reference")
 SCAN_MODES = ("on", "off")
 
 VARIANTS = [
