@@ -1,63 +1,104 @@
-"""Open-loop traffic throughput baseline: simulated events per wall second.
+"""Open-loop traffic throughput: the columnar fast path's speedup ladder.
 
 The traffic driver is the substrate every overload experiment runs on, so
-its host-side throughput bounds how large a schedule is practical. This
-benchmark drives a moderately loaded open-loop run (bounded UMQ, decoy PRQ
-depth, Zipf skew — the `traffic-overload` scenario's regime) and asserts:
+its host-side throughput bounds how large a schedule is practical. The
+driver now has two spellings — the retained per-event legacy loop and the
+columnar batch fast path (``--traffic-batch``, default on) — that are
+bit-identical on every ``TrafficResult`` observable. This benchmark times
+both on a shared scenario set and gates the ladder:
 
-* bit-identical :class:`~repro.traffic.TrafficResult` reprs across repeated
-  runs (determinism re-checked inside the timed harness, like the scan and
-  kernel benches do);
-* the loss machinery actually engaged (nonzero rejections, nonzero p99
-  sojourn) — a silently idle admission path would make the timing
-  meaningless;
-* a loose events/sec floor (``MIN_EVENTS_PER_SEC``) so a pathological
-  slowdown of the event loop fails CI rather than stretching it.
+* the batch loop must beat the legacy loop by ``MIN_TRAFFIC_SPEEDUP`` (2x)
+  on the saturated drop-tail reference point, where reject-streak replay
+  carries most of the schedule (the measured headroom is ~3x; the gate
+  retries once on noise, naming the failing mode pair);
+* run-to-run *and* cross-mode repr identity are asserted inside the timed
+  harness — a replay divergence fails the benchmark before any number is
+  reported;
+* every row keeps the historical loose ``MIN_EVENTS_PER_SEC`` floor, and
+  the loss machinery must actually engage on the reference point;
+* a million-event smoke drives a full 1e6-event deep-overload schedule
+  through the fast path in seconds and bounds the driver's peak traced
+  allocation (resident state is O(reservoir + n_tags + recv_window);
+  flatness in event count is pinned by ``tests/test_traffic_scale.py``).
 
-``bench_to_json.py`` reuses :func:`collect_traffic` to export the
-trajectory to ``BENCH_traffic.json``.
+``bench_to_json.py`` reuses :func:`collect_traffic` to export the per-mode
+trajectory (and the ladder gate's metadata) to ``BENCH_traffic.json``.
 """
 
 from __future__ import annotations
 
 import time
+import tracemalloc
 
 from conftest import emit
 
 from repro.analysis.report import render_table
 from repro.arch import SANDY_BRIDGE
-from repro.traffic import TrafficConfig, run_traffic
+from repro.traffic import TrafficConfig, TrafficDriver, run_traffic
 
 #: Events per timed run (warmup + measured).
 N_WARMUP = 200
-N_MEASURED = 1800
+N_MEASURED = 5800
 
 #: Timed repetitions; best-of keeps scheduler noise out.
 ROUNDS = 3
 
-#: Loose floor: the event loop currently sustains several thousand
-#: events/sec on CI-class hardware; this trips only on order-of-magnitude
+#: The ladder gate: batch events/sec over legacy events/sec on the
+#: saturated drop-tail reference point. Measured headroom is ~3x
+#: (TARGET_TRAFFIC_SPEEDUP); the gate only demands 2x so CI-class machine
+#: noise cannot trip it.
+MIN_TRAFFIC_SPEEDUP = 2.0
+TARGET_TRAFFIC_SPEEDUP = 3.0
+
+#: Loose absolute floor per row: trips on order-of-magnitude event-loop
 #: regressions (per-event Python overhead creep), not machine noise.
 MIN_EVENTS_PER_SEC = 1000.0
 
+#: The two event-loop spellings, in ladder order.
+MODES = (("legacy", False), ("batch", True))
+
+#: The gated scenario (first in the table): deep enough overload that the
+#: UMQ saturates and drop-tail sheds most arrivals — the regime the fast
+#: path's reject-streak replay is built for.
+REFERENCE_SCENARIO = "saturated drop-tail"
+
 
 def overload_config(**overrides) -> TrafficConfig:
-    """The benchmark's reference configuration (a knee-adjacent point)."""
+    """The benchmark's reference configuration (the gated ladder point)."""
     kwargs = dict(
         arch=SANDY_BRIDGE,
-        arrival_rate=1.2,
+        arrival_rate=8.0,
         zipf_alpha=1.0,
-        n_tags=64,
-        msg_bytes=1024,
-        search_depth=128,
-        flush_every=32,
-        queue_capacity=256,
+        n_tags=16,
+        msg_bytes=512,
+        search_depth=32,
+        queue_capacity=64,
+        recv_window=8,
         n_warmup=N_WARMUP,
         n_measured=N_MEASURED,
         seed=7,
     )
     kwargs.update(overrides)
     return TrafficConfig(**kwargs)
+
+
+def scenarios():
+    """(label, config-factory) pairs; the first is the gated reference."""
+    return (
+        (REFERENCE_SCENARIO, overload_config),
+        (
+            "overload drop-head",
+            lambda **kw: overload_config(
+                arrival_rate=1.6, admission="drop-head", **kw
+            ),
+        ),
+        (
+            "unbounded rate 0.2",
+            lambda **kw: overload_config(
+                arrival_rate=0.2, queue_capacity=None, search_depth=16, **kw
+            ),
+        ),
+    )
 
 
 def time_traffic(cfg: TrafficConfig, rounds: int = ROUNDS):
@@ -80,59 +121,169 @@ def time_traffic(cfg: TrafficConfig, rounds: int = ROUNDS):
     return best, reference
 
 
+def _time_mode_pair(make_cfg):
+    """Time both modes of one scenario; asserts cross-mode identity."""
+    timing = {}
+    results = {}
+    for mode, flag in MODES:
+        timing[mode], results[mode] = time_traffic(make_cfg(traffic_batch=flag))
+    assert repr(results["batch"]) == repr(results["legacy"]), (
+        "batch and legacy traffic runs diverged"
+    )
+    assert repr(results["batch"].mem_stats) == repr(results["legacy"].mem_stats), (
+        "batch and legacy mem_stats diverged"
+    )
+    return timing, results["legacy"]
+
+
 def collect_traffic():
-    """Rows for the JSON artifact (and the table below)."""
+    """Per-(scenario, mode) rows for the JSON artifact (and the table)."""
     rows = []
-    for label, cfg in (
-        ("overload drop-tail", overload_config()),
-        ("overload drop-head", overload_config(admission="drop-head")),
-        (
-            "unbounded rate 0.2",
-            overload_config(
-                arrival_rate=0.2, queue_capacity=None, flush_every=0, search_depth=32
-            ),
-        ),
-    ):
-        seconds, result = time_traffic(cfg)
-        events = cfg.n_warmup + cfg.n_measured
+    events = N_WARMUP + N_MEASURED
+    for label, make_cfg in scenarios():
+        timing, result = _time_mode_pair(make_cfg)
         measured = result.measured
-        rows.append(
-            {
-                "scenario": label,
-                "events": events,
-                "seconds": round(seconds, 4),
-                "events_per_sec": round(events / seconds, 1),
-                "rejection_pct": round(measured.rejection_pct, 2),
-                "p99_sojourn_us": round(measured.p99_sojourn_us, 2),
-            }
-        )
+        for mode, _flag in MODES:
+            seconds = timing[mode]
+            rows.append(
+                {
+                    "scenario": label,
+                    "mode": mode,
+                    "events": events,
+                    "seconds": round(seconds, 4),
+                    "events_per_sec": round(events / seconds, 1),
+                    "speedup": round(timing["legacy"] / seconds, 3),
+                    "rejection_pct": round(measured.rejection_pct, 2),
+                    "p99_sojourn_us": round(measured.p99_sojourn_us, 2),
+                }
+            )
     return rows
 
 
-def test_traffic_throughput_baseline():
+def _gate_with_retry():
+    """Assert batch beats legacy by MIN_TRAFFIC_SPEEDUP on the reference.
+
+    One noise retry: if the first measurement misses the gate, both modes
+    are re-timed (best-of) before failing, and the failure names the mode
+    pair and scenario so the regression is attributable.
+    """
+    speedup = None
+    for retry in range(2):
+        timing, _result = _time_mode_pair(overload_config)
+        speedup = timing["legacy"] / timing["batch"]
+        if speedup >= MIN_TRAFFIC_SPEEDUP:
+            return speedup
+        emit(
+            f"batch vs legacy on '{REFERENCE_SCENARIO}': {speedup:.2f}x below "
+            f"{MIN_TRAFFIC_SPEEDUP}x gate (target {TARGET_TRAFFIC_SPEEDUP}x); "
+            "re-measuring"
+        )
+    assert speedup >= MIN_TRAFFIC_SPEEDUP, (
+        f"mode pair batch/legacy on '{REFERENCE_SCENARIO}': speedup "
+        f"{speedup:.2f}x < {MIN_TRAFFIC_SPEEDUP}x gate "
+        f"(target {TARGET_TRAFFIC_SPEEDUP}x)"
+    )
+    return speedup
+
+
+def test_traffic_batch_speedup_ladder():
     rows = collect_traffic()
     emit(
         render_table(
-            ["scenario", "events", "best s", "events/s", "rej %", "p99 us"],
+            ["scenario", "mode", "events", "best s", "events/s", "speedup", "rej %", "p99 us"],
             [
                 (
-                    r["scenario"], r["events"], r["seconds"],
-                    r["events_per_sec"], r["rejection_pct"], r["p99_sojourn_us"],
+                    r["scenario"], r["mode"], r["events"], r["seconds"],
+                    r["events_per_sec"], r["speedup"],
+                    r["rejection_pct"], r["p99_sojourn_us"],
                 )
                 for r in rows
             ],
-            title="Open-loop traffic driver throughput (best of %d)" % ROUNDS,
+            title="Open-loop traffic event-loop ladder (best of %d)" % ROUNDS,
         )
     )
-    overload = rows[0]
-    assert overload["rejection_pct"] > 0, "overload point did not reject"
-    assert overload["p99_sojourn_us"] > 0, "overload point recorded no sojourns"
+    reference = [r for r in rows if r["scenario"] == REFERENCE_SCENARIO]
+    assert reference[0]["rejection_pct"] > 0, "reference point did not reject"
+    assert reference[0]["p99_sojourn_us"] > 0, "reference point recorded no sojourns"
     for row in rows:
         assert row["events_per_sec"] >= MIN_EVENTS_PER_SEC, (
-            f"{row['scenario']}: {row['events_per_sec']} events/s below the "
-            f"{MIN_EVENTS_PER_SEC} floor"
+            f"{row['scenario']} [{row['mode']}]: {row['events_per_sec']} "
+            f"events/s below the {MIN_EVENTS_PER_SEC} floor"
         )
+    speedup = _gate_with_retry()
+    emit(
+        f"ladder gate: batch {speedup:.2f}x legacy on '{REFERENCE_SCENARIO}' "
+        f"(>= {MIN_TRAFFIC_SPEEDUP}x, target {TARGET_TRAFFIC_SPEEDUP}x)"
+    )
+
+
+# -- million-event smoke -------------------------------------------------------
+
+#: Deep overload (arrivals outpace the engine ~30:1) so reject-streak
+#: replay carries the schedule: a million events complete in seconds.
+MILLION_EVENTS = 1_000_000
+
+#: Peak traced driver allocation allowed for a deep-overload run. The
+#: resident state is O(reservoir + n_tags + recv_window) — nothing scales
+#: with the schedule.
+MAX_DRIVER_PEAK_BYTES = 8 * 2**20
+
+#: Floor for the smoke (measured ~300k events/s; an order of magnitude of
+#: headroom for CI-class machines).
+MIN_MILLION_EVENTS_PER_SEC = 25_000.0
+
+
+def deep_overload_config(**overrides) -> TrafficConfig:
+    kwargs = dict(
+        arch=SANDY_BRIDGE,
+        arrival_rate=32.0,
+        zipf_alpha=1.0,
+        n_tags=16,
+        msg_bytes=512,
+        search_depth=8,
+        queue_capacity=32,
+        recv_window=4,
+        n_warmup=1000,
+        n_measured=MILLION_EVENTS - 1000,
+        seed=7,
+    )
+    kwargs.update(overrides)
+    return TrafficConfig(**kwargs)
+
+
+def test_traffic_million_event_smoke():
+    start = time.perf_counter()
+    result = run_traffic(deep_overload_config())
+    elapsed = time.perf_counter() - start
+    events_per_sec = MILLION_EVENTS / elapsed
+    for phase in (result.warmup, result.measured):
+        assert phase.fast_matches + phase.unexpected + phase.rejected == phase.events
+    assert result.measured.events == MILLION_EVENTS - 1000
+    assert events_per_sec >= MIN_MILLION_EVENTS_PER_SEC, (
+        f"million-event smoke: {events_per_sec:.0f} events/s below the "
+        f"{MIN_MILLION_EVENTS_PER_SEC} floor"
+    )
+
+    # Peak traced allocation, bounded at quarter scale (tracing multiplies
+    # wall cost ~10x; tests/test_traffic_scale.py pins that the peak is
+    # flat in the event count, so the bound transfers to the full million).
+    driver = TrafficDriver.open_loop(deep_overload_config(n_measured=249_000))
+    tracemalloc.start()
+    try:
+        driver.run_open()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    assert peak < MAX_DRIVER_PEAK_BYTES, (
+        f"driver peak {peak / 2**20:.2f} MB exceeds "
+        f"{MAX_DRIVER_PEAK_BYTES / 2**20:.0f} MB bound"
+    )
+    emit(
+        f"million-event smoke: {MILLION_EVENTS} events in {elapsed:.1f}s "
+        f"({events_per_sec:,.0f} events/s), driver peak {peak / 2**20:.2f} MB"
+    )
 
 
 if __name__ == "__main__":
-    test_traffic_throughput_baseline()
+    test_traffic_batch_speedup_ladder()
+    test_traffic_million_event_smoke()

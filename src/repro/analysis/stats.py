@@ -88,11 +88,15 @@ class QuantileReservoir:
 
     def add(self, value: float) -> None:
         """Offer one value to the reservoir."""
-        self.count += 1
-        if len(self._sample) < self.capacity:
+        count = self.count + 1
+        self.count = count
+        if count <= self.capacity:
+            # Pre-capacity fast branch: no len() of the sample list and no
+            # RNG draw while the stream still fits (the common case for
+            # per-phase sojourn streams under heavy rejection).
             self._sample.append(float(value))
             return
-        j = int(self._rng.integers(0, self.count))
+        j = int(self._rng.integers(0, count))
         if j < self.capacity:
             self._sample[j] = float(value)
 

@@ -15,9 +15,15 @@ next pointer. For the UMQ the 16-byte entries pack three per line.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from repro.matching.envelope import FULL_MASK
 from repro.mem.layout import LINE_SIZE, align_up
+
+# Every post/arrival allocates a MatchItem; slotted dataclasses keep the
+# hot-path allocation small (slots=True needs 3.10+, older interpreters
+# just skip it).
+_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
 
 #: Posted-receive entry: tag(4) + rank(2) + cid(2) + masks(8) + req ptr(8).
 PRQ_ENTRY_BYTES = 24
@@ -32,7 +38,7 @@ LLA_NODE_OVERHEAD = 16
 LL_NODE_POINTERS = 16
 
 
-@dataclass
+@dataclass(**_SLOTS)
 class MatchItem:
     """A live matching element (pattern in the PRQ, envelope in the UMQ).
 

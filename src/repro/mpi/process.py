@@ -9,7 +9,8 @@ a hot-cache heater wrapped around them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import sys
+from dataclasses import dataclass, field
 from itertools import count
 from typing import Callable, List, Optional, Union
 
@@ -25,8 +26,13 @@ from repro.mpi.message import Message
 
 QueueLike = Union[MatchQueue, "object"]  # HeatedQueue is duck-typed
 
+# Open-loop runs allocate one RecvRequest per posted receive; slotted
+# dataclasses keep that allocation small and attribute access direct
+# (slots=True needs 3.10+, so older interpreters just skip it).
+_SLOTS = {"slots": True} if sys.version_info >= (3, 10) else {}
 
-@dataclass
+
+@dataclass(**_SLOTS)
 class RecvRequest:
     """A posted receive and its completion state."""
 
@@ -40,6 +46,9 @@ class RecvRequest:
     #: entries inspected by the search that completed (or posted) this recv
     search_depth: int = 0
     on_complete: Optional[Callable[["RecvRequest"], None]] = None
+    #: wakeup handle the simpy-style runtime attaches to pending receives
+    #: (declared here so the class can be slotted; not part of the value)
+    meta_waiter: object = field(default=None, compare=False, repr=False)
 
     def complete(self, message: Optional[Message]) -> None:
         """Mark the request complete (exactly once) and fire its callback."""
@@ -51,7 +60,7 @@ class RecvRequest:
             self.on_complete(self)
 
 
-@dataclass
+@dataclass(**_SLOTS)
 class QueueDepthSample:
     """One (time, prq_len, umq_len) observation."""
 
@@ -150,7 +159,10 @@ class MpiProcess:
         item = MatchItem.from_envelope(
             message.envelope, seq=probe.seq, req=message, entry_bytes=UMQ_ENTRY_BYTES
         )
-        item.meta["enqueued_at"] = self._now()
+        if self.record_traces:
+            # Only the trace path reads the enqueue stamp (queue-time
+            # traces); untraced million-event runs skip the dict write.
+            item.meta["enqueued_at"] = self._now()
         self.umq.post(item)
         self._sample()
         return None

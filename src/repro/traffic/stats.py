@@ -29,6 +29,7 @@ TRAFFIC_METRICS = (
     "mean_queue_depth",
     "max_queue_depth",
     "throughput_per_us",
+    "delivered",
 )
 
 
@@ -75,7 +76,7 @@ class TrafficStats:
         out: Dict[str, float] = {}
         for field in (
             "events", "posted_recvs", "fast_matches", "drained", "unexpected",
-            "rejected", "evicted", "leftover", "rejection_pct",
+            "rejected", "evicted", "leftover", "delivered", "rejection_pct",
             "mean_queue_depth", "max_queue_depth", "mean_sojourn_us",
             "p50_sojourn_us", "p95_sojourn_us", "p99_sojourn_us", "span_us",
             "throughput_per_us",
@@ -157,7 +158,7 @@ class PhaseAccumulator:
             ),
             max_queue_depth=self.depth_max,
             mean_sojourn_us=(
-                self.sojourn_sum / n_sojourns * to_us * 1.0 if n_sojourns else 0.0
+                self.sojourn_sum / n_sojourns * to_us if n_sojourns else 0.0
             ),
             p50_sojourn_us=p50 * to_us,
             p95_sojourn_us=p95 * to_us,

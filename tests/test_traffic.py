@@ -327,3 +327,15 @@ class TestOpenLoopDriver:
         assert res.measured.metric("p99_sojourn_us") == res.measured.p99_sojourn_us
         with pytest.raises(ConfigurationError):
             res.measured.metric("not_a_metric")
+
+    def test_delivered_is_a_first_class_metric(self):
+        # ``delivered`` (fast matches + later drains) is selectable as a
+        # scenario y value and rides along in exported extras.
+        from repro.traffic.stats import TRAFFIC_METRICS
+
+        assert "delivered" in TRAFFIC_METRICS
+        res = run_traffic(traffic_config())
+        m = res.measured
+        assert m.delivered == m.fast_matches + m.drained
+        assert m.metric("delivered") == float(m.delivered)
+        assert m.as_dict()["delivered"] == float(m.delivered)

@@ -1,0 +1,94 @@
+"""Million-event scale: the columnar fast path in bounded time and memory.
+
+The open-loop schedule is lazy and the batch driver's resident state is
+O(reservoir + n_tags + recv_window) — nothing scales with the number of
+events. This suite drives a full million-event overload schedule through
+the fast path (seconds, thanks to reject-streak replay), pins the peak
+traced allocation flat as the event count grows 4x, and re-checks
+lockstep equivalence with the legacy loop at a downscaled-but-still-large
+schedule, including a warmup/measured boundary torn mid-EventBlock.
+"""
+
+import tracemalloc
+
+from repro.arch import SANDY_BRIDGE
+from repro.traffic import TrafficConfig, TrafficDriver, run_traffic
+
+#: A deeply saturated drop-tail point: arrivals outpace the engine ~30:1,
+#: so almost every event is a pure reject and the replayer carries the
+#: schedule in long verified streaks.
+OVERLOAD = dict(
+    arch=SANDY_BRIDGE,
+    arrival_rate=32.0,
+    queue_capacity=32,
+    recv_window=4,
+    search_depth=8,
+    zipf_alpha=1.0,
+    n_tags=16,
+    msg_bytes=512,
+    seed=7,
+)
+
+
+def scale_config(traffic_batch, **kw):
+    return TrafficConfig(traffic_batch=traffic_batch, **dict(OVERLOAD, **kw))
+
+
+def test_million_events_complete_exactly():
+    result = run_traffic(scale_config(True, n_warmup=1000, n_measured=999_000))
+    assert result.warmup.events == 1_000
+    assert result.measured.events == 999_000
+    # Every arrival is classified exactly once; depth was sampled per event.
+    for phase in (result.warmup, result.measured):
+        assert phase.fast_matches + phase.unexpected + phase.rejected == phase.events
+    # Overload means rejection dominates but the engine still delivers.
+    assert result.measured.rejected > 900_000
+    assert result.measured.delivered > 0
+
+
+def test_peak_memory_flat_in_event_count():
+    # The driver's resident state must not scale with the schedule: trace a
+    # run, then one with 4x the events, and require the same peak (small
+    # slack for allocator noise). The session (hierarchy arrays) is built
+    # before tracing starts — the bound is on *driver* state.
+    def peak_for(n_measured):
+        driver = TrafficDriver.open_loop(
+            scale_config(True, n_warmup=1000, n_measured=n_measured)
+        )
+        tracemalloc.start()
+        try:
+            driver.run_open()
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return peak
+
+    small = peak_for(31_000)
+    large = peak_for(127_000)
+    assert large < 8 * 2**20, f"peak {large / 2**20:.2f} MB exceeds 8 MB bound"
+    assert large <= small * 1.5 + 256 * 1024, (
+        f"peak grew with event count: {small} -> {large} bytes for 4x events"
+    )
+
+
+def test_downscaled_legacy_repr_match():
+    # The legacy loop is too slow for a million events; at 20k the same
+    # overload point must still be repr-identical, mem_stats included.
+    kw = dict(n_warmup=1000, n_measured=19_000)
+    batch = run_traffic(scale_config(True, **kw))
+    legacy = run_traffic(scale_config(False, **kw))
+    assert repr(batch) == repr(legacy)
+    assert repr(batch.mem_stats) == repr(legacy.mem_stats)
+
+
+def test_torn_boundary_mid_block_at_scale():
+    # n_warmup=1500 with the 1024-event chunk puts the warmup/measured
+    # boundary in the middle of the second EventBlock; the batch loop must
+    # flush its local counters and reset level_stats at exactly that event.
+    kw = dict(n_warmup=1500, n_measured=4500)
+    batch = run_traffic(scale_config(True, **kw))
+    legacy = run_traffic(scale_config(False, **kw))
+    assert batch.warmup.events == 1500
+    assert batch.measured.events == 4500
+    assert repr(batch) == repr(legacy)
+    assert repr(batch.mem_stats) == repr(legacy.mem_stats)
